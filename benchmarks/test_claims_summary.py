@@ -1,0 +1,21 @@
+"""The reproduction scoreboard: every headline claim in one verdict table.
+
+Runs :func:`repro.experiments.claims.verify_all` over the full-scale
+datasets and asserts every claim passes; the rendered table is the
+one-page summary of the whole reproduction.
+"""
+
+from repro.experiments.claims import render_claims, verify_all
+
+
+def test_claims_summary(benchmark, report, bench_scale, bench_runs):
+    results = benchmark.pedantic(
+        verify_all,
+        args=(bench_scale, bench_runs, 0),
+        rounds=1,
+        iterations=1,
+    )
+    report("claims_summary", render_claims(results))
+    failed = [r.claim for r in results if not r.passed]
+    assert not failed, f"claims failed: {failed}"
+    assert len(results) >= 10

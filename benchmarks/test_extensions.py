@@ -1,0 +1,153 @@
+"""Extension benchmarks: equi-depth bucketing, maintenance, twig queries.
+
+* equi-depth vs equi-width PL bucketing — Section 4.1 suggests "carefully
+  selected" boundaries could firm up the uniformity assumption; measured
+  on the real workloads the choice barely matters, *consistent with the
+  paper's own Figure 7 finding*: PL's residual error is correlation-
+  dominated, so no boundary placement rescues it.
+* incremental statistics maintenance — insert/delete-maintained PL
+  histograms and T-trees must match batch builds exactly, at O(1)-ish
+  update cost.
+* twig estimation — composing the paper's pairwise estimates over
+  branching patterns (the ``//paper[appendix/table]`` shape).
+"""
+
+import statistics
+
+from repro.datasets.workloads import xmark_queries
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.estimators.pl_histogram import PLHistogramEstimator
+from repro.experiments.report import format_table
+from repro.join import containment_join_size
+from repro.maintenance import DynamicTTree, IncrementalPLHistogram
+from repro.models.position import turning_points
+from repro.optimizer.twig import estimate_twig_size, twig, twig_match_count
+
+
+def test_ablation_equi_depth_bucketing(benchmark, report, xmark_full):
+    workspace = xmark_full.tree.workspace()
+    queries = xmark_queries()
+    a0, d0 = queries[0].operands(xmark_full)
+    benchmark.pedantic(
+        lambda: PLHistogramEstimator(
+            num_buckets=20, bucketing="equi-depth"
+        ).estimate(a0, d0, workspace),
+        rounds=3,
+        iterations=1,
+    )
+    rows = []
+    for query in queries:
+        a, d = query.operands(xmark_full)
+        true = containment_join_size(a, d)
+        width_err = (
+            PLHistogramEstimator(num_buckets=20)
+            .estimate(a, d, workspace)
+            .relative_error(true)
+        )
+        depth_err = (
+            PLHistogramEstimator(num_buckets=20, bucketing="equi-depth")
+            .estimate(a, d, workspace)
+            .relative_error(true)
+        )
+        rows.append([query.id, true, width_err, depth_err])
+    report(
+        "ablation_equi_depth",
+        format_table(
+            ["query", "true size", "equi-width err %", "equi-depth err %"],
+            rows,
+            title="[xmark] PL bucket-boundary ablation (20 buckets)",
+        ),
+    )
+    # The negative result, asserted: boundary placement changes errors by
+    # small margins only — correlation, not resolution, dominates
+    # (matching the paper's bucket-count insensitivity finding).
+    for __, ___, width_err, depth_err in rows:
+        assert abs(width_err - depth_err) < 25.0
+
+
+def test_maintenance_matches_batch(benchmark, report, xmark_full):
+    workspace = xmark_full.tree.workspace()
+    ancestors = xmark_full.node_set("desp")
+    descendants = xmark_full.node_set("text")
+
+    def maintain_all():
+        anc = IncrementalPLHistogram(workspace, 20)
+        for element in ancestors:
+            anc.insert(element)
+        return anc
+
+    anc_incremental = benchmark.pedantic(
+        maintain_all, rounds=1, iterations=1
+    )
+    desc_incremental = IncrementalPLHistogram(workspace, 20)
+    for element in descendants:
+        desc_incremental.insert(element)
+
+    estimator = PLHistogramEstimator(num_buckets=20)
+    live = estimator.estimate_from_histograms(
+        anc_incremental.ancestor_histogram(),
+        desc_incremental.descendant_histogram(),
+    )
+    batch = estimator.estimate(ancestors, descendants, workspace)
+    dynamic = DynamicTTree.from_node_set(ancestors)
+    matches_static = dynamic.turning_points() == turning_points(ancestors)
+    report(
+        "maintenance_consistency",
+        format_table(
+            ["check", "value"],
+            [
+                ["batch PL estimate", batch.value],
+                ["incrementally maintained PL estimate", live.value],
+                ["dynamic T-tree == static turning points",
+                 str(matches_static)],
+                ["maintained elements", len(anc_incremental)],
+            ],
+            title="Statistics maintenance vs batch builds (desp // text)",
+        ),
+    )
+    assert abs(live.value - batch.value) < 1e-6 * max(1.0, batch.value)
+    assert matches_static
+
+
+def test_twig_estimation(benchmark, report, bench_runs, xmark_full):
+    patterns = [
+        twig("open_auction", twig("annotation", "text")),
+        twig("open_auction", "reserve", "bidder"),
+        twig("item", twig("desp", "parlist"), "mailbox"),
+        twig("desp", twig("parlist", "listitem")),
+    ]
+    provider = xmark_full.node_set
+    workspace = xmark_full.tree.workspace()
+    benchmark.pedantic(
+        lambda: twig_match_count(provider, patterns[0]),
+        rounds=3,
+        iterations=1,
+    )
+    rows = []
+    for pattern in patterns:
+        exact = twig_match_count(provider, pattern)
+        errors = []
+        for seed in range(max(bench_runs, 3)):
+            estimator = IMSamplingEstimator(num_samples=100, seed=seed)
+            estimate = estimate_twig_size(
+                provider, pattern, estimator, workspace
+            )
+            if exact:
+                errors.append(abs(estimate - exact) / exact * 100.0)
+        rows.append(
+            [str(pattern), exact,
+             statistics.fmean(errors) if errors else 0.0]
+        )
+    report(
+        "twig_estimation",
+        format_table(
+            ["pattern", "exact embeddings", "IM-composed est err %"],
+            rows,
+            title="[xmark] twig cardinality estimation "
+                  "(pairwise IM estimates + independence)",
+        ),
+    )
+    for __, exact, error in rows:
+        assert exact > 0
+        assert error < 120.0  # independence assumption costs accuracy,
+        # but estimates stay the right order of magnitude

@@ -1,0 +1,70 @@
+"""Figure 5: overall performance on XMARK (PH/PL/IM/PM at 200/400/800 B).
+
+Reproduction targets (Section 6.2):
+
+* IM achieves the best accuracy of the four at every budget;
+* sampling methods (IM, PM) beat histogram methods overall;
+* PH blows up on the recursive-ancestor queries Q6-Q8 (the paper reports
+  1600%-37500%) while PL stays bounded.
+
+The benchmark times one full workload evaluation at the 400-byte budget.
+"""
+
+import statistics
+
+from repro.core.budget import SpaceBudget
+from repro.datasets.workloads import xmark_queries
+from repro.experiments.harness import evaluate, paper_methods
+from repro.experiments.overall import OverallResult
+
+
+def test_fig5_xmark_overall(benchmark, report, bench_runs, bench_scale,
+                            xmark_full):
+    queries = xmark_queries()
+
+    def run_one_budget():
+        return evaluate(
+            xmark_full,
+            queries,
+            paper_methods(SpaceBudget(400)),
+            runs=bench_runs,
+            seed=0,
+        )
+
+    benchmark.pedantic(run_one_budget, rounds=1, iterations=1)
+
+    panels = []
+    for nbytes in (200, 400, 800):
+        rows = evaluate(
+            xmark_full,
+            queries,
+            paper_methods(SpaceBudget(nbytes)),
+            runs=bench_runs,
+            seed=0,
+        )
+        panels.append(OverallResult("xmark", SpaceBudget(nbytes), rows))
+    report(
+        "fig5_xmark_overall",
+        "\n\n".join(panel.render() for panel in panels),
+    )
+
+    # Shape assertions on the 800-byte panel.
+    final = panels[-1].rows
+    mean = {
+        method: statistics.fmean(row.errors[method] for row in final)
+        for method in ("PH", "PL", "IM", "PM")
+    }
+    assert mean["IM"] == min(mean.values()), "IM must be the most accurate"
+    assert mean["IM"] < 25.0
+    # The PH blow-up magnitude grows with per-cell density, i.e. with the
+    # document scale: thousands of percent at scale 1.0 (paper:
+    # 1600%-37500%), proportionally less on reduced-scale smoke runs.
+    blow_up_threshold = max(300.0, 1000.0 * min(bench_scale, 1.0))
+    nested = [row for row in final if row.query.id in ("Q6", "Q7", "Q8")]
+    for row in nested:
+        assert row.errors["PH"] > blow_up_threshold, (
+            f"{row.query.id} should blow up"
+        )
+        assert row.errors["PL"] < 150.0, (
+            f"PL must stay bounded on {row.query.id}"
+        )

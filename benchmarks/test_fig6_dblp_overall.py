@@ -1,0 +1,64 @@
+"""Figure 6: overall performance on DBLP (PH/PL/IM/PM at 200/400/800 B).
+
+Reproduction targets (Sections 6.2-6.3):
+
+* IM is again near-exact on every query;
+* PL beats PH on (nearly) every query, without needing the no-overlap
+  information PH depends on;
+* PL degrades on the small-cov queries Q4-Q6 (Table 4) relative to Q1-Q3
+  yet mostly stays ahead of PH.
+"""
+
+import statistics
+
+from repro.core.budget import SpaceBudget
+from repro.datasets.workloads import dblp_queries
+from repro.experiments.harness import evaluate, paper_methods
+from repro.experiments.overall import OverallResult
+
+
+def test_fig6_dblp_overall(benchmark, report, bench_runs, dblp_full):
+    queries = dblp_queries()
+
+    def run_one_budget():
+        return evaluate(
+            dblp_full,
+            queries,
+            paper_methods(SpaceBudget(400)),
+            runs=bench_runs,
+            seed=0,
+        )
+
+    benchmark.pedantic(run_one_budget, rounds=1, iterations=1)
+
+    panels = []
+    for nbytes in (200, 400, 800):
+        rows = evaluate(
+            dblp_full,
+            queries,
+            paper_methods(SpaceBudget(nbytes)),
+            runs=bench_runs,
+            seed=0,
+        )
+        panels.append(OverallResult("dblp", SpaceBudget(nbytes), rows))
+    report(
+        "fig6_dblp_overall",
+        "\n\n".join(panel.render() for panel in panels),
+    )
+
+    final = panels[-1].rows
+    errors = {row.query.id: row.errors for row in final}
+
+    # IM near-exact everywhere.
+    assert statistics.fmean(e["IM"] for e in errors.values()) < 10.0
+
+    # PL beats PH on most queries (the paper: all but one).
+    pl_wins = sum(
+        1 for e in errors.values() if e["PL"] <= e["PH"] + 1e-9
+    )
+    assert pl_wins >= len(errors) - 1
+
+    # The small-cov queries hurt PL more than the regular ones.
+    regular = statistics.fmean(errors[q]["PL"] for q in ("Q1", "Q2", "Q3"))
+    sparse = statistics.fmean(errors[q]["PL"] for q in ("Q5", "Q6"))
+    assert sparse > regular

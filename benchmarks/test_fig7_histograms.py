@@ -1,0 +1,105 @@
+"""Figure 7: histogram accuracy vs space on XMARK.
+
+(a) PH error vs bucket count, (b) PL error vs bucket count, (c) PH vs PL
+at a fixed budget.  Reproduction targets (Section 6.3):
+
+* neither method is sensitive to the number of buckets — more space does
+  not rescue the queries with large errors;
+* PL outperforms PH on (nearly) every query.
+
+The benchmarks time one PH and one PL estimate at 400 bytes.
+"""
+
+import statistics
+from pathlib import Path
+
+from repro.experiments.export import export_series
+
+from repro.datasets.workloads import xmark_queries
+from repro.estimators.ph_histogram import PHHistogramEstimator
+from repro.estimators.pl_histogram import PLHistogramEstimator
+from repro.experiments.histograms import (
+    BUCKET_SWEEP,
+    run_bucket_sweep,
+    run_histogram_comparison,
+)
+from repro.join import containment_join_size
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def test_fig7a_ph_bucket_sweep(benchmark, report, bench_scale, xmark_full):
+    a, d = xmark_queries()[0].operands(xmark_full)
+    workspace = xmark_full.tree.workspace()
+    benchmark.pedantic(
+        lambda: PHHistogramEstimator(num_cells=50).estimate(a, d, workspace),
+        rounds=3,
+        iterations=1,
+    )
+    sweep = run_bucket_sweep("xmark", "PH", BUCKET_SWEEP, scale=bench_scale)
+    report("fig7a_ph_sweep", sweep.render())
+    export_series(RESULTS_DIR / "csv" / "fig7a_ph_sweep.csv", sweep.series,
+                  x_label="buckets", y_label="relative_error_pct")
+
+    # Insensitivity: per query, max/min error across bucket counts stays
+    # within a small factor for the badly-estimated queries.
+    for query_id, points in sweep.series.items():
+        errors = [e for __, e in points]
+        if min(errors) > 100.0:  # the blow-up queries
+            assert max(errors) < 40 * min(errors), query_id
+
+
+def test_fig7b_pl_bucket_sweep(benchmark, report, bench_scale, xmark_full):
+    a, d = xmark_queries()[0].operands(xmark_full)
+    workspace = xmark_full.tree.workspace()
+    benchmark.pedantic(
+        lambda: PLHistogramEstimator(num_buckets=20).estimate(
+            a, d, workspace
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    sweep = run_bucket_sweep("xmark", "PL", BUCKET_SWEEP, scale=bench_scale)
+    report("fig7b_pl_sweep", sweep.render())
+    export_series(RESULTS_DIR / "csv" / "fig7b_pl_sweep.csv", sweep.series,
+                  x_label="buckets", y_label="relative_error_pct")
+
+    # PL stays bounded on every query at every bucket count.
+    for query_id, points in sweep.series.items():
+        for __, error in points:
+            assert error < 200.0, query_id
+
+
+def test_fig7c_ph_vs_pl(benchmark, report, bench_scale, xmark_full):
+    queries = xmark_queries()
+    workspace = xmark_full.tree.workspace()
+
+    def all_pl():
+        estimator = PLHistogramEstimator(num_buckets=20)
+        return [
+            estimator.estimate(*q.operands(xmark_full), workspace).value
+            for q in queries
+        ]
+
+    benchmark.pedantic(all_pl, rounds=1, iterations=1)
+    report(
+        "fig7c_ph_vs_pl",
+        run_histogram_comparison("xmark", scale=bench_scale),
+    )
+
+    # PL must beat PH on average and on the majority of queries.
+    ph = PHHistogramEstimator(num_cells=50)
+    pl = PLHistogramEstimator(num_buckets=20)
+    wins = 0
+    ph_errors = []
+    pl_errors = []
+    for query in queries:
+        a, d = query.operands(xmark_full)
+        true = containment_join_size(a, d)
+        ph_error = ph.estimate(a, d, workspace).relative_error(true)
+        pl_error = pl.estimate(a, d, workspace).relative_error(true)
+        ph_errors.append(ph_error)
+        pl_errors.append(pl_error)
+        wins += pl_error <= ph_error + 1e-9
+    assert wins >= len(queries) - 1
+    assert statistics.fmean(pl_errors) < statistics.fmean(ph_errors)

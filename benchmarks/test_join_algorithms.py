@@ -1,0 +1,42 @@
+"""Performance of the exact join substrate (not a paper figure).
+
+Times the three pair-producing containment joins and the count-only
+oracle on a full-scale XMARK query, and checks they agree.  This is the
+ground-truth machinery every other benchmark leans on, so its own cost
+matters for total harness runtime.
+"""
+
+import pytest
+
+from repro.join import (
+    containment_join_size,
+    merge_join,
+    stack_tree_join,
+)
+
+
+@pytest.fixture(scope="module")
+def operands(xmark_full):
+    return xmark_full.node_set("item"), xmark_full.node_set("name")
+
+
+def test_bench_stack_tree_join(benchmark, operands):
+    a, d = operands
+    pairs = benchmark.pedantic(
+        stack_tree_join, args=(a, d), rounds=3, iterations=1
+    )
+    assert len(pairs) == containment_join_size(a, d)
+
+
+def test_bench_merge_join(benchmark, operands):
+    a, d = operands
+    pairs = benchmark.pedantic(
+        merge_join, args=(a, d), rounds=3, iterations=1
+    )
+    assert len(pairs) == containment_join_size(a, d)
+
+
+def test_bench_count_only_oracle(benchmark, operands):
+    a, d = operands
+    size = benchmark(containment_join_size, a, d)
+    assert size > 0

@@ -1,0 +1,84 @@
+"""Extension: XPath-predicate (semijoin) selectivities.
+
+The intro's query ``//paper[appendix/table]`` needs the *semijoin*
+cardinality — distinct ancestors with a match — rather than the full join
+size.  This benchmark reports exact semijoin selectivities for XMARK
+predicates and the accuracy of the sampling estimators extending
+IM-DA-Est to that problem.
+"""
+
+import statistics
+
+from repro.estimators.semijoin_sampling import (
+    SemijoinAncestorsEstimator,
+    SemijoinDescendantsEstimator,
+)
+from repro.experiments.report import format_table
+from repro.join import (
+    semijoin_ancestors_size,
+    semijoin_descendants_size,
+)
+
+PREDICATES = [
+    ("open_auction", "reserve"),   # //open_auction[reserve]
+    ("item", "keyword"),           # //item[.//keyword]
+    ("desp", "parlist"),           # //desp[parlist]
+    ("listitem", "text"),          # //listitem[text]
+]
+
+
+def test_semijoin_selectivity(benchmark, report, bench_runs, xmark_full):
+    a0 = xmark_full.node_set(PREDICATES[0][0])
+    d0 = xmark_full.node_set(PREDICATES[0][1])
+    benchmark(semijoin_ancestors_size, a0, d0)
+
+    rows = []
+    for anc_tag, desc_tag in PREDICATES:
+        ancestors = xmark_full.node_set(anc_tag)
+        descendants = xmark_full.node_set(desc_tag)
+        true_a = semijoin_ancestors_size(ancestors, descendants)
+        true_d = semijoin_descendants_size(ancestors, descendants)
+        errors_a = []
+        errors_d = []
+        for seed in range(max(bench_runs, 3)):
+            est_a = SemijoinAncestorsEstimator(
+                num_samples=100, seed=seed
+            ).estimate(ancestors, descendants)
+            est_d = SemijoinDescendantsEstimator(
+                num_samples=100, seed=seed
+            ).estimate(ancestors, descendants)
+            if true_a:
+                errors_a.append(
+                    abs(est_a.value - true_a) / true_a * 100.0
+                )
+            if true_d:
+                errors_d.append(
+                    abs(est_d.value - true_d) / true_d * 100.0
+                )
+        rows.append(
+            [
+                f"//{anc_tag}[.//{desc_tag}]",
+                len(ancestors),
+                true_a,
+                true_a / len(ancestors) * 100.0,
+                statistics.fmean(errors_a) if errors_a else 0.0,
+                true_d,
+                statistics.fmean(errors_d) if errors_d else 0.0,
+            ]
+        )
+    report(
+        "semijoin_selectivity",
+        format_table(
+            ["predicate", "|A|", "matching A", "selectivity %",
+             "SEMI-A err %", "matching D", "SEMI-D err %"],
+            rows,
+            title="[xmark] XPath predicate selectivities via semijoin "
+                  "sampling (100 samples)",
+        ),
+    )
+    # Sampling a 100-element subset of a proportion is a binomial
+    # estimate: its error should stay well under 30% for selectivities
+    # this size.
+    for row in rows:
+        assert row[4] < 30.0, row[0]
+        assert row[6] < 30.0, row[0]

@@ -1,0 +1,51 @@
+"""Table 2: dataset statistics (node counts + overlap properties).
+
+Regenerates the three panels of Table 2 from the calibrated synthetic
+generators and reports generated vs paper counts.  The benchmark times
+the statistics computation (node-set construction + overlap detection)
+on the already-built tree.
+"""
+
+import pytest
+
+from repro.experiments.tables import render_table2
+
+
+@pytest.mark.parametrize(
+    "name,fixture",
+    [
+        ("xmark", "xmark_full"),
+        ("dblp", "dblp_full"),
+        ("xmach", "xmach_full"),
+    ],
+)
+def test_table2_statistics(name, fixture, request, benchmark, report,
+                           bench_scale):
+    dataset = request.getfixturevalue(fixture)
+
+    def compute():
+        dataset._node_sets.clear()  # measure cold statistics computation
+        return dataset.statistics()
+
+    rows = benchmark(compute)
+    report(f"table2_{name}", render_table2(name, scale=bench_scale))
+
+    # Reproduction checks: overlap properties must match Table 2 exactly,
+    # counts within 10% of the scaled targets (for large predicates).
+    expected_overlap = {
+        "xmark": {"parlist", "listitem"},
+        "dblp": set(),
+        "xmach": {"host", "path", "section"},
+    }[name]
+    observed_overlap = {r.predicate for r in rows if r.has_overlap}
+    assert observed_overlap == expected_overlap
+
+    for row in rows:
+        target = row.paper_count * bench_scale
+        if target >= 300:
+            # Sampling noise of the recursive generators shrinks like
+            # 1/sqrt(target); 10% is the full-scale calibration target.
+            tolerance = 0.10 + 2.0 / target**0.5
+            assert abs(row.count - target) / target < tolerance, (
+                row.predicate
+            )

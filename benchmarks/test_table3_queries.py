@@ -1,0 +1,47 @@
+"""Table 3: the query workloads, with exact result sizes.
+
+The paper's table lists the ancestor/descendant predicate of each query;
+we additionally report the exact join size on the generated documents
+(the ground truth every figure's relative errors are computed against).
+The benchmark times the exact-size oracle over a whole workload.
+"""
+
+import pytest
+
+from repro.datasets.workloads import ALL_WORKLOADS
+from repro.experiments.report import format_table
+from repro.join import containment_join_size
+
+
+@pytest.mark.parametrize(
+    "name,fixture",
+    [
+        ("xmark", "xmark_full"),
+        ("dblp", "dblp_full"),
+        ("xmach", "xmach_full"),
+    ],
+)
+def test_table3_queries(name, fixture, request, benchmark, report):
+    dataset = request.getfixturevalue(fixture)
+    queries = ALL_WORKLOADS[name]
+
+    def exact_sizes():
+        return [
+            containment_join_size(*query.operands(dataset))
+            for query in queries
+        ]
+
+    sizes = benchmark(exact_sizes)
+    rows = [
+        [q.id, q.ancestor, q.descendant, size]
+        for q, size in zip(queries, sizes)
+    ]
+    report(
+        f"table3_{name}",
+        format_table(
+            ["query", "ancestor", "descendant", "exact join size"],
+            rows,
+            title=f"Table 3 ({name}): queries and ground-truth sizes",
+        ),
+    )
+    assert all(size > 0 for size in sizes)

@@ -1,0 +1,32 @@
+"""Table 4: average cov values for the DBLP queries.
+
+cov = l/w * n(D) per bucket, averaged (ancestor-weighted) over buckets —
+the statistic that predicts where the PL histogram is risky (Section 6.3).
+The paper's values: Q1 2.05, Q2 0.98, Q3 0.36, Q4 0.032, Q5 0.0003,
+Q6 0.020.  The ordering and the cliff between Q3 and Q4-Q6 are the
+reproduction target.
+"""
+
+from repro.experiments.tables import (
+    PAPER_TABLE4,
+    average_cov_table,
+    render_table4,
+)
+
+
+def test_table4_average_cov(benchmark, report, bench_scale, dblp_full):
+    table = benchmark(
+        average_cov_table, "dblp", 20, bench_scale
+    )
+    report("table4_cov", render_table4(scale=bench_scale))
+
+    covs = dict(table)
+    # Shape checks against the paper's Table 4.
+    assert covs["Q1"] > 1.0, "Q1 must be the only cov above 1"
+    assert 0.5 < covs["Q2"] < 1.5
+    assert 0.1 < covs["Q3"] < 0.7
+    for sparse_query in ("Q4", "Q5", "Q6"):
+        assert covs[sparse_query] < 0.1, sparse_query
+    # Same ordering as the paper for the top of the table.
+    assert covs["Q1"] > covs["Q2"] > covs["Q3"] > covs["Q4"] > covs["Q5"]
+    assert PAPER_TABLE4["Q1"] > PAPER_TABLE4["Q2"]  # sanity on constants

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Mini version of the paper's overall-performance experiment (Fig. 5/6).
+
+Runs PH, PL, IM and PM over a full Table 3 workload at one space budget
+and prints the per-query relative errors — like one panel of Figure 5 —
+on a document scale of your choosing.
+
+Run:  python examples/accuracy_report.py [--dataset xmark|dblp|xmach]
+                                         [--budget 400] [--scale 0.2]
+                                         [--runs 5]
+"""
+
+import argparse
+
+from repro.core.budget import SpaceBudget
+from repro.datasets import ALL_WORKLOADS, generate_dblp, generate_xmach, generate_xmark
+from repro.experiments.harness import evaluate, paper_methods
+from repro.experiments.report import format_table
+
+GENERATORS = {
+    "xmark": generate_xmark,
+    "dblp": generate_dblp,
+    "xmach": generate_xmach,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", choices=sorted(GENERATORS), default="xmark")
+    parser.add_argument("--budget", type=int, default=400,
+                        help="space budget in bytes (paper: 200/400/800)")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="document scale factor (1.0 = Table 2 sizes)")
+    parser.add_argument("--runs", type=int, default=5,
+                        help="repetitions for the sampling methods")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = GENERATORS[args.dataset](scale=args.scale, seed=args.seed)
+    queries = ALL_WORKLOADS[args.dataset]
+    budget = SpaceBudget(args.budget)
+    print(f"dataset: {args.dataset} at scale {args.scale} "
+          f"({dataset.tree.size} elements); budget {budget} => "
+          f"{budget.ph_buckets} PH cells / {budget.pl_buckets} PL buckets / "
+          f"{budget.samples} samples; {args.runs} runs\n")
+
+    rows = evaluate(dataset, queries, paper_methods(budget),
+                    runs=args.runs, seed=args.seed)
+    print(format_table(
+        ["query", "ancestor", "descendant", "true size", "PH", "PL", "IM", "PM"],
+        [[r.query.id, r.query.ancestor, r.query.descendant, r.true_size,
+          r.errors["PH"], r.errors["PL"], r.errors["IM"], r.errors["PM"]]
+         for r in rows],
+        title="relative error (%) per query",
+    ))
+
+
+if __name__ == "__main__":
+    main()

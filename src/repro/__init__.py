@@ -1,0 +1,52 @@
+"""Containment join size estimation for XML data.
+
+A full reproduction of Wang, Jiang, Lu and Yu, *Containment Join Size
+Estimation: Models and Methods* (SIGMOD 2003).
+
+The package provides:
+
+* region-coded XML data trees and element sets (:mod:`repro.core`,
+  :mod:`repro.xmltree`),
+* synthetic XMark/DBLP/XMach-like dataset generators (:mod:`repro.datasets`),
+* exact containment join algorithms (:mod:`repro.join`),
+* the paper's interval and position models (:mod:`repro.models`),
+* indexes used for sampling probes — B+-tree, T-tree, XR-tree
+  (:mod:`repro.index`),
+* the estimators themselves — PL histogram, PH/coverage histogram
+  baselines, IM-DA-Est and PM-Est sampling (:mod:`repro.estimators`),
+* a small cost-based containment-join-order optimizer
+  (:mod:`repro.optimizer`), and
+* the experiment harness that regenerates every table and figure of the
+  paper's evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.datasets import generate_xmark
+    from repro.join import containment_join_size
+    from repro.estimators import IMSamplingEstimator
+
+    tree = generate_xmark(scale=0.1, seed=42)
+    ancestors = tree.node_set("item")
+    descendants = tree.node_set("name")
+
+    exact = containment_join_size(ancestors, descendants)
+    estimate = IMSamplingEstimator(num_samples=100, seed=7).estimate(
+        ancestors, descendants
+    )
+"""
+
+from repro.core.budget import SpaceBudget
+from repro.core.element import Element, Region
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Element",
+    "Region",
+    "NodeSet",
+    "Workspace",
+    "SpaceBudget",
+    "__version__",
+]

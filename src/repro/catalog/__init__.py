@@ -1,0 +1,17 @@
+"""The statistics catalog: how an optimizer deploys the estimators.
+
+A query optimizer cannot rebuild synopses per estimate; it maintains a
+catalog of per-tag statistics built once (at load time, under a space
+budget) and consults it at plan time.  :class:`repro.catalog.catalog.
+StatisticsCatalog` provides exactly that layer over the paper's methods.
+"""
+
+from repro.catalog.catalog import CatalogEntry, StatisticsCatalog
+from repro.catalog.persistence import load_catalog, save_catalog
+
+__all__ = [
+    "CatalogEntry",
+    "StatisticsCatalog",
+    "load_catalog",
+    "save_catalog",
+]

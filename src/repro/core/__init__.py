@@ -1,0 +1,27 @@
+"""Core data structures: region codes, element sets, workspaces, budgets."""
+
+from repro.core.budget import SpaceBudget
+from repro.core.element import Element, Region
+from repro.core.errors import (
+    EmptyNodeSetError,
+    EstimationError,
+    InvalidRegionCodeError,
+    ReproError,
+)
+from repro.core.nodeset import NodeSet
+from repro.core.rng import make_rng
+from repro.core.workspace import Bucket, Workspace
+
+__all__ = [
+    "Bucket",
+    "Element",
+    "EmptyNodeSetError",
+    "EstimationError",
+    "InvalidRegionCodeError",
+    "NodeSet",
+    "Region",
+    "ReproError",
+    "SpaceBudget",
+    "Workspace",
+    "make_rng",
+]

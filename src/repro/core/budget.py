@@ -1,0 +1,72 @@
+"""Space-budget accounting used throughout the evaluation (Section 6).
+
+The paper compares estimators under equal *byte* budgets (200, 400, 800
+bytes) and states the conversion explicitly: those budgets "roughly
+correspond to using 25, 50, 100 buckets for PH histogram method, 10, 20, 40
+buckets for PL histogram method and 25, 50, 100 samples for the sampling
+methods".  That implies 8 bytes per PH bucket, 20 bytes per PL bucket (one
+bucket stores ``n``, ``wss``, ``wse`` and ``l``) and 8 bytes per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+
+#: Bytes consumed by one PH histogram bucket (a grid-cell counter).
+PH_BYTES_PER_BUCKET = 8
+
+#: Bytes consumed by one PL histogram bucket (n, wss, wse, l).
+PL_BYTES_PER_BUCKET = 20
+
+#: Bytes consumed by one retained sample in the sampling estimators.
+BYTES_PER_SAMPLE = 8
+
+#: The three budgets used for the overall-performance figures (5 and 6).
+PAPER_BUDGETS = (200, 400, 800)
+
+
+@dataclass(frozen=True, slots=True)
+class SpaceBudget:
+    """A byte budget and its conversions to estimator parameters.
+
+    >>> SpaceBudget(200).pl_buckets
+    10
+    >>> SpaceBudget(800).samples
+    100
+    """
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < max(
+            PH_BYTES_PER_BUCKET, PL_BYTES_PER_BUCKET, BYTES_PER_SAMPLE
+        ):
+            raise ReproError(
+                f"budget of {self.nbytes} bytes cannot hold even one bucket "
+                "or sample"
+            )
+
+    @property
+    def ph_buckets(self) -> int:
+        """Grid cells per dimension group affordable for the PH histogram."""
+        return self.nbytes // PH_BYTES_PER_BUCKET
+
+    @property
+    def pl_buckets(self) -> int:
+        """Workspace buckets affordable for the PL histogram."""
+        return self.nbytes // PL_BYTES_PER_BUCKET
+
+    @property
+    def samples(self) -> int:
+        """Sample points affordable for IM-DA-Est / PM-Est."""
+        return self.nbytes // BYTES_PER_SAMPLE
+
+    def __str__(self) -> str:
+        return f"{self.nbytes}B"
+
+
+def paper_budgets() -> tuple[SpaceBudget, ...]:
+    """The 200/400/800-byte budgets of Figures 5 and 6."""
+    return tuple(SpaceBudget(b) for b in PAPER_BUDGETS)

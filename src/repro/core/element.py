@@ -1,0 +1,117 @@
+"""Region codes and region-coded elements.
+
+The paper encodes every element of an XML data tree with a *region code*
+``(start, end)`` assigned by a depth-first traversal (Zhang et al., SIGMOD
+2001).  Containment is then a pure arithmetic test: ``a`` is an ancestor of
+``d`` iff ``a.start < d.start < a.end`` (the second condition
+``d.end < a.end`` is implied by strict nesting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.core.errors import InvalidRegionCodeError
+
+
+class Region(NamedTuple):
+    """A ``(start, end)`` region code with ``start < end``.
+
+    Region codes of a well-formed XML tree are *strictly nested*: two regions
+    are either disjoint or one properly contains the other.
+    """
+
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        """Length of the interval ``[start, end]``."""
+        return self.end - self.start
+
+    def contains(self, other: "Region") -> bool:
+        """Return True if this region properly contains ``other``."""
+        return self.start < other.start and other.end < self.end
+
+    def contains_point(self, position: int | float) -> bool:
+        """Return True if ``position`` lies inside ``[start, end]``."""
+        return self.start <= position <= self.end
+
+    def disjoint(self, other: "Region") -> bool:
+        """Return True if the two regions do not intersect at all."""
+        return self.end < other.start or other.end < self.start
+
+    def partially_overlaps(self, other: "Region") -> bool:
+        """Return True if the regions intersect without containment.
+
+        Strictly nested region codes never partially overlap; this predicate
+        exists to *validate* that invariant.
+        """
+        if self.disjoint(other):
+            return False
+        return not (
+            self.contains(other) or other.contains(self) or self == other
+        )
+
+    def validate(self) -> "Region":
+        """Raise :class:`InvalidRegionCodeError` unless ``start < end``."""
+        if self.start >= self.end:
+            raise InvalidRegionCodeError(
+                f"region ({self.start}, {self.end}) must satisfy start < end"
+            )
+        return self
+
+
+@dataclass(frozen=True, slots=True)
+class Element:
+    """A region-coded XML element.
+
+    Attributes:
+        tag: element tag name (the predicate used to form node sets).
+        start: start position of the region code.
+        end: end position of the region code.
+        level: depth in the data tree (root has level 0).
+    """
+
+    tag: str
+    start: int
+    end: int
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise InvalidRegionCodeError(
+                f"element <{self.tag}> has invalid region "
+                f"({self.start}, {self.end}): start must be < end"
+            )
+
+    @property
+    def region(self) -> Region:
+        """The element's region code as a :class:`Region`."""
+        return Region(self.start, self.end)
+
+    @property
+    def length(self) -> int:
+        """Length of the element's region, ``end - start``."""
+        return self.end - self.start
+
+    def is_ancestor_of(self, other: "Element") -> bool:
+        """Containment test: ``self.start < other.start < self.end``.
+
+        Relies on the strictly nested property, so the symmetric condition
+        on ``end`` need not be checked (Section 3.1 of the paper).
+        """
+        return self.start < other.start < self.end
+
+    def contains_point(self, position: int | float) -> bool:
+        """Return True if ``position`` is inside ``[start, end]``."""
+        return self.start <= position <= self.end
+
+    def as_interval(self) -> tuple[int, int]:
+        """Interval-model view of the element: ``[start, end]``."""
+        return (self.start, self.end)
+
+    def as_point(self) -> int:
+        """Point (descendant) view of the element: its start position."""
+        return self.start

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class InvalidRegionCodeError(ReproError):
+    """A region code violates the XML region coding invariants.
+
+    Raised when ``end <= start``, when two elements share a start or end
+    code, or when two regions partially overlap (which the strictly nested
+    property of XML forbids).
+    """
+
+
+class EmptyNodeSetError(ReproError):
+    """An operation that requires a non-empty node set received an empty one."""
+
+
+class EstimationError(ReproError):
+    """An estimator was configured or invoked incorrectly."""
+
+
+class ParseError(ReproError):
+    """Malformed XML text passed to :mod:`repro.xmltree.parser`."""
+
+
+class QueryError(ReproError):
+    """Malformed or unsupported path expression."""

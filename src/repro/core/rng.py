@@ -1,0 +1,34 @@
+"""Random-number-generator helpers.
+
+Everything stochastic in the package (dataset generation, sampling
+estimators, experiment repetition) accepts either a seed or a ready
+:class:`numpy.random.Generator`; this module centralizes the coercion so
+results are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = int | np.random.Generator | None
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged, so callers can
+    thread one generator through a pipeline of stochastic steps.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used by the boosting wrapper and the experiment harness to give each
+    repetition its own stream without correlation.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

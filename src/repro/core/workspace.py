@@ -1,0 +1,100 @@
+"""Workspace: the position domain ``[cmin, cmax]`` of a region-coded tree.
+
+The paper defines the workspace as ``[cmin, cmax]`` where ``cmin`` is the
+minimum start code and ``cmax`` the maximum end code over all elements of the
+data tree.  Histogram estimators partition the workspace into equal-width
+buckets; the PM-Est sampler draws positions uniformly from it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple
+
+from repro.core.errors import EmptyNodeSetError, ReproError
+
+
+class Bucket(NamedTuple):
+    """One histogram bucket ``[wss, wse)`` over the workspace.
+
+    ``wss``/``wse`` follow the paper's notation (workspace bucket start and
+    end positions).  Buckets are half-open on the right except for the last
+    bucket, which closes the workspace.
+    """
+
+    index: int
+    wss: float
+    wse: float
+
+    @property
+    def width(self) -> float:
+        return self.wse - self.wss
+
+
+class Workspace(NamedTuple):
+    """The inclusive position range ``[lo, hi]`` of a data tree or join."""
+
+    lo: int
+    hi: int
+
+    @property
+    def width(self) -> int:
+        """Number of integer positions in the workspace, ``hi - lo + 1``.
+
+        This is the ``w`` used to scale PM-Est estimates (Algorithm 3).
+        """
+        return self.hi - self.lo + 1
+
+    @property
+    def span(self) -> int:
+        """Continuous extent of the workspace, ``hi - lo``."""
+        return self.hi - self.lo
+
+    def validate(self) -> "Workspace":
+        if self.lo > self.hi:
+            raise ReproError(f"workspace [{self.lo}, {self.hi}] is empty")
+        return self
+
+    def contains(self, position: int | float) -> bool:
+        """Return True if ``position`` lies inside ``[lo, hi]``."""
+        return self.lo <= position <= self.hi
+
+    def buckets(self, count: int) -> list[Bucket]:
+        """Partition the workspace into ``count`` equal-width buckets.
+
+        Bucket boundaries are real-valued so that integer positions are
+        distributed as evenly as possible; position ``p`` belongs to bucket
+        ``i`` iff ``wss <= p < wse`` (the last bucket also includes ``hi``).
+        """
+        self.validate()
+        if count < 1:
+            raise ReproError(f"bucket count must be >= 1, got {count}")
+        width = self.width / count
+        return [
+            Bucket(i, self.lo + i * width, self.lo + (i + 1) * width)
+            for i in range(count)
+        ]
+
+    def bucket_of(self, position: int | float, count: int) -> int:
+        """Index of the bucket containing ``position`` among ``count`` buckets."""
+        self.validate()
+        if not self.contains(position):
+            raise ReproError(
+                f"position {position} outside workspace [{self.lo}, {self.hi}]"
+            )
+        width = self.width / count
+        index = int((position - self.lo) / width)
+        return min(index, count - 1)
+
+    def positions(self) -> Iterator[int]:
+        """Iterate over every integer position of the workspace."""
+        return iter(range(self.lo, self.hi + 1))
+
+    @classmethod
+    def spanning(cls, workspaces: Iterable["Workspace"]) -> "Workspace":
+        """Smallest workspace containing every workspace in ``workspaces``."""
+        items = list(workspaces)
+        if not items:
+            raise EmptyNodeSetError("cannot span zero workspaces")
+        return cls(
+            min(w.lo for w in items), max(w.hi for w in items)
+        ).validate()

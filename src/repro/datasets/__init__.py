@@ -1,0 +1,38 @@
+"""Synthetic dataset generators calibrated to the paper's Table 2.
+
+The paper evaluates on the XMark and XMach benchmark documents and a DBLP
+snapshot.  None of those exact documents is redistributable here, so this
+package generates *structurally equivalent* synthetic documents: seeded
+random trees whose per-predicate node counts, nesting/recursion patterns
+and overlap properties match Table 2 (see DESIGN.md §4 for the substitution
+argument).
+
+Each generator returns a :class:`repro.datasets.base.Dataset` bundling the
+region-coded tree, the paper's target statistics and the Table 3 query
+workload.
+"""
+
+from repro.datasets.base import Dataset, PredicateStats
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.workloads import (
+    ALL_WORKLOADS,
+    Query,
+    dblp_queries,
+    xmach_queries,
+    xmark_queries,
+)
+from repro.datasets.xmach import generate_xmach
+from repro.datasets.xmark import generate_xmark
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "Dataset",
+    "PredicateStats",
+    "Query",
+    "dblp_queries",
+    "generate_dblp",
+    "generate_xmach",
+    "generate_xmark",
+    "xmach_queries",
+    "xmark_queries",
+]

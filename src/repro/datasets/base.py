@@ -1,0 +1,84 @@
+"""Dataset container and per-predicate statistics (Table 2 machinery)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.nodeset import NodeSet
+from repro.xmltree.tree import DataTree
+
+
+@dataclass(frozen=True, slots=True)
+class PredicateStats:
+    """One row of Table 2: a predicate's cardinality and overlap property.
+
+    ``paper_count`` is the count the paper reports at scale 1.0 (or None
+    for predicates the paper does not list); ``count`` is what the
+    generator actually produced.  ``has_overlap`` True corresponds to the
+    paper's "N/A" rows (the no-overlap property does not hold).
+    """
+
+    predicate: str
+    count: int
+    has_overlap: bool
+    paper_count: int | None = None
+
+    @property
+    def overlap_label(self) -> str:
+        return "N/A" if self.has_overlap else "no overlap"
+
+
+class Dataset:
+    """A generated document: region-coded tree + Table 2 target statistics.
+
+    Args:
+        name: dataset identifier ("xmark", "dblp", "xmach").
+        tree: the generated data tree.
+        paper_counts: predicate -> node count as reported in Table 2 at
+            scale 1.0, in the paper's row order.
+        scale: the scale factor the generator was invoked with.
+        seed: the generator seed (for provenance).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tree: DataTree,
+        paper_counts: Mapping[str, int],
+        scale: float,
+        seed: int,
+    ) -> None:
+        self.name = name
+        self.tree = tree
+        self.paper_counts = dict(paper_counts)
+        self.scale = scale
+        self.seed = seed
+        self._node_sets: dict[str, NodeSet] = {}
+
+    def node_set(self, tag: str) -> NodeSet:
+        """Node set for ``tag`` (cached; repeated calls are free)."""
+        if tag not in self._node_sets:
+            self._node_sets[tag] = self.tree.node_set(tag)
+        return self._node_sets[tag]
+
+    def statistics(self) -> list[PredicateStats]:
+        """Table 2 rows for this dataset, in the paper's predicate order."""
+        rows = []
+        for predicate, paper_count in self.paper_counts.items():
+            node_set = self.node_set(predicate)
+            rows.append(
+                PredicateStats(
+                    predicate=predicate,
+                    count=len(node_set),
+                    has_overlap=node_set.has_overlap,
+                    paper_count=paper_count,
+                )
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, elements={self.tree.size}, "
+            f"scale={self.scale}, seed={self.seed})"
+        )

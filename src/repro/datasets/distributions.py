@@ -1,0 +1,141 @@
+"""Count distributions used by the dataset generators.
+
+A :class:`Distribution` maps a random generator to a non-negative integer
+count (how many children of some kind to emit).  Keeping these as small
+objects makes each generator's schema read declaratively and lets tests
+verify means and supports independently of tree building.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.core.errors import ReproError
+
+
+class Distribution(Protocol):
+    """Anything that can sample a non-negative child count."""
+
+    def sample(self, rng: np.random.Generator) -> int: ...
+
+    @property
+    def mean(self) -> float: ...
+
+
+@dataclass(frozen=True, slots=True)
+class Fixed:
+    """Always ``value``."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ReproError(f"count must be >= 0, got {self.value}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Bernoulli:
+    """1 with probability ``p``, else 0."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ReproError(f"probability must be in [0, 1], got {self.p}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.random() < self.p)
+
+    @property
+    def mean(self) -> float:
+        return self.p
+
+
+@dataclass(frozen=True, slots=True)
+class UniformInt:
+    """Uniform integer in ``[lo, hi]`` inclusive."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.hi:
+            raise ReproError(
+                f"need 0 <= lo <= hi, got lo={self.lo}, hi={self.hi}"
+            )
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+    @property
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class Poisson:
+    """Poisson-distributed count with rate ``lam``."""
+
+    lam: float
+
+    def __post_init__(self) -> None:
+        if self.lam < 0:
+            raise ReproError(f"rate must be >= 0, got {self.lam}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.poisson(self.lam))
+
+    @property
+    def mean(self) -> float:
+        return self.lam
+
+
+@dataclass(frozen=True, slots=True)
+class Choice:
+    """Pick a count from ``values`` with matching ``weights``."""
+
+    values: Sequence[int]
+    weights: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.weights):
+            raise ReproError("values and weights must have equal length")
+        if not self.values:
+            raise ReproError("Choice needs at least one value")
+        if any(w < 0 for w in self.weights):
+            raise ReproError("weights must be non-negative")
+        total = float(sum(self.weights))
+        if total <= 0:
+            raise ReproError("weights must not all be zero")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        weights = np.asarray(self.weights, dtype=float)
+        weights = weights / weights.sum()
+        return int(rng.choice(np.asarray(self.values), p=weights))
+
+    @property
+    def mean(self) -> float:
+        weights = np.asarray(self.weights, dtype=float)
+        weights = weights / weights.sum()
+        return float(np.dot(np.asarray(self.values, dtype=float), weights))
+
+
+def scaled_count(base: int, scale: float) -> int:
+    """Scale a Table 2 target count, never dropping below 1.
+
+    Generators use this for top-level cardinalities so that small-scale
+    datasets (used in tests) keep every predicate non-empty.
+    """
+    if scale <= 0:
+        raise ReproError(f"scale must be > 0, got {scale}")
+    return max(1, round(base * scale))

@@ -1,0 +1,93 @@
+"""Query workloads: Table 3 of the paper.
+
+Each query is an (ancestor predicate, descendant predicate) pair; the
+predicates are tag names evaluated against one dataset's tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodeset import NodeSet
+from repro.datasets.base import Dataset
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """One containment-join query of Table 3."""
+
+    id: str
+    ancestor: str
+    descendant: str
+
+    def operands(self, dataset: Dataset) -> tuple[NodeSet, NodeSet]:
+        """Resolve the predicates against ``dataset``: ``(A, D)``."""
+        return (
+            dataset.node_set(self.ancestor),
+            dataset.node_set(self.descendant),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.id}: {self.ancestor} // {self.descendant}"
+
+
+def xmark_queries() -> list[Query]:
+    """Table 3(a): the eleven XMARK queries."""
+    pairs = [
+        ("item", "name"),
+        ("item", "mailbox"),
+        ("text", "keyword"),
+        ("desp", "parlist"),
+        ("desp", "listitem"),
+        ("parlist", "text"),
+        ("listitem", "keyword"),
+        ("parlist", "listitem"),
+        ("open_auction", "text"),
+        ("open_auction", "reserve"),
+        ("bidder", "increase"),
+    ]
+    return [
+        Query(f"Q{i}", ancestor, descendant)
+        for i, (ancestor, descendant) in enumerate(pairs, start=1)
+    ]
+
+
+def dblp_queries() -> list[Query]:
+    """Table 3(b): the six DBLP queries."""
+    pairs = [
+        ("inproceeding", "author"),
+        ("inproceeding", "title"),
+        ("inproceeding", "cite"),
+        ("inproceeding", "label"),
+        ("title", "sup"),
+        ("cite", "label"),
+    ]
+    return [
+        Query(f"Q{i}", ancestor, descendant)
+        for i, (ancestor, descendant) in enumerate(pairs, start=1)
+    ]
+
+
+def xmach_queries() -> list[Query]:
+    """Table 3(c): the seven XMACH queries."""
+    pairs = [
+        ("host", "path"),
+        ("path", "doc_info"),
+        ("doc_info", "doc_id"),
+        ("chapter", "section"),
+        ("section", "head"),
+        ("section", "paragraph"),
+        ("paragraph", "link"),
+    ]
+    return [
+        Query(f"Q{i}", ancestor, descendant)
+        for i, (ancestor, descendant) in enumerate(pairs, start=1)
+    ]
+
+
+#: Dataset name -> Table 3 workload.
+ALL_WORKLOADS = {
+    "xmark": xmark_queries(),
+    "dblp": dblp_queries(),
+    "xmach": xmach_queries(),
+}

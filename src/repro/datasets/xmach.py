@@ -1,0 +1,178 @@
+"""XMach-like synthetic web-document generator.
+
+Emulates the XMach-1 benchmark (Böhme and Rahm) used in the paper's
+evaluation: a web-site directory (hosts and recursive URL paths) over a
+collection of documents (chapters with recursively nested sections).
+Calibrated so that at ``scale=1.0`` the counts match Table 2(c):
+
+==========  ======  ================================================
+predicate   target  where it appears
+==========  ======  ================================================
+host          1803  directory; may be nested under paths (mirrors)
+path         20235  recursive URL components under hosts
+doc_info     10000  ~49% of paths carry a document
+doc_id       10000  one per doc_info
+chapter        313  ~3.1% of documents have structured content
+section       3338  recursively nested under chapters
+head          3651  one per chapter + one per section
+paragraph     8328  Poisson(2.50) per section
+link           407  ~4.9% of paragraphs
+==========  ======  ================================================
+
+Table 2(c) marks ``host``, ``path`` and ``section`` as "N/A" (their sets
+self-nest); the generator reproduces all three recursions.
+
+Calibration: per-host expected paths ``mu = t/(1-c) = 3.0/0.2674 = 11.22``
+(``t`` top-level paths per host, ``c`` expected child paths per path);
+with nested-host probability ``p_h = 0.02`` per path, total hosts
+``H = h_top/(1 - p_h*mu)`` giving ``h_top = 1398``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rng import SeedLike, make_rng
+from repro.datasets.base import Dataset
+from repro.datasets.distributions import (
+    Bernoulli,
+    Choice,
+    Poisson,
+    scaled_count,
+)
+from repro.xmltree.tree import TreeBuilder
+
+#: Table 2(c) targets at scale 1.0, in the paper's row order.
+PAPER_COUNTS = {
+    "host": 1803,
+    "path": 20235,
+    "doc_info": 10000,
+    "doc_id": 10000,
+    "chapter": 313,
+    "section": 3338,
+    "head": 3651,
+    "paragraph": 8328,
+    "link": 407,
+}
+
+_TOP_PATHS_PER_HOST = Choice((1, 2, 3, 4, 5), (0.10, 0.25, 0.33, 0.19, 0.13))
+_CHILD_PATHS = Choice((0, 1, 2, 3), (0.55, 0.22, 0.18, 0.05))
+_PATH_HAS_HOST = Bernoulli(0.02)
+_PATH_HAS_DOC = Bernoulli(10000 / 20235)
+_DOC_HAS_CHAPTER = Bernoulli(313 / 10000)
+_TOP_SECTIONS = Choice((3, 4, 5, 6, 7), (0.2, 0.2, 0.2, 0.2, 0.2))
+_CHILD_SECTIONS = Choice((0, 1, 2), (0.549, 0.371, 0.08))
+_PARAGRAPHS = Poisson(8328 / 3338)
+_PARAGRAPH_HAS_LINK = Bernoulli(407 / 8328)
+
+_MAX_PATH_DEPTH = 25
+_MAX_HOST_DEPTH = 8
+_MAX_SECTION_DEPTH = 12
+
+# Word counts under word-granularity coding (word_content=True).
+_PARAGRAPH_WORDS = Poisson(25.0)
+_HEAD_WORDS = Poisson(4.0)
+_FIELD_WORDS = Poisson(1.2)
+
+def _words(
+    rng: np.random.Generator, distribution, enabled: bool
+) -> int:
+    return distribution.sample(rng) if enabled else 0
+
+
+def _emit_section(
+    builder: TreeBuilder,
+    rng: np.random.Generator,
+    depth: int,
+    words_on: bool,
+) -> None:
+    with builder.element("section"):
+        builder.leaf("head", words=_words(rng, _HEAD_WORDS, words_on))
+        for _ in range(_PARAGRAPHS.sample(rng)):
+            with builder.element("paragraph"):
+                builder.advance(_words(rng, _PARAGRAPH_WORDS, words_on))
+                if _PARAGRAPH_HAS_LINK.sample(rng):
+                    builder.leaf(
+                        "link", words=_words(rng, _FIELD_WORDS, words_on)
+                    )
+        if depth < _MAX_SECTION_DEPTH:
+            for _ in range(_CHILD_SECTIONS.sample(rng)):
+                _emit_section(builder, rng, depth + 1, words_on)
+
+
+def _emit_document(
+    builder: TreeBuilder, rng: np.random.Generator, words_on: bool
+) -> None:
+    with builder.element("document"):
+        with builder.element("doc_info"):
+            builder.leaf(
+                "doc_id", words=_words(rng, _FIELD_WORDS, words_on)
+            )
+        if _DOC_HAS_CHAPTER.sample(rng):
+            with builder.element("chapter"):
+                builder.leaf(
+                    "head", words=_words(rng, _HEAD_WORDS, words_on)
+                )
+                for _ in range(_TOP_SECTIONS.sample(rng)):
+                    _emit_section(builder, rng, 1, words_on)
+
+
+def _emit_path(
+    builder: TreeBuilder,
+    rng: np.random.Generator,
+    path_depth: int,
+    host_depth: int,
+    words_on: bool,
+) -> None:
+    with builder.element("path"):
+        if _PATH_HAS_DOC.sample(rng):
+            _emit_document(builder, rng, words_on)
+        if host_depth < _MAX_HOST_DEPTH and _PATH_HAS_HOST.sample(rng):
+            _emit_host(builder, rng, host_depth + 1, words_on)
+        if path_depth < _MAX_PATH_DEPTH:
+            for _ in range(_CHILD_PATHS.sample(rng)):
+                _emit_path(
+                    builder, rng, path_depth + 1, host_depth, words_on
+                )
+
+
+def _emit_host(
+    builder: TreeBuilder,
+    rng: np.random.Generator,
+    host_depth: int,
+    words_on: bool,
+) -> None:
+    with builder.element("host"):
+        for _ in range(_TOP_PATHS_PER_HOST.sample(rng)):
+            _emit_path(builder, rng, 1, host_depth, words_on)
+
+
+def generate_xmach(
+    scale: float = 1.0, seed: SeedLike = 0, word_content: bool = False
+) -> Dataset:
+    """Generate an XMach-like dataset.
+
+    Args:
+        scale: multiplies the top-level host count; ``scale=1.0`` targets
+            the Table 2(c) statistics.
+        seed: RNG seed (or an existing generator).
+        word_content: emit word-granularity region codes (every text
+            word consumes a position).  Default False.
+    """
+    rng = make_rng(seed)
+    seed_value = seed if isinstance(seed, int) else -1
+    top_hosts = scaled_count(1398, scale)
+
+    builder = TreeBuilder()
+    with builder.element("xmach"):
+        with builder.element("directory"):
+            for _ in range(top_hosts):
+                _emit_host(builder, rng, 1, word_content)
+
+    return Dataset(
+        name="xmach",
+        tree=builder.finish(),
+        paper_counts=PAPER_COUNTS,
+        scale=scale,
+        seed=seed_value,
+    )

@@ -1,0 +1,234 @@
+"""XMark-like synthetic document generator.
+
+Emulates the auction-site schema of the XML Benchmark Project (Schmidt et
+al.) that the paper evaluates on, calibrated so that at ``scale=1.0`` the
+per-predicate node counts match Table 2(a):
+
+================  =======  ==========================================
+predicate          target  where it appears
+================  =======  ==========================================
+item                 8700  under the six regions
+desp                17800  item descriptions + auction annotations
+parlist              8419  recursive rich-text lists inside desp
+listitem            24544  children of parlist (may recurse to parlist)
+text                42314  direct desp children + listitem children
+open_auction         4800  open-auctions section
+keyword             28058  markup inside text
+name                19300  items + persons + categories
+mailbox              8700  one per item
+reserve              2355  ~49% of open auctions
+bidder              23521  Poisson(4.90) per open auction
+increase            23521  one per bidder
+================  =======  ==========================================
+
+The recursive ``parlist``/``listitem`` structure reproduces the only two
+"N/A" overlap rows of Table 2(a): those are the sets where ancestors nest
+inside each other, the case that breaks the PH baseline.
+
+Derivation of the recursion parameters (expected values):
+``P = 17800·p_desp / (1 - n_li·p_li)`` with ``n_li = 24544/8419 = 2.92``
+listitems per parlist and ``p_li = 0.18`` giving ``p_desp = 0.225``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rng import SeedLike, make_rng
+from repro.datasets.base import Dataset
+from repro.datasets.distributions import (
+    Bernoulli,
+    Choice,
+    Poisson,
+    scaled_count,
+)
+from repro.xmltree.tree import TreeBuilder
+
+#: Table 2(a) targets at scale 1.0, in the paper's row order.
+PAPER_COUNTS = {
+    "item": 8700,
+    "desp": 17800,
+    "parlist": 8419,
+    "listitem": 24544,
+    "text": 42314,
+    "open_auction": 4800,
+    "keyword": 28058,
+    "name": 19300,
+    "mailbox": 8700,
+    "reserve": 2355,
+    "bidder": 23521,
+    "increase": 23521,
+}
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+# Calibrated distributions (see module docstring for the derivation).
+_DESP_HAS_PARLIST = Bernoulli(0.225)
+_DESP_DIRECT_TEXTS = Bernoulli(0.25)  # plus one mandatory text
+_LISTITEMS_PER_PARLIST = Choice(
+    (1, 2, 3, 4, 5), (0.125, 0.245, 0.32, 0.205, 0.105)
+)
+_LISTITEM_HAS_PARLIST = Bernoulli(0.18)
+_TEXTS_PER_LISTITEM = Choice((0, 1, 2), (0.28, 0.625, 0.095))
+_KEYWORDS_PER_TEXT = Choice((0, 1, 2), (0.40, 0.535, 0.065))
+_HAS_RESERVE = Bernoulli(2355 / 4800)
+_BIDDERS_PER_AUCTION = Poisson(23521 / 4800)
+
+#: Recursion guard for parlist/listitem nesting.  The branching ratio is
+#: n_li * p_li ~ 0.53, so depth beyond this is vanishingly unlikely.
+_MAX_PARLIST_DEPTH = 14
+
+# Word counts under word-granularity coding (word_content=True).
+_TEXT_WORDS = Poisson(12.0)
+_KEYWORD_WORDS = Poisson(2.0)
+_NAME_WORDS = Poisson(3.0)
+_FIELD_WORDS = Poisson(1.2)
+
+
+def _words(
+    rng: np.random.Generator, distribution, enabled: bool
+) -> int:
+    return distribution.sample(rng) if enabled else 0
+
+
+def _emit_text(
+    builder: TreeBuilder, rng: np.random.Generator, word_content: bool
+) -> None:
+    with builder.element("text"):
+        builder.advance(_words(rng, _TEXT_WORDS, word_content))
+        for _ in range(_KEYWORDS_PER_TEXT.sample(rng)):
+            builder.leaf(
+                "keyword", words=_words(rng, _KEYWORD_WORDS, word_content)
+            )
+
+
+def _emit_parlist(
+    builder: TreeBuilder,
+    rng: np.random.Generator,
+    depth: int,
+    word_content: bool,
+) -> None:
+    with builder.element("parlist"):
+        for _ in range(_LISTITEMS_PER_PARLIST.sample(rng)):
+            with builder.element("listitem"):
+                for _ in range(_TEXTS_PER_LISTITEM.sample(rng)):
+                    _emit_text(builder, rng, word_content)
+                if (
+                    depth < _MAX_PARLIST_DEPTH
+                    and _LISTITEM_HAS_PARLIST.sample(rng)
+                ):
+                    _emit_parlist(builder, rng, depth + 1, word_content)
+
+
+def _emit_desp(
+    builder: TreeBuilder, rng: np.random.Generator, word_content: bool
+) -> None:
+    with builder.element("desp"):
+        _emit_text(builder, rng, word_content)
+        for _ in range(_DESP_DIRECT_TEXTS.sample(rng)):
+            _emit_text(builder, rng, word_content)
+        if _DESP_HAS_PARLIST.sample(rng):
+            _emit_parlist(builder, rng, depth=1, word_content=word_content)
+
+
+def generate_xmark(
+    scale: float = 1.0, seed: SeedLike = 0, word_content: bool = False
+) -> Dataset:
+    """Generate an XMark-like dataset.
+
+    Args:
+        scale: multiplies every top-level cardinality; ``scale=1.0``
+            targets the Table 2(a) counts, ``scale=0.05`` gives a
+            test-sized document with every predicate still populated.
+        seed: RNG seed (or an existing generator) for reproducibility.
+        word_content: emit word-granularity region codes (every text
+            word consumes a position).  Default False.
+    """
+    rng = make_rng(seed)
+    seed_value = seed if isinstance(seed, int) else -1
+    items = scaled_count(8700, scale)
+    categories = scaled_count(1000, scale)
+    persons = scaled_count(9600, scale)
+    open_auctions = scaled_count(4800, scale)
+    closed_auctions = scaled_count(4300, scale)
+
+    builder = TreeBuilder()
+    with builder.element("site"):
+        with builder.element("regions"):
+            # Split items across the six regions as evenly as possible.
+            per_region = [items // len(_REGIONS)] * len(_REGIONS)
+            for extra in range(items % len(_REGIONS)):
+                per_region[extra] += 1
+            for region, count in zip(_REGIONS, per_region):
+                with builder.element(region):
+                    for _ in range(count):
+                        with builder.element("item"):
+                            builder.leaf(
+                                "location",
+                                words=_words(
+                                    rng, _FIELD_WORDS, word_content
+                                ),
+                            )
+                            builder.leaf(
+                                "name",
+                                words=_words(rng, _NAME_WORDS, word_content),
+                            )
+                            builder.leaf("mailbox")
+                            _emit_desp(builder, rng, word_content)
+        with builder.element("categories"):
+            for _ in range(categories):
+                with builder.element("category"):
+                    builder.leaf(
+                        "name",
+                        words=_words(rng, _NAME_WORDS, word_content),
+                    )
+        with builder.element("people"):
+            for _ in range(persons):
+                with builder.element("person"):
+                    builder.leaf(
+                        "name",
+                        words=_words(rng, _NAME_WORDS, word_content),
+                    )
+                    builder.leaf(
+                        "emailaddress",
+                        words=_words(rng, _FIELD_WORDS, word_content),
+                    )
+        with builder.element("open_auctions"):
+            for _ in range(open_auctions):
+                with builder.element("open_auction"):
+                    builder.leaf(
+                        "initial",
+                        words=_words(rng, _FIELD_WORDS, word_content),
+                    )
+                    if _HAS_RESERVE.sample(rng):
+                        builder.leaf(
+                            "reserve",
+                            words=_words(rng, _FIELD_WORDS, word_content),
+                        )
+                    for _ in range(_BIDDERS_PER_AUCTION.sample(rng)):
+                        with builder.element("bidder"):
+                            builder.leaf(
+                                "increase",
+                                words=_words(
+                                    rng, _FIELD_WORDS, word_content
+                                ),
+                            )
+                    with builder.element("annotation"):
+                        _emit_desp(builder, rng, word_content)
+        with builder.element("closed_auctions"):
+            for _ in range(closed_auctions):
+                with builder.element("closed_auction"):
+                    builder.leaf(
+                        "price",
+                        words=_words(rng, _FIELD_WORDS, word_content),
+                    )
+                    with builder.element("annotation"):
+                        _emit_desp(builder, rng, word_content)
+
+    return Dataset(
+        name="xmark",
+        tree=builder.finish(),
+        paper_counts=PAPER_COUNTS,
+        scale=scale,
+        seed=seed_value,
+    )

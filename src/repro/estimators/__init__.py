@@ -1,0 +1,89 @@
+"""Containment join size estimators.
+
+The paper's algorithms:
+
+* :class:`PLHistogramEstimator` — the PL (Point-Line) histogram, Section 4.
+* :class:`IMSamplingEstimator` — IM-DA-Est interval-model adaptive
+  sampling, Algorithm 2.
+* :class:`PMSamplingEstimator` — PM-Est position-model sampling,
+  Algorithm 3.
+
+Baselines and extensions:
+
+* :class:`PHHistogramEstimator` — the positional/coverage histogram of Wu,
+  Patel and Jagadish (EDBT 2002), the prior work the paper compares
+  against.
+* :class:`CoverageHistogramEstimator` — the coverage remedy in isolation,
+  with global- and local-statistics modes.
+* :class:`CrossSamplingEstimator` — naive t_cross pair sampling.
+* :class:`SystematicSamplingEstimator` — systematic every-k-th sampling
+  (Harangsri et al.).
+* :class:`BifocalEstimator` — bifocal sampling (Ganguly et al.) adapted to
+  the position-model equijoin; degenerates to PM-Est on shallow trees,
+  exactly as Section 5 observes.
+* :class:`BoostedEstimator` — median-of-means probabilistic boosting
+  (Section 5.3.2).
+* :class:`SketchEstimator` / :class:`WaveletEstimator` — the future-work
+  directions of Section 7, realized through the position model.
+* :class:`SemijoinDescendantsEstimator` / :class:`SemijoinAncestorsEstimator`
+  — XPath-predicate (semijoin) selectivities by sampling.
+* :func:`join_size_bounds` / :func:`clamp_estimate` — hard structural
+  cardinality bounds usable as a post-processor.
+"""
+
+from repro.estimators.base import Estimate, Estimator
+from repro.estimators.bifocal import BifocalEstimator
+from repro.estimators.boosting import BoostedEstimator
+from repro.estimators.bounds import (
+    JoinSizeBounds,
+    clamp_estimate,
+    join_size_bounds,
+)
+from repro.estimators.coverage_histogram import CoverageHistogramEstimator
+from repro.estimators.cross_sampling import (
+    CrossSamplingEstimator,
+    SystematicSamplingEstimator,
+)
+from repro.estimators.hybrid import HybridEstimator
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.estimators.mre import cov_value, maximum_relative_error
+from repro.estimators.ph_histogram import PHHistogramEstimator
+from repro.estimators.pl_histogram import PLHistogram, PLHistogramEstimator
+from repro.estimators.pm_sampling import PMSamplingEstimator
+from repro.estimators.registry import available_estimators, make_estimator
+from repro.estimators.semijoin_sampling import (
+    SemijoinAncestorsEstimator,
+    SemijoinDescendantsEstimator,
+)
+from repro.estimators.sketch import CountSketch, SketchEstimator
+from repro.estimators.two_sample import TwoSampleEstimator
+from repro.estimators.wavelet import WaveletEstimator
+
+__all__ = [
+    "BifocalEstimator",
+    "BoostedEstimator",
+    "CountSketch",
+    "CoverageHistogramEstimator",
+    "CrossSamplingEstimator",
+    "Estimate",
+    "Estimator",
+    "HybridEstimator",
+    "IMSamplingEstimator",
+    "JoinSizeBounds",
+    "PHHistogramEstimator",
+    "PLHistogram",
+    "PLHistogramEstimator",
+    "PMSamplingEstimator",
+    "SemijoinAncestorsEstimator",
+    "SemijoinDescendantsEstimator",
+    "SketchEstimator",
+    "SystematicSamplingEstimator",
+    "TwoSampleEstimator",
+    "WaveletEstimator",
+    "available_estimators",
+    "clamp_estimate",
+    "cov_value",
+    "join_size_bounds",
+    "make_estimator",
+    "maximum_relative_error",
+]

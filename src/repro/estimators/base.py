@@ -1,0 +1,97 @@
+"""The uniform estimator interface.
+
+Every estimation method — histogram or sampling, ours or baseline — takes
+two node sets (ancestor operand first) plus the workspace of the underlying
+tree, and returns an :class:`Estimate`.  Estimators are small configured
+objects so the experiment harness can sweep their parameters uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+
+
+@dataclass(frozen=True, slots=True)
+class Estimate:
+    """The result of one size estimation.
+
+    Attributes:
+        value: the estimated containment join cardinality (>= 0).
+        estimator: name of the estimator that produced it.
+        mre: the PL histogram's maximum-relative-error confidence measure
+            (Equation 2), ``math.inf`` when unbounded, None for estimators
+            without such a measure.
+        details: method-specific diagnostics (bucket counts, sample sizes,
+            average cov, ...).
+    """
+
+    value: float
+    estimator: str
+    mre: float | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def relative_error(self, true_size: int) -> float:
+        """``|x - x̂| / x`` as a percentage — the paper's quality metric.
+
+        When the true size is 0, returns 0.0 for an exact estimate and
+        ``math.inf`` otherwise (the paper's workloads never hit this case).
+        """
+        if true_size == 0:
+            return 0.0 if self.value == 0 else math.inf
+        return abs(true_size - self.value) / true_size * 100.0
+
+
+class Estimator(abc.ABC):
+    """Base class for containment join size estimators."""
+
+    #: Short name used in reports ("PL", "PH", "IM", "PM", ...).
+    name: ClassVar[str] = "?"
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None = None,
+    ) -> Estimate:
+        """Estimate ``|ancestors ⋈ descendants|``.
+
+        Args:
+            ancestors: the ancestor operand ``A``.
+            descendants: the descendant operand ``D``.
+            workspace: the position domain; defaults to the tight span of
+                both operands when omitted.
+        """
+
+    def size(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None = None,
+    ) -> float:
+        """Convenience shortcut for ``estimate(...).value``."""
+        return self.estimate(ancestors, descendants, workspace).value
+
+    @staticmethod
+    def resolve_workspace(
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None,
+    ) -> Workspace:
+        """Default the workspace to the tight span of both operands."""
+        if workspace is not None:
+            return workspace.validate()
+        spans = []
+        if len(ancestors):
+            spans.append(ancestors.workspace())
+        if len(descendants):
+            spans.append(descendants.workspace())
+        if not spans:
+            return Workspace(0, 1)
+        return Workspace.spanning(spans)

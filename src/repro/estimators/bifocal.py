@@ -1,0 +1,145 @@
+"""Bifocal sampling (Ganguly et al., SIGMOD 1996) on the position model.
+
+Section 5 of the paper derives IM-DA-Est and PM-Est by *simplifying*
+bifocal sampling: in an XML tree no position is covered by more than ``H``
+(tree height) ancestors, so when ``H < sqrt(|A|)`` every subjoin is sparse
+and the dense-dense machinery is dead weight.  This module implements the
+un-simplified algorithm so that claim is checkable:
+
+Theorem 2 casts the containment join as the equijoin
+``Σ_v PMA(A)[v] · PMD(D)[v]``.  Bifocal sampling classifies each join
+value (= workspace position) as *dense* when its ancestor frequency
+``PMA[v]`` reaches a threshold τ (canonically ``sqrt(|A|)``):
+
+* the dense-dense contribution is computed exactly by scanning the O(|A|)
+  turning points of ``PMA`` for runs with value >= τ and counting the
+  descendant starts inside them;
+* the sparse remainder is estimated by uniform position sampling exactly
+  as PM-Est does, with dense positions contributing zero to the sample.
+
+On realistic XML (``H`` ≪ τ) the dense partition is empty and the
+algorithm *is* PM-Est; on deeply recursive sets (or with a forced low τ)
+the exact dense part removes the highest-variance contributions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.budget import SpaceBudget
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.rng import SeedLike, make_rng
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimate, Estimator
+from repro.index.bplus import start_position_index
+from repro.index.stab import StabbingCounter
+from repro.models.position import turning_points
+
+
+def dense_runs(
+    ancestors: NodeSet, threshold: int
+) -> list[tuple[int, int, int]]:
+    """Maximal runs ``(first, last, value)`` where ``PMA >= threshold``.
+
+    Consecutive turning-point segments at or above the threshold are
+    reported per segment (the value is constant within each).
+    """
+    runs: list[tuple[int, int, int]] = []
+    points = turning_points(ancestors)
+    for (position, value), (next_position, __) in zip(points, points[1:]):
+        if value >= threshold:
+            runs.append((position, next_position - 1, value))
+    # The final turning point always has value 0 (all regions closed), so
+    # it never opens a run.
+    return runs
+
+
+class BifocalEstimator(Estimator):
+    """Bifocal sampling over the position-model equijoin.
+
+    Args:
+        num_samples: sparse-part sample size; mutually exclusive with
+            ``budget``.
+        budget: byte budget converted at 8 bytes per sample.
+        seed: RNG seed or generator.
+        threshold: dense-value threshold τ; defaults to
+            ``ceil(sqrt(|A|))`` at estimation time.
+    """
+
+    name = "BIFOCAL"
+
+    def __init__(
+        self,
+        num_samples: int | None = None,
+        budget: SpaceBudget | None = None,
+        seed: SeedLike = None,
+        threshold: int | None = None,
+    ) -> None:
+        if (num_samples is None) == (budget is None):
+            raise EstimationError(
+                "specify exactly one of num_samples or budget"
+            )
+        self.num_samples = (
+            num_samples if num_samples is not None else budget.samples
+        )
+        if self.num_samples < 1:
+            raise EstimationError(f"need >= 1 sample, got {self.num_samples}")
+        if threshold is not None and threshold < 1:
+            raise EstimationError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._rng = make_rng(seed)
+
+    def estimate(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None = None,
+    ) -> Estimate:
+        workspace = self.resolve_workspace(ancestors, descendants, workspace)
+        if len(ancestors) == 0 or len(descendants) == 0:
+            return Estimate(0.0, self.name, details={"samples": 0})
+        threshold = (
+            self.threshold
+            if self.threshold is not None
+            else max(2, math.isqrt(len(ancestors) - 1) + 1)
+        )
+        runs = dense_runs(ancestors, threshold)
+
+        # Exact dense-dense part: descendant starts inside dense runs.
+        dense_total = 0
+        for first, last, value in runs:
+            dense_total += value * descendants.count_starts_in(
+                first, last + 1
+            )
+
+        # Sparse part: PM-Est-style sampling, zeroing dense positions.
+        m = self.num_samples
+        positions = self._rng.integers(
+            workspace.lo, workspace.hi + 1, size=m
+        )
+        pma = StabbingCounter(ancestors).count_many(positions)
+        start_index = start_position_index(
+            [int(s) for s in descendants.starts]
+        )
+        pmd = np.array(
+            [1 if int(v) in start_index else 0 for v in positions],
+            dtype=np.int64,
+        )
+        sparse_mask = pma < threshold
+        sparse_sample = int(np.dot(pma * sparse_mask, pmd))
+        sparse_total = float(sparse_sample) * workspace.width / m
+
+        return Estimate(
+            dense_total + sparse_total,
+            self.name,
+            details={
+                "samples": m,
+                "threshold": threshold,
+                "dense_runs": len(runs),
+                "dense_exact": dense_total,
+                "sparse_estimate": sparse_total,
+            },
+        )

@@ -1,0 +1,74 @@
+"""Provable cardinality bounds for containment joins.
+
+The structural features of Section 3.1 yield hard bounds that hold for
+*any* data, without statistics:
+
+* each descendant joins at most ``min(H, depth_A)`` ancestors, where
+  ``depth_A`` is the maximum self-nesting depth of the ancestor set
+  (1 for a no-overlap set), so ``|A ⋈ D| <= |D| * depth_A``;
+* each ancestor joins at most |D| descendants, so ``|A ⋈ D| <= |A|·|D|``;
+* a no-overlap ancestor set gives ``|A ⋈ D| <= |D|`` (the paper's
+  adaptive-formula sanity check in Section 4.1).
+
+``clamp_estimate`` projects any estimator output into the feasible
+interval — a cheap, always-safe post-processor the ablation benchmark
+evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodeset import NodeSet
+from repro.estimators.base import Estimate
+
+
+@dataclass(frozen=True, slots=True)
+class JoinSizeBounds:
+    """A guaranteed enclosure ``lower <= |A ⋈ D| <= upper``."""
+
+    lower: int
+    upper: int
+
+    def contains(self, size: float) -> bool:
+        return self.lower <= size <= self.upper
+
+    def clamp(self, size: float) -> float:
+        return min(max(size, float(self.lower)), float(self.upper))
+
+
+def join_size_bounds(ancestors: NodeSet, descendants: NodeSet) -> JoinSizeBounds:
+    """Structural bounds on the containment join size.
+
+    Costs O(|A|) for the nesting-depth scan; no statistics needed.
+    """
+    if len(ancestors) == 0 or len(descendants) == 0:
+        return JoinSizeBounds(0, 0)
+    per_descendant_cap = ancestors.max_nesting_depth
+    upper = min(
+        len(descendants) * per_descendant_cap,
+        len(ancestors) * len(descendants),
+    )
+    return JoinSizeBounds(0, upper)
+
+
+def clamp_estimate(
+    estimate: Estimate, ancestors: NodeSet, descendants: NodeSet
+) -> Estimate:
+    """Project an estimate into the feasible interval.
+
+    Returns a new :class:`Estimate` with the clamped value and a
+    ``clamped`` flag in its details; never worsens the absolute error.
+    """
+    bounds = join_size_bounds(ancestors, descendants)
+    clamped = bounds.clamp(estimate.value)
+    return Estimate(
+        clamped,
+        estimate.estimator,
+        mre=estimate.mre,
+        details={
+            **estimate.details,
+            "clamped": clamped != estimate.value,
+            "bound_upper": bounds.upper,
+        },
+    )

@@ -1,0 +1,112 @@
+"""The paper's deployment recommendation as an estimator (Section 6.5).
+
+    "a system should use PL histograms (with few buckets only) ... if
+    there is no stringent requirement on the accuracy.  On the other
+    hand, in case when highly accurate estimation is required, or when
+    the cov value is small and MRE value is high or unbounded, the
+    interval model based sampling algorithm is the best choice."
+
+:class:`HybridEstimator` encodes exactly that policy: run the cheap PL
+histogram first and inspect its own confidence measure; if the average
+cov falls below a threshold (default 1.0 — where MRE becomes unbounded)
+or the MRE exceeds a tolerance, discard the histogram estimate and run
+IM-DA-Est instead.  The result records which path was taken, so the
+benchmark can show the policy pays the sampling cost only on the queries
+that need it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.budget import SpaceBudget
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.rng import SeedLike
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimate, Estimator
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.estimators.pl_histogram import PLHistogramEstimator
+
+
+class HybridEstimator(Estimator):
+    """PL histogram with an IM-DA-Est fallback, per Section 6.5.
+
+    Args:
+        budget: byte budget, used for whichever method runs (PL buckets
+            or IM samples); mutually exclusive with the explicit pair
+            ``num_buckets``/``num_samples``.
+        num_buckets: PL bucket count (with ``num_samples``).
+        num_samples: IM sample size (with ``num_buckets``).
+        cov_threshold: fall back to sampling when the PL average cov is
+            below this (1.0 = the unbounded-MRE frontier).
+        mre_tolerance: fall back when the PL MRE exceeds this; the
+            default 1.0 triggers only on unbounded MRE (MRE is < 1
+            whenever cov >= 1), i.e. the literal Section 6.5 rule.
+        seed: RNG seed for the sampling fallback.
+    """
+
+    name = "HYBRID"
+
+    def __init__(
+        self,
+        budget: SpaceBudget | None = None,
+        num_buckets: int | None = None,
+        num_samples: int | None = None,
+        cov_threshold: float = 1.0,
+        mre_tolerance: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        explicit = num_buckets is not None and num_samples is not None
+        if budget is None and not explicit:
+            raise EstimationError(
+                "provide budget, or both num_buckets and num_samples"
+            )
+        if budget is not None and explicit:
+            raise EstimationError(
+                "provide either budget or the explicit pair, not both"
+            )
+        if cov_threshold < 0 or mre_tolerance < 0:
+            raise EstimationError("thresholds must be >= 0")
+        if budget is not None:
+            self._histogram = PLHistogramEstimator(budget=budget)
+            self._sampler = IMSamplingEstimator(budget=budget, seed=seed)
+        else:
+            self._histogram = PLHistogramEstimator(num_buckets=num_buckets)
+            self._sampler = IMSamplingEstimator(
+                num_samples=num_samples, seed=seed
+            )
+        self.cov_threshold = cov_threshold
+        self.mre_tolerance = mre_tolerance
+
+    def estimate(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None = None,
+    ) -> Estimate:
+        histogram = self._histogram.estimate(ancestors, descendants, workspace)
+        average_cov = histogram.details.get("average_cov", 0.0)
+        mre = histogram.mre if histogram.mre is not None else math.inf
+        risky = (
+            (0.0 < average_cov < self.cov_threshold)
+            or mre > self.mre_tolerance
+        )
+        if not risky:
+            return Estimate(
+                histogram.value,
+                self.name,
+                mre=histogram.mre,
+                details={**histogram.details, "path": "histogram"},
+            )
+        sampled = self._sampler.estimate(ancestors, descendants, workspace)
+        return Estimate(
+            sampled.value,
+            self.name,
+            details={
+                **sampled.details,
+                "path": "sampling",
+                "histogram_cov": average_cov,
+                "histogram_mre": mre,
+            },
+        )

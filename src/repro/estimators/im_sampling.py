@@ -1,0 +1,121 @@
+"""IM-DA-Est: interval-model descendant adaptive sampling (Algorithm 2).
+
+Inspired by bifocal sampling plus the key XML observation of Section 5.1:
+a descendant point can stab at most ``H`` ancestor intervals (``H`` = tree
+height), so with ``H < O(sqrt(|A|))`` *every* subjoin is sparse and the
+bifocal machinery collapses to a single procedure — sample ``m`` points
+from ``IMD(D)``, count for each how many ``IMA(A)`` intervals it stabs,
+and scale by ``|D| / m``.
+
+Theorem 3: the estimate X̂ is unbiased (E[X̂] = X) and, by Hoeffding
+bounds on the [0, H·|D|/m]-valued contributions, X̂ = Θ(X) + O(|D|) with
+high probability — an improvement over the O(n log n) requirement of
+plain bifocal sampling.  Both properties are verified by the test suite.
+
+The per-sample probe ("how many intervals contain this point?") supports
+three interchangeable backends (Section 5.3.1): the rank oracle (two
+binary searches), the T-tree and the XR-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.core.budget import SpaceBudget
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.rng import SeedLike, make_rng
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimate, Estimator
+from repro.index.stab import StabbingCounter
+from repro.index.ttree import TTree
+from repro.index.xrtree import XRTree
+
+Backend = Literal["rank", "ttree", "xrtree"]
+
+
+class IMSamplingEstimator(Estimator):
+    """IM-DA-Est (Algorithm 2).
+
+    Args:
+        num_samples: sample size ``m``; mutually exclusive with ``budget``.
+        budget: byte budget converted at 8 bytes per sample.
+        seed: RNG seed or generator; consecutive ``estimate`` calls draw
+            fresh samples (the experiment harness averages over them).
+        backend: probe structure for the stabbing counts.
+        replace: sample descendants with replacement.  The default False
+            matches Algorithm 2's "random sample from IMD(D)"; when the
+            requested m exceeds |D| the sample is the whole set and the
+            estimate is exact.
+    """
+
+    name = "IM"
+
+    def __init__(
+        self,
+        num_samples: int | None = None,
+        budget: SpaceBudget | None = None,
+        seed: SeedLike = None,
+        backend: Backend = "rank",
+        replace: bool = False,
+    ) -> None:
+        if (num_samples is None) == (budget is None):
+            raise EstimationError(
+                "specify exactly one of num_samples or budget"
+            )
+        self.num_samples = (
+            num_samples if num_samples is not None else budget.samples
+        )
+        if self.num_samples < 1:
+            raise EstimationError(f"need >= 1 sample, got {self.num_samples}")
+        if backend not in ("rank", "ttree", "xrtree"):
+            raise EstimationError(f"unknown backend {backend!r}")
+        self.backend: Backend = backend
+        self.replace = replace
+        self._rng = make_rng(seed)
+
+    def _stab_counts(
+        self, ancestors: NodeSet, points: np.ndarray
+    ) -> np.ndarray:
+        if self.backend == "rank":
+            return StabbingCounter(ancestors).count_many(points)
+        if self.backend == "ttree":
+            ttree = TTree(ancestors)
+            return np.array(
+                [ttree.count(int(p)) for p in points], dtype=np.int64
+            )
+        xrtree = XRTree(ancestors)
+        return np.array(
+            [xrtree.stab_count(int(p)) for p in points], dtype=np.int64
+        )
+
+    def estimate(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None = None,
+    ) -> Estimate:
+        if len(ancestors) == 0 or len(descendants) == 0:
+            return Estimate(0.0, self.name, details={"samples": 0})
+        population = len(descendants)
+        if self.replace:
+            m = self.num_samples
+            indices = self._rng.integers(0, population, size=m)
+        else:
+            m = min(self.num_samples, population)
+            indices = self._rng.choice(population, size=m, replace=False)
+        points = descendants.starts[indices]
+        counts = self._stab_counts(ancestors, points)
+        value = float(counts.sum()) * population / m
+        return Estimate(
+            value,
+            self.name,
+            details={
+                "samples": m,
+                "backend": self.backend,
+                "replace": self.replace,
+                "max_subjoin": int(counts.max()) if m else 0,
+            },
+        )

@@ -1,0 +1,68 @@
+"""The MRE (maximum relative error) confidence measure, Section 4.2.
+
+For a bucket with average interval length ``l``, width ``w`` and ``n_D``
+descendant points, define the *coverage*::
+
+    cov = l / w * n_D
+
+"how many d's one a covers on average".  In the discrete domain the true
+per-ancestor match count is ``ceil(cov)`` with probability
+``cov - floor(cov)`` and ``floor(cov)`` otherwise, so the histogram
+estimate ``n_A * cov`` carries a worst-case relative error of
+
+    MRE = max( (ceil(cov) - cov) / ceil(cov),  (cov - floor(cov)) / floor(cov) )
+
+(Equation 2).  MRE is 0 at integer cov, bounded by 1 for cov > 1, and
+*unbounded* for 0 < cov < 1 — the regime where the paper recommends
+switching to the sampling estimators.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def cov_value(average_length: float, n_descendants: int, width: float) -> float:
+    """The coverage statistic ``cov = l / w * n_D`` of one bucket."""
+    if width <= 0:
+        raise ValueError(f"bucket width must be > 0, got {width}")
+    return average_length / width * n_descendants
+
+
+def maximum_relative_error(cov: float) -> float:
+    """Equation 2: worst-case relative error of a PL bucket estimate.
+
+    Returns 0.0 for cov == 0 (nothing to estimate, nothing to get wrong),
+    ``math.inf`` for 0 < cov < 1 and the periodic bounded value for
+    cov >= 1.
+    """
+    if cov < 0:
+        raise ValueError(f"cov must be >= 0, got {cov}")
+    if cov == 0:
+        return 0.0
+    ceiling = math.ceil(cov)
+    floor = math.floor(cov)
+    if ceiling == floor:  # integer cov: both error terms vanish
+        return 0.0
+    if floor == 0:
+        return math.inf
+    return max((ceiling - cov) / ceiling, (cov - floor) / floor)
+
+
+def mre_series(
+    lo: float = 1.0, hi: float = 10.0, step: float = 0.01
+) -> list[tuple[float, float]]:
+    """The (cov, MRE) curve of Figure 3.
+
+    Samples cov on a regular grid over ``[lo, hi]``; with the default
+    range this reproduces the figure's sawtooth whose per-period maxima
+    decrease as cov grows.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be > 0, got {step}")
+    points: list[tuple[float, float]] = []
+    count = int(round((hi - lo) / step))
+    for i in range(count + 1):
+        cov = lo + i * step
+        points.append((cov, maximum_relative_error(cov)))
+    return points

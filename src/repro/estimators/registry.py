@@ -1,0 +1,68 @@
+"""Estimator registry: construct any estimator by its short name.
+
+Used by the experiment harness and the examples so that a method sweep is
+just a list of names plus shared keyword arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.errors import EstimationError
+from repro.estimators.base import Estimator
+from repro.estimators.bifocal import BifocalEstimator
+from repro.estimators.coverage_histogram import CoverageHistogramEstimator
+from repro.estimators.cross_sampling import (
+    CrossSamplingEstimator,
+    SystematicSamplingEstimator,
+)
+from repro.estimators.hybrid import HybridEstimator
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.estimators.ph_histogram import PHHistogramEstimator
+from repro.estimators.pl_histogram import PLHistogramEstimator
+from repro.estimators.pm_sampling import PMSamplingEstimator
+from repro.estimators.semijoin_sampling import (
+    SemijoinAncestorsEstimator,
+    SemijoinDescendantsEstimator,
+)
+from repro.estimators.sketch import SketchEstimator
+from repro.estimators.two_sample import TwoSampleEstimator
+from repro.estimators.wavelet import WaveletEstimator
+
+_REGISTRY: dict[str, Callable[..., Estimator]] = {
+    "PL": PLHistogramEstimator,
+    "PH": PHHistogramEstimator,
+    "IM": IMSamplingEstimator,
+    "PM": PMSamplingEstimator,
+    "COV": CoverageHistogramEstimator,
+    "CROSS": CrossSamplingEstimator,
+    "SYS": SystematicSamplingEstimator,
+    "BIFOCAL": BifocalEstimator,
+    "SKETCH": SketchEstimator,
+    "WAVELET": WaveletEstimator,
+    "SEMI-D": SemijoinDescendantsEstimator,
+    "SEMI-A": SemijoinAncestorsEstimator,
+    "2SAMPLE": TwoSampleEstimator,
+    "HYBRID": HybridEstimator,
+}
+
+
+def available_estimators() -> list[str]:
+    """Short names accepted by :func:`make_estimator`."""
+    return sorted(_REGISTRY)
+
+
+def make_estimator(name: str, **kwargs: Any) -> Estimator:
+    """Instantiate an estimator by short name.
+
+    >>> make_estimator("PL", num_buckets=20).name
+    'PL'
+    """
+    try:
+        factory = _REGISTRY[name.upper()]
+    except KeyError:
+        raise EstimationError(
+            f"unknown estimator {name!r}; available: "
+            f"{', '.join(available_estimators())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,191 @@
+"""AGMS/Fast-AGMS sketch estimator — the paper's deferred future work.
+
+Section 7 defers "applying other existing techniques, such as wavelet
+approximation and sketch, to this problem".  The position model makes the
+application direct: Theorem 2 turns the containment join size into the
+inner product ``Σ_v PMA(A)[v] · PMD(D)[v]``, which is exactly the
+join-size functional that AGMS sketches (Alon-Matias-Szegedy; Alon,
+Gibbons, Matias, Szegedy) estimate with bounded variance.
+
+This module implements the Fast-AGMS (Count-Sketch) variant: ``depth``
+rows, each hashing positions into ``width`` counters with a pairwise-
+independent bucket hash and a four-wise independent ±1 hash.  Sketching
+both tables with *shared* hashes makes the per-row bucket-product sum an
+unbiased inner-product estimator; the median over rows boosts the
+confidence exponentially (the same amplification as Section 5.3.2).
+
+Space accounting: one counter = 8 bytes, so a byte budget buys
+``budget // 8`` counters split into ``depth`` rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.budget import SpaceBudget
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.rng import SeedLike, make_rng
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimate, Estimator
+from repro.models.position import covering_table, start_table
+
+#: Mersenne prime used for the polynomial hash family.
+_PRIME = (1 << 61) - 1
+
+
+class _PolyHash:
+    """Polynomial hashing over GF(p): k-wise independence from degree k-1."""
+
+    def __init__(self, coefficients: np.ndarray) -> None:
+        self._coefficients = coefficients.astype(object)
+
+    @classmethod
+    def random(cls, degree: int, rng: np.random.Generator) -> "_PolyHash":
+        coefficients = rng.integers(1, _PRIME, size=degree)
+        return cls(coefficients)
+
+    def evaluate(self, keys: np.ndarray) -> np.ndarray:
+        """Horner evaluation mod p (object dtype avoids overflow)."""
+        acc = np.zeros(len(keys), dtype=object)
+        ks = keys.astype(object)
+        for coefficient in self._coefficients:
+            acc = (acc * ks + int(coefficient)) % _PRIME
+        return acc
+
+
+class CountSketch:
+    """A depth × width Count-Sketch of a non-negative integer vector."""
+
+    def __init__(
+        self, depth: int, width: int, seed: SeedLike = None
+    ) -> None:
+        if depth < 1 or width < 1:
+            raise EstimationError(
+                f"sketch needs depth,width >= 1, got {depth}x{width}"
+            )
+        self.depth = depth
+        self.width = width
+        rng = make_rng(seed)
+        # Pairwise-independent bucket hashes, 4-wise independent signs.
+        self._bucket_hashes = [_PolyHash.random(2, rng) for __ in range(depth)]
+        self._sign_hashes = [_PolyHash.random(4, rng) for __ in range(depth)]
+        self.counters = np.zeros((depth, width), dtype=np.float64)
+
+    def shares_hashes_with(self, other: "CountSketch") -> bool:
+        return (
+            self._bucket_hashes is other._bucket_hashes
+            and self._sign_hashes is other._sign_hashes
+        )
+
+    @classmethod
+    def paired(
+        cls, depth: int, width: int, seed: SeedLike = None
+    ) -> tuple["CountSketch", "CountSketch"]:
+        """Two sketches sharing hash functions (required for inner products)."""
+        first = cls(depth, width, seed)
+        second = cls.__new__(cls)
+        second.depth = depth
+        second.width = width
+        second._bucket_hashes = first._bucket_hashes
+        second._sign_hashes = first._sign_hashes
+        second.counters = np.zeros((depth, width), dtype=np.float64)
+        return first, second
+
+    def update_vector(self, values: np.ndarray, offset: int = 0) -> None:
+        """Add a dense vector: position ``offset + i`` gets ``values[i]``.
+
+        Vectorized: only the non-zero positions are hashed.
+        """
+        nonzero = np.nonzero(values)[0]
+        if len(nonzero) == 0:
+            return
+        keys = nonzero + offset
+        weights = values[nonzero].astype(np.float64)
+        for row in range(self.depth):
+            buckets = (
+                self._bucket_hashes[row].evaluate(keys) % self.width
+            ).astype(np.int64)
+            signs = np.where(
+                (self._sign_hashes[row].evaluate(keys) & 1).astype(bool),
+                1.0,
+                -1.0,
+            )
+            np.add.at(self.counters[row], buckets, weights * signs)
+
+    def inner_product(self, other: "CountSketch") -> float:
+        """Median over rows of the bucket-product sums."""
+        if not self.shares_hashes_with(other):
+            raise EstimationError(
+                "inner products need sketches built with shared hashes; "
+                "use CountSketch.paired()"
+            )
+        row_estimates = np.einsum(
+            "rw,rw->r", self.counters, other.counters
+        )
+        return float(np.median(row_estimates))
+
+
+class SketchEstimator(Estimator):
+    """Containment join size via paired Count-Sketches of PMA and PMD.
+
+    Args:
+        num_counters: total counters across all rows; mutually exclusive
+            with ``budget`` (8 bytes per counter).
+        budget: byte budget.
+        depth: sketch rows (median amplification); width is
+            ``num_counters // depth``.
+        seed: hash-function seed.
+    """
+
+    name = "SKETCH"
+
+    def __init__(
+        self,
+        num_counters: int | None = None,
+        budget: SpaceBudget | None = None,
+        depth: int = 5,
+        seed: SeedLike = None,
+    ) -> None:
+        if (num_counters is None) == (budget is None):
+            raise EstimationError(
+                "specify exactly one of num_counters or budget"
+            )
+        total = (
+            num_counters if num_counters is not None else budget.samples
+        )
+        if depth < 1:
+            raise EstimationError(f"depth must be >= 1, got {depth}")
+        width = total // depth
+        if width < 1:
+            raise EstimationError(
+                f"{total} counters cannot fill {depth} rows"
+            )
+        self.depth = depth
+        self.width = width
+        self._seed = seed
+
+    def estimate(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None = None,
+    ) -> Estimate:
+        workspace = self.resolve_workspace(ancestors, descendants, workspace)
+        if len(ancestors) == 0 or len(descendants) == 0:
+            return Estimate(0.0, self.name)
+        sketch_a, sketch_d = CountSketch.paired(
+            self.depth, self.width, self._seed
+        )
+        sketch_a.update_vector(
+            covering_table(ancestors, workspace), offset=workspace.lo
+        )
+        sketch_d.update_vector(
+            start_table(descendants, workspace), offset=workspace.lo
+        )
+        value = max(0.0, sketch_a.inner_product(sketch_d))
+        return Estimate(
+            value,
+            self.name,
+            details={"depth": self.depth, "width": self.width},
+        )

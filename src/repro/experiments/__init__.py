@@ -1,0 +1,26 @@
+"""Experiment harness: regenerates every table and figure of Section 6.
+
+* :mod:`repro.experiments.data` — cached dataset construction.
+* :mod:`repro.experiments.harness` — method specs, repeated runs,
+  relative-error aggregation.
+* :mod:`repro.experiments.overall` — Figures 5 and 6 (+ the XMACH run the
+  paper summarizes in prose).
+* :mod:`repro.experiments.histograms` — Figure 7 (PH/PL bucket sweeps).
+* :mod:`repro.experiments.sampling` — Figure 8 (IM/PM sample sweeps).
+* :mod:`repro.experiments.tables` — Tables 2, 3 and 4.
+* :mod:`repro.experiments.report` — plain-text table/series rendering.
+"""
+
+from repro.experiments.data import get_dataset
+from repro.experiments.harness import MethodSpec, QueryRow, evaluate, paper_methods
+from repro.experiments.report import format_series, format_table
+
+__all__ = [
+    "MethodSpec",
+    "QueryRow",
+    "evaluate",
+    "format_series",
+    "format_table",
+    "get_dataset",
+    "paper_methods",
+]

@@ -1,0 +1,123 @@
+"""Empirical verification of Theorems 3 and 4.
+
+Both sampling theorems make two claims: unbiasedness (``E[X̂] = X``) and
+concentration (``X̂ = Θ(X) + O(n)`` with high probability via Hoeffding
+bounds).  This module measures both over repeated runs and computes the
+corresponding Hoeffding prediction, so a benchmark can check theory
+against observation:
+
+* IM-DA-Est: X̂ = (|D|/m) Σ c_i with each subjoin count c_i ∈ [0, H]
+  (H = tree height), so
+  ``P(|X̂ - X| >= t) <= 2 exp(-2 m t² / (|D|² H²))``.
+* PM-Est: identical with |D| replaced by the workspace width w — the
+  reason PM needs more samples (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.nodeset import NodeSet
+from repro.core.rng import SeedLike, make_rng
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimator
+
+
+def hoeffding_halfwidth(
+    scale: int, subjoin_bound: int, num_samples: int, delta: float = 0.05
+) -> float:
+    """The t with ``P(|X̂ - X| >= t) <= delta`` under Hoeffding.
+
+    Args:
+        scale: |D| for IM-DA-Est, the workspace width w for PM-Est.
+        subjoin_bound: the per-sample cap H (tree height / max nesting).
+        num_samples: sample size m.
+        delta: failure probability.
+    """
+    if num_samples < 1:
+        raise ValueError(f"need >= 1 sample, got {num_samples}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return (
+        scale
+        * subjoin_bound
+        * math.sqrt(math.log(2.0 / delta) / (2.0 * num_samples))
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TheoremCheck:
+    """Measured behaviour of one estimator vs its theoretical guarantees."""
+
+    label: str
+    true_size: int
+    runs: int
+    mean_estimate: float
+    bias_pct: float
+    observed_std: float
+    hoeffding_halfwidth_95: float
+    within_bound_fraction: float
+
+    @property
+    def unbiased_within_noise(self) -> bool:
+        """|bias| below three standard errors of the run mean."""
+        if self.true_size == 0:
+            return self.mean_estimate == 0.0
+        standard_error = self.observed_std / math.sqrt(self.runs)
+        return abs(self.mean_estimate - self.true_size) <= max(
+            3.0 * standard_error, 1e-9
+        )
+
+
+def verify_sampling_theorem(
+    label: str,
+    make: Callable[[SeedLike], Estimator],
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    workspace: Workspace,
+    true_size: int,
+    scale: int,
+    subjoin_bound: int,
+    num_samples: int,
+    runs: int = 200,
+    seed: int = 0,
+) -> TheoremCheck:
+    """Run an estimator many times and compare against the theorem.
+
+    Args:
+        label: report label.
+        make: seed -> configured estimator.
+        scale: the theorem's additive scale (|D| or w).
+        subjoin_bound: the per-sample cap H.
+        num_samples: the m used by ``make`` (for the Hoeffding formula).
+    """
+    rng = make_rng(seed)
+    estimates = []
+    for __ in range(runs):
+        estimator = make(int(rng.integers(0, 2**63 - 1)))
+        estimates.append(
+            estimator.estimate(ancestors, descendants, workspace).value
+        )
+    mean_estimate = statistics.fmean(estimates)
+    halfwidth = hoeffding_halfwidth(scale, subjoin_bound, num_samples)
+    within = sum(
+        1 for value in estimates if abs(value - true_size) <= halfwidth
+    ) / len(estimates)
+    bias_pct = (
+        abs(mean_estimate - true_size) / true_size * 100.0
+        if true_size
+        else 0.0
+    )
+    return TheoremCheck(
+        label=label,
+        true_size=true_size,
+        runs=runs,
+        mean_estimate=mean_estimate,
+        bias_pct=bias_pct,
+        observed_std=statistics.pstdev(estimates),
+        hoeffding_halfwidth_95=halfwidth,
+        within_bound_fraction=within,
+    )

@@ -1,0 +1,59 @@
+"""CSV export of figure series and tables.
+
+The benchmarks write human-readable text reports; this module adds
+machine-readable CSV alongside, so reproduced figures can be re-plotted
+with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def export_series(
+    path: str | Path,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> Path:
+    """Write ``{series name: [(x, y), ...]}`` as long-format CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", x_label, y_label])
+        for name, points in series.items():
+            for x, y in points:
+                writer.writerow([name, x, y])
+    return path
+
+
+def export_table(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write an experiment table as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def read_series(
+    path: str | Path,
+) -> dict[str, list[tuple[float, float]]]:
+    """Inverse of :func:`export_series` (used by tests)."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        next(reader)  # header
+        for name, x, y in reader:
+            series.setdefault(name, []).append((float(x), float(y)))
+    return series

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell: floats get two decimals, inf gets 'unbounded'."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "unbounded"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ----
+    1  2.50
+    """
+    rendered = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[tuple[float, float]], precision: int = 2
+) -> str:
+    """Render one figure series as ``name: x=y, x=y, ...``."""
+    formatted = ", ".join(
+        f"{x:g}={y:.{precision}f}" for x, y in points
+    )
+    return f"{name}: {formatted}"

@@ -1,0 +1,118 @@
+"""Sampling accuracy-vs-space experiment: Figure 8.
+
+Panels (a) and (b) sweep the sample count for IM-DA-Est and PM-Est on the
+XMARK queries; panel (c) compares the two at a fixed sample count.  The
+paper's observations to reproduce:
+
+* IM improves steadily with more samples and reaches ~2% error at 100
+  samples on every query;
+* PM fluctuates and needs more samples for the same confidence (its
+  additive error term is O(w), not O(|D|));
+* both beat the histogram methods overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.workloads import ALL_WORKLOADS, Query
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.estimators.pm_sampling import PMSamplingEstimator
+from repro.experiments.data import get_dataset
+from repro.experiments.harness import MethodSpec, evaluate
+from repro.experiments.report import format_series, format_table
+
+#: Sample counts swept in Figure 8(a)/(b).
+SAMPLE_SWEEP = (25, 40, 55, 70, 85, 100)
+
+
+@dataclass(slots=True)
+class SamplingSweep:
+    """Relative error per query per sample count for one method."""
+
+    dataset: str
+    method: str
+    series: dict[str, list[tuple[float, float]]]
+
+    def render(self) -> str:
+        lines = [
+            f"[{self.dataset}] {self.method} relative error (%) vs samples"
+        ]
+        for query_id, points in self.series.items():
+            lines.append("  " + format_series(query_id, points))
+        return "\n".join(lines)
+
+
+def _method(label: str, samples: int) -> MethodSpec:
+    if label == "IM":
+        return MethodSpec(
+            "IM",
+            lambda seed, m=samples: IMSamplingEstimator(
+                num_samples=m, seed=seed
+            ),
+        )
+    return MethodSpec(
+        "PM",
+        lambda seed, m=samples: PMSamplingEstimator(num_samples=m, seed=seed),
+    )
+
+
+def run_sample_sweep(
+    dataset_name: str,
+    method: str,
+    sample_counts: tuple[int, ...] = SAMPLE_SWEEP,
+    scale: float = 1.0,
+    runs: int = 11,
+    seed: int = 0,
+    queries: list[Query] | None = None,
+) -> SamplingSweep:
+    """Figure 8(a) (method="IM") or 8(b) (method="PM")."""
+    dataset = get_dataset(dataset_name, scale=scale)
+    if queries is None:
+        queries = ALL_WORKLOADS[dataset_name]
+    series: dict[str, list[tuple[float, float]]] = {
+        q.id: [] for q in queries
+    }
+    for samples in sample_counts:
+        rows = evaluate(
+            dataset,
+            queries,
+            [_method(method, samples)],
+            runs=runs,
+            seed=seed,
+        )
+        for row in rows:
+            series[row.query.id].append(
+                (float(samples), row.errors[method])
+            )
+    return SamplingSweep(dataset_name, method, series)
+
+
+def run_sampling_comparison(
+    dataset_name: str,
+    samples: int = 100,
+    scale: float = 1.0,
+    runs: int = 11,
+    seed: int = 0,
+) -> str:
+    """Figure 8(c): IM vs PM per query at a fixed sample count."""
+    dataset = get_dataset(dataset_name, scale=scale)
+    queries = ALL_WORKLOADS[dataset_name]
+    rows = evaluate(
+        dataset,
+        queries,
+        [_method("IM", samples), _method("PM", samples)],
+        runs=runs,
+        seed=seed,
+    )
+    return format_table(
+        ["query", "true size", "IM", "PM"],
+        [
+            [r.query.id, r.true_size, r.errors["IM"], r.errors["PM"]]
+            for r in rows
+        ],
+        title=(
+            f"[{dataset_name}] IM vs PM relative error (%) at "
+            f"{samples} samples"
+        ),
+    )

@@ -1,0 +1,19 @@
+"""Index structures used to accelerate estimator probes (Section 5.3.1).
+
+* :mod:`repro.index.bplus` — an in-memory B+-tree (point, floor and range
+  lookups) used as the backbone of the T-tree and as a start-position index.
+* :mod:`repro.index.ttree` — the T-tree: a B+-tree over the turning points
+  of a covering table ``PMA``, answering stabbing-count queries.
+* :mod:`repro.index.xrtree` — the XR-tree: a paged interval index with
+  internal stab lists answering stabbing queries (which intervals contain a
+  point), following Jiang et al. (ICDE 2003).
+* :mod:`repro.index.stab` — the rank-based stabbing-count oracle every other
+  structure is validated against.
+"""
+
+from repro.index.bplus import BPlusTree
+from repro.index.stab import StabbingCounter
+from repro.index.ttree import TTree
+from repro.index.xrtree import XRTree
+
+__all__ = ["BPlusTree", "StabbingCounter", "TTree", "XRTree"]

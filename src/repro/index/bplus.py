@@ -1,0 +1,368 @@
+"""An in-memory B+-tree with point, floor and range lookups.
+
+Keys are ints (region-code positions); values are arbitrary.  The tree
+supports incremental insertion and O(n) bulk loading from sorted pairs.
+All data lives in the leaf level, leaves are chained for range scans, and
+internal nodes hold separator keys — the classic B+-tree layout the paper's
+T-tree builds on (Figure 4).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterator
+
+from repro.core.errors import ReproError
+
+DEFAULT_ORDER = 32
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.values: list[Any] = []
+        self.next: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []  # keys[i] = min key of children[i + 1]
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """A B+-tree mapping int keys to values.
+
+    Args:
+        order: maximum number of keys per node (>= 3).  Nodes split when
+            they would exceed it.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        if order < 3:
+            raise ReproError(f"B+-tree order must be >= 3, got {order}")
+        self._order = order
+        self._root: _Leaf | _Internal = _Leaf()
+        self._size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls, items: list[tuple[int, Any]], order: int = DEFAULT_ORDER
+    ) -> "BPlusTree":
+        """Build a tree from key-ascending ``(key, value)`` pairs in O(n)."""
+        tree = cls(order=order)
+        if not items:
+            return tree
+        keys = [k for k, _ in items]
+        if any(b <= a for a, b in zip(keys, keys[1:])):
+            raise ReproError("bulk_load requires strictly ascending keys")
+
+        per_leaf = max(2, (order + 1) // 2 + order // 4)
+        leaves: list[_Leaf] = []
+        for offset in range(0, len(items), per_leaf):
+            leaf = _Leaf()
+            chunk = items[offset : offset + per_leaf]
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+
+        level: list[tuple[int, Any]] = [(leaf.keys[0], leaf) for leaf in leaves]
+        while len(level) > 1:
+            parents: list[tuple[int, Any]] = []
+            per_node = max(2, (order + 1) // 2 + order // 4)
+            for offset in range(0, len(level), per_node):
+                chunk = level[offset : offset + per_node]
+                node = _Internal()
+                node.children = [child for _, child in chunk]
+                node.keys = [key for key, _ in chunk[1:]]
+                parents.append((chunk[0][0], node))
+            level = parents
+            tree._height += 1
+        tree._root = level[0][1]
+        tree._size = len(items)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``key``; replaces the value if the key already exists."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+
+    def _insert(
+        self, node: _Leaf | _Internal, key: int, value: Any
+    ) -> tuple[int, Any] | None:
+        if isinstance(node, _Leaf):
+            slot = bisect_left(node.keys, key)
+            if slot < len(node.keys) and node.keys[slot] == key:
+                node.values[slot] = value
+                return None
+            node.keys.insert(slot, key)
+            node.values.insert(slot, value)
+            self._size += 1
+            if len(node.keys) <= self._order:
+                return None
+            middle = len(node.keys) // 2
+            right = _Leaf()
+            right.keys = node.keys[middle:]
+            right.values = node.values[middle:]
+            right.next = node.next
+            node.keys = node.keys[:middle]
+            node.values = node.values[:middle]
+            node.next = right
+            return (right.keys[0], right)
+
+        slot = bisect_right(node.keys, key)
+        split = self._insert(node.children[slot], key, value)
+        if split is None:
+            return None
+        separator, right_child = split
+        node.keys.insert(slot, separator)
+        node.children.insert(slot + 1, right_child)
+        if len(node.keys) <= self._order:
+            return None
+        middle = len(node.keys) // 2
+        right = _Internal()
+        up_key = node.keys[middle]
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return (up_key, right)
+
+    # ------------------------------------------------------------------
+    # Deletion (borrow-or-merge rebalancing)
+    # ------------------------------------------------------------------
+
+    @property
+    def _min_leaf_keys(self) -> int:
+        return self._order // 2
+
+    @property
+    def _min_children(self) -> int:
+        return self._order // 2 + 1
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns False when it was not present."""
+        removed = self._delete(self._root, key)
+        if removed:
+            self._size -= 1
+        if (
+            isinstance(self._root, _Internal)
+            and len(self._root.children) == 1
+        ):
+            self._root = self._root.children[0]
+            self._height -= 1
+        return removed
+
+    def _delete(self, node: _Leaf | _Internal, key: int) -> bool:
+        if isinstance(node, _Leaf):
+            slot = bisect_left(node.keys, key)
+            if slot < len(node.keys) and node.keys[slot] == key:
+                node.keys.pop(slot)
+                node.values.pop(slot)
+                return True
+            return False
+        slot = bisect_right(node.keys, key)
+        removed = self._delete(node.children[slot], key)
+        if removed:
+            self._rebalance(node, slot)
+        return removed
+
+    def _underflowing(self, node: _Leaf | _Internal) -> bool:
+        if isinstance(node, _Leaf):
+            return len(node.keys) < self._min_leaf_keys
+        return len(node.children) < self._min_children
+
+    def _rebalance(self, parent: _Internal, slot: int) -> None:
+        child = parent.children[slot]
+        if not self._underflowing(child):
+            return
+        left = parent.children[slot - 1] if slot > 0 else None
+        right = (
+            parent.children[slot + 1]
+            if slot + 1 < len(parent.children)
+            else None
+        )
+        if isinstance(child, _Leaf):
+            if left is not None and len(left.keys) > self._min_leaf_keys:
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[slot - 1] = child.keys[0]
+                return
+            if right is not None and len(right.keys) > self._min_leaf_keys:
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[slot] = right.keys[0]
+                return
+            # Merge with a sibling (prefer the left one).
+            if left is not None:
+                left.keys.extend(child.keys)
+                left.values.extend(child.values)
+                left.next = child.next
+                parent.keys.pop(slot - 1)
+                parent.children.pop(slot)
+            elif right is not None:
+                child.keys.extend(right.keys)
+                child.values.extend(right.values)
+                child.next = right.next
+                parent.keys.pop(slot)
+                parent.children.pop(slot + 1)
+            return
+        # Internal child.
+        if left is not None and len(left.children) > self._min_children:
+            child.keys.insert(0, parent.keys[slot - 1])
+            parent.keys[slot - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+            return
+        if right is not None and len(right.children) > self._min_children:
+            child.keys.append(parent.keys[slot])
+            parent.keys[slot] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+            return
+        if left is not None:
+            left.keys.append(parent.keys[slot - 1])
+            left.keys.extend(child.keys)
+            left.children.extend(child.children)
+            parent.keys.pop(slot - 1)
+            parent.children.pop(slot)
+        elif right is not None:
+            child.keys.append(parent.keys[slot])
+            child.keys.extend(right.keys)
+            child.children.extend(right.children)
+            parent.keys.pop(slot)
+            parent.children.pop(slot + 1)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _leaf_for(self, key: int) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect_right(node.keys, key)]
+        return node
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Value stored under exactly ``key``, or ``default``."""
+        leaf = self._leaf_for(key)
+        slot = bisect_left(leaf.keys, key)
+        if slot < len(leaf.keys) and leaf.keys[slot] == key:
+            return leaf.values[slot]
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def floor_entry(self, key: int) -> tuple[int, Any] | None:
+        """The entry with the largest key <= ``key``, or None.
+
+        This is the lookup the T-tree issues: "find K_i <= q < K_{i+1}".
+        """
+        leaf = self._leaf_for(key)
+        slot = bisect_right(leaf.keys, key) - 1
+        if slot >= 0:
+            return (leaf.keys[slot], leaf.values[slot])
+        return None
+
+    def range(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
+        """All entries with ``lo <= key <= hi`` in ascending key order."""
+        leaf: _Leaf | None = self._leaf_for(lo)
+        while leaf is not None:
+            for slot, key in enumerate(leaf.keys):
+                if key > hi:
+                    return
+                if key >= lo:
+                    yield (key, leaf.values[slot])
+            leaf = leaf.next
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """All entries in ascending key order."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        leaf: _Leaf | None = node
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels including the leaf level."""
+        return self._height
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`ReproError` if broken.
+
+        Verifies global key order across the leaf chain, node fanout
+        limits, separator correctness and uniform leaf depth.
+        """
+        collected = [k for k, _ in self.items()]
+        if any(b <= a for a, b in zip(collected, collected[1:])):
+            raise ReproError("leaf chain keys are not strictly ascending")
+        if len(collected) != self._size:
+            raise ReproError(
+                f"size mismatch: counted {len(collected)}, stored {self._size}"
+            )
+
+        def check(node: Any, depth: int, lo: float, hi: float) -> int:
+            if isinstance(node, _Leaf):
+                for key in node.keys:
+                    if not (lo <= key < hi):
+                        raise ReproError(
+                            f"leaf key {key} outside separator range "
+                            f"[{lo}, {hi})"
+                        )
+                return depth
+            if len(node.children) != len(node.keys) + 1:
+                raise ReproError("internal node fanout/key mismatch")
+            if len(node.keys) > self._order:
+                raise ReproError("internal node overflow")
+            bounds = [lo, *node.keys, hi]
+            depths = {
+                check(child, depth + 1, bounds[i], bounds[i + 1])
+                for i, child in enumerate(node.children)
+            }
+            if len(depths) != 1:
+                raise ReproError("leaves at different depths")
+            return depths.pop()
+
+        check(self._root, 1, float("-inf"), float("inf"))
+
+
+def start_position_index(
+    starts: list[int], order: int = DEFAULT_ORDER
+) -> BPlusTree:
+    """B+-tree over element start positions (value = position itself).
+
+    The index PM-Est probes to evaluate ``PMD(S)[v]`` (Section 5.3.1): the
+    probe returns 1 when the key is present, else 0.
+    """
+    return BPlusTree.bulk_load([(s, s) for s in sorted(starts)], order=order)

@@ -1,0 +1,49 @@
+"""Exact containment join algorithms (ground truth for every estimator).
+
+Three pair-producing algorithms with identical output and a count-only
+routine:
+
+* :func:`repro.join.naive.nested_loop_join` — O(|A|·|D|) reference.
+* :func:`repro.join.merge.merge_join` — MPMGJN-style sort-merge join
+  (Zhang et al., SIGMOD 2001).
+* :func:`repro.join.stack_tree.stack_tree_join` — Stack-Tree-Desc structural
+  join (Al-Khalifa et al., ICDE 2002).
+* :func:`repro.join.size.containment_join_size` — output cardinality in
+  O((|A|+|D|) log |A|) without materializing pairs; this is the ground
+  truth used by the experiment harness.
+"""
+
+from repro.join.index_join import (
+    descendant_start_index,
+    probe_ancestors_join,
+    probe_descendants_join,
+)
+from repro.join.merge import merge_join
+from repro.join.naive import nested_loop_join
+from repro.join.semijoin import (
+    semijoin_ancestors,
+    semijoin_ancestors_size,
+    semijoin_descendants,
+    semijoin_descendants_size,
+)
+from repro.join.size import containment_join_size, per_descendant_counts
+from repro.join.stack_tree import stack_tree_join
+
+#: Default pair-producing join (the asymptotically optimal one).
+containment_join = stack_tree_join
+
+__all__ = [
+    "containment_join",
+    "containment_join_size",
+    "descendant_start_index",
+    "merge_join",
+    "nested_loop_join",
+    "per_descendant_counts",
+    "probe_ancestors_join",
+    "probe_descendants_join",
+    "semijoin_ancestors",
+    "semijoin_ancestors_size",
+    "semijoin_descendants",
+    "semijoin_descendants_size",
+    "stack_tree_join",
+]

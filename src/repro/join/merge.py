@@ -1,0 +1,35 @@
+"""MPMGJN-style sort-merge containment join.
+
+Follows the multi-predicate merge join of Zhang et al. (SIGMOD 2001): both
+inputs are sorted by start position; for each ancestor the descendant cursor
+backtracks to the first descendant starting after ``a.start`` and scans
+forward while ``d.start < a.end``.  With strictly nested region codes every
+scanned descendant in that window joins, so the cost is
+O(|A| log |D| + output).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+
+
+def merge_join(
+    ancestors: NodeSet, descendants: NodeSet
+) -> list[tuple[Element, Element]]:
+    """All ``(a, d)`` pairs with ``a`` an ancestor of ``d``.
+
+    Pairs are produced in (a.start, d.start) order — the same order as
+    :func:`repro.join.naive.nested_loop_join`.
+    """
+    result: list[tuple[Element, Element]] = []
+    d_starts = [d.start for d in descendants]
+    d_elements = descendants.elements
+    for a in ancestors:
+        cursor = bisect_right(d_starts, a.start)
+        while cursor < len(d_elements) and d_starts[cursor] < a.end:
+            result.append((a, d_elements[cursor]))
+            cursor += 1
+    return result

@@ -1,0 +1,26 @@
+"""Nested-loop containment join: the O(|A|·|D|) correctness reference.
+
+Evaluates the θ-join ``A ⋈ D`` with θ = ``a.start < d.start < a.end``
+directly from the definition.  Used by tests to validate the optimized
+algorithms and by the experiment harness only on tiny inputs.
+"""
+
+from __future__ import annotations
+
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+
+
+def nested_loop_join(
+    ancestors: NodeSet, descendants: NodeSet
+) -> list[tuple[Element, Element]]:
+    """All ``(a, d)`` pairs with ``a`` an ancestor of ``d``.
+
+    Pairs are produced in (a.start, d.start) order.
+    """
+    result: list[tuple[Element, Element]] = []
+    for a in ancestors:
+        for d in descendants:
+            if a.start < d.start < a.end:
+                result.append((a, d))
+    return result

@@ -1,0 +1,66 @@
+"""Containment semijoins: the cardinalities behind XPath predicates.
+
+The motivating query ``//paper[appendix/table]`` does not need the full
+join — it needs the *distinct ancestors* with at least one match (a
+semijoin).  Symmetrically, a path step ``//appendix//table`` keeps the
+distinct descendants.  Both cardinalities matter to an optimizer and are
+cheap to compute exactly:
+
+* distinct descendants with an ancestor: ``ancA(d) > 0`` per descendant —
+  two binary searches each;
+* distinct ancestors with a descendant: one sorted-merge sweep checking
+  whether any descendant start falls strictly inside each ancestor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.nodeset import NodeSet
+from repro.join.size import per_descendant_counts
+
+
+def semijoin_descendants_size(ancestors: NodeSet, descendants: NodeSet) -> int:
+    """``|{d ∈ D : ∃a ∈ A, a ancestor of d}|``."""
+    return int((per_descendant_counts(ancestors, descendants) > 0).sum())
+
+
+def semijoin_ancestors_size(ancestors: NodeSet, descendants: NodeSet) -> int:
+    """``|{a ∈ A : ∃d ∈ D, a ancestor of d}|``.
+
+    For each ancestor, checks whether some descendant start lies strictly
+    inside ``(a.start, a.end)`` — vectorized as a rank difference over the
+    sorted descendant starts.
+    """
+    if len(ancestors) == 0 or len(descendants) == 0:
+        return 0
+    starts = descendants.starts
+    first_inside = np.searchsorted(starts, ancestors.starts, side="right")
+    first_beyond = np.searchsorted(starts, ancestors.ends, side="left")
+    return int((first_beyond > first_inside).sum())
+
+
+def semijoin_descendants(
+    ancestors: NodeSet, descendants: NodeSet
+) -> NodeSet:
+    """The matching descendants themselves, as a node set."""
+    counts = per_descendant_counts(ancestors, descendants)
+    kept = [
+        element
+        for element, count in zip(descendants.elements, counts)
+        if count > 0
+    ]
+    return NodeSet(kept, name=f"{descendants.name}[semijoin]", validate=False)
+
+
+def semijoin_ancestors(ancestors: NodeSet, descendants: NodeSet) -> NodeSet:
+    """The matching ancestors themselves, as a node set."""
+    if len(descendants) == 0:
+        return NodeSet([], name=f"{ancestors.name}[semijoin]")
+    starts = descendants.starts
+    kept = []
+    for element in ancestors:
+        lo = int(np.searchsorted(starts, element.start, side="right"))
+        if lo < len(starts) and int(starts[lo]) < element.end:
+            kept.append(element)
+    return NodeSet(kept, name=f"{ancestors.name}[semijoin]", validate=False)

@@ -1,0 +1,51 @@
+"""Stack-Tree-Desc structural join (Al-Khalifa et al., ICDE 2002).
+
+Merges the two start-sorted inputs once, maintaining a stack of ancestor
+elements whose regions enclose the current position.  When a descendant is
+reached, every stacked ancestor joins with it.  Runs in
+O(|A| + |D| + output) — asymptotically optimal for pair production.
+
+Output order is (d.start, a.start ascending within each d); use
+:func:`sorted_pairs` when the ancestor-major order of the other algorithms
+is needed.
+"""
+
+from __future__ import annotations
+
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+
+
+def stack_tree_join(
+    ancestors: NodeSet, descendants: NodeSet
+) -> list[tuple[Element, Element]]:
+    """All ``(a, d)`` pairs with ``a`` an ancestor of ``d``."""
+    result: list[tuple[Element, Element]] = []
+    stack: list[Element] = []
+    a_elements = ancestors.elements
+    d_elements = descendants.elements
+    ai = di = 0
+    while di < len(d_elements):
+        d = d_elements[di]
+        # Push every ancestor that starts before d does.
+        while ai < len(a_elements) and a_elements[ai].start < d.start:
+            a = a_elements[ai]
+            while stack and stack[-1].end < a.start:
+                stack.pop()
+            stack.append(a)
+            ai += 1
+        # Pop ancestors whose regions closed before d.
+        while stack and stack[-1].end < d.start:
+            stack.pop()
+        # Everything left on the stack encloses d (strict nesting).
+        for a in stack:
+            result.append((a, d))
+        di += 1
+    return result
+
+
+def sorted_pairs(
+    pairs: list[tuple[Element, Element]],
+) -> list[tuple[Element, Element]]:
+    """Normalize join output to (a.start, d.start) order for comparison."""
+    return sorted(pairs, key=lambda pair: (pair[0].start, pair[1].start))

@@ -1,0 +1,19 @@
+"""Statistics maintenance under document updates.
+
+A cost-based optimizer's statistics must survive inserts into the XML
+store.  This package keeps each synopsis of the paper incrementally
+up to date instead of rebuilding it per estimate:
+
+* :mod:`repro.maintenance.incremental` — an insert/delete-capable PL
+  histogram whose bucket statistics always equal a fresh build;
+* :mod:`repro.maintenance.dynamic_ttree` — T-tree maintenance: interval
+  insertion/deletion as range updates over the turning points;
+* :mod:`repro.maintenance.reservoir` — a classic reservoir sample of the
+  descendant set, feeding IM-DA-Est without re-sampling per estimate.
+"""
+
+from repro.maintenance.dynamic_ttree import DynamicTTree
+from repro.maintenance.incremental import IncrementalPLHistogram
+from repro.maintenance.reservoir import ReservoirSample
+
+__all__ = ["DynamicTTree", "IncrementalPLHistogram", "ReservoirSample"]

@@ -1,0 +1,104 @@
+"""T-tree maintenance under interval insertions and deletions.
+
+The static :class:`repro.index.ttree.TTree` bulk-loads the turning points
+of a covering table.  Under updates, inserting interval ``[s, e]`` is a
++1 range update of ``PMA`` over ``[s, e]`` — in delta form simply
+``delta[s] += 1`` and ``delta[e+1] -= 1``; deletion is the inverse.
+
+The structure keeps the delta map and lazily recompiles the prefix-summed
+turning points on the first query after a batch of updates:
+
+* update: O(1);
+* first query after updates: O(k log k) for k distinct delta positions;
+* subsequent queries: O(log k) binary search.
+
+This write-batched behaviour matches how optimizer statistics are
+actually maintained (bulk document loads, then query bursts).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable
+
+from repro.core.element import Element
+from repro.core.errors import ReproError
+from repro.core.nodeset import NodeSet
+
+
+class DynamicTTree:
+    """Stabbing counts over a dynamic interval multiset."""
+
+    def __init__(self, elements: Iterable[Element] = ()) -> None:
+        self._deltas: dict[int, int] = {}
+        self._size = 0
+        self._positions: list[int] = []
+        self._values: list[int] = []
+        self._dirty = False
+        for element in elements:
+            self.insert(element)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _shift(self, position: int, change: int) -> None:
+        value = self._deltas.get(position, 0) + change
+        if value:
+            self._deltas[position] = value
+        else:
+            self._deltas.pop(position, None)
+        self._dirty = True
+
+    def insert(self, element: Element) -> None:
+        """Add interval ``[element.start, element.end]`` (O(1))."""
+        self._shift(element.start, +1)
+        self._shift(element.end + 1, -1)
+        self._size += 1
+
+    def delete(self, element: Element) -> None:
+        """Remove a previously inserted interval (O(1)).
+
+        Deleting an interval that was never inserted leaves the delta map
+        inconsistent; it is detected at recompile time when a prefix sum
+        turns negative.
+        """
+        if self._size == 0:
+            raise ReproError("delete from an empty T-tree")
+        self._shift(element.start, -1)
+        self._shift(element.end + 1, +1)
+        self._size -= 1
+
+    def _recompile(self) -> None:
+        self._positions = sorted(self._deltas)
+        self._values = []
+        running = 0
+        for position in self._positions:
+            running += self._deltas[position]
+            if running < 0:
+                raise ReproError(
+                    "covering table went negative: an interval was "
+                    "deleted that was never inserted"
+                )
+            self._values.append(running)
+        if self._positions and self._values[-1] != 0:
+            raise ReproError("covering table does not close to zero")
+        self._dirty = False
+
+    def count(self, position: int) -> int:
+        """``PMA[position]`` for the current interval multiset."""
+        if self._dirty:
+            self._recompile()
+        index = bisect_right(self._positions, position) - 1
+        if index < 0:
+            return 0
+        return self._values[index]
+
+    def turning_points(self) -> list[tuple[int, int]]:
+        """The current sparse covering table (position, value) pairs."""
+        if self._dirty:
+            self._recompile()
+        return list(zip(self._positions, self._values))
+
+    @classmethod
+    def from_node_set(cls, node_set: NodeSet) -> "DynamicTTree":
+        return cls(node_set.elements)

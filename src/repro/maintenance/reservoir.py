@@ -1,0 +1,71 @@
+"""Reservoir sampling: a standing descendant sample for IM-DA-Est.
+
+Re-drawing a fresh random sample per estimate (Algorithm 2) requires
+random access to the whole descendant set.  Under a stream of insertions
+— documents being loaded — a classic reservoir (Vitter's Algorithm R)
+maintains a uniform ``k``-subset in O(1) amortized per insert, so the
+optimizer can estimate at any moment from the standing sample.
+
+The resulting estimator is the with-replacement-free IM-DA-Est over the
+current reservoir, scaled by the number of elements seen so far; it stays
+unbiased because the reservoir is uniform at every prefix of the stream.
+"""
+
+from __future__ import annotations
+
+from repro.core.element import Element
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.rng import SeedLike, make_rng
+from repro.index.stab import StabbingCounter
+
+
+class ReservoirSample:
+    """Uniform fixed-size sample of a stream of elements."""
+
+    def __init__(self, capacity: int, seed: SeedLike = None) -> None:
+        if capacity < 1:
+            raise EstimationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = make_rng(seed)
+        self._items: list[Element] = []
+        self._seen = 0
+
+    def add(self, element: Element) -> None:
+        """Offer one stream element to the reservoir (Algorithm R)."""
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(element)
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._items[slot] = element
+
+    def extend(self, elements) -> None:
+        for element in elements:
+            self.add(element)
+
+    @property
+    def seen(self) -> int:
+        """Number of stream elements offered so far."""
+        return self._seen
+
+    @property
+    def sample(self) -> list[Element]:
+        """The current reservoir contents (size ``min(seen, capacity)``)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def im_estimate(self, ancestors: NodeSet) -> float:
+        """IM-DA-Est from the standing sample.
+
+        ``X̂ = (seen / |reservoir|) · Σ_{d ∈ reservoir} ancA(d.start)`` —
+        Algorithm 2 with the reservoir as the random sample.
+        """
+        if not self._items or len(ancestors) == 0:
+            return 0.0
+        counter = StabbingCounter(ancestors)
+        total = sum(counter.count(d.start) for d in self._items)
+        return total * self._seen / len(self._items)

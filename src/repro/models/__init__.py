@@ -1,0 +1,36 @@
+"""The paper's two estimation models (Section 3).
+
+* :mod:`repro.models.interval` — the interval model: an element set viewed
+  as intervals when it plays the ancestor role (``IMA``) and as start-points
+  when it plays the descendant role (``IMD``).  Theorem 1: join size equals
+  the number of stabbing (interval, point) pairs.
+* :mod:`repro.models.position` — the position model: a covering table
+  ``PMA`` and a start table ``PMD`` over the workspace.  Theorem 2: join
+  size equals the inner product ``Σ PMA[i]·PMD[i]``.
+
+Both models assume the two joined sets are drawn from one region-coded tree
+with distinct codes, and that the ancestor and descendant sets are disjoint
+(different predicates) — which holds for every workload in the paper.
+"""
+
+from repro.models.interval import (
+    interval_view,
+    point_view,
+    stabbing_pairs_count,
+)
+from repro.models.position import (
+    covering_table,
+    inner_product_size,
+    start_table,
+    turning_points,
+)
+
+__all__ = [
+    "covering_table",
+    "inner_product_size",
+    "interval_view",
+    "point_view",
+    "stabbing_pairs_count",
+    "start_table",
+    "turning_points",
+]

@@ -1,0 +1,86 @@
+"""The position model (Section 3.3).
+
+For an element set ``S`` and a workspace ``[cmin, cmax]``:
+
+* the *covering table* ``PMA(S)`` maps every position ``v`` to the number of
+  elements whose region covers ``v`` (``e.start <= v <= e.end``);
+* the *start table* ``PMD(S)`` maps every position ``v`` to 1 if some
+  element starts at ``v`` and 0 otherwise (codes are distinct, so the count
+  never exceeds 1).
+
+Theorem 2: ``|A ⋈ D| = Σ_v PMA(A)[v] · PMD(D)[v]``.
+
+``PMA`` is piecewise constant with only O(|S|) *turning points* — positions
+where its value changes — which is what the T-tree index stores
+(Section 5.3.1 and Figure 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+
+
+def covering_table(node_set: NodeSet, workspace: Workspace) -> np.ndarray:
+    """Dense ``PMA`` array over every integer position of ``workspace``.
+
+    ``result[v - workspace.lo]`` is the number of regions covering ``v``.
+    Built in O(|S| + W) with a difference array.
+    """
+    width = workspace.width
+    delta = np.zeros(width + 1, dtype=np.int64)
+    for element in node_set:
+        lo = max(element.start, workspace.lo)
+        hi = min(element.end, workspace.hi)
+        if lo > hi:
+            continue
+        delta[lo - workspace.lo] += 1
+        delta[hi - workspace.lo + 1] -= 1
+    return np.cumsum(delta[:-1])
+
+
+def start_table(node_set: NodeSet, workspace: Workspace) -> np.ndarray:
+    """Dense ``PMD`` 0/1 array over every integer position of ``workspace``."""
+    table = np.zeros(workspace.width, dtype=np.int64)
+    for element in node_set:
+        if workspace.contains(element.start):
+            table[element.start - workspace.lo] = 1
+    return table
+
+
+def inner_product_size(pma: np.ndarray, pmd: np.ndarray) -> int:
+    """Theorem 2's right-hand side: ``Σ PMA[v] · PMD[v]``."""
+    if pma.shape != pmd.shape:
+        raise ValueError(
+            f"tables must align: PMA has {pma.shape}, PMD has {pmd.shape}"
+        )
+    return int(np.dot(pma, pmd))
+
+
+def turning_points(node_set: NodeSet) -> list[tuple[int, int]]:
+    """The sparse encoding of ``PMA``: ``(position, value)`` change points.
+
+    Returns pairs ``(K, PMA[K])`` for every position ``K`` where
+    ``PMA[K] != PMA[K - 1]``; between consecutive turning points the table
+    is constant.  There are at most ``2·|S|`` such points.
+
+    ``PMA`` steps up at every ``e.start`` and steps down just after every
+    ``e.end`` (position ``e.end`` itself is still covered).
+    """
+    if len(node_set) == 0:
+        return []
+    deltas: dict[int, int] = {}
+    for element in node_set:
+        deltas[element.start] = deltas.get(element.start, 0) + 1
+        deltas[element.end + 1] = deltas.get(element.end + 1, 0) - 1
+    value = 0
+    points: list[tuple[int, int]] = []
+    for position in sorted(deltas):
+        change = deltas[position]
+        if change == 0:
+            continue
+        value += change
+        points.append((position, value))
+    return points

@@ -1,0 +1,32 @@
+"""Cost-based containment-join ordering — the paper's motivating use case.
+
+The introduction's example: ``//paper[appendix/table]`` can be evaluated
+as ``(paper ⋈ appendix) ⋈ table`` or ``paper ⋈ (appendix ⋈ table)``, and
+the better order depends on the intermediate result sizes — which is what
+the estimators of this package predict.  This module turns that example
+into a small optimizer for chains of containment joins.
+"""
+
+from repro.optimizer.chain import chain_join_size
+from repro.optimizer.planner import JoinPlan, optimize_chain, plan_cost
+from repro.optimizer.twig import (
+    TwigNode,
+    estimate_twig_selectivity,
+    estimate_twig_size,
+    twig,
+    twig_match_count,
+    twig_semijoin_count,
+)
+
+__all__ = [
+    "JoinPlan",
+    "TwigNode",
+    "chain_join_size",
+    "estimate_twig_selectivity",
+    "estimate_twig_size",
+    "optimize_chain",
+    "plan_cost",
+    "twig",
+    "twig_match_count",
+    "twig_semijoin_count",
+]

@@ -1,0 +1,44 @@
+"""Exact chain containment joins.
+
+A *chain query* over node sets ``s_1 // s_2 // ... // s_k`` asks for all
+tuples ``(e_1, ..., e_k)`` with each ``e_i`` an ancestor of ``e_{i+1}``.
+This module computes the exact result cardinality — the ground truth the
+optimizer's estimates are judged against — by dynamic programming over
+per-element embedding counts:
+
+    count_1[e] = 1                       for e in s_1
+    count_i[d] = Σ_{a ∈ s_{i-1}, a ancestor of d} count_{i-1}[a]
+
+The per-step aggregation reuses the stack-tree join, so the whole chain
+costs O(Σ (|s_i| + |s_{i+1}| + join_i)).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.join.stack_tree import stack_tree_join
+
+
+def chain_join_size(node_sets: Sequence[NodeSet]) -> int:
+    """Exact number of nested-chain tuples across ``node_sets``.
+
+    For two sets this equals the containment join size; one set yields its
+    cardinality.
+    """
+    if not node_sets:
+        raise EstimationError("chain needs at least one node set")
+    counts: dict[int, int] = {id(e): 1 for e in node_sets[0]}
+    for ancestors, descendants in zip(node_sets, node_sets[1:]):
+        next_counts: dict[int, int] = {}
+        for a, d in stack_tree_join(ancestors, descendants):
+            weight = counts.get(id(a), 0)
+            if weight:
+                key = id(d)
+                next_counts[key] = next_counts.get(key, 0) + weight
+        counts = next_counts
+        if not counts:
+            return 0
+    return sum(counts.values())

@@ -1,0 +1,151 @@
+"""Join-order selection for chains of containment joins.
+
+Given a chain ``s_1 // s_2 // ... // s_k`` the planner picks the
+parenthesization minimizing the total estimated intermediate result size
+(the classic optimizer objective the paper's introduction motivates).
+
+Chain-segment cardinalities are estimated compositionally: adjacent-pair
+sizes come from any :class:`repro.estimators.base.Estimator`, and a longer
+segment ``i..j`` multiplies the pair estimate by the conditional fan-out
+of each extension step::
+
+    size(i..j) = size(i..j-1) · size(j-1, j) / |s_{j-1}|
+
+(the independence assumption optimizers conventionally make).  Dynamic
+programming over segments then mirrors matrix-chain ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimator
+
+
+@dataclass(frozen=True, slots=True)
+class JoinPlan:
+    """A parenthesization of the chain segment ``lo..hi`` (inclusive).
+
+    Leaves (``lo == hi``) are base node sets; internal nodes join the
+    results of ``left`` and ``right`` (adjacent segments).
+    """
+
+    lo: int
+    hi: int
+    estimated_size: float
+    left: "JoinPlan | None" = None
+    right: "JoinPlan | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.lo == self.hi
+
+    def describe(self, names: Sequence[str]) -> str:
+        """Human-readable plan, e.g. ``(paper ⋈ (appendix ⋈ table))``."""
+        if self.is_leaf:
+            return names[self.lo]
+        assert self.left is not None and self.right is not None
+        return (
+            f"({self.left.describe(names)} ⋈ {self.right.describe(names)})"
+        )
+
+
+def plan_cost(plan: JoinPlan) -> float:
+    """Total estimated size of all *intermediate* results of ``plan``.
+
+    The final (root) result is excluded: it is identical for every
+    parenthesization and would only blur the comparison.
+    """
+
+    def internal_sizes(node: JoinPlan, is_root: bool) -> float:
+        if node.is_leaf:
+            return 0.0
+        assert node.left is not None and node.right is not None
+        own = 0.0 if is_root else node.estimated_size
+        return (
+            own
+            + internal_sizes(node.left, False)
+            + internal_sizes(node.right, False)
+        )
+
+    return internal_sizes(plan, True)
+
+
+def optimize_chain(
+    node_sets: Sequence[NodeSet],
+    estimator: Estimator,
+    workspace: Workspace | None = None,
+) -> JoinPlan:
+    """Pick the cheapest parenthesization of a containment-join chain.
+
+    Args:
+        node_sets: the chain ``s_1 // ... // s_k`` (k >= 2), outermost
+            ancestor first.
+        estimator: any containment join size estimator; it is invoked once
+            per adjacent pair.
+        workspace: shared position domain (defaults per estimator call).
+
+    Returns:
+        the optimal :class:`JoinPlan` (ties broken toward left-deep).
+    """
+    k = len(node_sets)
+    if k < 2:
+        raise EstimationError("chain optimization needs >= 2 node sets")
+
+    pair_sizes = [
+        max(
+            0.0,
+            estimator.estimate(
+                node_sets[i], node_sets[i + 1], workspace
+            ).value,
+        )
+        for i in range(k - 1)
+    ]
+
+    # segment_size[i][j]: estimated tuples of the chain s_i // ... // s_j.
+    segment_size = [[0.0] * k for __ in range(k)]
+    for i in range(k):
+        segment_size[i][i] = float(len(node_sets[i]))
+    for i in range(k - 1):
+        segment_size[i][i + 1] = pair_sizes[i]
+    for length in range(3, k + 1):
+        for i in range(k - length + 1):
+            j = i + length - 1
+            previous = segment_size[i][j - 1]
+            base = len(node_sets[j - 1])
+            fanout = pair_sizes[j - 1] / base if base else 0.0
+            segment_size[i][j] = previous * fanout
+
+    # Matrix-chain DP over (cost, plan).
+    best: dict[tuple[int, int], JoinPlan] = {}
+    cost: dict[tuple[int, int], float] = {}
+    for i in range(k):
+        best[(i, i)] = JoinPlan(i, i, segment_size[i][i])
+        cost[(i, i)] = 0.0
+    for length in range(2, k + 1):
+        for i in range(k - length + 1):
+            j = i + length - 1
+            champion: JoinPlan | None = None
+            champion_cost = float("inf")
+            for split in range(i, j):
+                left = best[(i, split)]
+                right = best[(split + 1, j)]
+                subtotal = (
+                    cost[(i, split)]
+                    + cost[(split + 1, j)]
+                    + (0.0 if split == i else segment_size[i][split])
+                    + (0.0 if split + 1 == j else segment_size[split + 1][j])
+                )
+                if subtotal < champion_cost:
+                    champion_cost = subtotal
+                    champion = JoinPlan(
+                        i, j, segment_size[i][j], left, right
+                    )
+            assert champion is not None
+            best[(i, j)] = champion
+            cost[(i, j)] = champion_cost
+    return best[(0, k - 1)]

@@ -1,0 +1,162 @@
+"""Twig (branching path) pattern counting and estimation.
+
+The motivating query ``//paper[appendix/table]`` is a *twig*: a small
+tree pattern whose edges are ancestor-descendant constraints.  This
+module provides
+
+* :func:`twig_match_count` — the exact number of embeddings of a twig
+  pattern, by bottom-up weighted containment joins (each edge costs one
+  stack-tree join over the matching node sets);
+* :func:`estimate_twig_size` — the optimizer-style estimate composing
+  per-edge containment-join estimates under the usual independence
+  assumption::
+
+      emb ≈ Π_edges Ĵ(edge) / Π_nodes |S_v| ** (incident_edges(v) - 1)
+
+  which reduces to the chain composition of
+  :mod:`repro.optimizer.planner` for path-shaped twigs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimator
+from repro.join.stack_tree import stack_tree_join
+
+#: Resolves a tag name to its node set (e.g. ``dataset.node_set``).
+NodeSetProvider = Callable[[str], NodeSet]
+
+
+@dataclass(frozen=True)
+class TwigNode:
+    """One node of a twig pattern: a tag plus descendant sub-patterns."""
+
+    tag: str
+    children: tuple["TwigNode", ...] = field(default_factory=tuple)
+
+    def edges(self) -> list[tuple["TwigNode", "TwigNode"]]:
+        """All (ancestor node, descendant node) edges, preorder."""
+        result: list[tuple[TwigNode, TwigNode]] = []
+        for child in self.children:
+            result.append((self, child))
+            result.extend(child.edges())
+        return result
+
+    def nodes(self) -> list["TwigNode"]:
+        result: list[TwigNode] = [self]
+        for child in self.children:
+            result.extend(child.nodes())
+        return result
+
+    def __str__(self) -> str:
+        if not self.children:
+            return self.tag
+        inner = "".join(f"[{child}]" for child in self.children)
+        return f"{self.tag}{inner}"
+
+
+def twig(tag: str, *children: "TwigNode | str") -> TwigNode:
+    """Convenience constructor: ``twig("paper", twig("appendix", "table"))``."""
+    resolved = tuple(
+        child if isinstance(child, TwigNode) else TwigNode(child)
+        for child in children
+    )
+    return TwigNode(tag, resolved)
+
+
+def _weights(node: TwigNode, provider: NodeSetProvider) -> dict[int, int]:
+    """Bottom-up embedding counts, keyed by element identity.
+
+    ``weights[id(e)]`` = number of embeddings of the sub-twig rooted at
+    ``node`` that map the sub-twig root to element ``e``.
+    """
+    elements = provider(node.tag)
+    weights = {id(e): 1 for e in elements}
+    for child in node.children:
+        child_weights = _weights(child, provider)
+        child_elements = provider(child.tag)
+        sums: dict[int, int] = {}
+        for ancestor, descendant in stack_tree_join(elements, child_elements):
+            contribution = child_weights.get(id(descendant), 0)
+            if contribution:
+                key = id(ancestor)
+                sums[key] = sums.get(key, 0) + contribution
+        for element in elements:
+            key = id(element)
+            weights[key] *= sums.get(key, 0)
+    return weights
+
+
+def twig_match_count(provider: NodeSetProvider, pattern: TwigNode) -> int:
+    """Exact number of embeddings of ``pattern``.
+
+    An embedding assigns each twig node an element with the node's tag
+    such that every twig edge is an ancestor-descendant pair.
+    """
+    return sum(_weights(pattern, provider).values())
+
+
+def twig_semijoin_count(provider: NodeSetProvider, pattern: TwigNode) -> int:
+    """XPath-predicate semantics: distinct root elements with >= 1
+    embedding (the actual result size of ``//paper[appendix/table]``)."""
+    return sum(
+        1 for value in _weights(pattern, provider).values() if value > 0
+    )
+
+
+def estimate_twig_size(
+    provider: NodeSetProvider,
+    pattern: TwigNode,
+    estimator: Estimator,
+    workspace: Workspace | None = None,
+) -> float:
+    """Estimated embedding count under per-edge independence."""
+    nodes = pattern.nodes()
+    if len(nodes) == 1:
+        return float(len(provider(pattern.tag)))
+    incident: dict[int, int] = {}  # keyed by node identity: tags can repeat
+    product = 1.0
+    for ancestor_node, descendant_node in pattern.edges():
+        a = provider(ancestor_node.tag)
+        d = provider(descendant_node.tag)
+        if len(a) == 0 or len(d) == 0:
+            return 0.0
+        product *= max(0.0, estimator.estimate(a, d, workspace).value)
+        incident[id(ancestor_node)] = incident.get(id(ancestor_node), 0) + 1
+        incident[id(descendant_node)] = (
+            incident.get(id(descendant_node), 0) + 1
+        )
+    for node in nodes:
+        degree = incident.get(id(node), 0)
+        if degree > 1:
+            size = len(provider(node.tag))
+            if size == 0:
+                return 0.0
+            product /= float(size) ** (degree - 1)
+    return product
+
+
+def estimate_twig_selectivity(
+    provider: NodeSetProvider,
+    pattern: TwigNode,
+    estimator: Estimator,
+    workspace: Workspace | None = None,
+) -> float:
+    """Estimated fraction of root-tag elements with >= 1 embedding.
+
+    Approximates ``P(>=1 embedding)`` per root element as
+    ``min(1, embeddings / |S_root|)`` — exact when embeddings spread at
+    most one per root, conservative otherwise.
+    """
+    root_size = len(provider(pattern.tag))
+    if root_size == 0:
+        raise EstimationError(
+            f"twig root {pattern.tag!r} matches no elements"
+        )
+    embeddings = estimate_twig_size(provider, pattern, estimator, workspace)
+    return min(1.0, embeddings / root_size)

@@ -1,0 +1,35 @@
+"""Disk-resident element sets: the paper's DBMS setting.
+
+The paper assumes element sets live in a database ("probing in the
+XR-Tree will cost only several page accesses ... helps to load part of
+the index into the buffer", Section 5.3.1).  This package provides that
+substrate:
+
+* :mod:`repro.storage.pager` — a fixed-size page file plus an LRU buffer
+  pool with hit/miss accounting;
+* :mod:`repro.storage.element_file` — node sets serialized to pages
+  (start-sorted records + an end-sorted rank section), opened as
+  :class:`DiskNodeSet` with binary-searchable, page-accounted probes;
+* :mod:`repro.storage.disk_sampling` — IM-DA-Est executed purely against
+  the paged representation, reporting the page-access cost per probe.
+"""
+
+from repro.storage.dataset_io import load_dataset, save_dataset
+from repro.storage.disk_join import DiskJoinResult, stack_tree_join_disk
+from repro.storage.disk_sampling import DiskProbeResult, im_da_est_disk
+from repro.storage.element_file import DiskNodeSet, write_node_set
+from repro.storage.pager import PAGE_SIZE, BufferPool, PageFile
+
+__all__ = [
+    "PAGE_SIZE",
+    "BufferPool",
+    "DiskJoinResult",
+    "DiskNodeSet",
+    "DiskProbeResult",
+    "PageFile",
+    "im_da_est_disk",
+    "load_dataset",
+    "save_dataset",
+    "stack_tree_join_disk",
+    "write_node_set",
+]

@@ -1,0 +1,67 @@
+"""Streaming containment join over disk-resident element sets.
+
+The stack-tree join consumes both inputs in start order — exactly the
+order element files store records in — so the join runs as two sequential
+page scans through the buffer pools: the I/O-optimal pattern
+(``O(pages(A) + pages(D))`` reads, each page touched once).  The result
+reports the pair count plus the observed page traffic, complementing the
+probe-based :mod:`repro.storage.disk_sampling` cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.element_file import DiskNodeSet
+
+
+@dataclass(frozen=True, slots=True)
+class DiskJoinResult:
+    """Outcome of a disk-resident containment join."""
+
+    pair_count: int
+    ancestor_page_misses: int
+    descendant_page_misses: int
+
+    @property
+    def total_page_misses(self) -> int:
+        return self.ancestor_page_misses + self.descendant_page_misses
+
+
+def stack_tree_join_disk(
+    ancestors: DiskNodeSet, descendants: DiskNodeSet
+) -> DiskJoinResult:
+    """Count join pairs with one sequential pass over each element file.
+
+    Runs Stack-Tree-Desc keeping only the ancestor stack in memory; both
+    buffer pools' miss counters are reset first so the result reflects
+    this join alone.
+    """
+    ancestors.pool.stats.reset()
+    descendants.pool.stats.reset()
+
+    pair_count = 0
+    stack: list[int] = []  # open ancestor end positions (nested)
+    ai = 0
+    a_count = len(ancestors)
+    next_a: tuple[int, int] | None = None
+    if a_count:
+        next_a = ancestors.region_at(0)
+
+    for di in range(len(descendants)):
+        d_start = descendants.start_at(di)
+        while next_a is not None and next_a[0] < d_start:
+            while stack and stack[-1] < next_a[0]:
+                stack.pop()
+            stack.append(next_a[1])
+            ai += 1
+            next_a = ancestors.region_at(ai) if ai < a_count else None
+        while stack and stack[-1] < d_start:
+            stack.pop()
+        pair_count += len(stack)
+
+    return DiskJoinResult(
+        pair_count=pair_count,
+        ancestor_page_misses=ancestors.pool.stats.misses,
+        descendant_page_misses=descendants.pool.stats.misses,
+    )

@@ -1,0 +1,123 @@
+"""Fixed-size page file and LRU buffer pool.
+
+The minimal storage-manager substrate: a :class:`PageFile` reads and
+writes aligned 4 KiB pages; a :class:`BufferPool` caches them with LRU
+replacement and counts hits/misses — the statistic the disk-resident
+benchmarks report ("page accesses per probe").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.errors import ReproError
+
+#: Page size in bytes (a conventional DBMS default).
+PAGE_SIZE = 4096
+
+
+class PageFile:
+    """Aligned page I/O over a regular file."""
+
+    def __init__(self, path: str | Path, create: bool = False) -> None:
+        self.path = Path(path)
+        mode = "w+b" if create else "r+b"
+        if not create and not self.path.exists():
+            raise ReproError(f"page file {self.path} does not exist")
+        self._handle = open(self.path, mode)
+
+    @property
+    def page_count(self) -> int:
+        self._handle.seek(0, 2)
+        return self._handle.tell() // PAGE_SIZE
+
+    def read_page(self, page_no: int) -> bytes:
+        if page_no < 0:
+            raise ReproError(f"negative page number {page_no}")
+        self._handle.seek(page_no * PAGE_SIZE)
+        data = self._handle.read(PAGE_SIZE)
+        if len(data) < PAGE_SIZE:
+            raise ReproError(
+                f"page {page_no} beyond end of file {self.path}"
+            )
+        return data
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        if len(data) > PAGE_SIZE:
+            raise ReproError(
+                f"page payload of {len(data)} bytes exceeds {PAGE_SIZE}"
+            )
+        self._handle.seek(page_no * PAGE_SIZE)
+        self._handle.write(data.ljust(PAGE_SIZE, b"\x00"))
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss accounting for one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+@dataclass
+class BufferPool:
+    """LRU page cache over a :class:`PageFile`."""
+
+    file: PageFile
+    capacity: int = 64
+    stats: BufferStats = field(default_factory=BufferStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ReproError(
+                f"buffer capacity must be >= 1, got {self.capacity}"
+            )
+        self._pages: OrderedDict[int, bytes] = OrderedDict()
+
+    def get_page(self, page_no: int) -> bytes:
+        cached = self._pages.get(page_no)
+        if cached is not None:
+            self._pages.move_to_end(page_no)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        data = self.file.read_page(page_no)
+        self._pages[page_no] = data
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        return data
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    def clear(self) -> None:
+        """Drop all cached pages (keeps the stats)."""
+        self._pages.clear()

@@ -1,0 +1,22 @@
+"""XML data tree substrate: region-coded trees, parsing, serialization, paths."""
+
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.stats import (
+    recursive_tags,
+    tag_level_spread,
+    tree_statistics,
+)
+from repro.xmltree.serializer import to_xml
+from repro.xmltree.tree import DataTree, TreeBuilder
+from repro.xmltree.xpath import evaluate_path
+
+__all__ = [
+    "DataTree",
+    "TreeBuilder",
+    "evaluate_path",
+    "parse_xml",
+    "recursive_tags",
+    "tag_level_spread",
+    "to_xml",
+    "tree_statistics",
+]

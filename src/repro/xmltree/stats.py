@@ -1,0 +1,97 @@
+"""Document structure statistics.
+
+Summaries of a data tree's shape — the quantities that drive estimator
+behaviour: depth distribution (bounds every subjoin, Theorems 3-4),
+fanout distribution (bucket density), per-tag level spread (recursion
+witness), and path counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.xmltree.tree import DataTree
+
+
+@dataclass(frozen=True, slots=True)
+class TreeStatistics:
+    """Shape summary of one data tree."""
+
+    size: int
+    height: int
+    leaf_count: int
+    average_depth: float
+    average_fanout: float
+    max_fanout: int
+    depth_histogram: dict[int, int]
+    recursive_tags: tuple[str, ...]
+
+    def describe(self) -> str:
+        depths = ", ".join(
+            f"{level}:{count}"
+            for level, count in sorted(self.depth_histogram.items())
+        )
+        recursive = ", ".join(self.recursive_tags) or "none"
+        return (
+            f"{self.size} elements, height {self.height}, "
+            f"{self.leaf_count} leaves; avg depth {self.average_depth:.2f}, "
+            f"avg fanout {self.average_fanout:.2f} "
+            f"(max {self.max_fanout}); recursive tags: {recursive}; "
+            f"depth histogram {{{depths}}}"
+        )
+
+
+def tree_statistics(tree: DataTree) -> TreeStatistics:
+    """Compute :class:`TreeStatistics` in one pass over the tree."""
+    depth_histogram: Counter = Counter()
+    fanouts = []
+    leaf_count = 0
+    for index in range(tree.size):
+        element = tree.element(index)
+        depth_histogram[element.level] += 1
+        children = tree.children_indices(index)
+        if children:
+            fanouts.append(len(children))
+        else:
+            leaf_count += 1
+    total_depth = sum(
+        level * count for level, count in depth_histogram.items()
+    )
+    return TreeStatistics(
+        size=tree.size,
+        height=tree.height,
+        leaf_count=leaf_count,
+        average_depth=total_depth / tree.size,
+        average_fanout=(
+            sum(fanouts) / len(fanouts) if fanouts else 0.0
+        ),
+        max_fanout=max(fanouts, default=0),
+        depth_histogram=dict(depth_histogram),
+        recursive_tags=tuple(sorted(recursive_tags(tree))),
+    )
+
+
+def recursive_tags(tree: DataTree) -> set[str]:
+    """Tags that occur nested inside themselves (Table 2's "N/A" sets)."""
+    found: set[str] = set()
+    open_tags: list[str] = []
+    # Elements in document order: maintain the open-tag stack by level.
+    for element in tree.elements:
+        del open_tags[element.level :]
+        if element.tag in open_tags:
+            found.add(element.tag)
+        open_tags.append(element.tag)
+    return found
+
+
+def tag_level_spread(tree: DataTree) -> dict[str, tuple[int, int]]:
+    """Per tag: (minimum level, maximum level) it occurs at."""
+    spread: dict[str, tuple[int, int]] = {}
+    for element in tree.elements:
+        low, high = spread.get(element.tag, (element.level, element.level))
+        spread[element.tag] = (
+            min(low, element.level),
+            max(high, element.level),
+        )
+    return spread

@@ -1,0 +1,296 @@
+"""Region-coded XML data trees.
+
+A :class:`DataTree` stores an ordered tree of tagged elements together with
+the region code ``(start, end)`` of every element, assigned by a single
+depth-first traversal: each element consumes one position on entry (its
+``start``) and one on exit (its ``end``), so all codes are distinct and
+strictly nested — exactly the coding scheme the paper assumes (Section 3.1).
+
+Trees are built either from nested ``(tag, children)`` tuples, with the
+incremental :class:`TreeBuilder`, or by parsing XML text
+(:func:`repro.xmltree.parser.parse_xml`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.core.element import Element
+from repro.core.errors import ReproError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+
+#: Nested-tuple description of a tree: a tag and a list of child specs.
+NestedSpec = tuple[str, Sequence["NestedSpec"]]
+
+
+class DataTree:
+    """An immutable region-coded XML data tree.
+
+    Elements are stored in document order (ascending ``start``), together
+    with parent/children links for path evaluation.  The tree owns the
+    canonical workspace ``[cmin, cmax]`` used by every estimator.
+    """
+
+    __slots__ = ("_elements", "_parents", "_children", "_tag_index")
+
+    def __init__(
+        self,
+        elements: Sequence[Element],
+        parents: Sequence[int],
+    ) -> None:
+        if not elements:
+            raise ReproError("a data tree must contain at least one element")
+        if len(elements) != len(parents):
+            raise ReproError("elements and parents must have equal length")
+        self._elements = tuple(elements)
+        self._parents = tuple(parents)
+        children: list[list[int]] = [[] for _ in elements]
+        for index, parent in enumerate(parents):
+            if parent >= 0:
+                children[parent].append(index)
+        self._children = tuple(tuple(c) for c in children)
+        tag_index: dict[str, list[int]] = {}
+        for index, element in enumerate(self._elements):
+            tag_index.setdefault(element.tag, []).append(index)
+        self._tag_index = {tag: tuple(ix) for tag, ix in tag_index.items()}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_nested(cls, spec: NestedSpec) -> "DataTree":
+        """Build a tree from nested ``(tag, [child, ...])`` tuples.
+
+        >>> tree = DataTree.from_nested(("a", [("b", []), ("c", [])]))
+        >>> tree.size
+        3
+        """
+        builder = TreeBuilder()
+        stack: list[tuple[NestedSpec, bool]] = [(spec, False)]
+        while stack:
+            (tag, children), closing = stack.pop()
+            if closing:
+                builder.close()
+                continue
+            builder.open(tag)
+            stack.append(((tag, children), True))
+            for child in reversed(list(children)):
+                stack.append((child, False))
+        return builder.finish()
+
+    # ------------------------------------------------------------------
+    # Structure access
+    # ------------------------------------------------------------------
+
+    @property
+    def elements(self) -> tuple[Element, ...]:
+        """All elements in document order."""
+        return self._elements
+
+    @property
+    def size(self) -> int:
+        """Number of elements in the tree."""
+        return len(self._elements)
+
+    @property
+    def root(self) -> Element:
+        """The document root element."""
+        return self._elements[0]
+
+    def parent_index(self, index: int) -> int:
+        """Index of the parent of element ``index`` (-1 for the root)."""
+        return self._parents[index]
+
+    def children_indices(self, index: int) -> tuple[int, ...]:
+        """Indices of the children of element ``index``, in document order."""
+        return self._children[index]
+
+    def element(self, index: int) -> Element:
+        """Element at document-order position ``index``."""
+        return self._elements[index]
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataTree(size={self.size}, height={self.height}, "
+            f"workspace={tuple(self.workspace())})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Height ``H`` of the tree: number of levels (root-only tree is 1).
+
+        ``H`` bounds the number of ancestors any element has, the constant
+        the sampling theorems (3 and 4) rely on.
+        """
+        return max(e.level for e in self._elements) + 1
+
+    def workspace(self) -> Workspace:
+        """``[cmin, cmax]`` over all elements of the tree."""
+        return Workspace(self.root.start, self.root.end)
+
+    def tags(self) -> dict[str, int]:
+        """Tag-name frequency table for the whole tree."""
+        return dict(Counter(e.tag for e in self._elements))
+
+    def node_set(self, tag: str) -> NodeSet:
+        """All elements with tag ``tag`` as a (validated-by-construction) set.
+
+        Returns an empty node set when the tag does not occur.
+        """
+        indices = self._tag_index.get(tag, ())
+        return NodeSet(
+            (self._elements[i] for i in indices), name=tag, validate=False
+        )
+
+    def indices_with_tag(self, tag: str) -> tuple[int, ...]:
+        """Document-order indices of elements with tag ``tag``."""
+        return self._tag_index.get(tag, ())
+
+    def descendant_indices(self, index: int) -> Iterator[int]:
+        """Indices of all proper descendants of element ``index``."""
+        stack = list(self._children[index])
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(self._children[current])
+
+    def ancestor_indices(self, index: int) -> Iterator[int]:
+        """Indices of all proper ancestors of element ``index``, bottom-up."""
+        current = self._parents[index]
+        while current >= 0:
+            yield current
+            current = self._parents[current]
+
+
+class TreeBuilder:
+    """Incremental construction of a :class:`DataTree`.
+
+    Two equivalent styles are supported::
+
+        builder = TreeBuilder()
+        builder.open("a"); builder.open("b"); builder.close(); builder.close()
+        tree = builder.finish()
+
+    or, with context managers::
+
+        with builder.element("a"):
+            with builder.element("b"):
+                pass
+        tree = builder.finish()
+
+    Region codes are assigned from a monotone counter that advances on every
+    open and every close, which guarantees distinct, strictly nested codes.
+    """
+
+    def __init__(self, first_position: int = 1) -> None:
+        self._position = first_position
+        self._stack: list[tuple[str, int, int]] = []  # (tag, start, index)
+        self._tags: list[str] = []
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        self._levels: list[int] = []
+        self._parents: list[int] = []
+        self._finished = False
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open elements."""
+        return len(self._stack)
+
+    @property
+    def current_tag(self) -> str | None:
+        """Tag of the innermost open element, or None at top level."""
+        return self._stack[-1][0] if self._stack else None
+
+    def open(self, tag: str) -> int:
+        """Open an element; returns its document-order index."""
+        if self._finished:
+            raise ReproError("builder already finished")
+        if not self._stack and self._tags:
+            raise ReproError(
+                "cannot open a second root element; the tree must have "
+                "exactly one root"
+            )
+        index = len(self._tags)
+        parent = self._stack[-1][2] if self._stack else -1
+        self._tags.append(tag)
+        self._starts.append(self._position)
+        self._ends.append(-1)
+        self._levels.append(len(self._stack))
+        self._parents.append(parent)
+        self._stack.append((tag, self._position, index))
+        self._position += 1
+        return index
+
+    def close(self) -> None:
+        """Close the most recently opened element."""
+        if not self._stack:
+            raise ReproError("close() without a matching open()")
+        __, __, index = self._stack.pop()
+        self._ends[index] = self._position
+        self._position += 1
+
+    @contextmanager
+    def element(self, tag: str) -> Iterator[int]:
+        """Context manager that opens ``tag`` on entry and closes it on exit."""
+        index = self.open(tag)
+        try:
+            yield index
+        finally:
+            self.close()
+
+    def advance(self, count: int) -> None:
+        """Consume ``count`` positions without emitting elements.
+
+        Models *word-granularity* region coding (Zhang et al.): each text
+        word occupies one position, widening the enclosing element's
+        region.  ``advance(0)`` is a no-op; negative counts are rejected.
+        """
+        if self._finished:
+            raise ReproError("builder already finished")
+        if count < 0:
+            raise ReproError(f"cannot advance by {count}")
+        self._position += count
+
+    def leaf(self, tag: str, words: int = 0) -> int:
+        """Open and immediately close an element; returns its index.
+
+        ``words`` positions of text content are consumed inside the
+        element (word-granularity coding).
+        """
+        index = self.open(tag)
+        self.advance(words)
+        self.close()
+        return index
+
+    def finish(self) -> DataTree:
+        """Finalize and return the tree; the builder cannot be reused."""
+        if self._stack:
+            raise ReproError(
+                f"{len(self._stack)} element(s) still open, e.g. "
+                f"<{self._stack[-1][0]}>"
+            )
+        if not self._tags:
+            raise ReproError("no elements were added")
+        self._finished = True
+        elements = [
+            Element(tag=t, start=s, end=e, level=lv)
+            for t, s, e, lv in zip(
+                self._tags, self._starts, self._ends, self._levels
+            )
+        ]
+        return DataTree(elements, self._parents)

@@ -1,0 +1,128 @@
+"""A mini-XPath evaluator for forming node sets.
+
+Supports the fragment the paper's motivating queries use:
+
+* absolute paths with child (``/``) and descendant (``//``) axes, e.g.
+  ``/site/regions``, ``//appendix//table``;
+* the wildcard ``*`` name test;
+* one level of existence predicates with relative paths, e.g.
+  ``//paper[appendix/table]``.
+
+Evaluation returns a :class:`repro.core.nodeset.NodeSet`, the operand type
+of containment joins and estimators.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import QueryError
+from repro.core.nodeset import NodeSet
+from repro.xmltree.tree import DataTree
+
+_STEP = re.compile(
+    r"(?P<axis>//|/)"
+    r"(?P<name>\*|[A-Za-z_:][\w.\-:]*)"
+    r"(?P<preds>(?:\[[^\[\]]+\])*)"
+)
+
+_PREDICATE = re.compile(r"\[([^\[\]]+)\]")
+
+
+@dataclass(frozen=True, slots=True)
+class _Step:
+    axis: str  # "child" or "descendant"
+    name: str  # tag name or "*"
+    predicates: tuple[str, ...]
+
+
+def _compile(path: str) -> list[_Step]:
+    if not path or path[0] != "/":
+        raise QueryError(
+            f"path {path!r} must be absolute (start with / or //)"
+        )
+    steps: list[_Step] = []
+    position = 0
+    while position < len(path):
+        match = _STEP.match(path, position)
+        if match is None:
+            raise QueryError(
+                f"cannot parse path {path!r} at offset {position}"
+            )
+        steps.append(
+            _Step(
+                axis="descendant" if match.group("axis") == "//" else "child",
+                name=match.group("name"),
+                predicates=tuple(
+                    _PREDICATE.findall(match.group("preds") or "")
+                ),
+            )
+        )
+        position = match.end()
+    return steps
+
+
+def _matches(tree: DataTree, index: int, name: str) -> bool:
+    return name == "*" or tree.element(index).tag == name
+
+
+def _step_candidates(tree: DataTree, context: int, step: _Step) -> list[int]:
+    if step.axis == "child":
+        pool = tree.children_indices(context)
+    else:
+        pool = tree.descendant_indices(context)
+    return [i for i in pool if _matches(tree, i, step.name)]
+
+
+def _satisfies_predicate(tree: DataTree, index: int, predicate: str) -> bool:
+    relative = predicate if predicate.startswith("/") else "/" + predicate
+    steps = _compile(relative)
+    return bool(_evaluate_steps(tree, [index], steps))
+
+
+def _satisfies_all(tree: DataTree, index: int, step: _Step) -> bool:
+    return all(
+        _satisfies_predicate(tree, index, predicate)
+        for predicate in step.predicates
+    )
+
+
+def _evaluate_steps(
+    tree: DataTree, contexts: list[int], steps: list[_Step]
+) -> list[int]:
+    current = contexts
+    for step in steps:
+        matched: set[int] = set()
+        for context in current:
+            for candidate in _step_candidates(tree, context, step):
+                if _satisfies_all(tree, candidate, step):
+                    matched.add(candidate)
+        current = sorted(matched)
+        if not current:
+            break
+    return current
+
+
+def evaluate_path(tree: DataTree, path: str) -> NodeSet:
+    """Evaluate an absolute path expression against ``tree``.
+
+    >>> tree = DataTree.from_nested(("a", [("b", [("c", [])]), ("c", [])]))
+    >>> len(evaluate_path(tree, "//c"))
+    2
+    >>> len(evaluate_path(tree, "//b/c"))
+    1
+    """
+    steps = _compile(path)
+    first, rest = steps[0], steps[1:]
+    if first.axis == "child":
+        roots = [0] if _matches(tree, 0, first.name) else []
+    else:
+        roots = [
+            i for i in range(tree.size) if _matches(tree, i, first.name)
+        ]
+    roots = [i for i in roots if _satisfies_all(tree, i, first)]
+    indices = _evaluate_steps(tree, roots, rest) if rest else roots
+    return NodeSet(
+        (tree.element(i) for i in indices), name=path, validate=False
+    )

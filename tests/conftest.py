@@ -1,0 +1,64 @@
+"""Shared fixtures: the paper's Figure 1 example and small datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+from repro.datasets import generate_dblp, generate_xmach, generate_xmark
+from repro.xmltree import parse_xml
+
+
+@pytest.fixture(scope="session")
+def figure1_tree():
+    """The example data tree of Figure 1 (region codes match the paper).
+
+    a3=(1,22), a1=(2,7), a2=(18,21); d1=(3,4), d2=(9,10), d3=(11,12),
+    d4=(19,20).  The containment join size between A and D is 6.
+    """
+    a = NodeSet(
+        [
+            Element("a", 2, 7, 1),
+            Element("a", 18, 21, 1),
+            Element("a", 1, 22, 0),
+        ],
+        name="A",
+    )
+    d = NodeSet(
+        [
+            Element("d", 3, 4, 2),
+            Element("d", 9, 10, 1),
+            Element("d", 11, 12, 1),
+            Element("d", 19, 20, 2),
+        ],
+        name="D",
+    )
+    return a, d
+
+
+@pytest.fixture(scope="session")
+def small_tree():
+    """A small hand-checkable parsed tree."""
+    return parse_xml(
+        "<site>"
+        "<item><name/><desc><text/><text/></desc></item>"
+        "<item><name/><desc><text/></desc></item>"
+        "<person><name/></person>"
+        "</site>"
+    )
+
+
+@pytest.fixture(scope="session")
+def xmark_small():
+    return generate_xmark(scale=0.05, seed=101)
+
+
+@pytest.fixture(scope="session")
+def dblp_small():
+    return generate_dblp(scale=0.05, seed=102)
+
+
+@pytest.fixture(scope="session")
+def xmach_small():
+    return generate_xmach(scale=0.10, seed=103)

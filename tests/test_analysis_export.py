@@ -1,0 +1,139 @@
+"""Tests for repro.experiments.analysis and repro.experiments.export."""
+
+import math
+
+import pytest
+
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.estimators.pm_sampling import PMSamplingEstimator
+from repro.experiments.analysis import (
+    TheoremCheck,
+    hoeffding_halfwidth,
+    verify_sampling_theorem,
+)
+from repro.experiments.export import export_series, export_table, read_series
+from repro.join import containment_join_size
+
+
+@pytest.fixture(scope="module")
+def operands():
+    from repro.datasets import generate_xmark
+
+    dataset = generate_xmark(scale=0.05, seed=101)
+    a = dataset.node_set("desp")
+    d = dataset.node_set("text")
+    return (
+        a,
+        d,
+        dataset.tree.workspace(),
+        containment_join_size(a, d),
+        dataset.tree.height,
+    )
+
+
+class TestHoeffding:
+    def test_decreases_with_samples(self):
+        wide = hoeffding_halfwidth(1000, 5, 10)
+        narrow = hoeffding_halfwidth(1000, 5, 1000)
+        assert narrow < wide
+        assert narrow == pytest.approx(wide / 10.0)
+
+    def test_scales_linearly(self):
+        assert hoeffding_halfwidth(2000, 5, 50) == pytest.approx(
+            2 * hoeffding_halfwidth(1000, 5, 50)
+        )
+
+    def test_formula(self):
+        value = hoeffding_halfwidth(100, 2, 50, delta=0.05)
+        expected = 100 * 2 * math.sqrt(math.log(40.0) / 100.0)
+        assert value == pytest.approx(expected)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            hoeffding_halfwidth(10, 1, 0)
+        with pytest.raises(ValueError):
+            hoeffding_halfwidth(10, 1, 5, delta=1.5)
+
+
+class TestTheoremVerification:
+    def test_im_theorem3(self, operands):
+        """Theorem 3: unbiased, concentrated within the Hoeffding bound."""
+        a, d, workspace, true, height = operands
+        check = verify_sampling_theorem(
+            "IM",
+            lambda seed: IMSamplingEstimator(
+                num_samples=50, seed=seed, replace=True
+            ),
+            a,
+            d,
+            workspace,
+            true,
+            scale=len(d),
+            subjoin_bound=height,
+            num_samples=50,
+            runs=150,
+        )
+        assert check.unbiased_within_noise
+        # Hoeffding is conservative: nearly every run must fall inside.
+        assert check.within_bound_fraction >= 0.95
+        assert check.bias_pct < 5.0
+
+    def test_pm_theorem4(self, operands):
+        a, d, workspace, true, height = operands
+        check = verify_sampling_theorem(
+            "PM",
+            lambda seed: PMSamplingEstimator(num_samples=80, seed=seed),
+            a,
+            d,
+            workspace,
+            true,
+            scale=workspace.width,
+            subjoin_bound=height,
+            num_samples=80,
+            runs=150,
+        )
+        assert check.unbiased_within_noise
+        assert check.within_bound_fraction >= 0.95
+
+    def test_pm_bound_wider_than_im(self, operands):
+        """The O(w) vs O(|D|) gap that makes PM inferior (Section 5.2)."""
+        a, d, workspace, __, height = operands
+        im_width = hoeffding_halfwidth(len(d), height, 100)
+        pm_width = hoeffding_halfwidth(workspace.width, height, 100)
+        assert pm_width > 2 * im_width
+
+    def test_check_dataclass(self):
+        check = TheoremCheck(
+            label="X",
+            true_size=0,
+            runs=10,
+            mean_estimate=0.0,
+            bias_pct=0.0,
+            observed_std=0.0,
+            hoeffding_halfwidth_95=1.0,
+            within_bound_fraction=1.0,
+        )
+        assert check.unbiased_within_noise
+
+
+class TestExport:
+    def test_series_round_trip(self, tmp_path):
+        series = {"Q1": [(1.0, 2.0), (2.0, 4.0)], "Q2": [(1.0, 0.5)]}
+        path = export_series(tmp_path / "sub" / "series.csv", series)
+        assert path.exists()
+        assert read_series(path) == series
+
+    def test_series_header_labels(self, tmp_path):
+        path = export_series(
+            tmp_path / "s.csv", {"a": [(1, 2)]}, x_label="samples",
+            y_label="error",
+        )
+        header = path.read_text().splitlines()[0]
+        assert header == "series,samples,error"
+
+    def test_table(self, tmp_path):
+        path = export_table(
+            tmp_path / "t.csv", ["q", "err"], [["Q1", 1.5], ["Q2", 2.0]]
+        )
+        lines = path.read_text().splitlines()
+        assert lines == ["q,err", "Q1,1.5", "Q2,2.0"]

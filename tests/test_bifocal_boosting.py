@@ -1,0 +1,150 @@
+"""Tests for repro.estimators.bifocal and repro.estimators.boosting."""
+
+import statistics
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.bifocal import BifocalEstimator, dense_runs
+from repro.estimators.boosting import BoostedEstimator
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.estimators.pm_sampling import PMSamplingEstimator
+from repro.join import containment_join_size
+
+
+@pytest.fixture(scope="module")
+def operands():
+    from repro.datasets import generate_xmark
+
+    dataset = generate_xmark(scale=0.05, seed=101)
+    a = dataset.node_set("desp")
+    d = dataset.node_set("text")
+    return a, d, dataset.tree.workspace(), containment_join_size(a, d)
+
+
+class TestDenseRuns:
+    def test_figure1_threshold_two(self, figure1_tree):
+        a, __ = figure1_tree
+        runs = dense_runs(a, threshold=2)
+        # PMA reaches 2 on [2, 7] and [18, 21].
+        assert runs == [(2, 7, 2), (18, 21, 2)]
+
+    def test_threshold_one_covers_everything_covered(self, figure1_tree):
+        a, __ = figure1_tree
+        runs = dense_runs(a, threshold=1)
+        covered = sum(last - first + 1 for first, last, __ in runs)
+        assert covered == 22  # the whole [1, 22] workspace is covered
+
+    def test_high_threshold_empty(self, figure1_tree):
+        a, __ = figure1_tree
+        assert dense_runs(a, threshold=3) == []
+
+    def test_empty_set(self):
+        assert dense_runs(NodeSet([]), threshold=1) == []
+
+
+class TestBifocalEstimator:
+    def test_requires_exactly_one_size_argument(self):
+        with pytest.raises(EstimationError):
+            BifocalEstimator()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(EstimationError):
+            BifocalEstimator(num_samples=5, threshold=0)
+
+    def test_threshold_one_is_exact(self, figure1_tree):
+        """τ=1 makes every covered position dense -> fully exact estimate."""
+        a, d = figure1_tree
+        estimator = BifocalEstimator(num_samples=5, seed=0, threshold=1)
+        result = estimator.estimate(a, d, Workspace(1, 22))
+        assert result.value == 6.0
+        assert result.details["sparse_estimate"] == 0.0
+
+    def test_degenerates_to_pm_when_no_dense(self, operands):
+        """Section 5's simplification claim: with H < τ, bifocal == PM-Est
+        in distribution (no dense runs, pure position sampling)."""
+        a, d, workspace, __ = operands
+        result = BifocalEstimator(num_samples=50, seed=9).estimate(
+            a, d, workspace
+        )
+        assert result.details["dense_runs"] == 0
+        assert result.details["dense_exact"] == 0
+
+    def test_unbiased(self, operands):
+        a, d, workspace, true = operands
+        estimator = BifocalEstimator(num_samples=200, seed=31)
+        estimates = [
+            estimator.estimate(a, d, workspace).value for __ in range(300)
+        ]
+        assert abs(statistics.fmean(estimates) - true) / true < 0.10
+
+    def test_forced_low_threshold_reduces_variance(self, operands):
+        """Moving mass to the exact dense part shrinks the spread."""
+        a, d, workspace, true = operands
+        plain = [
+            BifocalEstimator(num_samples=50, seed=s)
+            .estimate(a, d, workspace)
+            .value
+            for s in range(40)
+        ]
+        assisted = [
+            BifocalEstimator(num_samples=50, seed=s, threshold=1)
+            .estimate(a, d, workspace)
+            .value
+            for s in range(40)
+        ]
+        assert statistics.pstdev(assisted) < statistics.pstdev(plain)
+
+    def test_empty_operands(self):
+        estimator = BifocalEstimator(num_samples=5, seed=0)
+        assert estimator.estimate(NodeSet([]), NodeSet([])).value == 0.0
+
+
+class TestBoosting:
+    def test_invalid_groups(self):
+        base = IMSamplingEstimator(num_samples=5, seed=0)
+        with pytest.raises(EstimationError):
+            BoostedEstimator(base, s1=0)
+        with pytest.raises(EstimationError):
+            BoostedEstimator(base, s2=0)
+
+    def test_single_group_single_run_equals_one_draw(self, operands):
+        a, d, workspace, __ = operands
+        base = IMSamplingEstimator(num_samples=20, seed=77)
+        boosted = BoostedEstimator(base, s1=1, s2=1)
+        reference = IMSamplingEstimator(num_samples=20, seed=77).estimate(
+            a, d, workspace
+        )
+        assert boosted.estimate(a, d, workspace).value == reference.value
+
+    def test_details(self, operands):
+        a, d, workspace, __ = operands
+        base = PMSamplingEstimator(num_samples=30, seed=5)
+        result = BoostedEstimator(base, s1=3, s2=5).estimate(a, d, workspace)
+        assert result.details["base"] == "PM"
+        assert len(result.details["group_averages"]) == 5
+        assert result.estimator == "BOOST"
+
+    def test_boosting_reduces_error_spread(self, operands):
+        """Section 5.3.2: median-of-means tightens the estimate."""
+        a, d, workspace, true = operands
+        raw = [
+            PMSamplingEstimator(num_samples=30, seed=s)
+            .estimate(a, d, workspace)
+            .value
+            for s in range(30)
+        ]
+        boosted = [
+            BoostedEstimator(
+                PMSamplingEstimator(num_samples=30, seed=1000 + s), s1=3, s2=5
+            )
+            .estimate(a, d, workspace)
+            .value
+            for s in range(30)
+        ]
+        raw_spread = statistics.pstdev(raw)
+        boosted_spread = statistics.pstdev(boosted)
+        assert boosted_spread < raw_spread

@@ -1,0 +1,91 @@
+"""Tests for repro.estimators.bounds."""
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+from repro.estimators.base import Estimate
+from repro.estimators.bounds import (
+    JoinSizeBounds,
+    clamp_estimate,
+    join_size_bounds,
+)
+from repro.join import containment_join_size
+
+
+class TestJoinSizeBounds:
+    def test_contains_and_clamp(self):
+        bounds = JoinSizeBounds(2, 10)
+        assert bounds.contains(5)
+        assert not bounds.contains(11)
+        assert bounds.clamp(100.0) == 10.0
+        assert bounds.clamp(1.0) == 2.0
+        assert bounds.clamp(7.0) == 7.0
+
+    def test_no_overlap_ancestors_bounded_by_descendants(self):
+        a = NodeSet([Element("a", 1, 4), Element("a", 6, 9)])
+        d = NodeSet([Element("d", 2, 3), Element("d", 7, 8)])
+        bounds = join_size_bounds(a, d)
+        assert bounds.upper == len(d)  # depth 1 -> each d joins <= 1 a
+
+    def test_nested_ancestors_scale_with_depth(self):
+        a = NodeSet(
+            [Element("a", 1, 10), Element("a", 2, 9), Element("a", 3, 8)]
+        )
+        d = NodeSet([Element("d", 4, 5)])
+        bounds = join_size_bounds(a, d)
+        assert bounds.upper == 3  # min(1 * depth 3, 3 * 1)
+
+    def test_empty(self):
+        assert join_size_bounds(NodeSet([]), NodeSet([])) == JoinSizeBounds(
+            0, 0
+        )
+
+    def test_bound_always_valid_on_datasets(self, xmark_small):
+        for anc, desc in [
+            ("item", "name"),
+            ("parlist", "listitem"),
+            ("desp", "text"),
+        ]:
+            a = xmark_small.node_set(anc)
+            d = xmark_small.node_set(desc)
+            bounds = join_size_bounds(a, d)
+            assert bounds.contains(containment_join_size(a, d)), (anc, desc)
+
+
+class TestClampEstimate:
+    @pytest.fixture()
+    def operands(self):
+        a = NodeSet([Element("a", 1, 4), Element("a", 6, 9)])
+        d = NodeSet([Element("d", 2, 3), Element("d", 7, 8)])
+        return a, d
+
+    def test_overestimate_clamped(self, operands):
+        a, d = operands
+        raw = Estimate(1000.0, "X", details={"k": 1})
+        clamped = clamp_estimate(raw, a, d)
+        assert clamped.value == 2.0
+        assert clamped.details["clamped"] is True
+        assert clamped.details["k"] == 1  # original details preserved
+
+    def test_feasible_estimate_untouched(self, operands):
+        a, d = operands
+        raw = Estimate(1.5, "X")
+        clamped = clamp_estimate(raw, a, d)
+        assert clamped.value == 1.5
+        assert clamped.details["clamped"] is False
+
+    def test_negative_clamped_to_zero(self, operands):
+        a, d = operands
+        clamped = clamp_estimate(Estimate(-3.0, "X"), a, d)
+        assert clamped.value == 0.0
+
+    def test_clamping_never_hurts(self, xmark_small):
+        """|clamped - true| <= |raw - true| for any raw value."""
+        a = xmark_small.node_set("parlist")
+        d = xmark_small.node_set("listitem")
+        true = containment_join_size(a, d)
+        for raw_value in (0.0, true / 2, float(true), true * 50.0):
+            raw = Estimate(raw_value, "X")
+            clamped = clamp_estimate(raw, a, d)
+            assert abs(clamped.value - true) <= abs(raw.value - true) + 1e-9

@@ -1,0 +1,137 @@
+"""Tests for repro.index.bplus: the B+-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.index.bplus import BPlusTree, start_position_index
+
+
+class TestInsertAndGet:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(5) is None
+        assert tree.get(5, "x") == "x"
+        assert 5 not in tree
+
+    def test_insert_and_lookup(self):
+        tree = BPlusTree(order=4)
+        for key in [5, 1, 9, 3, 7]:
+            tree.insert(key, key * 10)
+        assert len(tree) == 5
+        for key in [1, 3, 5, 7, 9]:
+            assert tree.get(key) == key * 10
+        assert tree.get(4) is None
+
+    def test_insert_replaces(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert len(tree) == 1
+        assert tree.get(1) == "b"
+
+    def test_many_inserts_random_order(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(500))
+        np.random.default_rng(0).shuffle(keys)
+        for key in keys:
+            tree.insert(key, -key)
+        assert len(tree) == 500
+        tree.validate()
+        assert [k for k, __ in tree.items()] == list(range(500))
+        assert tree.height > 1
+
+    def test_order_too_small(self):
+        with pytest.raises(ReproError):
+            BPlusTree(order=2)
+
+
+class TestBulkLoad:
+    def test_bulk_load_round_trip(self):
+        items = [(k, str(k)) for k in range(0, 300, 3)]
+        tree = BPlusTree.bulk_load(items, order=8)
+        assert len(tree) == len(items)
+        tree.validate()
+        assert list(tree.items()) == items
+
+    def test_bulk_load_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_bulk_load_single(self):
+        tree = BPlusTree.bulk_load([(7, "x")])
+        assert tree.get(7) == "x"
+        assert tree.height == 1
+
+    def test_bulk_load_unsorted_rejected(self):
+        with pytest.raises(ReproError):
+            BPlusTree.bulk_load([(2, "a"), (1, "b")])
+
+    def test_bulk_load_duplicates_rejected(self):
+        with pytest.raises(ReproError):
+            BPlusTree.bulk_load([(1, "a"), (1, "b")])
+
+    def test_bulk_load_then_insert(self):
+        tree = BPlusTree.bulk_load([(k, k) for k in range(0, 100, 2)], order=4)
+        for key in range(1, 100, 2):
+            tree.insert(key, key)
+        tree.validate()
+        assert len(tree) == 100
+        assert [k for k, __ in tree.items()] == list(range(100))
+
+
+class TestFloorEntry:
+    @pytest.fixture()
+    def tree(self):
+        return BPlusTree.bulk_load([(k, k * 10) for k in [1, 2, 8, 18, 22]])
+
+    def test_exact_hit(self, tree):
+        assert tree.floor_entry(8) == (8, 80)
+
+    def test_between_keys(self, tree):
+        """Figure 4's probe: query 6 -> key 2 (value 2 in the paper)."""
+        assert tree.floor_entry(6) == (2, 20)
+
+    def test_below_minimum(self, tree):
+        assert tree.floor_entry(0) is None
+
+    def test_above_maximum(self, tree):
+        assert tree.floor_entry(100) == (22, 220)
+
+    def test_floor_matches_reference_on_random_data(self):
+        keys = sorted(
+            np.random.default_rng(1).choice(10000, size=400, replace=False)
+        )
+        tree = BPlusTree.bulk_load([(int(k), int(k)) for k in keys], order=6)
+        for query in np.random.default_rng(2).integers(0, 10500, size=200):
+            expected = max((k for k in keys if k <= query), default=None)
+            got = tree.floor_entry(int(query))
+            if expected is None:
+                assert got is None
+            else:
+                assert got == (expected, expected)
+
+
+class TestRange:
+    def test_range_scan(self):
+        tree = BPlusTree.bulk_load([(k, k) for k in range(0, 50, 5)], order=4)
+        assert [k for k, __ in tree.range(12, 31)] == [15, 20, 25, 30]
+
+    def test_range_inclusive_bounds(self):
+        tree = BPlusTree.bulk_load([(k, k) for k in range(10)])
+        assert [k for k, __ in tree.range(3, 6)] == [3, 4, 5, 6]
+
+    def test_range_empty_window(self):
+        tree = BPlusTree.bulk_load([(1, 1), (10, 10)])
+        assert list(tree.range(2, 9)) == []
+
+
+class TestStartPositionIndex:
+    def test_membership_probe(self):
+        index = start_position_index([4, 9, 1])
+        assert 4 in index
+        assert 9 in index
+        assert 2 not in index
+        assert len(index) == 3

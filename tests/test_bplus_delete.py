@@ -1,0 +1,129 @@
+"""Tests for B+-tree deletion (borrow/merge rebalancing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bplus import BPlusTree
+
+
+class TestBasicDeletion:
+    def test_delete_existing(self):
+        tree = BPlusTree(order=4)
+        for key in range(10):
+            tree.insert(key, key * 10)
+        assert tree.delete(5) is True
+        assert len(tree) == 9
+        assert tree.get(5) is None
+        assert 5 not in tree
+        tree.validate()
+
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert tree.delete(2) is False
+        assert len(tree) == 1
+        tree.validate()
+
+    def test_delete_from_empty(self):
+        assert BPlusTree().delete(1) is False
+
+    def test_delete_everything(self):
+        tree = BPlusTree(order=3)
+        for key in range(50):
+            tree.insert(key, key)
+        for key in range(50):
+            assert tree.delete(key) is True
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        tree.validate()
+
+    def test_root_collapses(self):
+        tree = BPlusTree(order=3)
+        for key in range(30):
+            tree.insert(key, key)
+        tall = tree.height
+        for key in range(25):
+            tree.delete(key)
+        tree.validate()
+        assert tree.height < tall
+
+    def test_reuse_after_emptying(self):
+        tree = BPlusTree(order=3)
+        for key in range(20):
+            tree.insert(key, key)
+        for key in range(20):
+            tree.delete(key)
+        tree.insert(7, "fresh")
+        assert tree.get(7) == "fresh"
+        tree.validate()
+
+    def test_leaf_chain_intact_after_merges(self):
+        tree = BPlusTree(order=3)
+        for key in range(100):
+            tree.insert(key, key)
+        for key in range(0, 100, 2):
+            tree.delete(key)
+        tree.validate()
+        assert [k for k, __ in tree.items()] == list(range(1, 100, 2))
+        assert [k for k, __ in tree.range(10, 50)] == list(range(11, 50, 2))
+
+    def test_floor_after_deletions(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 5):
+            tree.insert(key, key)
+        tree.delete(50)
+        assert tree.floor_entry(52) == (45, 45)
+
+    def test_interleaved_inserts_and_deletes(self):
+        rng = np.random.default_rng(3)
+        tree = BPlusTree(order=4)
+        model: dict[int, int] = {}
+        for step in range(2000):
+            key = int(rng.integers(0, 300))
+            if rng.random() < 0.5:
+                tree.insert(key, step)
+                model[key] = step
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+            if step % 250 == 0:
+                tree.validate()
+                assert list(tree.items()) == sorted(model.items())
+        tree.validate()
+        assert list(tree.items()) == sorted(model.items())
+
+    def test_delete_from_bulk_loaded(self):
+        tree = BPlusTree.bulk_load([(k, k) for k in range(200)], order=8)
+        for key in range(0, 200, 3):
+            assert tree.delete(key)
+        tree.validate()
+        assert len(tree) == 200 - len(range(0, 200, 3))
+
+
+class TestDeletionProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=500),
+            min_size=1,
+            max_size=250,
+        ),
+        st.integers(min_value=3, max_value=12),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_against_dict_model(self, operations, order, shuffler):
+        tree = BPlusTree(order=order)
+        model: dict[int, int] = {}
+        for i, key in enumerate(operations):
+            tree.insert(key, i)
+            model[key] = i
+        victims = list(dict.fromkeys(operations))
+        shuffler.shuffle(victims)
+        for key in victims[: len(victims) // 2]:
+            assert tree.delete(key) is True
+            del model[key]
+        tree.validate()
+        assert list(tree.items()) == sorted(model.items())
+        assert len(tree) == len(model)

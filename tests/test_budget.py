@@ -1,0 +1,39 @@
+"""Tests for repro.core.budget: the Section 6 byte-budget conversions."""
+
+import pytest
+
+from repro.core.budget import PAPER_BUDGETS, SpaceBudget, paper_budgets
+from repro.core.errors import ReproError
+
+
+class TestSpaceBudget:
+    @pytest.mark.parametrize(
+        "nbytes,ph,pl,samples",
+        [(200, 25, 10, 25), (400, 50, 20, 50), (800, 100, 40, 100)],
+    )
+    def test_paper_conversions(self, nbytes, ph, pl, samples):
+        """The exact correspondences stated in Section 6.2."""
+        budget = SpaceBudget(nbytes)
+        assert budget.ph_buckets == ph
+        assert budget.pl_buckets == pl
+        assert budget.samples == samples
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError):
+            SpaceBudget(10)
+
+    def test_str(self):
+        assert str(SpaceBudget(200)) == "200B"
+
+    def test_frozen(self):
+        budget = SpaceBudget(200)
+        with pytest.raises(AttributeError):
+            budget.nbytes = 100
+
+    def test_paper_budgets(self):
+        budgets = paper_budgets()
+        assert tuple(b.nbytes for b in budgets) == PAPER_BUDGETS == (
+            200,
+            400,
+            800,
+        )

@@ -1,0 +1,41 @@
+"""Tests for the claims scoreboard (small-scale run)."""
+
+import pytest
+
+from repro.experiments.claims import ClaimResult, render_claims, verify_all
+
+
+@pytest.fixture(scope="module")
+def results():
+    return verify_all(scale=0.1, runs=2, seed=0)
+
+
+class TestClaims:
+    def test_all_pass_at_small_scale(self, results):
+        failed = [r.claim for r in results if not r.passed]
+        assert not failed
+
+    def test_coverage(self, results):
+        sources = {r.source for r in results}
+        assert any("Theorem 1" in s for s in sources)
+        assert any("Theorem 2" in s for s in sources)
+        assert any("Table 2" in s for s in sources)
+        assert any("Table 4" in s for s in sources)
+        assert any("Figure 5" in s for s in sources)
+        assert any("Figure 7" in s for s in sources)
+        assert any("Figure 8" in s for s in sources)
+
+    def test_measured_fields_populated(self, results):
+        for result in results:
+            assert result.measured
+            assert isinstance(result, ClaimResult)
+
+    def test_render(self, results):
+        text = render_claims(results)
+        assert "Reproduction scoreboard" in text
+        assert "PASS" in text
+        assert "FAIL" not in text
+
+    def test_render_shows_failures(self):
+        fake = [ClaimResult("x", "y", False, "z")]
+        assert "FAIL" in render_claims(fake)

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture()
+def run_cli(capsys):
+    def run(*argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out
+
+    return run
+
+
+SCALE = "0.05"
+
+
+class TestCli:
+    def test_table2_single_dataset(self, run_cli):
+        code, out = run_cli("table2", "--dataset", "dblp", "--scale", SCALE)
+        assert code == 0
+        assert "table2_dblp" in out
+        assert "inproceeding" in out
+
+    def test_table2_all_datasets(self, run_cli):
+        __, out = run_cli("table2", "--scale", SCALE)
+        for name in ("xmark", "dblp", "xmach"):
+            assert f"table2_{name}" in out
+
+    def test_table3(self, run_cli):
+        __, out = run_cli("table3", "--dataset", "xmach")
+        assert "host" in out and "Q7" in out
+
+    def test_table4(self, run_cli):
+        __, out = run_cli("table4", "--scale", SCALE)
+        assert "cov (paper)" in out
+        assert "2.0520" in out
+
+    def test_fig3(self, run_cli):
+        __, out = run_cli("fig3")
+        assert "per-period maxima" in out
+        assert "1=99.90" in out
+
+    def test_fig5_single_budget(self, run_cli):
+        __, out = run_cli(
+            "fig5", "--scale", SCALE, "--runs", "1", "--budget", "200"
+        )
+        assert "200B" in out
+        assert "Q11" in out
+
+    def test_fig8(self, run_cli):
+        __, out = run_cli("fig8", "--scale", SCALE, "--runs", "1")
+        assert "fig8a_im_sweep" in out
+        assert "fig8c_im_vs_pm" in out
+
+    def test_out_directory(self, run_cli, tmp_path):
+        out_dir = tmp_path / "reports"
+        code, __ = run_cli(
+            "table4", "--scale", SCALE, "--out", str(out_dir)
+        )
+        assert code == 0
+        assert (out_dir / "table4_cov.txt").exists()
+        assert "cov" in (out_dir / "table4_cov.txt").read_text()
+
+    def test_unknown_experiment_rejected(self, run_cli):
+        with pytest.raises(SystemExit):
+            run_cli("fig99")
+
+    def test_claims_command(self, run_cli):
+        __, out = run_cli("claims", "--scale", SCALE, "--runs", "1")
+        assert "Reproduction scoreboard" in out
+        assert "Theorem 1" in out
+
+    def test_fig7_command(self, run_cli):
+        __, out = run_cli("fig7", "--scale", SCALE)
+        assert "fig7a_ph_sweep" in out
+        assert "fig7c_ph_vs_pl" in out
+
+    def test_xmach_command(self, run_cli):
+        __, out = run_cli(
+            "xmach", "--scale", "0.1", "--runs", "1", "--budget", "200"
+        )
+        assert "xmach" in out

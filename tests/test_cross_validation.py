@@ -1,0 +1,152 @@
+"""Cross-subsystem validation: independent implementations must agree.
+
+The XPath evaluator walks parent/children links; the joins and semijoins
+work purely on region codes; the twig counter composes weighted joins.
+Their answers are computed through disjoint code paths, so agreement is
+strong evidence of correctness for all of them.
+"""
+
+import math
+import statistics
+
+import pytest
+
+from repro.datasets import ALL_WORKLOADS
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.join import (
+    containment_join_size,
+    semijoin_ancestors_size,
+    semijoin_descendants_size,
+)
+from repro.optimizer.twig import twig, twig_match_count, twig_semijoin_count
+from repro.xmltree import evaluate_path
+
+
+class TestXPathVsJoins:
+    @pytest.mark.parametrize("name", ["xmark", "dblp", "xmach"])
+    def test_descendant_counts_match_semijoin(self, name, request):
+        """len(//anc//desc) == semijoin-descendants for every Table 3
+        query (XPath deduplicates matching descendants; so does the
+        semijoin)."""
+        dataset = request.getfixturevalue(f"{name}_small")
+        tree = dataset.tree
+        for query in ALL_WORKLOADS[name]:
+            a, d = query.operands(dataset)
+            via_xpath = len(
+                evaluate_path(tree, f"//{query.ancestor}//{query.descendant}")
+            )
+            assert via_xpath == semijoin_descendants_size(a, d), query
+
+    @pytest.mark.parametrize("name", ["xmark", "dblp"])
+    def test_predicate_counts_match_semijoin_ancestors(self, name, request):
+        """len(//anc[.//desc]) == semijoin-ancestors.  The mini-XPath has
+        no .// predicate syntax, so compose it as two passes."""
+        dataset = request.getfixturevalue(f"{name}_small")
+        tree = dataset.tree
+        for query in ALL_WORKLOADS[name][:3]:
+            a, d = query.operands(dataset)
+            matching_descendants = evaluate_path(
+                tree, f"//{query.ancestor}//{query.descendant}"
+            )
+            # Ancestors with >= 1 matching descendant, via region codes
+            # on the XPath result:
+            via_xpath = semijoin_ancestors_size(a, matching_descendants)
+            assert via_xpath == semijoin_ancestors_size(a, d), query
+
+    def test_two_level_path_vs_twig(self, xmark_small):
+        tree = xmark_small.tree
+        pattern = twig("desp", twig("parlist", "listitem"))
+        assert twig_semijoin_count(
+            xmark_small.node_set, pattern
+        ) == len(evaluate_path(tree, "//desp[parlist]"))
+        # parlists are always direct children of desp in the schema, so
+        # the child-axis predicate equals the descendant-axis semijoin.
+
+
+class TestTwigVsJoins:
+    def test_two_node_twig_equals_join_everywhere(self, xmark_small):
+        for query in ALL_WORKLOADS["xmark"]:
+            a, d = query.operands(xmark_small)
+            pattern = twig(query.ancestor, query.descendant)
+            assert twig_match_count(
+                xmark_small.node_set, pattern
+            ) == containment_join_size(a, d), query
+
+
+class TestVarianceScaling:
+    def test_im_error_shrinks_like_inverse_sqrt_m(self, xmark_small):
+        """Theorem 3's concentration in practice: quadrupling the sample
+        size should roughly halve the error spread.  Needs a query with
+        *varying* subjoin counts (parlist nests), else IM has no variance
+        at all."""
+        a = xmark_small.node_set("parlist")
+        d = xmark_small.node_set("listitem")
+        workspace = xmark_small.tree.workspace()
+
+        def spread(m: int) -> float:
+            values = [
+                IMSamplingEstimator(num_samples=m, seed=s, replace=True)
+                .estimate(a, d, workspace)
+                .value
+                for s in range(120)
+            ]
+            return statistics.pstdev(values)
+
+        small = spread(25)
+        large = spread(100)
+        ratio = small / large
+        # Expected ratio 2.0; allow generous statistical slack.
+        assert 1.4 < ratio < 2.9, ratio
+
+    def test_pm_error_scales_with_workspace(self, xmark_small, dblp_small):
+        """Theorem 4's O(w) additive term: with equal samples and
+        comparable true sizes, the relative spread tracks w/X."""
+        from repro.estimators.pm_sampling import PMSamplingEstimator
+
+        def relative_spread(dataset, anc, desc) -> tuple[float, float]:
+            a = dataset.node_set(anc)
+            d = dataset.node_set(desc)
+            workspace = dataset.tree.workspace()
+            true = containment_join_size(a, d)
+            values = [
+                PMSamplingEstimator(num_samples=60, seed=s)
+                .estimate(a, d, workspace)
+                .value
+                for s in range(80)
+            ]
+            return statistics.pstdev(values) / true, workspace.width / true
+
+        spread_1, factor_1 = relative_spread(xmark_small, "desp", "text")
+        spread_2, factor_2 = relative_spread(
+            xmark_small, "open_auction", "reserve"
+        )
+        # The query with the larger w/X ratio must show the larger
+        # relative spread.
+        if factor_1 < factor_2:
+            assert spread_1 < spread_2
+        else:
+            assert spread_2 < spread_1
+
+    def test_im_zero_variance_on_constant_subjoins(self, xmark_small):
+        """When every descendant has exactly one ancestor, IM is exact
+        with ANY sample size — explaining the 0.00% rows of Figure 5."""
+        a = xmark_small.node_set("bidder")
+        d = xmark_small.node_set("increase")
+        true = containment_join_size(a, d)
+        for m in (1, 5, 50):
+            for seed in range(5):
+                estimate = IMSamplingEstimator(
+                    num_samples=m, seed=seed
+                ).estimate(a, d)
+                assert estimate.value == true
+
+    def test_relative_error_metric_definition(self):
+        """|x - x̂|/x * 100 exactly, including the zero-truth edge."""
+        from repro.estimators.base import Estimate
+
+        assert Estimate(80.0, "X").relative_error(100) == 20.0
+        assert Estimate(130.0, "X").relative_error(100) == pytest.approx(
+            30.0
+        )
+        assert Estimate(0.0, "X").relative_error(0) == 0.0
+        assert math.isinf(Estimate(1.0, "X").relative_error(0))

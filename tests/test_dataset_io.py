@@ -1,0 +1,97 @@
+"""Tests for repro.storage.dataset_io: dataset persistence."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.datasets import generate_dblp, generate_xmark
+from repro.join import containment_join_size
+from repro.storage import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_structure_and_codes_preserved(self, tmp_path):
+        original = generate_dblp(scale=0.02, seed=9)
+        save_dataset(original, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.name == original.name
+        assert loaded.scale == original.scale
+        assert loaded.seed == original.seed
+        assert [
+            (e.tag, e.start, e.end, e.level) for e in loaded.tree.elements
+        ] == [
+            (e.tag, e.start, e.end, e.level)
+            for e in original.tree.elements
+        ]
+
+    def test_word_coded_dataset_round_trips_exactly(self, tmp_path):
+        """Word-granularity codes cannot be rebuilt from structure; the
+        recorded attributes must carry them."""
+        original = generate_dblp(scale=0.02, seed=9, word_content=True)
+        save_dataset(original, tmp_path / "wordy")
+        loaded = load_dataset(tmp_path / "wordy")
+        assert [
+            (e.start, e.end) for e in loaded.tree.elements
+        ] == [(e.start, e.end) for e in original.tree.elements]
+        assert loaded.tree.workspace() == original.tree.workspace()
+
+    def test_join_sizes_survive(self, tmp_path):
+        original = generate_xmark(scale=0.02, seed=4)
+        save_dataset(original, tmp_path / "xm")
+        loaded = load_dataset(tmp_path / "xm")
+        for anc, desc in [("item", "name"), ("desp", "text")]:
+            assert containment_join_size(
+                loaded.node_set(anc), loaded.node_set(desc)
+            ) == containment_join_size(
+                original.node_set(anc), original.node_set(desc)
+            )
+
+    def test_statistics_survive(self, tmp_path):
+        original = generate_dblp(scale=0.02, seed=9)
+        save_dataset(original, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert [
+            (s.predicate, s.count, s.has_overlap)
+            for s in loaded.statistics()
+        ] == [
+            (s.predicate, s.count, s.has_overlap)
+            for s in original.statistics()
+        ]
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ReproError, match="not a dataset directory"):
+            load_dataset(tmp_path / "absent")
+
+    def test_missing_document(self, tmp_path):
+        directory = tmp_path / "partial"
+        directory.mkdir()
+        (directory / "dataset.json").write_text("{}")
+        with pytest.raises(ReproError, match="not a dataset directory"):
+            load_dataset(directory)
+
+    def test_version_check(self, tmp_path):
+        original = generate_dblp(scale=0.01, seed=1)
+        directory = save_dataset(original, tmp_path / "ds")
+        manifest = json.loads((directory / "dataset.json").read_text())
+        manifest["format_version"] = 99
+        (directory / "dataset.json").write_text(json.dumps(manifest))
+        with pytest.raises(ReproError, match="format version"):
+            load_dataset(directory)
+
+    def test_element_count_check(self, tmp_path):
+        original = generate_dblp(scale=0.01, seed=1)
+        directory = save_dataset(original, tmp_path / "ds")
+        manifest = json.loads((directory / "dataset.json").read_text())
+        manifest["elements"] += 1
+        (directory / "dataset.json").write_text(json.dumps(manifest))
+        with pytest.raises(ReproError, match="manifest"):
+            load_dataset(directory)
+
+    def test_save_creates_nested_directories(self, tmp_path):
+        original = generate_dblp(scale=0.01, seed=1)
+        target = tmp_path / "deep" / "nested" / "ds"
+        save_dataset(original, target)
+        assert (target / "document.xml").exists()

@@ -1,0 +1,198 @@
+"""Tests for the dataset generators and workloads (Tables 2 and 3)."""
+
+import pytest
+
+from repro.datasets import (
+    ALL_WORKLOADS,
+    dblp_queries,
+    generate_dblp,
+    generate_xmach,
+    generate_xmark,
+    xmach_queries,
+    xmark_queries,
+)
+from repro.datasets.base import PredicateStats
+from repro.join import containment_join_size
+
+
+class TestGenerationBasics:
+    @pytest.mark.parametrize(
+        "generator", [generate_xmark, generate_dblp, generate_xmach]
+    )
+    def test_deterministic_per_seed(self, generator):
+        a = generator(scale=0.02, seed=5)
+        b = generator(scale=0.02, seed=5)
+        assert [
+            (e.tag, e.start, e.end) for e in a.tree.elements
+        ] == [(e.tag, e.start, e.end) for e in b.tree.elements]
+
+    @pytest.mark.parametrize(
+        "generator", [generate_xmark, generate_dblp, generate_xmach]
+    )
+    def test_different_seeds_differ(self, generator):
+        a = generator(scale=0.02, seed=5)
+        b = generator(scale=0.02, seed=6)
+        assert a.tree.size != b.tree.size or [
+            e.tag for e in a.tree.elements
+        ] != [e.tag for e in b.tree.elements]
+
+    @pytest.mark.parametrize(
+        "generator", [generate_xmark, generate_dblp, generate_xmach]
+    )
+    def test_scale_grows_document(self, generator):
+        small = generator(scale=0.02, seed=1)
+        large = generator(scale=0.08, seed=1)
+        assert large.tree.size > 2 * small.tree.size
+
+    def test_node_set_caching(self, xmark_small):
+        assert xmark_small.node_set("item") is xmark_small.node_set("item")
+
+    def test_repr(self, xmark_small):
+        assert "xmark" in repr(xmark_small)
+
+
+class TestTable2Calibration:
+    """Generated statistics must match Table 2 within tolerance."""
+
+    @pytest.mark.parametrize(
+        "fixture", ["xmark_small", "dblp_small", "xmach_small"]
+    )
+    def test_all_predicates_populated(self, fixture, request):
+        dataset = request.getfixturevalue(fixture)
+        for stats in dataset.statistics():
+            assert stats.count > 0, stats.predicate
+
+    @pytest.mark.parametrize(
+        "fixture,tolerance",
+        [("xmark_small", 0.35), ("dblp_small", 0.6), ("xmach_small", 0.6)],
+    )
+    def test_counts_near_scaled_targets(self, fixture, tolerance, request):
+        """Coarse at small scale; the Table 2 benchmark checks full scale."""
+        dataset = request.getfixturevalue(fixture)
+        for stats in dataset.statistics():
+            target = stats.paper_count * dataset.scale
+            if target < 30:  # too small for a tight ratio test
+                continue
+            assert abs(stats.count - target) / target < tolerance, (
+                stats.predicate
+            )
+
+    def test_xmark_overlap_properties(self, xmark_small):
+        """Table 2(a): only parlist and listitem are 'N/A'."""
+        overlap = {
+            s.predicate: s.has_overlap for s in xmark_small.statistics()
+        }
+        assert overlap["parlist"] is True
+        assert overlap["listitem"] is True
+        for predicate in ("item", "desp", "text", "open_auction", "keyword",
+                          "name", "mailbox", "reserve", "bidder", "increase"):
+            assert overlap[predicate] is False, predicate
+
+    def test_dblp_overlap_properties(self, dblp_small):
+        """Table 2(b): every DBLP predicate is no-overlap."""
+        for stats in dblp_small.statistics():
+            assert stats.has_overlap is False, stats.predicate
+
+    def test_xmach_overlap_properties(self, xmach_small):
+        """Table 2(c): host, path and section are 'N/A'."""
+        overlap = {
+            s.predicate: s.has_overlap for s in xmach_small.statistics()
+        }
+        for predicate in ("host", "path", "section"):
+            assert overlap[predicate] is True, predicate
+        for predicate in ("doc_info", "doc_id", "chapter", "head",
+                          "paragraph", "link"):
+            assert overlap[predicate] is False, predicate
+
+    def test_stats_row_shape(self, dblp_small):
+        stats = dblp_small.statistics()[0]
+        assert isinstance(stats, PredicateStats)
+        assert stats.overlap_label in ("no overlap", "N/A")
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize(
+        "fixture", ["xmark_small", "dblp_small", "xmach_small"]
+    )
+    def test_region_codes_valid(self, fixture, request):
+        """Every generated tree must satisfy the region-code invariants."""
+        dataset = request.getfixturevalue(fixture)
+        tree = dataset.tree
+        codes = set()
+        for element in tree.elements:
+            assert element.start < element.end
+            assert element.start not in codes
+            assert element.end not in codes
+            codes.add(element.start)
+            codes.add(element.end)
+
+    def test_xmark_every_name_in_item_or_person_or_category(
+        self, xmark_small
+    ):
+        items = xmark_small.node_set("item")
+        names = xmark_small.node_set("name")
+        inside_items = containment_join_size(items, names)
+        assert inside_items == len(items)  # one name per item
+
+    def test_dblp_every_sup_inside_a_title(self, dblp_small):
+        titles = dblp_small.node_set("title")
+        sups = dblp_small.node_set("sup")
+        assert containment_join_size(titles, sups) == len(sups)
+
+    def test_xmach_heads_count_chapters_plus_sections(self, xmach_small):
+        chapters = len(xmach_small.node_set("chapter"))
+        sections = len(xmach_small.node_set("section"))
+        heads = len(xmach_small.node_set("head"))
+        assert heads == chapters + sections
+
+    def test_xmark_increase_per_bidder(self, xmark_small):
+        bidders = xmark_small.node_set("bidder")
+        increases = xmark_small.node_set("increase")
+        assert len(bidders) == len(increases)
+        assert containment_join_size(bidders, increases) == len(increases)
+
+
+class TestWorkloads:
+    def test_query_counts_match_table3(self):
+        assert len(xmark_queries()) == 11
+        assert len(dblp_queries()) == 6
+        assert len(xmach_queries()) == 7
+
+    def test_all_workloads_keys(self):
+        assert set(ALL_WORKLOADS) == {"xmark", "dblp", "xmach"}
+
+    def test_query_ids_sequential(self):
+        assert [q.id for q in dblp_queries()] == [
+            f"Q{i}" for i in range(1, 7)
+        ]
+
+    def test_specific_pairs(self):
+        assert (xmark_queries()[2].ancestor, xmark_queries()[2].descendant) == (
+            "text",
+            "keyword",
+        )
+        assert (dblp_queries()[5].ancestor, dblp_queries()[5].descendant) == (
+            "cite",
+            "label",
+        )
+        assert (xmach_queries()[0].ancestor, xmach_queries()[0].descendant) == (
+            "host",
+            "path",
+        )
+
+    def test_operands_resolution(self, xmark_small):
+        query = xmark_queries()[0]
+        a, d = query.operands(xmark_small)
+        assert a.name == "item"
+        assert d.name == "name"
+
+    def test_str(self):
+        assert str(xmark_queries()[0]) == "Q1: item // name"
+
+    @pytest.mark.parametrize("name", ["xmark", "dblp", "xmach"])
+    def test_every_query_nonempty_on_fixtures(self, name, request):
+        dataset = request.getfixturevalue(f"{name}_small")
+        for query in ALL_WORKLOADS[name]:
+            a, d = query.operands(dataset)
+            assert len(a) > 0, query
+            assert len(d) > 0, query

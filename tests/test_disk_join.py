@@ -1,0 +1,78 @@
+"""Tests for repro.storage.disk_join: the streaming disk-resident join."""
+
+import pytest
+
+from repro.core.nodeset import NodeSet
+from repro.join import containment_join_size
+from repro.storage import (
+    DiskNodeSet,
+    stack_tree_join_disk,
+    write_node_set,
+)
+from repro.storage.element_file import ENDS_PER_PAGE, RECORDS_PER_PAGE
+
+
+@pytest.fixture(scope="module")
+def stored(tmp_path_factory):
+    from repro.datasets import generate_xmark
+
+    dataset = generate_xmark(scale=0.05, seed=101)
+    base = tmp_path_factory.mktemp("disk_join")
+    pairs = {}
+    for tag in ("desp", "text", "parlist", "listitem", "reserve"):
+        node_set = dataset.node_set(tag)
+        write_node_set(base / f"{tag}.db", node_set)
+        pairs[tag] = node_set
+    return base, pairs
+
+
+class TestDiskJoin:
+    @pytest.mark.parametrize(
+        "anc,desc",
+        [("desp", "text"), ("parlist", "listitem"), ("desp", "reserve")],
+    )
+    def test_counts_match_memory(self, stored, anc, desc):
+        base, sets = stored
+        expected = containment_join_size(sets[anc], sets[desc])
+        with DiskNodeSet(base / f"{anc}.db") as a:
+            with DiskNodeSet(base / f"{desc}.db") as d:
+                result = stack_tree_join_disk(a, d)
+        assert result.pair_count == expected
+
+    def test_sequential_io(self, stored):
+        """Each data page is read at most once with any buffer >= 2."""
+        base, sets = stored
+        with DiskNodeSet(base / "desp.db", buffer_capacity=2) as a:
+            with DiskNodeSet(base / "text.db", buffer_capacity=2) as d:
+                result = stack_tree_join_disk(a, d)
+        a_pages = -(-len(sets["desp"]) // RECORDS_PER_PAGE)
+        d_pages = -(-len(sets["text"]) // RECORDS_PER_PAGE)
+        assert result.ancestor_page_misses <= a_pages + 1
+        assert result.descendant_page_misses <= d_pages + 1
+        assert result.total_page_misses == (
+            result.ancestor_page_misses + result.descendant_page_misses
+        )
+
+    def test_empty_operands(self, stored, tmp_path):
+        base, __ = stored
+        write_node_set(tmp_path / "empty.db", NodeSet([]))
+        with DiskNodeSet(tmp_path / "empty.db") as empty:
+            with DiskNodeSet(base / "text.db") as d:
+                assert stack_tree_join_disk(empty, d).pair_count == 0
+            with DiskNodeSet(base / "desp.db") as a:
+                assert stack_tree_join_disk(a, empty).pair_count == 0
+
+    def test_join_cheaper_than_probing_everything(self, stored):
+        """The merge touches each page once; probing per descendant costs
+        O(log) pages per probe and loses on full scans."""
+        from repro.storage import im_da_est_disk
+
+        base, sets = stored
+        with DiskNodeSet(base / "desp.db", buffer_capacity=4) as a:
+            with DiskNodeSet(base / "text.db", buffer_capacity=4) as d:
+                merge = stack_tree_join_disk(a, d)
+                a.pool.stats.reset()
+                probe = im_da_est_disk(
+                    a, d, num_samples=len(sets["text"]), seed=0
+                )
+        assert merge.ancestor_page_misses < probe.page_misses

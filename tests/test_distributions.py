@@ -1,0 +1,131 @@
+"""Tests for repro.datasets.distributions."""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.datasets.distributions import (
+    Bernoulli,
+    Choice,
+    Fixed,
+    Poisson,
+    UniformInt,
+    scaled_count,
+)
+
+
+def sample_many(dist, n=4000, seed=0):
+    rng = np.random.default_rng(seed)
+    return [dist.sample(rng) for __ in range(n)]
+
+
+class TestFixed:
+    def test_always_value(self):
+        assert set(sample_many(Fixed(3), 50)) == {3}
+        assert Fixed(3).mean == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            Fixed(-1)
+
+
+class TestBernoulli:
+    def test_support(self):
+        assert set(sample_many(Bernoulli(0.5))) == {0, 1}
+
+    def test_mean(self):
+        assert statistics.fmean(sample_many(Bernoulli(0.3))) == pytest.approx(
+            0.3, abs=0.03
+        )
+        assert Bernoulli(0.3).mean == 0.3
+
+    def test_degenerate(self):
+        assert set(sample_many(Bernoulli(0.0), 100)) == {0}
+        assert set(sample_many(Bernoulli(1.0), 100)) == {1}
+
+    def test_invalid_probability(self):
+        with pytest.raises(ReproError):
+            Bernoulli(1.5)
+        with pytest.raises(ReproError):
+            Bernoulli(-0.1)
+
+
+class TestUniformInt:
+    def test_support(self):
+        values = set(sample_many(UniformInt(2, 5)))
+        assert values == {2, 3, 4, 5}
+
+    def test_mean(self):
+        assert UniformInt(2, 5).mean == 3.5
+        assert statistics.fmean(
+            sample_many(UniformInt(2, 5))
+        ) == pytest.approx(3.5, abs=0.1)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ReproError):
+            UniformInt(5, 2)
+        with pytest.raises(ReproError):
+            UniformInt(-1, 2)
+
+
+class TestPoisson:
+    def test_mean(self):
+        assert statistics.fmean(sample_many(Poisson(4.9))) == pytest.approx(
+            4.9, rel=0.05
+        )
+        assert Poisson(4.9).mean == 4.9
+
+    def test_non_negative(self):
+        assert all(v >= 0 for v in sample_many(Poisson(0.3)))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ReproError):
+            Poisson(-1.0)
+
+
+class TestChoice:
+    def test_support(self):
+        dist = Choice((1, 3), (0.5, 0.5))
+        assert set(sample_many(dist)) == {1, 3}
+
+    def test_mean_formula(self):
+        dist = Choice((0, 1, 2), (0.4, 0.535, 0.065))
+        assert dist.mean == pytest.approx(0.665)
+        assert statistics.fmean(sample_many(dist)) == pytest.approx(
+            dist.mean, abs=0.03
+        )
+
+    def test_unnormalized_weights(self):
+        dist = Choice((1, 2), (2.0, 2.0))
+        assert dist.mean == pytest.approx(1.5)
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            Choice((1, 2), (0.5,))
+        with pytest.raises(ReproError):
+            Choice((), ())
+        with pytest.raises(ReproError):
+            Choice((1,), (-1.0,))
+        with pytest.raises(ReproError):
+            Choice((1,), (0.0,))
+
+
+class TestScaledCount:
+    def test_scaling(self):
+        assert scaled_count(100, 1.0) == 100
+        assert scaled_count(100, 0.5) == 50
+        assert scaled_count(100, 2.0) == 200
+
+    def test_never_below_one(self):
+        assert scaled_count(5, 0.001) == 1
+
+    def test_rounding(self):
+        assert scaled_count(10, 0.25) == 2  # round(2.5) banker's -> 2
+
+    def test_invalid_scale(self):
+        with pytest.raises(ReproError):
+            scaled_count(10, 0.0)
+        with pytest.raises(ReproError):
+            scaled_count(10, -1.0)

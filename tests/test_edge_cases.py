@@ -1,0 +1,159 @@
+"""Edge-case battery across modules: extremes, degenerate inputs, limits."""
+
+import pytest
+
+from repro.core.budget import SpaceBudget
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators import make_estimator
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.estimators.ph_histogram import PHHistogramEstimator
+from repro.estimators.pl_histogram import PLHistogramEstimator
+from repro.join import containment_join_size
+from repro.xmltree import parse_xml, to_xml
+from repro.xmltree.tree import DataTree, TreeBuilder
+
+
+class TestExtremePositions:
+    def test_huge_codes(self):
+        base = 2**40
+        a = NodeSet([Element("a", base + 1, base + 100)])
+        d = NodeSet([Element("d", base + 10, base + 11)])
+        assert containment_join_size(a, d) == 1
+        assert a.stab_count(base + 50) == 1
+
+    def test_minimal_workspace(self):
+        workspace = Workspace(5, 5)
+        assert workspace.width == 1
+        buckets = workspace.buckets(1)
+        assert buckets[0].width == pytest.approx(1.0)
+        assert workspace.bucket_of(5, 1) == 0
+
+    def test_more_buckets_than_positions(self):
+        workspace = Workspace(1, 4)
+        a = NodeSet([Element("a", 1, 4)])
+        d = NodeSet([Element("d", 2, 3)])
+        estimate = PLHistogramEstimator(num_buckets=50).estimate(
+            a, d, workspace
+        )
+        assert estimate.value >= 0.0
+
+    def test_single_cell_ph(self):
+        a = NodeSet([Element("a", 1, 10)])
+        d = NodeSet([Element("d", 3, 4)])
+        estimate = PHHistogramEstimator(
+            num_cells=1, overlap_known=False
+        ).estimate(a, d, Workspace(1, 10))
+        assert estimate.value >= 0.0
+
+
+class TestDegenerateOperands:
+    def test_single_descendant_sampling(self):
+        a = NodeSet([Element("a", 1, 10)])
+        d = NodeSet([Element("d", 4, 5)])
+        estimator = IMSamplingEstimator(num_samples=100, seed=0)
+        assert estimator.estimate(a, d).value == 1.0
+
+    def test_identical_operand_sets(self):
+        """Self-join of a recursive tag: a // a."""
+        tree = parse_xml("<a><a><a/></a></a>")
+        a = tree.node_set("a")
+        # outer contains middle+inner, middle contains inner: 3 pairs.
+        assert containment_join_size(a, a) == 3
+
+    def test_every_registry_estimator_with_minimal_config(
+        self, figure1_tree
+    ):
+        """Every estimator runs at its smallest sensible configuration."""
+        a, d = figure1_tree
+        workspace = Workspace(1, 22)
+        minimal = {
+            "PL": {"num_buckets": 1},
+            "PH": {"num_cells": 1},
+            "IM": {"num_samples": 1, "seed": 0},
+            "PM": {"num_samples": 1, "seed": 0},
+            "COV": {"num_buckets": 1},
+            "CROSS": {"num_samples": 1, "seed": 0},
+            "SYS": {"num_samples": 1, "seed": 0},
+            "BIFOCAL": {"num_samples": 1, "seed": 0},
+            "SKETCH": {"num_counters": 1, "depth": 1, "seed": 0},
+            "WAVELET": {"num_coefficients": 1},
+            "SEMI-D": {"num_samples": 1, "seed": 0},
+            "SEMI-A": {"num_samples": 1, "seed": 0},
+            "2SAMPLE": {"num_samples": 1, "seed": 0},
+            "HYBRID": {"num_buckets": 1, "num_samples": 1, "seed": 0},
+        }
+        for name, kwargs in minimal.items():
+            estimate = make_estimator(name, **kwargs).estimate(
+                a, d, workspace
+            )
+            assert estimate.value >= 0.0, name
+
+    def test_budget_smaller_than_one_pl_bucket(self):
+        with pytest.raises(Exception):
+            SpaceBudget(4)
+
+
+class TestDeepDocuments:
+    def test_deep_chain_round_trip(self):
+        depth = 400
+        builder = TreeBuilder()
+        for __ in range(depth):
+            builder.open("deep")
+        for __ in range(depth):
+            builder.close()
+        tree = builder.finish()
+        assert tree.height == depth
+        reparsed = parse_xml(to_xml(tree, indent=0))
+        assert reparsed.height == depth
+        assert reparsed.size == depth
+
+    def test_deep_chain_joins(self):
+        depth = 300
+        spec = ("a", [])
+        for __ in range(depth - 1):
+            spec = ("a", [spec])
+        tree = DataTree.from_nested(spec)
+        a = tree.node_set("a")
+        assert containment_join_size(a, a) == depth * (depth - 1) // 2
+        assert a.max_nesting_depth == depth
+
+    def test_wide_document(self):
+        builder = TreeBuilder()
+        with builder.element("root"):
+            for __ in range(5000):
+                builder.leaf("leaf")
+        tree = builder.finish()
+        assert tree.size == 5001
+        leaves = tree.node_set("leaf")
+        root = tree.node_set("root")
+        assert containment_join_size(root, leaves) == 5000
+        estimate = IMSamplingEstimator(num_samples=50, seed=1).estimate(
+            root, leaves, tree.workspace()
+        )
+        assert estimate.value == 5000.0  # every leaf has exactly 1 ancestor
+
+
+class TestWorkspaceMismatch:
+    def test_operands_outside_declared_workspace(self):
+        """A tight explicit workspace simply truncates histogram views;
+        estimators must not crash."""
+        a = NodeSet([Element("a", 1, 100)])
+        d = NodeSet([Element("d", 50, 51)])
+        narrow = Workspace(40, 60)
+        estimate = PLHistogramEstimator(num_buckets=4).estimate(
+            a, d, narrow
+        )
+        assert estimate.value >= 0.0
+
+    def test_workspace_much_larger_than_data(self):
+        a = NodeSet([Element("a", 500, 510)])
+        d = NodeSet([Element("d", 505, 506)])
+        wide = Workspace(1, 10**6)
+        estimate = PLHistogramEstimator(num_buckets=10).estimate(a, d, wide)
+        assert estimate.value >= 0.0
+        sampled = IMSamplingEstimator(num_samples=10, seed=0).estimate(
+            a, d, wide
+        )
+        assert sampled.value == 1.0

@@ -1,0 +1,107 @@
+"""Tests for repro.core.element: Region and Element."""
+
+import pytest
+
+from repro.core.element import Element, Region
+from repro.core.errors import InvalidRegionCodeError
+
+
+class TestRegion:
+    def test_length(self):
+        assert Region(2, 7).length == 5
+
+    def test_contains_proper(self):
+        assert Region(1, 10).contains(Region(2, 9))
+        assert Region(1, 10).contains(Region(2, 3))
+
+    def test_contains_rejects_equal(self):
+        assert not Region(1, 10).contains(Region(1, 10))
+
+    def test_contains_rejects_shared_boundary(self):
+        assert not Region(1, 10).contains(Region(1, 5))
+        assert not Region(1, 10).contains(Region(5, 10))
+
+    def test_contains_rejects_disjoint(self):
+        assert not Region(1, 4).contains(Region(5, 8))
+
+    def test_contains_point_inclusive(self):
+        region = Region(3, 6)
+        assert region.contains_point(3)
+        assert region.contains_point(6)
+        assert region.contains_point(4.5)
+        assert not region.contains_point(2)
+        assert not region.contains_point(7)
+
+    def test_disjoint(self):
+        assert Region(1, 3).disjoint(Region(4, 6))
+        assert Region(4, 6).disjoint(Region(1, 3))
+        assert not Region(1, 5).disjoint(Region(4, 6))
+
+    def test_partial_overlap_detected(self):
+        assert Region(1, 5).partially_overlaps(Region(3, 8))
+        assert Region(3, 8).partially_overlaps(Region(1, 5))
+
+    def test_partial_overlap_excludes_nesting(self):
+        assert not Region(1, 10).partially_overlaps(Region(3, 5))
+        assert not Region(3, 5).partially_overlaps(Region(1, 10))
+
+    def test_partial_overlap_excludes_disjoint_and_equal(self):
+        assert not Region(1, 3).partially_overlaps(Region(5, 8))
+        assert not Region(1, 3).partially_overlaps(Region(1, 3))
+
+    def test_validate_ok(self):
+        assert Region(1, 2).validate() == Region(1, 2)
+
+    @pytest.mark.parametrize("start,end", [(5, 5), (7, 2)])
+    def test_validate_rejects_bad_codes(self, start, end):
+        with pytest.raises(InvalidRegionCodeError):
+            Region(start, end).validate()
+
+
+class TestElement:
+    def test_construction_and_fields(self):
+        element = Element("item", 2, 9, level=3)
+        assert element.tag == "item"
+        assert element.region == Region(2, 9)
+        assert element.length == 7
+        assert element.level == 3
+
+    def test_invalid_region_rejected_at_construction(self):
+        with pytest.raises(InvalidRegionCodeError):
+            Element("bad", 5, 5)
+        with pytest.raises(InvalidRegionCodeError):
+            Element("bad", 9, 2)
+
+    def test_is_ancestor_of(self):
+        outer = Element("a", 1, 10)
+        inner = Element("b", 3, 4)
+        assert outer.is_ancestor_of(inner)
+        assert not inner.is_ancestor_of(outer)
+        assert not outer.is_ancestor_of(outer)
+
+    def test_is_ancestor_of_sibling(self):
+        left = Element("a", 1, 4)
+        right = Element("b", 5, 8)
+        assert not left.is_ancestor_of(right)
+        assert not right.is_ancestor_of(left)
+
+    def test_contains_point(self):
+        element = Element("a", 2, 7)
+        assert element.contains_point(2)
+        assert element.contains_point(7)
+        assert not element.contains_point(8)
+
+    def test_interval_and_point_views(self):
+        element = Element("a", 2, 7)
+        assert element.as_interval() == (2, 7)
+        assert element.as_point() == 2
+
+    def test_frozen(self):
+        element = Element("a", 1, 2)
+        with pytest.raises(AttributeError):
+            element.start = 5
+
+    def test_equality_and_hash(self):
+        assert Element("a", 1, 2) == Element("a", 1, 2)
+        assert Element("a", 1, 2) != Element("b", 1, 2)
+        assert hash(Element("a", 1, 2)) == hash(Element("a", 1, 2))

@@ -1,0 +1,97 @@
+"""Tests for repro.estimators.base and the registry."""
+
+import math
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators import available_estimators, make_estimator
+from repro.estimators.base import Estimate, Estimator
+
+
+class TestEstimate:
+    def test_relative_error(self):
+        estimate = Estimate(90.0, "X")
+        assert estimate.relative_error(100) == pytest.approx(10.0)
+        assert Estimate(110.0, "X").relative_error(100) == pytest.approx(10.0)
+
+    def test_relative_error_zero_truth(self):
+        assert Estimate(0.0, "X").relative_error(0) == 0.0
+        assert Estimate(5.0, "X").relative_error(0) == math.inf
+
+    def test_defaults(self):
+        estimate = Estimate(1.0, "X")
+        assert estimate.mre is None
+        assert estimate.details == {}
+
+
+class TestResolveWorkspace:
+    def test_explicit_passthrough(self):
+        workspace = Workspace(1, 9)
+        a = NodeSet([Element("a", 1, 2)])
+        assert Estimator.resolve_workspace(a, a, workspace) == workspace
+
+    def test_spans_both_operands(self):
+        a = NodeSet([Element("a", 5, 9)])
+        d = NodeSet([Element("d", 1, 3)])
+        assert Estimator.resolve_workspace(a, d, None) == Workspace(1, 9)
+
+    def test_single_nonempty_operand(self):
+        a = NodeSet([Element("a", 5, 9)])
+        assert Estimator.resolve_workspace(a, NodeSet([]), None) == (
+            Workspace(5, 9)
+        )
+
+    def test_both_empty(self):
+        workspace = Estimator.resolve_workspace(NodeSet([]), NodeSet([]), None)
+        assert workspace.width >= 1
+
+    def test_invalid_explicit_workspace_rejected(self):
+        a = NodeSet([Element("a", 1, 2)])
+        with pytest.raises(Exception):
+            Estimator.resolve_workspace(a, a, Workspace(5, 4))
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_estimators()
+        assert {
+            "PL", "PH", "IM", "PM", "COV", "CROSS", "SYS", "BIFOCAL",
+            "SKETCH", "WAVELET", "SEMI-D", "SEMI-A", "2SAMPLE",
+        } <= set(names)
+        assert names == sorted(names)
+
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("PL", {"num_buckets": 10}),
+            ("PH", {"num_cells": 25}),
+            ("IM", {"num_samples": 10, "seed": 0}),
+            ("PM", {"num_samples": 10, "seed": 0}),
+            ("COV", {"num_buckets": 10}),
+            ("CROSS", {"num_samples": 10, "seed": 0}),
+            ("SYS", {"num_samples": 10, "seed": 0}),
+            ("BIFOCAL", {"num_samples": 10, "seed": 0}),
+            ("SKETCH", {"num_counters": 10, "depth": 2, "seed": 0}),
+            ("WAVELET", {"num_coefficients": 10}),
+            ("SEMI-D", {"num_samples": 3, "seed": 0}),
+            ("SEMI-A", {"num_samples": 3, "seed": 0}),
+            ("2SAMPLE", {"num_samples": 3, "seed": 0}),
+        ],
+    )
+    def test_construct_each(self, name, kwargs, figure1_tree):
+        a, d = figure1_tree
+        estimator = make_estimator(name, **kwargs)
+        assert estimator.name == name
+        result = estimator.estimate(a, d, Workspace(1, 22))
+        assert result.value >= 0.0
+
+    def test_case_insensitive(self):
+        assert make_estimator("pl", num_buckets=4).name == "PL"
+
+    def test_unknown_name(self):
+        with pytest.raises(EstimationError, match="unknown estimator"):
+            make_estimator("ORACLE9000")

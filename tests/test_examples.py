@@ -1,0 +1,69 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "exact join size" in out
+        assert "PL diagnostics" in out
+
+    def test_accuracy_report_cli(self):
+        out = run_example(
+            "accuracy_report.py",
+            "--dataset", "dblp", "--scale", "0.05", "--runs", "1",
+            "--budget", "200",
+        )
+        assert "relative error" in out
+        assert "Q6" in out
+
+    def test_dataset_explorer(self):
+        out = run_example("dataset_explorer.py")
+        assert "round trip" in out
+        assert "rank oracle" in out
+
+    def test_query_optimizer(self):
+        out = run_example("query_optimizer.py")
+        assert "chosen plan" in out
+        assert "parenthesizations" in out
+
+    def test_catalog_optimizer(self):
+        out = run_example("catalog_optimizer.py")
+        assert "tags catalogued" in out
+        assert "twig predicate" in out
+
+    def test_disk_and_extensions(self):
+        out = run_example("disk_and_extensions.py")
+        assert "page accesses per probe" in out
+        assert "structural bounds" in out
+
+    def test_all_examples_covered(self):
+        """Every example script in the directory has a smoke test here."""
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py",
+            "accuracy_report.py",
+            "dataset_explorer.py",
+            "query_optimizer.py",
+            "catalog_optimizer.py",
+            "disk_and_extensions.py",
+        }
+        assert scripts == tested

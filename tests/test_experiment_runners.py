@@ -1,0 +1,92 @@
+"""Tests for the per-figure experiment runners (small-scale smoke runs)."""
+
+import pytest
+
+from repro.core.budget import SpaceBudget
+from repro.datasets.workloads import xmark_queries
+from repro.experiments.histograms import (
+    run_bucket_sweep,
+    run_histogram_comparison,
+)
+from repro.experiments.overall import run_overall
+from repro.experiments.sampling import run_sample_sweep, run_sampling_comparison
+
+SCALE = 0.05
+
+
+class TestOverallRunner:
+    def test_default_budgets(self):
+        results = run_overall("dblp", scale=SCALE, runs=2, seed=1)
+        assert [r.budget.nbytes for r in results] == [200, 400, 800]
+        for result in results:
+            assert len(result.rows) == 6  # DBLP has Q1..Q6
+
+    def test_render(self):
+        results = run_overall(
+            "dblp", budgets=(SpaceBudget(200),), scale=SCALE, runs=1, seed=1
+        )
+        text = results[0].render()
+        assert "200B" in text
+        assert "Q1" in text and "Q6" in text
+
+    def test_xmach_runs(self):
+        results = run_overall(
+            "xmach", budgets=(SpaceBudget(200),), scale=0.1, runs=1, seed=1
+        )
+        assert len(results[0].rows) == 7
+
+
+class TestHistogramSweep:
+    def test_pl_sweep_series(self):
+        queries = xmark_queries()[:3]
+        sweep = run_bucket_sweep(
+            "xmark", "PL", bucket_counts=(5, 10), scale=SCALE,
+            queries=queries,
+        )
+        assert set(sweep.series) == {"Q1", "Q2", "Q3"}
+        for points in sweep.series.values():
+            assert [x for x, __ in points] == [5.0, 10.0]
+
+    def test_ph_sweep_runs(self):
+        sweep = run_bucket_sweep(
+            "xmark", "PH", bucket_counts=(25,), scale=SCALE,
+            queries=xmark_queries()[:2],
+        )
+        assert "PH" in sweep.render()
+
+    def test_comparison_table(self):
+        text = run_histogram_comparison("xmark", scale=SCALE)
+        assert "PH" in text and "PL" in text and "Q11" in text
+
+
+class TestSamplingSweep:
+    def test_im_sweep(self):
+        sweep = run_sample_sweep(
+            "xmark", "IM", sample_counts=(25, 50), scale=SCALE, runs=2,
+            queries=xmark_queries()[:2],
+        )
+        for points in sweep.series.values():
+            assert len(points) == 2
+            assert all(error >= 0 for __, error in points)
+
+    def test_pm_sweep(self):
+        sweep = run_sample_sweep(
+            "xmark", "PM", sample_counts=(25,), scale=SCALE, runs=2,
+            queries=xmark_queries()[:1],
+        )
+        assert "PM" in sweep.render()
+
+    def test_comparison_table(self):
+        text = run_sampling_comparison(
+            "xmark", samples=50, scale=SCALE, runs=2
+        )
+        assert "IM" in text and "PM" in text
+
+    def test_im_improves_with_samples(self):
+        """Figure 8(a)'s trend, on the aggregate over queries."""
+        sweep = run_sample_sweep(
+            "xmark", "IM", sample_counts=(10, 200), scale=SCALE, runs=5,
+        )
+        small = sum(points[0][1] for points in sweep.series.values())
+        large = sum(points[1][1] for points in sweep.series.values())
+        assert large < small

@@ -1,0 +1,164 @@
+"""Tests for repro.experiments: harness, runners, reports, tables."""
+
+import math
+
+import pytest
+
+from repro.core.budget import SpaceBudget
+from repro.datasets.workloads import Query, dblp_queries
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.experiments.data import get_dataset
+from repro.experiments.harness import (
+    MethodSpec,
+    evaluate,
+    paper_methods,
+    run_method,
+)
+from repro.experiments.report import format_cell, format_series, format_table
+from repro.experiments.tables import (
+    PAPER_TABLE4,
+    average_cov_table,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.join import containment_join_size
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return get_dataset("dblp", scale=SCALE)
+
+
+class TestHarness:
+    def test_paper_methods_labels(self):
+        labels = [m.label for m in paper_methods(SpaceBudget(400))]
+        assert labels == ["PH", "PL", "IM", "PM"]
+
+    def test_evaluate_shapes(self, dblp):
+        queries = dblp_queries()[:2]
+        rows = evaluate(
+            dblp, queries, paper_methods(SpaceBudget(200)), runs=2, seed=0
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row.errors) == {"PH", "PL", "IM", "PM"}
+            assert set(row.estimates) == {"PH", "PL", "IM", "PM"}
+            assert row.true_size >= 0
+
+    def test_true_sizes_match_oracle(self, dblp):
+        queries = dblp_queries()[:1]
+        rows = evaluate(
+            dblp, queries, paper_methods(SpaceBudget(200)), runs=1, seed=0
+        )
+        a, d = queries[0].operands(dblp)
+        assert rows[0].true_size == containment_join_size(a, d)
+
+    def test_deterministic_given_seed(self, dblp):
+        queries = dblp_queries()[:2]
+        methods = paper_methods(SpaceBudget(200))
+        first = evaluate(dblp, queries, methods, runs=3, seed=9)
+        second = evaluate(dblp, queries, methods, runs=3, seed=9)
+        for row_a, row_b in zip(first, second):
+            assert row_a.errors == row_b.errors
+
+    def test_deterministic_methods_run_once(self, dblp):
+        calls = []
+
+        def factory(seed):
+            calls.append(seed)
+            from repro.estimators.pl_histogram import PLHistogramEstimator
+
+            return PLHistogramEstimator(num_buckets=5)
+
+        spec = MethodSpec("X", factory, stochastic=False)
+        evaluate(dblp, dblp_queries()[:1], [spec], runs=7, seed=0)
+        assert len(calls) == 1
+
+    def test_error_of_mean_below_mean_error_for_unbiased(self, dblp):
+        """Averaging estimates before the error can only look better."""
+        a, d = dblp_queries()[0].operands(dblp)
+        workspace = dblp.tree.workspace()
+        true = containment_join_size(a, d)
+        spec = MethodSpec(
+            "IM", lambda seed: IMSamplingEstimator(num_samples=10, seed=seed)
+        )
+        mean_error, __ = run_method(
+            spec, a, d, workspace, true, runs=30, seed=4,
+            aggregation="mean_error",
+        )
+        error_of_mean, __ = run_method(
+            spec, a, d, workspace, true, runs=30, seed=4,
+            aggregation="error_of_mean",
+        )
+        assert error_of_mean <= mean_error + 1e-9
+
+    def test_zero_truth_handling(self, dblp):
+        query = Query("QZ", "sup", "inproceeding")  # nothing under sup
+        rows = evaluate(
+            dblp, [query], paper_methods(SpaceBudget(200)), runs=1, seed=0
+        )
+        assert rows[0].true_size == 0
+        assert rows[0].errors["IM"] == 0.0  # IM estimates exactly 0
+
+
+class TestReport:
+    def test_format_cell(self):
+        assert format_cell(3) == "3"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(math.inf) == "unbounded"
+        assert format_cell("x") == "x"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_format_series(self):
+        assert format_series("Q1", [(5.0, 1.234), (10.0, 2.0)]) == (
+            "Q1: 5=1.23, 10=2.00"
+        )
+
+
+class TestTables:
+    def test_table2_contains_all_predicates(self):
+        text = render_table2("dblp", scale=SCALE)
+        for predicate in ("inproceeding", "author", "title", "cite", "sup",
+                          "label"):
+            assert predicate in text
+
+    def test_table3_render(self):
+        text = render_table3("xmach")
+        assert "host" in text and "Q7" in text
+
+    def test_table4_values_and_order(self):
+        table = average_cov_table("dblp", num_buckets=20, scale=SCALE)
+        assert [q for q, __ in table] == [f"Q{i}" for i in range(1, 7)]
+        covs = dict(table)
+        # The ordering of Table 4 must be preserved: Q1 largest by far,
+        # Q4-Q6 tiny.
+        assert covs["Q1"] > covs["Q2"] > covs["Q3"] > covs["Q4"]
+        assert covs["Q4"] < 0.2 and covs["Q5"] < 0.05 and covs["Q6"] < 0.05
+
+    def test_table4_render_includes_paper_values(self):
+        text = render_table4(scale=SCALE)
+        assert f"{PAPER_TABLE4['Q1']:.4f}" in text
+
+    def test_get_dataset_cached(self):
+        assert get_dataset("dblp", scale=SCALE) is get_dataset(
+            "dblp", scale=SCALE
+        )
+
+    def test_get_dataset_unknown(self):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError):
+            get_dataset("shakespeare")

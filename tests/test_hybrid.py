@@ -1,0 +1,105 @@
+"""Tests for repro.estimators.hybrid: the Section 6.5 policy."""
+
+import pytest
+
+from repro.core.budget import SpaceBudget
+from repro.core.element import Element
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.estimators.hybrid import HybridEstimator
+from repro.join import containment_join_size
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    from repro.datasets import generate_dblp
+
+    return generate_dblp(scale=0.1, seed=42)
+
+
+class TestConfiguration:
+    def test_budget_form(self):
+        estimator = HybridEstimator(budget=SpaceBudget(400), seed=0)
+        assert estimator.name == "HYBRID"
+
+    def test_explicit_form(self):
+        HybridEstimator(num_buckets=10, num_samples=50, seed=0)
+
+    def test_missing_configuration(self):
+        with pytest.raises(EstimationError):
+            HybridEstimator()
+        with pytest.raises(EstimationError):
+            HybridEstimator(num_buckets=10)  # missing num_samples
+
+    def test_both_forms_rejected(self):
+        with pytest.raises(EstimationError):
+            HybridEstimator(
+                budget=SpaceBudget(400), num_buckets=10, num_samples=10
+            )
+
+    def test_negative_thresholds(self):
+        with pytest.raises(EstimationError):
+            HybridEstimator(budget=SpaceBudget(400), cov_threshold=-1)
+
+
+class TestPolicy:
+    def test_histogram_path_for_large_cov(self, dblp):
+        """DBLP Q1 has cov ~1.9: the histogram answer is kept."""
+        a = dblp.node_set("inproceeding")
+        d = dblp.node_set("author")
+        result = HybridEstimator(budget=SpaceBudget(800), seed=1).estimate(
+            a, d, dblp.tree.workspace()
+        )
+        assert result.details["path"] == "histogram"
+        assert result.mre is not None
+
+    def test_sampling_path_for_small_cov(self, dblp):
+        """DBLP Q6 (cite // label) has cov << 1: falls back to IM."""
+        a = dblp.node_set("cite")
+        d = dblp.node_set("label")
+        true = containment_join_size(a, d)
+        result = HybridEstimator(budget=SpaceBudget(800), seed=1).estimate(
+            a, d, dblp.tree.workspace()
+        )
+        assert result.details["path"] == "sampling"
+        assert result.details["histogram_cov"] < 1.0
+        assert result.relative_error(true) < 20.0
+
+    def test_fallback_beats_plain_histogram_on_risky_queries(self, dblp):
+        from repro.estimators.pl_histogram import PLHistogramEstimator
+
+        a = dblp.node_set("title")
+        d = dblp.node_set("sup")
+        true = containment_join_size(a, d)
+        workspace = dblp.tree.workspace()
+        hybrid = HybridEstimator(budget=SpaceBudget(800), seed=3).estimate(
+            a, d, workspace
+        )
+        plain = PLHistogramEstimator(budget=SpaceBudget(800)).estimate(
+            a, d, workspace
+        )
+        assert hybrid.relative_error(true) < plain.relative_error(true)
+
+    def test_strict_tolerance_always_samples(self, dblp):
+        a = dblp.node_set("inproceeding")
+        d = dblp.node_set("author")
+        result = HybridEstimator(
+            budget=SpaceBudget(800), mre_tolerance=0.0, seed=1
+        ).estimate(a, d, dblp.tree.workspace())
+        assert result.details["path"] == "sampling"
+
+    def test_empty_operands(self):
+        estimator = HybridEstimator(budget=SpaceBudget(400), seed=0)
+        empty = NodeSet([])
+        some = NodeSet([Element("a", 1, 4)])
+        result = estimator.estimate(empty, some)
+        assert result.value == 0.0
+
+    def test_registry(self, figure1_tree):
+        from repro.estimators import make_estimator
+
+        a, d = figure1_tree
+        estimator = make_estimator(
+            "HYBRID", budget=SpaceBudget(200), seed=0
+        )
+        assert estimator.estimate(a, d).value >= 0.0

@@ -1,0 +1,97 @@
+"""Tests for repro.join.index_join: XR-tree and B+-tree assisted joins."""
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+from repro.index.bplus import BPlusTree
+from repro.index.xrtree import XRTree
+from repro.join import (
+    descendant_start_index,
+    nested_loop_join,
+    probe_ancestors_join,
+    probe_descendants_join,
+)
+
+
+def pair_codes(pairs):
+    return sorted((a.start, d.start) for a, d in pairs)
+
+
+class TestProbeAncestorsJoin:
+    def test_matches_reference_on_figure1(self, figure1_tree):
+        a, d = figure1_tree
+        assert pair_codes(probe_ancestors_join(a, d)) == pair_codes(
+            nested_loop_join(a, d)
+        )
+
+    def test_accepts_prebuilt_index(self, figure1_tree):
+        a, d = figure1_tree
+        xrtree = XRTree(a, page_size=2)
+        assert pair_codes(probe_ancestors_join(xrtree, d)) == pair_codes(
+            nested_loop_join(a, d)
+        )
+
+    def test_self_join_excludes_identity(self):
+        a = NodeSet([Element("a", 1, 10), Element("a", 2, 9)])
+        pairs = probe_ancestors_join(a, a)
+        assert pair_codes(pairs) == [(1, 2)]
+
+    def test_empty(self, figure1_tree):
+        a, __ = figure1_tree
+        assert probe_ancestors_join(a, NodeSet([])) == []
+        assert probe_ancestors_join(NodeSet([]), a) == []
+
+    def test_matches_on_dataset(self, xmark_small):
+        a = xmark_small.node_set("open_auction")
+        d = xmark_small.node_set("reserve")
+        assert pair_codes(probe_ancestors_join(a, d)) == pair_codes(
+            nested_loop_join(a, d)
+        )
+
+
+class TestProbeDescendantsJoin:
+    def test_matches_reference_on_figure1(self, figure1_tree):
+        a, d = figure1_tree
+        assert pair_codes(probe_descendants_join(a, d)) == pair_codes(
+            nested_loop_join(a, d)
+        )
+
+    def test_accepts_prebuilt_index(self, figure1_tree):
+        a, d = figure1_tree
+        index = descendant_start_index(d)
+        assert isinstance(index, BPlusTree)
+        assert pair_codes(probe_descendants_join(a, index)) == pair_codes(
+            nested_loop_join(a, d)
+        )
+
+    def test_strict_boundaries(self):
+        # d.start must lie strictly inside (a.start, a.end).
+        a = NodeSet([Element("a", 5, 10)])
+        d = NodeSet(
+            [Element("d", 5, 10**5), Element("d", 10, 10**5 + 1)],
+            validate=False,
+        )
+        assert probe_descendants_join(a, d) == []
+
+    def test_empty(self, figure1_tree):
+        a, __ = figure1_tree
+        assert probe_descendants_join(a, NodeSet([])) == []
+        assert probe_descendants_join(NodeSet([]), a) == []
+
+    def test_matches_on_dataset(self, xmark_small):
+        a = xmark_small.node_set("parlist")
+        d = xmark_small.node_set("listitem")
+        assert pair_codes(probe_descendants_join(a, d)) == pair_codes(
+            nested_loop_join(a, d)
+        )
+
+    def test_index_reuse_across_joins(self, xmark_small):
+        """The amortization case: one descendant index, many ancestors."""
+        d = xmark_small.node_set("text")
+        index = descendant_start_index(d)
+        for anc_tag in ("desp", "parlist", "open_auction"):
+            a = xmark_small.node_set(anc_tag)
+            assert pair_codes(
+                probe_descendants_join(a, index)
+            ) == pair_codes(nested_loop_join(a, d)), anc_tag

@@ -1,0 +1,126 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import statistics
+
+import pytest
+
+from repro.core.budget import SpaceBudget
+from repro.datasets import ALL_WORKLOADS
+from repro.estimators import make_estimator
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.join import containment_join_size
+from repro.models import (
+    covering_table,
+    inner_product_size,
+    point_view,
+    stabbing_pairs_count,
+    start_table,
+)
+from repro.optimizer import chain_join_size
+from repro.xmltree import evaluate_path, parse_xml, to_xml
+
+
+class TestTheoremsOnAllDatasets:
+    @pytest.mark.parametrize("name", ["xmark", "dblp", "xmach"])
+    def test_both_models_agree_with_exact_join(self, name, request):
+        dataset = request.getfixturevalue(f"{name}_small")
+        workspace = dataset.tree.workspace()
+        for query in ALL_WORKLOADS[name]:
+            a, d = query.operands(dataset)
+            exact = containment_join_size(a, d)
+            assert stabbing_pairs_count(a, point_view(d)) == exact, query
+            assert inner_product_size(
+                covering_table(a, workspace), start_table(d, workspace)
+            ) == exact, query
+
+
+class TestEndToEndEstimation:
+    def test_im_converges_on_every_xmark_query(self, xmark_small):
+        """With a generous sample budget IM lands within 15% everywhere."""
+        workspace = xmark_small.tree.workspace()
+        for query in ALL_WORKLOADS["xmark"]:
+            a, d = query.operands(xmark_small)
+            true = containment_join_size(a, d)
+            errors = []
+            for seed in range(5):
+                estimator = IMSamplingEstimator(num_samples=400, seed=seed)
+                errors.append(
+                    estimator.estimate(a, d, workspace).relative_error(true)
+                )
+            assert statistics.fmean(errors) < 15.0, query
+
+    def test_every_registry_estimator_on_every_dataset(self, request):
+        """Every estimator runs end-to-end on every dataset's Q1."""
+        specs = [
+            ("PL", {"num_buckets": 20}),
+            ("PH", {"num_cells": 50}),
+            ("IM", {"num_samples": 50, "seed": 0}),
+            ("PM", {"num_samples": 50, "seed": 0}),
+            ("COV", {"num_buckets": 20, "mode": "local"}),
+            ("CROSS", {"num_samples": 50, "seed": 0}),
+            ("SYS", {"num_samples": 50, "seed": 0}),
+            ("BIFOCAL", {"num_samples": 50, "seed": 0}),
+        ]
+        for name in ("xmark", "dblp", "xmach"):
+            dataset = request.getfixturevalue(f"{name}_small")
+            query = ALL_WORKLOADS[name][0]
+            a, d = query.operands(dataset)
+            workspace = dataset.tree.workspace()
+            for est_name, kwargs in specs:
+                estimator = make_estimator(est_name, **kwargs)
+                result = estimator.estimate(a, d, workspace)
+                assert result.value >= 0.0, (name, est_name)
+
+    def test_budgeted_methods_share_byte_cost(self, dblp_small):
+        """All four paper methods accept the same SpaceBudget object."""
+        budget = SpaceBudget(400)
+        a = dblp_small.node_set("inproceeding")
+        d = dblp_small.node_set("author")
+        workspace = dblp_small.tree.workspace()
+        for name in ("PL", "PH", "IM", "PM"):
+            kwargs = {"budget": budget}
+            if name in ("IM", "PM"):
+                kwargs["seed"] = 0
+            result = make_estimator(name, **kwargs).estimate(a, d, workspace)
+            assert result.value > 0.0
+
+
+class TestXPathToEstimationPipeline:
+    def test_path_results_feed_estimators(self, xmark_small):
+        """Node sets from the mini-XPath evaluator work as join operands."""
+        tree = xmark_small.tree
+        ancestors = evaluate_path(tree, "//open_auction")
+        descendants = evaluate_path(tree, "//open_auction//text")
+        assert len(descendants) > 0
+        true = containment_join_size(ancestors, descendants)
+        assert true == len(descendants)  # by construction of the path
+        estimator = IMSamplingEstimator(num_samples=10**9, seed=0)
+        assert estimator.estimate(
+            ancestors, descendants, tree.workspace()
+        ).value == true
+
+    def test_chain_query_matches_xpath_counts(self, xmark_small):
+        """chain_join_size over tags == counting XPath matches with
+        multiplicity along bidder//increase."""
+        tree = xmark_small.tree
+        bidders = tree.node_set("bidder")
+        increases = tree.node_set("increase")
+        assert chain_join_size([bidders, increases]) == len(
+            evaluate_path(tree, "//bidder//increase")
+        )
+
+
+class TestSerializationPipeline:
+    def test_generated_dataset_survives_file_round_trip(
+        self, tmp_path, dblp_small
+    ):
+        path = tmp_path / "dblp.xml"
+        path.write_text(to_xml(dblp_small.tree))
+        reparsed = parse_xml(path.read_text())
+        assert reparsed.size == dblp_small.tree.size
+        a = reparsed.node_set("inproceeding")
+        d = reparsed.node_set("author")
+        assert containment_join_size(a, d) == containment_join_size(
+            dblp_small.node_set("inproceeding"),
+            dblp_small.node_set("author"),
+        )

@@ -1,0 +1,136 @@
+"""Tests for repro.join: the three join algorithms and the size oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+from repro.join import (
+    containment_join_size,
+    merge_join,
+    nested_loop_join,
+    per_descendant_counts,
+    stack_tree_join,
+)
+from repro.join.stack_tree import sorted_pairs
+from repro.xmltree.tree import DataTree
+
+
+def pair_codes(pairs):
+    return sorted((a.start, d.start) for a, d in pairs)
+
+
+class TestFigure1Example:
+    def test_join_size_is_six(self, figure1_tree):
+        """The paper's worked example: |A ⋈ D| = 6."""
+        a, d = figure1_tree
+        assert containment_join_size(a, d) == 6
+
+    def test_all_algorithms_agree(self, figure1_tree):
+        a, d = figure1_tree
+        naive = nested_loop_join(a, d)
+        merge = merge_join(a, d)
+        stack = stack_tree_join(a, d)
+        assert pair_codes(naive) == pair_codes(merge) == pair_codes(stack)
+        assert len(naive) == 6
+
+    def test_expected_pairs(self, figure1_tree):
+        a, d = figure1_tree
+        pairs = pair_codes(nested_loop_join(a, d))
+        # a3=(1,22) joins every d; a1=(2,7) joins d1; a2=(18,21) joins d4.
+        assert pairs == [(1, 3), (1, 9), (1, 11), (1, 19), (2, 3), (18, 19)]
+
+
+class TestEdgeCases:
+    def test_empty_operands(self):
+        empty = NodeSet([])
+        some = NodeSet([Element("a", 1, 4)])
+        assert containment_join_size(empty, some) == 0
+        assert containment_join_size(some, empty) == 0
+        assert nested_loop_join(empty, some) == []
+        assert merge_join(some, empty) == []
+        assert stack_tree_join(empty, empty) == []
+
+    def test_no_matches(self):
+        a = NodeSet([Element("a", 1, 2)])
+        d = NodeSet([Element("d", 5, 6)])
+        assert containment_join_size(a, d) == 0
+
+    def test_deep_nesting_multiplicity(self):
+        a = NodeSet(
+            [Element("a", 1, 10), Element("a", 2, 9), Element("a", 3, 8)]
+        )
+        d = NodeSet([Element("d", 4, 5), Element("d", 6, 7)])
+        assert containment_join_size(a, d) == 6  # every a contains every d
+
+    def test_boundary_not_contained(self):
+        # d.start must be strictly inside (a.start, a.end).
+        a = NodeSet([Element("a", 2, 6)])
+        d = NodeSet([Element("d", 7, 8)])
+        assert containment_join_size(a, d) == 0
+
+    def test_per_descendant_counts(self, figure1_tree):
+        a, d = figure1_tree
+        counts = per_descendant_counts(a, d)
+        assert counts.tolist() == [2, 1, 1, 2]
+
+    def test_per_descendant_counts_empty(self):
+        empty = NodeSet([])
+        d = NodeSet([Element("d", 1, 2)])
+        assert per_descendant_counts(empty, d).tolist() == [0]
+
+    def test_sorted_pairs_normalization(self, figure1_tree):
+        a, d = figure1_tree
+        stack = sorted_pairs(stack_tree_join(a, d))
+        naive = sorted_pairs(nested_loop_join(a, d))
+        assert stack == naive
+
+
+class TestOnGeneratedTrees:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_algorithms_agree_on_random_trees(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = _random_tree(rng, size=120, tags=("a", "d", "x"))
+        a = tree.node_set("a")
+        d = tree.node_set("d")
+        naive = nested_loop_join(a, d)
+        assert pair_codes(naive) == pair_codes(merge_join(a, d))
+        assert pair_codes(naive) == pair_codes(stack_tree_join(a, d))
+        assert containment_join_size(a, d) == len(naive)
+
+    def test_self_tag_join(self):
+        """Joining a recursive tag with itself (parlist // parlist)."""
+        rng = np.random.default_rng(9)
+        tree = _random_tree(rng, size=80, tags=("a",))
+        a = tree.node_set("a")
+        naive = nested_loop_join(a, a)
+        assert containment_join_size(a, a) == len(naive)
+        assert pair_codes(stack_tree_join(a, a)) == pair_codes(naive)
+
+    def test_size_against_dataset(self, xmark_small):
+        items = xmark_small.node_set("item")
+        names = xmark_small.node_set("name")
+        # Every item contains exactly one name, so the join size equals |A|.
+        assert containment_join_size(items, names) == len(items)
+
+
+def _random_tree(rng, size, tags):
+    """Random tree via a random parent array (parents precede children)."""
+    parents = [-1] + [int(rng.integers(0, i)) for i in range(1, size)]
+    labels = [str(rng.choice(list(tags))) for __ in range(size)]
+    children: list[list[int]] = [[] for __ in range(size)]
+    for child, parent in enumerate(parents):
+        if parent >= 0:
+            children[parent].append(child)
+
+    from repro.xmltree.tree import TreeBuilder
+
+    builder = TreeBuilder()
+
+    def emit(node):
+        with builder.element(labels[node]):
+            for child in children[node]:
+                emit(child)
+
+    emit(0)
+    return builder.finish()

@@ -1,0 +1,230 @@
+"""Tests for repro.maintenance: incremental statistics under updates."""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.core.element import Element
+from repro.core.errors import EstimationError, ReproError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.pl_histogram import PLHistogram, PLHistogramEstimator
+from repro.join import containment_join_size
+from repro.maintenance import (
+    DynamicTTree,
+    IncrementalPLHistogram,
+    ReservoirSample,
+)
+from repro.models.position import turning_points
+
+
+@pytest.fixture(scope="module")
+def xmark_sets():
+    from repro.datasets import generate_xmark
+
+    dataset = generate_xmark(scale=0.05, seed=101)
+    return (
+        dataset.node_set("desp"),
+        dataset.node_set("text"),
+        dataset.tree.workspace(),
+    )
+
+
+class TestIncrementalPLHistogram:
+    def test_matches_batch_build_after_inserts(self, xmark_sets):
+        ancestors, __, workspace = xmark_sets
+        incremental = IncrementalPLHistogram(workspace, 12)
+        for element in ancestors:
+            incremental.insert(element)
+        batch = PLHistogram.build_ancestor(ancestors, workspace, 12)
+        live = incremental.ancestor_histogram()
+        for built, maintained in zip(batch.buckets, live.buckets):
+            assert built.n == maintained.n
+            assert built.total_length == pytest.approx(
+                maintained.total_length
+            )
+
+    def test_descendant_counts_match(self, xmark_sets):
+        __, descendants, workspace = xmark_sets
+        incremental = IncrementalPLHistogram(workspace, 12)
+        for element in descendants:
+            incremental.insert(element)
+        batch = PLHistogram.build_descendant(descendants, workspace, 12)
+        live = incremental.descendant_histogram()
+        assert [b.n for b in batch.buckets] == [b.n for b in live.buckets]
+
+    def test_insert_then_remove_is_identity(self, xmark_sets):
+        ancestors, __, workspace = xmark_sets
+        incremental = IncrementalPLHistogram(workspace, 8)
+        subset = ancestors.elements[:50]
+        for element in subset:
+            incremental.insert(element)
+        extra = ancestors.elements[50:80]
+        for element in extra:
+            incremental.insert(element)
+        for element in extra:
+            incremental.remove(element)
+        assert len(incremental) == 50
+        reference = IncrementalPLHistogram(workspace, 8)
+        for element in subset:
+            reference.insert(element)
+        assert [
+            (b.n, b.total_length)
+            for b in incremental.ancestor_histogram().buckets
+        ] == [
+            (b.n, b.total_length)
+            for b in reference.ancestor_histogram().buckets
+        ]
+
+    def test_estimation_through_maintained_histograms(self, xmark_sets):
+        ancestors, descendants, workspace = xmark_sets
+        anc = IncrementalPLHistogram(workspace, 20)
+        desc = IncrementalPLHistogram(workspace, 20)
+        for element in ancestors:
+            anc.insert(element)
+        for element in descendants:
+            desc.insert(element)
+        estimator = PLHistogramEstimator(num_buckets=20)
+        live = estimator.estimate_from_histograms(
+            anc.ancestor_histogram(), desc.descendant_histogram()
+        )
+        batch = estimator.estimate(ancestors, descendants, workspace)
+        assert live.value == pytest.approx(batch.value)
+
+    def test_out_of_workspace_rejected(self):
+        incremental = IncrementalPLHistogram(Workspace(1, 10), 2)
+        with pytest.raises(EstimationError):
+            incremental.insert(Element("a", 5, 20))
+
+    def test_over_removal_rejected(self):
+        incremental = IncrementalPLHistogram(Workspace(1, 10), 2)
+        with pytest.raises(EstimationError):
+            incremental.remove(Element("a", 2, 3))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(EstimationError):
+            IncrementalPLHistogram(Workspace(1, 10), 0)
+        with pytest.raises(EstimationError):
+            IncrementalPLHistogram(Workspace(1, 10), 2, length_mode="nope")
+
+
+class TestDynamicTTree:
+    def test_matches_static_turning_points(self, xmark_sets):
+        ancestors, __, __ws = xmark_sets
+        dynamic = DynamicTTree.from_node_set(ancestors)
+        assert dynamic.turning_points() == turning_points(ancestors)
+
+    def test_counts_match_node_set(self, xmark_sets):
+        ancestors, __, workspace = xmark_sets
+        dynamic = DynamicTTree.from_node_set(ancestors)
+        rng = np.random.default_rng(0)
+        for position in rng.integers(workspace.lo, workspace.hi, size=200):
+            assert dynamic.count(int(position)) == ancestors.stab_count(
+                int(position)
+            )
+
+    def test_insert_then_delete_restores(self, figure1_tree):
+        a, __ = figure1_tree
+        dynamic = DynamicTTree.from_node_set(a)
+        before = dynamic.turning_points()
+        extra = Element("a", 5, 6, 2)
+        dynamic.insert(extra)
+        assert dynamic.count(5) == a.stab_count(5) + 1
+        dynamic.delete(extra)
+        assert dynamic.turning_points() == before
+        assert len(dynamic) == len(a)
+
+    def test_adjacent_intervals_cancel_events(self):
+        dynamic = DynamicTTree()
+        dynamic.insert(Element("a", 1, 4))
+        dynamic.insert(Element("a", 5, 8))
+        # The -1 at 5 from (1,4) cancels the +1 at 5 from (5,8).
+        assert dynamic.turning_points() == [(1, 1), (9, 0)]
+
+    def test_delete_never_inserted_detected(self):
+        """Detection fires when a prefix sum goes negative (best effort:
+        a phantom deletion nested strictly inside live coverage cannot be
+        distinguished from a legal one)."""
+        dynamic = DynamicTTree()
+        dynamic.insert(Element("a", 1, 4))
+        dynamic.delete(Element("a", 2, 8))  # never inserted
+        with pytest.raises(ReproError):
+            dynamic.count(2)
+
+    def test_delete_from_empty(self):
+        with pytest.raises(ReproError):
+            DynamicTTree().delete(Element("a", 1, 2))
+
+    def test_empty_counts_zero(self):
+        assert DynamicTTree().count(100) == 0
+
+    def test_lazy_recompile_amortizes(self, xmark_sets):
+        ancestors, __, __ws = xmark_sets
+        dynamic = DynamicTTree()
+        for element in ancestors.elements[:100]:
+            dynamic.insert(element)
+        dynamic.count(1)  # compiles
+        assert not dynamic._dirty
+        dynamic.insert(ancestors.elements[100])
+        assert dynamic._dirty
+
+
+class TestReservoirSample:
+    def test_fills_to_capacity(self):
+        reservoir = ReservoirSample(capacity=5, seed=0)
+        elements = [Element("d", 2 * i + 1, 2 * i + 2) for i in range(3)]
+        reservoir.extend(elements)
+        assert len(reservoir) == 3
+        assert reservoir.seen == 3
+        assert reservoir.sample == elements
+
+    def test_capacity_respected(self):
+        reservoir = ReservoirSample(capacity=10, seed=1)
+        reservoir.extend(
+            Element("d", 2 * i + 1, 2 * i + 2) for i in range(500)
+        )
+        assert len(reservoir) == 10
+        assert reservoir.seen == 500
+
+    def test_invalid_capacity(self):
+        with pytest.raises(EstimationError):
+            ReservoirSample(capacity=0)
+
+    def test_uniformity(self):
+        """Every stream element must be retained with probability k/n."""
+        stream = [Element("d", 2 * i + 1, 2 * i + 2) for i in range(50)]
+        hits = {element.start: 0 for element in stream}
+        trials = 400
+        for seed in range(trials):
+            reservoir = ReservoirSample(capacity=10, seed=seed)
+            reservoir.extend(stream)
+            for kept in reservoir.sample:
+                hits[kept.start] += 1
+        expected = trials * 10 / 50
+        for count in hits.values():
+            assert abs(count - expected) < expected * 0.5
+
+    def test_im_estimate_unbiased(self, xmark_sets):
+        ancestors, descendants, __ = xmark_sets
+        true = containment_join_size(ancestors, descendants)
+        estimates = []
+        for seed in range(100):
+            reservoir = ReservoirSample(capacity=60, seed=seed)
+            reservoir.extend(descendants)
+            estimates.append(reservoir.im_estimate(ancestors))
+        assert abs(statistics.fmean(estimates) - true) / true < 0.07
+
+    def test_im_estimate_exact_when_capacity_exceeds_stream(
+        self, xmark_sets
+    ):
+        ancestors, descendants, __ = xmark_sets
+        reservoir = ReservoirSample(capacity=10**6, seed=0)
+        reservoir.extend(descendants)
+        assert reservoir.im_estimate(ancestors) == containment_join_size(
+            ancestors, descendants
+        )
+
+    def test_im_estimate_empty(self):
+        reservoir = ReservoirSample(capacity=5, seed=0)
+        assert reservoir.im_estimate(NodeSet([])) == 0.0

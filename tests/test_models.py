@@ -1,0 +1,141 @@
+"""Tests for repro.models: Theorems 1 and 2 and the model tables."""
+
+import numpy as np
+import pytest
+
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.join import containment_join_size
+from repro.models import (
+    covering_table,
+    inner_product_size,
+    interval_view,
+    point_view,
+    stabbing_pairs_count,
+    start_table,
+    turning_points,
+)
+
+
+class TestIntervalModel:
+    def test_views(self, figure1_tree):
+        a, d = figure1_tree
+        assert interval_view(a) == [(1, 22), (2, 7), (18, 21)]
+        assert point_view(d).tolist() == [3, 9, 11, 19]
+
+    def test_theorem1_on_figure1(self, figure1_tree):
+        """Theorem 1: join size == stabbing (interval, point) pairs."""
+        a, d = figure1_tree
+        assert stabbing_pairs_count(a, point_view(d)) == 6
+
+    def test_theorem1_accepts_raw_intervals(self, figure1_tree):
+        a, d = figure1_tree
+        assert stabbing_pairs_count(interval_view(a), point_view(d)) == 6
+
+    def test_theorem1_empty(self):
+        assert stabbing_pairs_count(NodeSet([]), np.array([])) == 0
+        assert stabbing_pairs_count(NodeSet([]), np.array([1, 2])) == 0
+
+    @pytest.mark.parametrize("dataset_fixture", ["xmark_small", "dblp_small"])
+    def test_theorem1_on_datasets(self, dataset_fixture, request):
+        dataset = request.getfixturevalue(dataset_fixture)
+        workload = {
+            "xmark_small": [("desp", "parlist"), ("item", "mailbox")],
+            "dblp_small": [("inproceeding", "author"), ("cite", "label")],
+        }[dataset_fixture]
+        for anc, desc in workload:
+            a = dataset.node_set(anc)
+            d = dataset.node_set(desc)
+            assert stabbing_pairs_count(a, point_view(d)) == (
+                containment_join_size(a, d)
+            )
+
+
+class TestPositionModel:
+    def test_figure1_tables(self, figure1_tree):
+        """The PMA/PMD columns printed in Figure 1(c)."""
+        a, d = figure1_tree
+        workspace = Workspace(1, 22)
+        pma = covering_table(a, workspace)
+        pmd = start_table(d, workspace)
+        expected_pma = [1, 2, 2, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                        2, 2, 2, 2, 1]
+        expected_pmd = [0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0,
+                        0, 1, 0, 0, 0]
+        assert pma.tolist() == expected_pma
+        assert pmd.tolist() == expected_pmd
+
+    def test_theorem2_on_figure1(self, figure1_tree):
+        """Theorem 2: join size == inner product of PMA(A) and PMD(D)."""
+        a, d = figure1_tree
+        workspace = Workspace(1, 22)
+        assert (
+            inner_product_size(
+                covering_table(a, workspace), start_table(d, workspace)
+            )
+            == 6
+        )
+
+    def test_theorem2_on_dataset(self, dblp_small):
+        workspace = dblp_small.tree.workspace()
+        for anc, desc in [("inproceeding", "author"), ("title", "sup")]:
+            a = dblp_small.node_set(anc)
+            d = dblp_small.node_set(desc)
+            assert inner_product_size(
+                covering_table(a, workspace), start_table(d, workspace)
+            ) == containment_join_size(a, d)
+
+    def test_inner_product_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            inner_product_size(np.zeros(3), np.zeros(4))
+
+    def test_covering_table_clips_to_workspace(self):
+        ns = NodeSet([Element("a", 1, 10)])
+        table = covering_table(ns, Workspace(4, 6))
+        assert table.tolist() == [1, 1, 1]
+
+    def test_start_table_is_binary(self, figure1_tree):
+        __, d = figure1_tree
+        table = start_table(d, Workspace(1, 22))
+        assert set(table.tolist()) <= {0, 1}
+        assert table.sum() == len(d)
+
+    def test_start_table_outside_workspace_dropped(self):
+        ns = NodeSet([Element("a", 1, 2), Element("b", 5, 6)])
+        table = start_table(ns, Workspace(4, 8))
+        assert table.tolist() == [0, 1, 0, 0, 0]
+
+
+class TestTurningPoints:
+    def test_figure4_turning_points(self, figure1_tree):
+        """Figure 4's T-tree keys for the example's ancestor set."""
+        a, __ = figure1_tree
+        points = turning_points(a)
+        # The figure lists (1,1),(2,2),(8,1),(18,2),(22,1); after position
+        # 22 everything is closed, adding the final (23, 0).
+        assert points == [(1, 1), (2, 2), (8, 1), (18, 2), (22, 1), (23, 0)]
+
+    def test_turning_points_match_dense_table(self, figure1_tree):
+        a, __ = figure1_tree
+        workspace = Workspace(1, 22)
+        dense = covering_table(a, workspace)
+        points = dict(turning_points(a))
+        value = 0
+        for offset, position in enumerate(workspace.positions()):
+            value = points.get(position, value)
+            assert value == dense[offset]
+
+    def test_turning_points_bounded_by_2n(self, xmark_small):
+        for tag in ("item", "parlist", "text"):
+            node_set = xmark_small.node_set(tag)
+            assert len(turning_points(node_set)) <= 2 * len(node_set)
+
+    def test_turning_points_empty(self):
+        assert turning_points(NodeSet([])) == []
+
+    def test_adjacent_regions_merge_events(self):
+        # (1,4) and (5,8): position 5 opens exactly when 4 closes (+1 at 5,
+        # -1 at 5) so there is no turning point at 5.
+        ns = NodeSet([Element("a", 1, 4), Element("b", 5, 8)])
+        assert turning_points(ns) == [(1, 1), (9, 0)]

@@ -1,0 +1,80 @@
+"""Tests for repro.estimators.mre: Equation 2 and the Figure 3 curve."""
+
+import math
+
+import pytest
+
+from repro.estimators.mre import cov_value, maximum_relative_error, mre_series
+
+
+class TestCovValue:
+    def test_basic(self):
+        # cov = l / w * n_D
+        assert cov_value(5.0, 10, 50.0) == pytest.approx(1.0)
+        assert cov_value(2.0, 30, 60.0) == pytest.approx(1.0)
+
+    def test_zero_descendants(self):
+        assert cov_value(5.0, 0, 50.0) == 0.0
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            cov_value(1.0, 1, 0.0)
+
+
+class TestMaximumRelativeError:
+    def test_zero_cov(self):
+        assert maximum_relative_error(0.0) == 0.0
+
+    def test_unbounded_below_one(self):
+        """The paper: MRE is unbounded when 0 < cov < 1."""
+        assert maximum_relative_error(0.5) == math.inf
+        assert maximum_relative_error(0.999) == math.inf
+
+    def test_integer_cov_is_exact(self):
+        for cov in (1.0, 2.0, 5.0, 10.0):
+            assert maximum_relative_error(cov) == 0.0
+
+    def test_half_values(self):
+        # cov = 1.5: max((2-1.5)/2, (1.5-1)/1) = 0.5
+        assert maximum_relative_error(1.5) == pytest.approx(0.5)
+        # cov = 2.5: max((3-2.5)/3, 0.5/2) = 0.25
+        assert maximum_relative_error(2.5) == pytest.approx(0.25)
+
+    def test_bounded_above_one(self):
+        """0 <= MRE < 1 whenever cov >= 1 (Section 4.2)."""
+        for i in range(100, 1001):
+            cov = i / 100.0
+            assert 0.0 <= maximum_relative_error(cov) < 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            maximum_relative_error(-0.1)
+
+
+class TestFigure3Curve:
+    def test_series_shape(self):
+        points = mre_series(1.0, 10.0, 0.01)
+        assert points[0] == (1.0, 0.0)
+        assert points[-1][0] == pytest.approx(10.0)
+        assert len(points) == 901
+
+    def test_sawtooth_period_maxima_decrease(self):
+        """Figure 3: the maximum MRE within each unit period decreases."""
+        points = mre_series(1.0, 10.0, 0.001)
+        maxima = []
+        for period in range(1, 10):
+            values = [
+                error for cov, error in points if period <= cov < period + 1
+            ]
+            maxima.append(max(values))
+        assert maxima == sorted(maxima, reverse=True)
+        assert maxima[0] < 1.0
+
+    def test_zero_at_integers(self):
+        points = dict(mre_series(1.0, 10.0, 0.5))
+        for integer in range(1, 11):
+            assert points[float(integer)] == 0.0
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError):
+            mre_series(step=0.0)

@@ -1,0 +1,83 @@
+"""Tests for repro.xmltree.parser."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.xmltree.parser import parse_xml
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        tree = parse_xml("<a/>")
+        assert tree.size == 1
+        assert (tree.root.start, tree.root.end) == (1, 2)
+
+    def test_nested_elements(self):
+        tree = parse_xml("<a><b><c/></b><d/></a>")
+        coded = [(e.tag, e.start, e.end) for e in tree.elements]
+        assert coded == [("a", 1, 8), ("b", 2, 5), ("c", 3, 4), ("d", 6, 7)]
+
+    def test_text_does_not_consume_positions(self):
+        with_text = parse_xml("<a>hello <b>world</b> bye</a>")
+        without = parse_xml("<a><b/></a>")
+        assert [(e.start, e.end) for e in with_text.elements] == [
+            (e.start, e.end) for e in without.elements
+        ]
+
+    def test_attributes_ignored(self):
+        tree = parse_xml('<a id="1" name="x"><b class=\'y\'/></a>')
+        assert [e.tag for e in tree.elements] == ["a", "b"]
+
+    def test_comments_pis_cdata_doctype(self):
+        tree = parse_xml(
+            '<?xml version="1.0"?>\n'
+            "<!DOCTYPE a>\n"
+            "<a><!-- comment --><b><![CDATA[<fake/>]]></b></a>"
+        )
+        assert [e.tag for e in tree.elements] == ["a", "b"]
+
+    def test_whitespace_between_elements(self):
+        tree = parse_xml("<a>\n  <b/>\n  <c/>\n</a>\n")
+        assert tree.size == 3
+
+    def test_namespaced_and_dotted_names(self):
+        tree = parse_xml("<ns:a><x.y-z/></ns:a>")
+        assert [e.tag for e in tree.elements] == ["ns:a", "x.y-z"]
+
+    def test_first_position(self):
+        tree = parse_xml("<a/>", first_position=10)
+        assert (tree.root.start, tree.root.end) == (10, 11)
+
+
+class TestErrors:
+    def test_mismatched_closing_tag(self):
+        with pytest.raises(ParseError, match="mismatched"):
+            parse_xml("<a><b></a></b>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(ParseError, match="left open"):
+            parse_xml("<a><b>")
+
+    def test_close_without_open(self):
+        with pytest.raises(ParseError, match="without an open"):
+            parse_xml("<a/></a>")
+
+    def test_multiple_roots(self):
+        with pytest.raises(ParseError, match="more than one root"):
+            parse_xml("<a/><b/>")
+
+    def test_text_outside_root(self):
+        with pytest.raises(ParseError, match="outside the root"):
+            parse_xml("junk <a/>")
+
+    def test_empty_document(self):
+        with pytest.raises(ParseError, match="no elements"):
+            parse_xml("   \n ")
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_xml("<a><=bad></a>")
+
+    def test_invalid_name(self):
+        with pytest.raises(ParseError):
+            parse_xml("<1abc/>")

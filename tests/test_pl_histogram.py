@@ -1,0 +1,183 @@
+"""Tests for repro.estimators.pl_histogram."""
+
+import math
+
+import pytest
+
+from repro.core.budget import SpaceBudget
+from repro.core.element import Element
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.pl_histogram import PLHistogram, PLHistogramEstimator
+from repro.join import containment_join_size
+
+
+def uniform_case(num_ancestors=10, spacing=20, length=10, point_step=2):
+    """Equal-length, evenly spaced ancestors; descendants uniform overall.
+
+    Descendant points are placed on a regular grid across the *whole*
+    workspace (independent of ancestor positions), so both PL assumptions
+    — independence and per-bucket uniformity of D — hold up to
+    discreteness, and Equation 1 must come close to the exact size.  Only
+    the start position of a descendant matters to the join, so descendant
+    regions are synthetic unit intervals (validation is skipped).
+    """
+    ancestors = [
+        Element("a", 1 + i * spacing, 1 + i * spacing + length)
+        for i in range(num_ancestors)
+    ]
+    hi = 1 + (num_ancestors - 1) * spacing + length
+    d_set = NodeSet(
+        [Element("d", p, p + 1) for p in range(1, hi + 1, point_step)],
+        validate=False,
+    )
+    return NodeSet(ancestors, validate=False), d_set
+
+
+class TestConstruction:
+    def test_requires_exactly_one_size_argument(self):
+        with pytest.raises(EstimationError):
+            PLHistogramEstimator()
+        with pytest.raises(EstimationError):
+            PLHistogramEstimator(num_buckets=5, budget=SpaceBudget(200))
+
+    def test_budget_conversion(self):
+        assert PLHistogramEstimator(budget=SpaceBudget(200)).num_buckets == 10
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(EstimationError):
+            PLHistogramEstimator(num_buckets=0)
+
+    def test_invalid_length_mode(self):
+        with pytest.raises(EstimationError):
+            PLHistogramEstimator(num_buckets=5, length_mode="bogus")
+
+
+class TestHistogramBuild:
+    def test_descendant_counts(self, figure1_tree):
+        __, d = figure1_tree
+        hist = PLHistogram.build_descendant(d, Workspace(1, 22), 2)
+        # Starts 3, 9 in [1, 12); 11 in [1,12) too; 19 in [12, 23).
+        assert [b.n for b in hist.buckets] == [3, 1]
+
+    def test_ancestor_counted_in_every_crossed_bucket(self, figure1_tree):
+        a, __ = figure1_tree
+        hist = PLHistogram.build_ancestor(a, Workspace(1, 22), 2)
+        # a3=(1,22) crosses both buckets; a1=(2,7) first; a2=(18,21) second.
+        assert [b.n for b in hist.buckets] == [2, 2]
+
+    def test_clipped_lengths(self):
+        a = NodeSet([Element("a", 1, 20)])
+        hist = PLHistogram.build_ancestor(a, Workspace(1, 20), 2, "clipped")
+        # Bucket width 10; the interval contributes its in-bucket portion.
+        total = sum(b.total_length for b in hist.buckets)
+        assert total == pytest.approx(19.0)
+
+    def test_full_lengths(self):
+        a = NodeSet([Element("a", 1, 20)])
+        hist = PLHistogram.build_ancestor(a, Workspace(1, 20), 2, "full")
+        assert [b.total_length for b in hist.buckets] == [19.0, 19.0]
+
+    def test_average_length_empty_bucket(self):
+        a = NodeSet([Element("a", 1, 2)])
+        hist = PLHistogram.build_ancestor(a, Workspace(1, 100), 4)
+        assert hist.buckets[-1].n == 0
+        assert hist.buckets[-1].average_length == 0.0
+
+
+class TestEstimation:
+    def test_single_bucket_formula(self):
+        """With one bucket the estimate is l̄/w · n(A) · n(D) exactly."""
+        a = NodeSet([Element("a", 1, 11), Element("a", 21, 41)])
+        d = NodeSet(
+            [Element("d", 5, 10**6), Element("d", 25, 10**6 + 5)],
+            validate=False,
+        )
+        workspace = Workspace(1, 50)
+        estimator = PLHistogramEstimator(num_buckets=1)
+        result = estimator.estimate(a, d, workspace)
+        expected = (10 + 20) / 2 / 50 * 2 * 2
+        assert result.value == pytest.approx(expected)
+
+    def test_exact_under_pl_assumptions(self):
+        a, d = uniform_case()
+        workspace = Workspace.spanning([a.workspace(), d.workspace()])
+        true = containment_join_size(a, d)
+        estimate = PLHistogramEstimator(num_buckets=1).estimate(
+            a, d, workspace
+        )
+        assert estimate.relative_error(true) < 25.0
+
+    def test_more_buckets_do_not_break_uniform_case(self):
+        a, d = uniform_case()
+        workspace = Workspace.spanning([a.workspace(), d.workspace()])
+        true = containment_join_size(a, d)
+        for buckets in (1, 2, 5, 10):
+            estimate = PLHistogramEstimator(num_buckets=buckets).estimate(
+                a, d, workspace
+            )
+            assert estimate.relative_error(true) < 40.0
+
+    def test_empty_operands(self):
+        empty = NodeSet([])
+        some = NodeSet([Element("a", 1, 4)])
+        estimator = PLHistogramEstimator(num_buckets=4)
+        assert estimator.estimate(empty, some).value == 0.0
+        assert estimator.estimate(some, empty).value == 0.0
+
+    def test_mismatched_histograms_rejected(self, figure1_tree):
+        a, d = figure1_tree
+        workspace = Workspace(1, 22)
+        estimator = PLHistogramEstimator(num_buckets=4)
+        hist_a = PLHistogram.build_ancestor(a, workspace, 4)
+        hist_d = PLHistogram.build_descendant(d, workspace, 5)
+        with pytest.raises(EstimationError):
+            estimator.estimate_from_histograms(hist_a, hist_d)
+
+    def test_details_present(self, figure1_tree):
+        a, d = figure1_tree
+        result = PLHistogramEstimator(num_buckets=4).estimate(
+            a, d, Workspace(1, 22)
+        )
+        assert result.details["num_buckets"] == 4
+        assert "average_cov" in result.details
+        assert "worst_bucket_mre" in result.details
+        assert result.estimator == "PL"
+
+    def test_mre_unbounded_for_sparse_descendants(self, dblp_small):
+        """DBLP Q5 (title // sup) has cov << 1, hence unbounded MRE."""
+        a = dblp_small.node_set("title")
+        d = dblp_small.node_set("sup")
+        result = PLHistogramEstimator(num_buckets=20).estimate(
+            a, d, dblp_small.tree.workspace()
+        )
+        assert result.details["average_cov"] < 1.0
+        assert result.mre == math.inf
+
+    def test_average_cov_matches_details(self, dblp_small):
+        a = dblp_small.node_set("inproceeding")
+        d = dblp_small.node_set("author")
+        estimator = PLHistogramEstimator(num_buckets=20)
+        workspace = dblp_small.tree.workspace()
+        assert estimator.average_cov(a, d, workspace) == pytest.approx(
+            estimator.estimate(a, d, workspace).details["average_cov"]
+        )
+
+    def test_clipped_beats_full_on_boundary_crossers(self):
+        """Ablation: clipped lengths avoid double counting."""
+        # One long ancestor crossing all buckets, descendants inside it.
+        a = NodeSet([Element("a", 1, 100)])
+        d = NodeSet(
+            [Element("d", p, p + 10**4) for p in range(10, 91, 10)],
+            validate=False,
+        )
+        workspace = Workspace(1, 100)
+        true = containment_join_size(a, d)
+        clipped = PLHistogramEstimator(num_buckets=5).estimate(
+            a, d, workspace
+        )
+        full = PLHistogramEstimator(
+            num_buckets=5, length_mode="full"
+        ).estimate(a, d, workspace)
+        assert clipped.relative_error(true) < full.relative_error(true)

@@ -1,0 +1,213 @@
+"""Property-based tests for the extension modules.
+
+Random trees come from the same parent-array strategy as
+tests/test_properties.py; each extension is checked against a brute-force
+reference on arbitrary shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.base import Estimate, Estimator
+from repro.estimators.bounds import join_size_bounds
+from repro.estimators.wavelet import haar_transform, inverse_haar_transform
+from repro.join import (
+    containment_join_size,
+    semijoin_ancestors_size,
+    semijoin_descendants_size,
+)
+from repro.maintenance import DynamicTTree, IncrementalPLHistogram
+from repro.models.position import turning_points
+from repro.optimizer.twig import twig, twig_match_count, twig_semijoin_count
+from repro.xmltree.tree import DataTree, TreeBuilder
+
+TAGS = ("a", "b", "c")
+
+
+@st.composite
+def random_trees(draw, max_size=50):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    parents = [-1] + [
+        draw(st.integers(min_value=0, max_value=i - 1))
+        for i in range(1, size)
+    ]
+    tags = [draw(st.sampled_from(TAGS)) for __ in range(size)]
+    children: list[list[int]] = [[] for __ in range(size)]
+    for child, parent in enumerate(parents):
+        if parent >= 0:
+            children[parent].append(child)
+    builder = TreeBuilder()
+
+    def emit(node: int) -> None:
+        with builder.element(tags[node]):
+            for child in children[node]:
+                emit(child)
+
+    emit(0)
+    return builder.finish()
+
+
+class _ExactEstimator(Estimator):
+    name = "EXACT"
+
+    def estimate(self, ancestors, descendants, workspace=None):
+        return Estimate(
+            float(containment_join_size(ancestors, descendants)), self.name
+        )
+
+
+def brute_twig(provider, pattern):
+    def embeddings(node, ancestor):
+        total = 0
+        for element in provider(node.tag):
+            if ancestor is not None and not ancestor.is_ancestor_of(element):
+                continue
+            product = 1
+            for child in node.children:
+                product *= embeddings(child, element)
+                if product == 0:
+                    break
+            total += product
+        return total
+
+    return embeddings(pattern, None)
+
+
+class TestTwigProperties:
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_chain_twig_matches_brute_force(self, tree: DataTree):
+        pattern = twig("a", twig("b", "c"))
+        assert twig_match_count(tree.node_set, pattern) == brute_twig(
+            tree.node_set, pattern
+        )
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_branching_twig_matches_brute_force(self, tree: DataTree):
+        pattern = twig("a", "b", "c")
+        assert twig_match_count(tree.node_set, pattern) == brute_twig(
+            tree.node_set, pattern
+        )
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_recursive_tag_twig(self, tree: DataTree):
+        pattern = twig("a", twig("a", "b"))
+        assert twig_match_count(tree.node_set, pattern) == brute_twig(
+            tree.node_set, pattern
+        )
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_semijoin_bounded_by_match_count(self, tree: DataTree):
+        pattern = twig("a", twig("b", "c"))
+        matches = twig_match_count(tree.node_set, pattern)
+        distinct = twig_semijoin_count(tree.node_set, pattern)
+        assert distinct <= matches
+        assert distinct <= len(tree.node_set("a"))
+        assert (matches == 0) == (distinct == 0)
+
+    @given(random_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_two_node_twig_equals_containment_join(self, tree: DataTree):
+        pattern = twig("a", "b")
+        assert twig_match_count(
+            tree.node_set, pattern
+        ) == containment_join_size(tree.node_set("a"), tree.node_set("b"))
+
+
+class TestSemijoinProperties:
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_semijoin_sizes_match_brute_force(self, tree: DataTree):
+        a = tree.node_set("a")
+        d = tree.node_set("b")
+        brute_a = sum(
+            1 for x in a if any(x.is_ancestor_of(y) for y in d)
+        )
+        brute_d = sum(
+            1 for y in d if any(x.is_ancestor_of(y) for x in a)
+        )
+        assert semijoin_ancestors_size(a, d) == brute_a
+        assert semijoin_descendants_size(a, d) == brute_d
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_semijoin_below_join_size(self, tree: DataTree):
+        a = tree.node_set("a")
+        d = tree.node_set("b")
+        join = containment_join_size(a, d)
+        assert semijoin_ancestors_size(a, d) <= join or join == 0
+        assert semijoin_descendants_size(a, d) <= join or join == 0
+
+
+class TestBoundsProperties:
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_always_enclose_truth(self, tree: DataTree):
+        a = tree.node_set("a")
+        d = tree.node_set("b")
+        assert join_size_bounds(a, d).contains(containment_join_size(a, d))
+
+
+class TestMaintenanceProperties:
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_dynamic_ttree_equals_static(self, tree: DataTree):
+        a = tree.node_set("a")
+        dynamic = DynamicTTree.from_node_set(a)
+        assert dynamic.turning_points() == turning_points(a)
+
+    @given(random_trees(), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_pl_equals_batch(self, tree: DataTree, buckets):
+        from repro.estimators.pl_histogram import PLHistogram
+
+        a = tree.node_set("a")
+        if len(a) == 0:
+            return
+        workspace = tree.workspace()
+        incremental = IncrementalPLHistogram(workspace, buckets)
+        for element in a:
+            incremental.insert(element)
+        batch = PLHistogram.build_ancestor(a, workspace, buckets)
+        live = incremental.ancestor_histogram()
+        assert [b.n for b in batch.buckets] == [b.n for b in live.buckets]
+        for built, maintained in zip(batch.buckets, live.buckets):
+            assert abs(built.total_length - maintained.total_length) < 1e-9
+
+
+class TestWaveletProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=50), min_size=1, max_size=130
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_haar_round_trip(self, values):
+        array = np.array(values, dtype=np.float64)
+        recovered = inverse_haar_transform(haar_transform(array))
+        assert np.allclose(recovered[: len(array)], array)
+        assert np.allclose(recovered[len(array) :], 0.0)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=9), min_size=1, max_size=64
+        ),
+        st.lists(
+            st.integers(min_value=0, max_value=9), min_size=1, max_size=64
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_haar_preserves_inner_products(self, xs, ys):
+        size = max(len(xs), len(ys))
+        x = np.zeros(size)
+        y = np.zeros(size)
+        x[: len(xs)] = xs
+        y[: len(ys)] = ys
+        transformed = np.dot(haar_transform(x), haar_transform(y))
+        assert abs(transformed - np.dot(x, y)) < 1e-7

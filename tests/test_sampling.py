@@ -1,0 +1,229 @@
+"""Tests for the sampling estimators: IM-DA-Est, PM-Est, cross, systematic."""
+
+import statistics
+
+import pytest
+
+from repro.core.budget import SpaceBudget
+from repro.core.element import Element
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.cross_sampling import (
+    CrossSamplingEstimator,
+    SystematicSamplingEstimator,
+)
+from repro.estimators.im_sampling import IMSamplingEstimator
+from repro.estimators.pm_sampling import PMSamplingEstimator
+from repro.join import containment_join_size
+
+
+@pytest.fixture(scope="module")
+def operands():
+    from repro.datasets import generate_xmark
+
+    dataset = generate_xmark(scale=0.05, seed=101)
+    a = dataset.node_set("desp")
+    d = dataset.node_set("text")
+    return a, d, dataset.tree.workspace(), containment_join_size(a, d)
+
+
+class TestIMSampling:
+    def test_requires_exactly_one_size_argument(self):
+        with pytest.raises(EstimationError):
+            IMSamplingEstimator()
+        with pytest.raises(EstimationError):
+            IMSamplingEstimator(num_samples=5, budget=SpaceBudget(200))
+
+    def test_budget_conversion(self):
+        assert IMSamplingEstimator(budget=SpaceBudget(800)).num_samples == 100
+
+    def test_invalid_backend(self):
+        with pytest.raises(EstimationError):
+            IMSamplingEstimator(num_samples=5, backend="btree")
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(EstimationError):
+            IMSamplingEstimator(num_samples=0)
+
+    def test_exact_when_sampling_everything(self, operands):
+        """m >= |D| without replacement degenerates to the exact count."""
+        a, d, workspace, true = operands
+        estimator = IMSamplingEstimator(num_samples=10**9, seed=0)
+        assert estimator.estimate(a, d, workspace).value == true
+
+    def test_exact_on_figure1(self, figure1_tree):
+        a, d = figure1_tree
+        estimator = IMSamplingEstimator(num_samples=4, seed=0)
+        assert estimator.estimate(a, d).value == 6.0
+
+    def test_unbiased(self, operands):
+        """Theorem 3: E[X̂] = X (checked to sampling tolerance)."""
+        a, d, workspace, true = operands
+        estimator = IMSamplingEstimator(num_samples=40, seed=7)
+        estimates = [
+            estimator.estimate(a, d, workspace).value for __ in range(300)
+        ]
+        mean = statistics.fmean(estimates)
+        assert abs(mean - true) / true < 0.05
+
+    def test_empty_operands(self):
+        estimator = IMSamplingEstimator(num_samples=5, seed=0)
+        empty = NodeSet([])
+        some = NodeSet([Element("a", 1, 4)])
+        assert estimator.estimate(empty, some).value == 0.0
+        assert estimator.estimate(some, empty).value == 0.0
+
+    @pytest.mark.parametrize("backend", ["rank", "ttree", "xrtree"])
+    def test_backends_agree(self, operands, backend):
+        """The probe structure must not change the estimate."""
+        a, d, workspace, __ = operands
+        reference = IMSamplingEstimator(
+            num_samples=30, seed=99, backend="rank"
+        ).estimate(a, d, workspace)
+        other = IMSamplingEstimator(
+            num_samples=30, seed=99, backend=backend
+        ).estimate(a, d, workspace)
+        assert other.value == reference.value
+
+    def test_with_replacement(self, operands):
+        a, d, workspace, true = operands
+        estimator = IMSamplingEstimator(num_samples=60, seed=3, replace=True)
+        result = estimator.estimate(a, d, workspace)
+        assert result.details["replace"] is True
+        assert result.value > 0
+
+    def test_max_subjoin_bounded_by_height(self, operands):
+        """Section 5.1: a point stabs at most H intervals."""
+        a, d, workspace, __ = operands
+        result = IMSamplingEstimator(num_samples=100, seed=5).estimate(
+            a, d, workspace
+        )
+        assert result.details["max_subjoin"] <= a.max_nesting_depth
+
+    def test_deterministic_with_seed(self, operands):
+        a, d, workspace, __ = operands
+        first = IMSamplingEstimator(num_samples=20, seed=8).estimate(
+            a, d, workspace
+        )
+        second = IMSamplingEstimator(num_samples=20, seed=8).estimate(
+            a, d, workspace
+        )
+        assert first.value == second.value
+
+
+class TestPMSampling:
+    def test_requires_exactly_one_size_argument(self):
+        with pytest.raises(EstimationError):
+            PMSamplingEstimator()
+
+    def test_invalid_backend(self):
+        with pytest.raises(EstimationError):
+            PMSamplingEstimator(num_samples=5, backend="xrtree")
+
+    def test_unbiased(self, operands):
+        """Theorem 4: E[X̂] = X (checked to sampling tolerance)."""
+        a, d, workspace, true = operands
+        estimator = PMSamplingEstimator(num_samples=200, seed=11)
+        estimates = [
+            estimator.estimate(a, d, workspace).value for __ in range(400)
+        ]
+        mean = statistics.fmean(estimates)
+        assert abs(mean - true) / true < 0.10
+
+    def test_backends_agree(self, operands):
+        a, d, workspace, __ = operands
+        rank = PMSamplingEstimator(
+            num_samples=50, seed=21, backend="rank"
+        ).estimate(a, d, workspace)
+        ttree = PMSamplingEstimator(
+            num_samples=50, seed=21, backend="ttree"
+        ).estimate(a, d, workspace)
+        assert rank.value == ttree.value
+
+    def test_empty_operands(self):
+        estimator = PMSamplingEstimator(num_samples=5, seed=0)
+        assert estimator.estimate(NodeSet([]), NodeSet([])).value == 0.0
+
+    def test_scaling_by_workspace_width(self, figure1_tree):
+        """Every sampled product is scaled by w/m (Algorithm 3)."""
+        a, d = figure1_tree
+        workspace = Workspace(1, 22)
+        estimator = PMSamplingEstimator(num_samples=22, seed=1)
+        result = estimator.estimate(a, d, workspace)
+        assert result.details["workspace_width"] == 22
+        # value must be a multiple of w/m = 1 here.
+        assert result.value == pytest.approx(round(result.value))
+
+    def test_higher_variance_than_im(self, operands):
+        """Section 5.2's prediction: PM is inferior to IM."""
+        a, d, workspace, true = operands
+        im_errors = []
+        pm_errors = []
+        for seed in range(30):
+            im = IMSamplingEstimator(num_samples=50, seed=seed).estimate(
+                a, d, workspace
+            )
+            pm = PMSamplingEstimator(num_samples=50, seed=seed).estimate(
+                a, d, workspace
+            )
+            im_errors.append(im.relative_error(true))
+            pm_errors.append(pm.relative_error(true))
+        assert statistics.fmean(im_errors) < statistics.fmean(pm_errors)
+
+
+class TestCrossSampling:
+    def test_unbiased(self, operands):
+        a, d, workspace, true = operands
+        estimator = CrossSamplingEstimator(num_samples=500, seed=2)
+        estimates = [
+            estimator.estimate(a, d, workspace).value for __ in range(300)
+        ]
+        assert abs(statistics.fmean(estimates) - true) / true < 0.15
+
+    def test_empty(self):
+        estimator = CrossSamplingEstimator(num_samples=5, seed=0)
+        assert estimator.estimate(NodeSet([]), NodeSet([])).value == 0.0
+
+    def test_requires_size(self):
+        with pytest.raises(EstimationError):
+            CrossSamplingEstimator()
+
+
+class TestSystematicSampling:
+    def test_exact_when_stride_one(self, operands):
+        a, d, workspace, true = operands
+        estimator = SystematicSamplingEstimator(num_samples=10**9, seed=0)
+        assert estimator.estimate(a, d, workspace).value == true
+
+    def test_unbiased_over_offsets(self, operands):
+        a, d, workspace, true = operands
+        estimator = SystematicSamplingEstimator(num_samples=50, seed=4)
+        estimates = [
+            estimator.estimate(a, d, workspace).value for __ in range(200)
+        ]
+        assert abs(statistics.fmean(estimates) - true) / true < 0.10
+
+    def test_stride_and_offset_details(self, operands):
+        a, d, workspace, __ = operands
+        result = SystematicSamplingEstimator(num_samples=40, seed=1).estimate(
+            a, d, workspace
+        )
+        assert result.details["stride"] >= 1
+        assert 0 <= result.details["offset"] < result.details["stride"]
+
+    def test_beats_cross_sampling(self, operands):
+        """Stratification helps: systematic < t_cross error on average."""
+        a, d, workspace, true = operands
+        sys_errors = []
+        cross_errors = []
+        for seed in range(25):
+            sys_est = SystematicSamplingEstimator(
+                num_samples=50, seed=seed
+            ).estimate(a, d, workspace)
+            cross_est = CrossSamplingEstimator(
+                num_samples=50, seed=seed
+            ).estimate(a, d, workspace)
+            sys_errors.append(sys_est.relative_error(true))
+            cross_errors.append(cross_est.relative_error(true))
+        assert statistics.fmean(sys_errors) < statistics.fmean(cross_errors)

@@ -1,0 +1,161 @@
+"""Tests for repro.join.semijoin and the semijoin sampling estimators."""
+
+import statistics
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.estimators.semijoin_sampling import (
+    SemijoinAncestorsEstimator,
+    SemijoinDescendantsEstimator,
+)
+from repro.join import (
+    semijoin_ancestors,
+    semijoin_ancestors_size,
+    semijoin_descendants,
+    semijoin_descendants_size,
+)
+
+
+def brute_ancestors(a, d):
+    return sum(
+        1 for x in a if any(x.start < y.start < x.end for y in d)
+    )
+
+
+def brute_descendants(a, d):
+    return sum(
+        1 for y in d if any(x.start < y.start < x.end for x in a)
+    )
+
+
+class TestExactSemijoins:
+    def test_figure1(self, figure1_tree):
+        a, d = figure1_tree
+        # a3 and a1 and a2 all have descendants; all four d's are covered.
+        assert semijoin_ancestors_size(a, d) == 3
+        assert semijoin_descendants_size(a, d) == 4
+
+    def test_partial_matches(self):
+        a = NodeSet([Element("a", 1, 4), Element("a", 10, 13)])
+        d = NodeSet([Element("d", 2, 3), Element("d", 20, 21)])
+        assert semijoin_ancestors_size(a, d) == 1
+        assert semijoin_descendants_size(a, d) == 1
+
+    def test_empty(self):
+        empty = NodeSet([])
+        some = NodeSet([Element("a", 1, 4)])
+        assert semijoin_ancestors_size(empty, some) == 0
+        assert semijoin_ancestors_size(some, empty) == 0
+        assert semijoin_descendants_size(empty, some) == 0
+
+    def test_nested_ancestors_counted_once(self):
+        a = NodeSet([Element("a", 1, 10), Element("a", 2, 9)])
+        d = NodeSet([Element("d", 4, 5)])
+        assert semijoin_ancestors_size(a, d) == 2  # both contain d
+        assert semijoin_descendants_size(a, d) == 1  # d counted once
+
+    def test_against_brute_force_small(self, xmark_small):
+        a = NodeSet(xmark_small.node_set("desp").elements[:80], validate=False)
+        d = NodeSet(xmark_small.node_set("text").elements[:200], validate=False)
+        assert semijoin_ancestors_size(a, d) == brute_ancestors(a, d)
+        assert semijoin_descendants_size(a, d) == brute_descendants(a, d)
+
+    def test_materialized_sets_match_sizes(self, xmark_small):
+        a = xmark_small.node_set("desp")
+        d = xmark_small.node_set("text")
+        assert len(semijoin_ancestors(a, d)) == semijoin_ancestors_size(a, d)
+        assert len(semijoin_descendants(a, d)) == (
+            semijoin_descendants_size(a, d)
+        )
+
+    def test_materialized_descendants_all_match(self, xmark_small):
+        a = xmark_small.node_set("item")
+        d = xmark_small.node_set("text")
+        for element in semijoin_descendants(a, d):
+            assert a.stab_count(element.start) > 0
+
+    def test_xpath_predicate_semantics(self, xmark_small):
+        """The semijoin is the cardinality behind XPath predicates."""
+        from repro.xmltree import evaluate_path
+
+        matched = semijoin_ancestors_size(
+            xmark_small.node_set("desp"), xmark_small.node_set("text")
+        )
+        # Every desp contains at least one text by construction, so the
+        # semijoin equals the full desp count, and the child-axis
+        # predicate //desp[text] can never exceed it.
+        assert matched == len(xmark_small.node_set("desp"))
+        via_child_axis = len(
+            evaluate_path(xmark_small.tree, "//desp[text]")
+        )
+        assert via_child_axis <= matched
+
+
+class TestSemijoinEstimators:
+    @pytest.fixture(scope="class")
+    def operands(self):
+        from repro.datasets import generate_xmark
+
+        dataset = generate_xmark(scale=0.05, seed=101)
+        # name: descendants both inside items (match) and persons (no match)
+        return dataset.node_set("item"), dataset.node_set("name")
+
+    def test_requires_size(self):
+        with pytest.raises(EstimationError):
+            SemijoinDescendantsEstimator()
+        with pytest.raises(EstimationError):
+            SemijoinAncestorsEstimator(num_samples=0)
+
+    def test_full_sample_exact(self, operands):
+        a, d = operands
+        assert SemijoinDescendantsEstimator(
+            num_samples=10**9, seed=0
+        ).estimate(a, d).value == semijoin_descendants_size(a, d)
+        assert SemijoinAncestorsEstimator(
+            num_samples=10**9, seed=0
+        ).estimate(a, d).value == semijoin_ancestors_size(a, d)
+
+    def test_unbiased_descendants(self, operands):
+        a, d = operands
+        true = semijoin_descendants_size(a, d)
+        estimates = [
+            SemijoinDescendantsEstimator(num_samples=50, seed=s)
+            .estimate(a, d)
+            .value
+            for s in range(200)
+        ]
+        assert abs(statistics.fmean(estimates) - true) / true < 0.07
+
+    def test_unbiased_ancestors(self, operands):
+        a, d = operands
+        true = semijoin_ancestors_size(a, d)
+        estimates = [
+            SemijoinAncestorsEstimator(num_samples=50, seed=s)
+            .estimate(a, d)
+            .value
+            for s in range(200)
+        ]
+        assert abs(statistics.fmean(estimates) - true) / true < 0.07
+
+    def test_empty_operands(self):
+        empty = NodeSet([])
+        some = NodeSet([Element("a", 1, 4)])
+        for estimator_cls in (
+            SemijoinDescendantsEstimator,
+            SemijoinAncestorsEstimator,
+        ):
+            estimator = estimator_cls(num_samples=5, seed=0)
+            assert estimator.estimate(empty, some).value == 0.0
+            assert estimator.estimate(some, empty).value == 0.0
+
+    def test_bounded_by_operand_size(self, operands):
+        a, d = operands
+        assert SemijoinDescendantsEstimator(
+            num_samples=30, seed=1
+        ).estimate(a, d).value <= len(d)
+        assert SemijoinAncestorsEstimator(
+            num_samples=30, seed=1
+        ).estimate(a, d).value <= len(a)

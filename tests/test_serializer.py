@@ -1,0 +1,42 @@
+"""Tests for repro.xmltree.serializer."""
+
+from repro.datasets import generate_dblp
+from repro.xmltree import parse_xml, to_xml
+from repro.xmltree.tree import DataTree
+
+
+def structure(tree: DataTree):
+    return [(e.tag, e.start, e.end, e.level) for e in tree.elements]
+
+
+class TestSerializer:
+    def test_leaf_self_closes(self):
+        assert to_xml(parse_xml("<a/>")) == "<a/>\n"
+
+    def test_nested_indentation(self):
+        text = to_xml(parse_xml("<a><b><c/></b></a>"), indent=2)
+        assert text == "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n"
+
+    def test_zero_indent(self):
+        text = to_xml(parse_xml("<a><b/></a>"), indent=0)
+        assert text == "<a>\n<b/>\n</a>\n"
+
+    def test_include_regions(self):
+        text = to_xml(parse_xml("<a><b/></a>"), include_regions=True)
+        assert 'start="1" end="4"' in text
+        assert 'start="2" end="3"' in text
+
+    def test_round_trip_small(self):
+        original = parse_xml("<a><b><c/><d/></b><e/></a>")
+        reparsed = parse_xml(to_xml(original))
+        assert structure(reparsed) == structure(original)
+
+    def test_round_trip_with_regions_attribute(self):
+        original = parse_xml("<a><b/></a>")
+        reparsed = parse_xml(to_xml(original, include_regions=True))
+        assert structure(reparsed) == structure(original)
+
+    def test_round_trip_generated_dataset(self):
+        dataset = generate_dblp(scale=0.002, seed=5)
+        reparsed = parse_xml(to_xml(dataset.tree))
+        assert structure(reparsed) == structure(dataset.tree)

