@@ -1,0 +1,289 @@
+#!/usr/bin/env python
+"""Performance benchmark runner: kernels, caching, parallel harness.
+
+Times the three layers of the performance architecture against the
+retained reference implementations and writes ``BENCH_kernels.json``:
+
+* **kernels** — per-kernel build timings (covering table, turning
+  points, PL ancestor histogram, PH cell histogram, interval merge) for
+  the loop ``*_reference`` path versus the numpy path;
+* **fig7_sweep** — the Figure 7 histogram sweep (build + estimate over
+  every XMARK query and bucket count) under reference kernels, under
+  vectorized kernels, and under vectorized kernels plus the summary
+  cache.  The headline ``speedup`` compares reference to
+  vectorized+cache.  Both paths are also checked for *identical* sweep
+  output, so a kernel regression fails the run outright;
+* **parallel** — the same sweep fanned out over worker processes.
+
+Usage::
+
+    python benchmarks/bench_runner.py            # full (scale 1.0)
+    python benchmarks/bench_runner.py --quick    # CI smoke (scale 0.1)
+    python benchmarks/bench_runner.py --min-speedup 5
+
+Exits non-zero when the reference/vectorized outputs disagree or when
+the sweep speedup falls below ``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro import perf  # noqa: E402
+from repro.estimators.ph_histogram import cell_histogram  # noqa: E402
+from repro.estimators.pl_histogram import PLHistogram  # noqa: E402
+from repro.estimators.coverage_histogram import merged_intervals  # noqa: E402
+from repro.experiments.data import get_dataset  # noqa: E402
+from repro.experiments.histograms import (  # noqa: E402
+    BUCKET_SWEEP,
+    run_bucket_sweep,
+)
+from repro.models.position import (  # noqa: E402
+    covering_table,
+    turning_points,
+)
+from repro.perf.cache import SummaryCache  # noqa: E402
+
+QUICK_SCALE = 0.1
+QUICK_BUCKETS = (5, 15, 25)
+FULL_SCALE = 1.0
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timed_pair(callable_, repeats: int) -> dict[str, float]:
+    """Time ``callable_`` under reference kernels and vectorized kernels."""
+    with perf.reference_kernels():
+        reference = _best_of(callable_, repeats)
+    vectorized = _best_of(callable_, repeats)
+    return {
+        "reference_s": reference,
+        "vectorized_s": vectorized,
+        "speedup": reference / vectorized if vectorized > 0 else float("inf"),
+    }
+
+
+def bench_kernels(dataset, repeats: int) -> dict[str, dict[str, float]]:
+    """Microbenchmark each vectorized kernel on real XMARK node sets."""
+    workspace = dataset.tree.workspace()
+    intervals = dataset.node_set("text")  # large, self-nesting set
+    results: dict[str, dict[str, float]] = {}
+    results["covering_table"] = _timed_pair(
+        lambda: covering_table(intervals, workspace), repeats
+    )
+    results["turning_points"] = _timed_pair(
+        lambda: turning_points(intervals), repeats
+    )
+    results["pl_build_ancestor"] = _timed_pair(
+        lambda: PLHistogram.build_ancestor(intervals, workspace, 20),
+        repeats,
+    )
+    results["ph_cell_histogram"] = _timed_pair(
+        lambda: cell_histogram(intervals, workspace, 7), repeats
+    )
+    results["merged_intervals"] = _timed_pair(
+        lambda: merged_intervals(intervals), repeats
+    )
+    return results
+
+
+def _sweep(scale: float, buckets, workers=None, cache=None):
+    results = []
+    for method in ("PL", "PH"):
+        sweep = run_bucket_sweep(
+            "xmark",
+            method,
+            bucket_counts=buckets,
+            scale=scale,
+            workers=workers,
+            cache=cache if cache is not None else SummaryCache(),
+        )
+        results.append(sweep.series)
+    return results
+
+
+def bench_fig7_sweep(scale: float, buckets) -> dict:
+    """Build + estimate over the Figure 7 sweep, reference vs vectorized."""
+    with perf.reference_kernels():
+        start = time.perf_counter()
+        reference_series = _sweep(scale, buckets)
+        reference_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vector_series = _sweep(scale, buckets, cache=SummaryCache(maxsize=1))
+    vectorized_s = time.perf_counter() - start
+    # A maxsize-1 cache is effectively uncached; now with a real cache.
+    cache = SummaryCache()
+    start = time.perf_counter()
+    cached_series = _sweep(scale, buckets, cache=cache)
+    cached_s = time.perf_counter() - start
+
+    identical = (
+        reference_series == vector_series == cached_series
+    )
+    return {
+        "scale": scale,
+        "bucket_counts": list(buckets),
+        "reference_s": reference_s,
+        "vectorized_s": vectorized_s,
+        "vectorized_cached_s": cached_s,
+        "speedup": reference_s / cached_s if cached_s > 0 else float("inf"),
+        "identical_output": identical,
+        "cache": cache.stats(),
+    }
+
+
+def bench_parallel(scale: float, runs: int) -> dict:
+    """Fan a stochastic-heavy evaluation out over worker processes.
+
+    The worker count adapts to the machine; on a single-core host both
+    runs take the serial path and the reported speedup is ~1.0.
+    """
+    from repro.core.budget import SpaceBudget
+    from repro.datasets.workloads import ALL_WORKLOADS
+    from repro.experiments.harness import evaluate, paper_methods
+
+    dataset = get_dataset("xmark", scale=scale)
+    queries = ALL_WORKLOADS["xmark"]
+    methods = paper_methods(SpaceBudget(800))
+    workers = min(4, multiprocessing.cpu_count())
+    start = time.perf_counter()
+    serial_rows = evaluate(dataset, queries, methods, runs=runs, seed=3)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_rows = evaluate(
+        dataset, queries, methods, runs=runs, seed=3, workers=workers
+    )
+    workers_s = time.perf_counter() - start
+    return {
+        "runs": runs,
+        "cpu_count": multiprocessing.cpu_count(),
+        "workers": workers,
+        "serial_s": serial_s,
+        "workers_s": workers_s,
+        "speedup": serial_s / workers_s if workers_s > 0 else float("inf"),
+        "identical_rows": serial_rows == parallel_rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: scale {QUICK_SCALE}, bucket counts "
+        f"{QUICK_BUCKETS}",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None, help="dataset scale override"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the Fig. 7 sweep speedup reaches this factor",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_kernels.json",
+        help="where to write the timing report",
+    )
+    parser.add_argument(
+        "--skip-parallel",
+        action="store_true",
+        help="skip the multiprocessing phase (slow on small machines)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (
+        QUICK_SCALE if args.quick else FULL_SCALE
+    )
+    buckets = QUICK_BUCKETS if args.quick else BUCKET_SWEEP
+    repeats = 2 if args.quick else 3
+
+    print(f"generating xmark at scale {scale} ...", flush=True)
+    dataset = get_dataset("xmark", scale=scale)
+
+    print("phase 1/3: kernel microbenchmarks", flush=True)
+    kernels = bench_kernels(dataset, repeats)
+    for name, timing in kernels.items():
+        print(
+            f"  {name:>20}: {timing['reference_s'] * 1e3:8.2f} ms -> "
+            f"{timing['vectorized_s'] * 1e3:8.2f} ms "
+            f"({timing['speedup']:.1f}x)"
+        )
+
+    print("phase 2/3: Fig. 7 histogram sweep (build + estimate)", flush=True)
+    sweep = bench_fig7_sweep(scale, buckets)
+    print(
+        f"  reference {sweep['reference_s']:.2f} s, vectorized "
+        f"{sweep['vectorized_s']:.2f} s, vectorized+cache "
+        f"{sweep['vectorized_cached_s']:.2f} s "
+        f"({sweep['speedup']:.1f}x), identical output: "
+        f"{sweep['identical_output']}"
+    )
+
+    parallel = None
+    if not args.skip_parallel:
+        print("phase 3/3: parallel harness", flush=True)
+        parallel = bench_parallel(scale, runs=5 if args.quick else 31)
+        print(
+            f"  serial {parallel['serial_s']:.2f} s, "
+            f"{parallel['workers']} worker(s) "
+            f"{parallel['workers_s']:.2f} s "
+            f"({parallel['speedup']:.1f}x on {parallel['cpu_count']} "
+            f"cpu(s)), identical rows: {parallel['identical_rows']}"
+        )
+
+    report = {
+        "mode": "quick" if args.quick else "full",
+        "scale": scale,
+        "kernels": kernels,
+        "fig7_sweep": sweep,
+        "parallel": parallel,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not sweep["identical_output"]:
+        print(
+            "FAIL: reference and vectorized sweeps disagree",
+            file=sys.stderr,
+        )
+        return 1
+    if parallel is not None and not parallel["identical_rows"]:
+        print(
+            "FAIL: parallel evaluation rows differ from serial",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup is not None and sweep["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: sweep speedup {sweep['speedup']:.2f}x below "
+            f"required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

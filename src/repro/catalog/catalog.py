@@ -38,8 +38,14 @@ from repro.core.nodeset import NodeSet
 from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate
-from repro.estimators.pl_histogram import PLHistogram, PLHistogramEstimator
+from repro.estimators.pl_histogram import (
+    PLHistogram,
+    PLHistogramEstimator,
+    build_ancestor_cached,
+    build_descendant_cached,
+)
 from repro.estimators.two_sample import two_sample_estimate
+from repro.perf.cache import SummaryCache, resolve_cache
 from repro.xmltree.tree import DataTree
 
 CatalogMethod = Literal["histogram", "sample"]
@@ -76,6 +82,10 @@ class StatisticsCatalog:
         method: "histogram" (PL statistics) or "sample" (element sample).
         seed: RNG seed for sample mode.
         tags: restrict to these tags (default: every tag in the document).
+        cache: summary cache consulted for the per-tag histogram builds,
+            so rebuilding a catalog (or building several with overlapping
+            tag lists) reuses previously built summaries; defaults to the
+            ambient cache installed by :func:`repro.perf.use_cache`.
     """
 
     def __init__(
@@ -85,12 +95,14 @@ class StatisticsCatalog:
         method: CatalogMethod = "histogram",
         seed: SeedLike = None,
         tags: list[str] | None = None,
+        cache: SummaryCache | None = None,
     ) -> None:
         if method not in ("histogram", "sample"):
             raise EstimationError(f"unknown catalog method {method!r}")
         self.method: CatalogMethod = method
         self.budget_per_tag = budget_per_tag
         self.workspace: Workspace = tree.workspace()
+        self.cache = cache
         rng = make_rng(seed)
         self._entries: dict[str, CatalogEntry] = {}
         for tag in tags if tags is not None else sorted(tree.tags()):
@@ -105,14 +117,15 @@ class StatisticsCatalog:
         if self.method == "histogram":
             # The budget pays for both roles' bucket arrays.
             buckets = max(1, self.budget_per_tag.pl_buckets // 2)
+            cache = resolve_cache(self.cache)
             return CatalogEntry(
                 tag=node_set.name,
                 cardinality=len(node_set),
-                ancestor_histogram=PLHistogram.build_ancestor(
-                    node_set, self.workspace, buckets
+                ancestor_histogram=build_ancestor_cached(
+                    node_set, self.workspace, buckets, cache=cache
                 ),
-                descendant_histogram=PLHistogram.build_descendant(
-                    node_set, self.workspace, buckets
+                descendant_histogram=build_descendant_cached(
+                    node_set, self.workspace, buckets, cache=cache
                 ),
             )
         # Sample mode: one element sample serves both roles; an interval

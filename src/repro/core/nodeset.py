@@ -12,6 +12,7 @@ run in vectorized or binary-search time.
 
 from __future__ import annotations
 
+import hashlib
 from functools import cached_property
 from typing import Iterable, Iterator, Sequence
 
@@ -140,6 +141,21 @@ class NodeSet:
     def lengths(self) -> np.ndarray:
         """Region lengths ``end - start``, aligned with :attr:`starts`."""
         return self.ends - self.starts
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content digest of the set's region codes (order-insensitive).
+
+        Two node sets with identical elements get the same fingerprint
+        regardless of construction path; the summary cache
+        (:mod:`repro.perf.cache`) keys built histograms on it.  Tags are
+        excluded deliberately — summaries depend only on region codes.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(len(self).to_bytes(8, "little"))
+        digest.update(self.starts.tobytes())
+        digest.update(self.ends.tobytes())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Derived statistics

@@ -13,6 +13,11 @@ workspace that union covers and multiplies by descendant counts:
 * ``mode="local"`` — per-bucket covered fractions applied to per-bucket
   descendant counts; accurate whenever descendants are uniform within a
   bucket (the same assumption PL makes).
+
+The interval merge and the per-bucket overlap sums are numpy bulk
+operations; the original loops are retained as ``*_reference`` functions
+(selected by :func:`repro.perf.reference_kernels`) and the property suite
+asserts both paths agree bit for bit.
 """
 
 from __future__ import annotations
@@ -21,17 +26,19 @@ from typing import Literal
 
 import numpy as np
 
+from repro import perf
 from repro.core.budget import SpaceBudget
 from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate, Estimator
+from repro.perf.cache import SummaryCache, resolve_cache
 
 CoverageMode = Literal["global", "local"]
 
 
-def merged_intervals(node_set: NodeSet) -> list[tuple[int, int]]:
-    """Union of the set's regions as disjoint, sorted intervals."""
+def merged_intervals_reference(node_set: NodeSet) -> list[tuple[int, int]]:
+    """Per-element loop implementation of :func:`merged_intervals`."""
     merged: list[tuple[int, int]] = []
     for element in node_set:
         if merged and element.start <= merged[-1][1]:
@@ -42,10 +49,34 @@ def merged_intervals(node_set: NodeSet) -> list[tuple[int, int]]:
     return merged
 
 
-def bucket_coverage(
+def merged_intervals(node_set: NodeSet) -> list[tuple[int, int]]:
+    """Union of the set's regions as disjoint, sorted intervals.
+
+    Vectorized: a running maximum over the (start-sorted) end codes finds
+    the union components — a new component begins wherever a start code
+    exceeds every previous end.
+    """
+    if perf.reference_kernels_enabled():
+        return merged_intervals_reference(node_set)
+    size = len(node_set)
+    if size == 0:
+        return []
+    starts = node_set.starts
+    reach = np.maximum.accumulate(node_set.ends)
+    fresh = np.empty(size, dtype=bool)
+    fresh[0] = True
+    fresh[1:] = starts[1:] > reach[:-1]
+    heads = np.flatnonzero(fresh)
+    tails = np.append(heads[1:] - 1, size - 1)
+    return list(
+        zip(starts[heads].tolist(), reach[tails].tolist())
+    )
+
+
+def bucket_coverage_reference(
     merged: list[tuple[int, int]], wss: float, wse: float
 ) -> float:
-    """Fraction of ``[wss, wse)`` covered by the merged intervals."""
+    """Per-interval loop implementation of :func:`bucket_coverage`."""
     width = wse - wss
     if width <= 0:
         return 0.0
@@ -59,6 +90,55 @@ def bucket_coverage(
     return covered / width
 
 
+def bucket_coverage(
+    merged: list[tuple[int, int]] | np.ndarray, wss: float, wse: float
+) -> float:
+    """Fraction of ``[wss, wse)`` covered by the merged intervals.
+
+    Accepts either the list of ``(start, end)`` tuples or a previously
+    converted ``(M, 2)`` array (reused across buckets by the local-mode
+    estimator).  The overlap sum accumulates through an ordered
+    ``np.add.at`` so the float result matches the reference loop bit for
+    bit — out-of-window intervals clip to exactly 0.0, which the
+    reference skips, and adding 0.0 is a float no-op.
+    """
+    if perf.reference_kernels_enabled() and not isinstance(
+        merged, np.ndarray
+    ):
+        return bucket_coverage_reference(merged, wss, wse)
+    width = wse - wss
+    if width <= 0:
+        return 0.0
+    pairs = np.asarray(merged, dtype=np.int64)
+    if pairs.size == 0:
+        return 0.0
+    overlaps = np.clip(
+        np.minimum(pairs[:, 1], wse) - np.maximum(pairs[:, 0], wss),
+        0.0,
+        None,
+    )
+    accumulator = np.zeros(1)
+    np.add.at(
+        accumulator, np.zeros(overlaps.size, dtype=np.intp), overlaps
+    )
+    return float(accumulator[0]) / width
+
+
+def merged_intervals_cached(
+    node_set: NodeSet, cache: SummaryCache | None = None
+) -> np.ndarray:
+    """Merged-interval array ``(M, 2)`` through the summary cache."""
+    cache = resolve_cache(cache)
+    build = lambda: np.asarray(  # noqa: E731
+        merged_intervals(node_set), dtype=np.int64
+    ).reshape(-1, 2)
+    if cache is None:
+        return build()
+    return cache.get_or_build(
+        ("cov-merged", node_set.fingerprint), build
+    )
+
+
 class CoverageHistogramEstimator(Estimator):
     """Coverage-based estimation for (near) no-overlap ancestor sets."""
 
@@ -69,6 +149,7 @@ class CoverageHistogramEstimator(Estimator):
         num_buckets: int | None = None,
         budget: SpaceBudget | None = None,
         mode: CoverageMode = "global",
+        cache: SummaryCache | None = None,
     ) -> None:
         if (num_buckets is None) == (budget is None):
             raise EstimationError(
@@ -82,6 +163,7 @@ class CoverageHistogramEstimator(Estimator):
         if mode not in ("global", "local"):
             raise EstimationError(f"unknown coverage mode {mode!r}")
         self.mode: CoverageMode = mode
+        self.cache = cache
 
     def estimate(
         self,
@@ -92,7 +174,13 @@ class CoverageHistogramEstimator(Estimator):
         workspace = self.resolve_workspace(ancestors, descendants, workspace)
         if len(ancestors) == 0 or len(descendants) == 0:
             return Estimate(0.0, self.name)
-        merged = merged_intervals(ancestors)
+        cache = resolve_cache(self.cache)
+        if perf.reference_kernels_enabled():
+            merged: list[tuple[int, int]] | np.ndarray = merged_intervals(
+                ancestors
+            )
+        else:
+            merged = merged_intervals_cached(ancestors, cache)
         if self.mode == "global":
             coverage = bucket_coverage(
                 merged, workspace.lo, workspace.hi + 1

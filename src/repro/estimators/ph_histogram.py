@@ -26,12 +26,16 @@ from __future__ import annotations
 import math
 from collections import Counter
 
+import numpy as np
+
+from repro import perf
 from repro.core.budget import SpaceBudget
-from repro.core.errors import EstimationError
+from repro.core.errors import EstimationError, ReproError
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate, Estimator
 from repro.estimators.coverage_histogram import CoverageHistogramEstimator
+from repro.perf.cache import SummaryCache, resolve_cache
 
 #: Containment probability for two points uniform in the same diagonal
 #: cell (the triangle start < end): derived in closed form,
@@ -46,6 +50,34 @@ def grid_side(num_cells: int) -> int:
     return max(1, int(math.isqrt(num_cells)))
 
 
+def cell_histogram_reference(
+    node_set: NodeSet, workspace: Workspace, side: int
+) -> Counter:
+    """Per-element loop implementation of :func:`cell_histogram`."""
+    cells: Counter = Counter()
+    for element in node_set:
+        column = workspace.bucket_of(element.start, side)
+        row = workspace.bucket_of(element.end, side)
+        cells[(column, row)] += 1
+    return cells
+
+
+def _grid_indices(
+    positions: np.ndarray, workspace: Workspace, side: int
+) -> np.ndarray:
+    """Vectorized :meth:`Workspace.bucket_of` over a position array."""
+    if positions.size and (
+        int(positions.min()) < workspace.lo
+        or int(positions.max()) > workspace.hi
+    ):
+        raise ReproError(
+            f"positions outside workspace [{workspace.lo}, {workspace.hi}]"
+        )
+    width = workspace.width / side
+    indices = ((positions - workspace.lo) / width).astype(np.int64)
+    return np.minimum(indices, side - 1)
+
+
 def cell_histogram(
     node_set: NodeSet, workspace: Workspace, side: int
 ) -> Counter:
@@ -53,12 +85,23 @@ def cell_histogram(
 
     The column indexes the start dimension, the row the end dimension.
     """
-    cells: Counter = Counter()
-    for element in node_set:
-        column = workspace.bucket_of(element.start, side)
-        row = workspace.bucket_of(element.end, side)
-        cells[(column, row)] += 1
-    return cells
+    if perf.reference_kernels_enabled():
+        return cell_histogram_reference(node_set, workspace, side)
+    columns = _grid_indices(node_set.starts, workspace, side)
+    rows = _grid_indices(node_set.ends, workspace, side)
+    flat = columns * side + rows
+    occupied, first_seen, counts = np.unique(
+        flat, return_index=True, return_counts=True
+    )
+    # First-occurrence order keeps Counter iteration identical to the
+    # reference loop, which pins the float accumulation order downstream.
+    order = np.argsort(first_seen, kind="stable")
+    return Counter(
+        {
+            (int(cell) // side, int(cell) % side): int(count)
+            for cell, count in zip(occupied[order], counts[order])
+        }
+    )
 
 
 def containment_probability(
@@ -86,6 +129,68 @@ def containment_probability(
     return p_start * p_end
 
 
+def cell_histogram_cached(
+    node_set: NodeSet,
+    workspace: Workspace,
+    side: int,
+    cache: SummaryCache | None = None,
+) -> Counter:
+    """:func:`cell_histogram` through the summary cache."""
+    cache = resolve_cache(cache)
+    if cache is None:
+        return cell_histogram(node_set, workspace, side)
+    return cache.get_or_build(
+        ("ph-cells", node_set.fingerprint, workspace, side),
+        lambda: cell_histogram(node_set, workspace, side),
+    )
+
+
+def _positional_total_reference(cells_a: Counter, cells_d: Counter) -> float:
+    """Cell-pair loop implementation of :func:`_positional_total`."""
+    total = 0.0
+    for a_cell, n_a in cells_a.items():
+        for d_cell, n_d in cells_d.items():
+            probability = containment_probability(a_cell, d_cell)
+            if probability:
+                total += probability * n_a * n_d
+    return total
+
+
+def _positional_total(cells_a: Counter, cells_d: Counter) -> float:
+    """Σ over cell pairs of ``P(containment) · n_a · n_d``.
+
+    Vectorized as a broadcast over the occupied-cell arrays; the final
+    reduction goes through an ordered ``np.add.at`` accumulation in the
+    same (ancestor-major) order as the reference loop, so the float total
+    matches it bit for bit.
+    """
+    if perf.reference_kernels_enabled():
+        return _positional_total_reference(cells_a, cells_d)
+    if not cells_a or not cells_d:
+        return 0.0
+    a_cells = np.array(list(cells_a.keys()), dtype=np.int64)
+    n_a = np.array(list(cells_a.values()), dtype=np.float64)
+    d_cells = np.array(list(cells_d.keys()), dtype=np.int64)
+    n_d = np.array(list(cells_d.values()), dtype=np.float64)
+    a_col = a_cells[:, 0][:, None]
+    a_row = a_cells[:, 1][:, None]
+    d_col = d_cells[:, 0][None, :]
+    d_row = d_cells[:, 1][None, :]
+    p_start = np.where(
+        a_col < d_col, 1.0, np.where(a_col == d_col, 0.5, 0.0)
+    )
+    p_end = np.where(a_row > d_row, 1.0, np.where(a_row == d_row, 0.5, 0.0))
+    diagonal = (a_col == d_col) & (a_row == d_row) & (a_col == a_row)
+    probability = np.where(
+        diagonal, DIAGONAL_CELL_PROBABILITY, p_start * p_end
+    )
+    terms = (probability * n_a[:, None]) * n_d[None, :]
+    accumulator = np.zeros(1)
+    flat = terms.ravel()
+    np.add.at(accumulator, np.zeros(flat.size, dtype=np.intp), flat)
+    return float(accumulator[0])
+
+
 class PHHistogramEstimator(Estimator):
     """The positional/coverage histogram baseline.
 
@@ -100,6 +205,8 @@ class PHHistogramEstimator(Estimator):
             used — the configuration the paper calls "highly erroneous".
         coverage_mode: "global" (the criticized assumption, default) or
             "local" passed through to the coverage estimator.
+        cache: summary cache for built cell histograms; defaults to the
+            ambient cache installed by :func:`repro.perf.use_cache`.
     """
 
     name = "PH"
@@ -111,6 +218,7 @@ class PHHistogramEstimator(Estimator):
         use_coverage: bool = True,
         overlap_known: bool = True,
         coverage_mode: str = "global",
+        cache: SummaryCache | None = None,
     ) -> None:
         if (num_cells is None) == (budget is None):
             raise EstimationError("specify exactly one of num_cells or budget")
@@ -120,8 +228,9 @@ class PHHistogramEstimator(Estimator):
         self.side = grid_side(self.num_cells)
         self.use_coverage = use_coverage
         self.overlap_known = overlap_known
+        self.cache = cache
         self._coverage = CoverageHistogramEstimator(
-            num_buckets=self.side, mode=coverage_mode
+            num_buckets=self.side, mode=coverage_mode, cache=cache
         )
 
     def estimate(
@@ -144,14 +253,14 @@ class PHHistogramEstimator(Estimator):
                 self.name,
                 details={"method": "coverage", **inner.details},
             )
-        cells_a = cell_histogram(ancestors, workspace, self.side)
-        cells_d = cell_histogram(descendants, workspace, self.side)
-        total = 0.0
-        for a_cell, n_a in cells_a.items():
-            for d_cell, n_d in cells_d.items():
-                probability = containment_probability(a_cell, d_cell)
-                if probability:
-                    total += probability * n_a * n_d
+        cache = resolve_cache(self.cache)
+        cells_a = cell_histogram_cached(
+            ancestors, workspace, self.side, cache
+        )
+        cells_d = cell_histogram_cached(
+            descendants, workspace, self.side, cache
+        )
+        total = _positional_total(cells_a, cells_d)
         return Estimate(
             total,
             self.name,

@@ -40,12 +40,14 @@ from typing import Literal
 
 import numpy as np
 
+from repro import perf
 from repro.core.budget import SpaceBudget
 from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Bucket, Workspace
 from repro.estimators.base import Estimate, Estimator
 from repro.estimators.mre import cov_value, maximum_relative_error
+from repro.perf.cache import SummaryCache, resolve_cache
 
 LengthMode = Literal["clipped", "full"]
 Bucketing = Literal["equi-width", "equi-depth"]
@@ -118,7 +120,7 @@ class PLHistogram:
         return len(self.buckets)
 
     @classmethod
-    def build_ancestor(
+    def build_ancestor_reference(
         cls,
         node_set: NodeSet,
         workspace: Workspace,
@@ -126,11 +128,7 @@ class PLHistogram:
         length_mode: LengthMode = "clipped",
         edges: list[float] | None = None,
     ) -> "PLHistogram":
-        """Histogram of ``node_set`` playing the ancestor (interval) role.
-
-        ``edges`` overrides the equal-width partitioning with explicit
-        strictly increasing bucket boundaries (used by equi-depth mode).
-        """
+        """Per-element loop implementation of :meth:`build_ancestor`."""
         if edges is None:
             bounds = workspace.buckets(num_buckets)
             edges = [b.wss for b in bounds] + [bounds[-1].wse]
@@ -152,6 +150,81 @@ class PLHistogram:
                     lengths[i] += element.length
         buckets = [
             PLBucket(i, bounds[i].wss, bounds[i].wse, counts[i], lengths[i])
+            for i in range(count)
+        ]
+        return cls(buckets, "ancestor")
+
+    @classmethod
+    def build_ancestor(
+        cls,
+        node_set: NodeSet,
+        workspace: Workspace,
+        num_buckets: int,
+        length_mode: LengthMode = "clipped",
+        edges: list[float] | None = None,
+    ) -> "PLHistogram":
+        """Histogram of ``node_set`` playing the ancestor (interval) role.
+
+        ``edges`` overrides the equal-width partitioning with explicit
+        strictly increasing bucket boundaries (used by equi-depth mode).
+
+        Vectorized: per-element bucket ranges come from two
+        ``np.searchsorted`` calls, the (element, bucket) incidence is
+        expanded with ``np.repeat``, counts fall out of ``np.bincount``
+        and clipped lengths accumulate through ``np.add.at`` — which
+        applies its updates in operand order, so float totals match the
+        reference loop bit for bit.
+        """
+        if perf.reference_kernels_enabled():
+            return cls.build_ancestor_reference(
+                node_set, workspace, num_buckets, length_mode, edges
+            )
+        if edges is None:
+            bounds = workspace.buckets(num_buckets)
+            edges = [b.wss for b in bounds] + [bounds[-1].wse]
+        else:
+            bounds = _buckets_from_edges(edges)
+        count = len(bounds)
+        edge_array = np.asarray(edges, dtype=np.float64)
+        counts = np.zeros(count, dtype=np.int64)
+        lengths = np.zeros(count, dtype=np.float64)
+        if len(node_set):
+            starts = node_set.starts
+            ends = node_set.ends
+            first = np.clip(
+                np.searchsorted(edge_array, starts, side="right") - 1,
+                0,
+                count - 1,
+            )
+            last = np.clip(
+                np.searchsorted(edge_array, ends, side="right") - 1,
+                0,
+                count - 1,
+            )
+            spans = last - first + 1
+            element_of = np.repeat(np.arange(len(node_set)), spans)
+            offsets = np.arange(len(element_of)) - np.repeat(
+                np.cumsum(spans) - spans, spans
+            )
+            bucket_of = first[element_of] + offsets
+            counts = np.bincount(bucket_of, minlength=count).astype(np.int64)
+            if length_mode == "clipped":
+                contributions = np.minimum(
+                    ends[element_of], edge_array[bucket_of + 1]
+                ) - np.maximum(starts[element_of], edge_array[bucket_of])
+            else:
+                contributions = (ends - starts)[element_of].astype(
+                    np.float64
+                )
+            np.add.at(lengths, bucket_of, contributions)
+        buckets = [
+            PLBucket(
+                i,
+                bounds[i].wss,
+                bounds[i].wse,
+                int(counts[i]),
+                float(lengths[i]),
+            )
             for i in range(count)
         ]
         return cls(buckets, "ancestor")
@@ -179,6 +252,65 @@ class PLHistogram:
         return cls(buckets, "descendant")
 
 
+def _edges_key(edges: list[float] | None) -> tuple[float, ...] | None:
+    return None if edges is None else tuple(edges)
+
+
+def build_ancestor_cached(
+    node_set: NodeSet,
+    workspace: Workspace,
+    num_buckets: int,
+    length_mode: LengthMode = "clipped",
+    edges: list[float] | None = None,
+    cache: SummaryCache | None = None,
+) -> PLHistogram:
+    """:meth:`PLHistogram.build_ancestor` through the summary cache.
+
+    With no explicit or ambient cache this is a plain build.  The key
+    covers everything that shapes the histogram: set content, workspace,
+    bucket count, length mode and (for equi-depth) the literal edges.
+    """
+    cache = resolve_cache(cache)
+    build = lambda: PLHistogram.build_ancestor(  # noqa: E731
+        node_set, workspace, num_buckets, length_mode, edges
+    )
+    if cache is None:
+        return build()
+    key = (
+        "pl-ancestor",
+        node_set.fingerprint,
+        workspace,
+        num_buckets,
+        length_mode,
+        _edges_key(edges),
+    )
+    return cache.get_or_build(key, build)
+
+
+def build_descendant_cached(
+    node_set: NodeSet,
+    workspace: Workspace,
+    num_buckets: int,
+    edges: list[float] | None = None,
+    cache: SummaryCache | None = None,
+) -> PLHistogram:
+    """:meth:`PLHistogram.build_descendant` through the summary cache."""
+    cache = resolve_cache(cache)
+    build = lambda: PLHistogram.build_descendant(  # noqa: E731
+        node_set, workspace, num_buckets, edges
+    )
+    if cache is None:
+        return build()
+    key = (
+        "pl-descendant",
+        node_set.fingerprint,
+        workspace,
+        num_buckets,
+        _edges_key(edges),
+    )
+    return cache.get_or_build(key, build)
+
+
 class PLHistogramEstimator(Estimator):
     """PL-Hist-Est (Algorithm 1) with the MRE confidence measure.
 
@@ -187,6 +319,8 @@ class PLHistogramEstimator(Estimator):
             with ``budget``.
         budget: a byte budget converted at 20 bytes per bucket.
         length_mode: see module docstring.
+        cache: summary cache for built histograms; defaults to the
+            ambient cache installed by :func:`repro.perf.use_cache`.
     """
 
     name = "PL"
@@ -197,6 +331,7 @@ class PLHistogramEstimator(Estimator):
         budget: SpaceBudget | None = None,
         length_mode: LengthMode = "clipped",
         bucketing: Bucketing = "equi-width",
+        cache: SummaryCache | None = None,
     ) -> None:
         if (num_buckets is None) == (budget is None):
             raise EstimationError(
@@ -212,6 +347,7 @@ class PLHistogramEstimator(Estimator):
         self.num_buckets = resolved
         self.length_mode: LengthMode = length_mode
         self.bucketing: Bucketing = bucketing
+        self.cache = cache
 
     def estimate(
         self,
@@ -222,15 +358,32 @@ class PLHistogramEstimator(Estimator):
         workspace = self.resolve_workspace(ancestors, descendants, workspace)
         if len(ancestors) == 0 or len(descendants) == 0:
             return Estimate(0.0, self.name, mre=0.0)
+        cache = resolve_cache(self.cache)
         edges = None
         if self.bucketing == "equi-depth":
-            edges = equi_depth_edges(descendants, workspace, self.num_buckets)
-        hist_a = PLHistogram.build_ancestor(
+            if cache is None:
+                edges = equi_depth_edges(
+                    descendants, workspace, self.num_buckets
+                )
+            else:
+                edges = cache.get_or_build(
+                    (
+                        "pl-edges",
+                        descendants.fingerprint,
+                        workspace,
+                        self.num_buckets,
+                    ),
+                    lambda: equi_depth_edges(
+                        descendants, workspace, self.num_buckets
+                    ),
+                )
+        hist_a = build_ancestor_cached(
             ancestors, workspace, self.num_buckets, self.length_mode,
-            edges=edges,
+            edges=edges, cache=cache,
         )
-        hist_d = PLHistogram.build_descendant(
-            descendants, workspace, self.num_buckets, edges=edges
+        hist_d = build_descendant_cached(
+            descendants, workspace, self.num_buckets, edges=edges,
+            cache=cache,
         )
         return self.estimate_from_histograms(hist_a, hist_d)
 

@@ -6,13 +6,26 @@ under the same setting (Section 6.1).  A :class:`MethodSpec` wraps an
 estimator factory so each run gets an independently seeded instance;
 :func:`evaluate` produces one :class:`QueryRow` per query with the
 aggregated error of every method.
+
+Performance controls (see ``docs/ARCHITECTURE.md``):
+
+* ``cache=`` installs a :class:`~repro.perf.SummaryCache` around the
+  sweep, so histograms shared between queries, methods and repetitions
+  build once;
+* ``workers=`` fans queries out over forked worker processes.  Every
+  per-query seed is derived from the master generator *before* the
+  fan-out, in the exact order the serial loop would draw them, so
+  ``workers=N`` returns rows identical to ``workers=1``.
 """
 
 from __future__ import annotations
 
+import math
+import multiprocessing
 import statistics
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Literal, Sequence
+from typing import Any, Callable, Literal, Sequence
 
 from repro.core.budget import SpaceBudget
 from repro.core.nodeset import NodeSet
@@ -26,6 +39,7 @@ from repro.estimators.ph_histogram import PHHistogramEstimator
 from repro.estimators.pl_histogram import PLHistogramEstimator
 from repro.estimators.pm_sampling import PMSamplingEstimator
 from repro.join import containment_join_size
+from repro.perf.cache import SummaryCache, use_cache
 
 Aggregation = Literal["mean_error", "error_of_mean"]
 
@@ -119,6 +133,60 @@ def run_method(
     return error, mean_estimate
 
 
+def _evaluate_query(
+    dataset: Dataset,
+    query: Query,
+    methods: Sequence[MethodSpec],
+    workspace: Workspace,
+    runs: int,
+    method_seeds: Sequence[int],
+    aggregation: Aggregation,
+) -> QueryRow:
+    """One query against every method, with pre-derived per-method seeds."""
+    ancestors, descendants = query.operands(dataset)
+    true_size = containment_join_size(ancestors, descendants)
+    row = QueryRow(query=query, true_size=true_size)
+    for method, method_seed in zip(methods, method_seeds):
+        error, mean_estimate = run_method(
+            method,
+            ancestors,
+            descendants,
+            workspace,
+            true_size,
+            runs,
+            method_seed,
+            aggregation,
+        )
+        row.errors[method.label] = error
+        row.estimates[method.label] = mean_estimate
+    return row
+
+
+#: Fork-inherited state for worker processes.  ``MethodSpec`` factories
+#: are closures that cannot be pickled, so the parallel path relies on
+#: fork semantics: the parent publishes the evaluation context here and
+#: workers receive it by memory inheritance, exchanging only query
+#: indices and result rows over the pipe.
+_FORK_STATE: dict[str, Any] | None = None
+
+
+def _evaluate_query_by_index(index: int) -> QueryRow:
+    state = _FORK_STATE
+    assert state is not None, "worker started without fork state"
+    cache: SummaryCache | None = state["cache"]
+    scope = use_cache(cache) if cache is not None else nullcontext()
+    with scope:
+        return _evaluate_query(
+            state["dataset"],
+            state["queries"][index],
+            state["methods"],
+            state["workspace"],
+            state["runs"],
+            state["seeds"][index],
+            state["aggregation"],
+        )
+
+
 def evaluate(
     dataset: Dataset,
     queries: Sequence[Query],
@@ -126,27 +194,93 @@ def evaluate(
     runs: int = 11,
     seed: int = 0,
     aggregation: Aggregation = "mean_error",
+    workers: int | None = None,
+    cache: SummaryCache | None = None,
 ) -> list[QueryRow]:
-    """Run every method on every query of one dataset."""
+    """Run every method on every query of one dataset.
+
+    Args:
+        workers: fan queries out over this many forked worker processes.
+            Per-query seeds are derived up front from the master
+            generator, so any worker count returns rows identical to the
+            serial run.  Falls back to serial execution on platforms
+            without the fork start method.
+        cache: summary cache installed (ambiently) around the sweep;
+            histogram-based methods then build each summary once per
+            distinct (node set, workspace, configuration).  Forked
+            workers inherit a copy-on-write snapshot of it.
+    """
     workspace = dataset.tree.workspace()
-    rows: list[QueryRow] = []
     rng = make_rng(seed)
-    for query in queries:
-        ancestors, descendants = query.operands(dataset)
-        true_size = containment_join_size(ancestors, descendants)
-        row = QueryRow(query=query, true_size=true_size)
-        for method in methods:
-            error, mean_estimate = run_method(
-                method,
-                ancestors,
-                descendants,
+    seeds = [
+        [int(rng.integers(0, 2**63 - 1)) for __ in methods]
+        for __ in queries
+    ]
+    worker_count = min(workers or 1, len(queries))
+    if worker_count > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        if context is not None:
+            return _evaluate_parallel(
+                dataset,
+                queries,
+                methods,
                 workspace,
-                true_size,
                 runs,
-                int(rng.integers(0, 2**63 - 1)),
+                seeds,
+                aggregation,
+                cache,
+                worker_count,
+                context,
+            )
+    scope = use_cache(cache) if cache is not None else nullcontext()
+    with scope:
+        return [
+            _evaluate_query(
+                dataset,
+                query,
+                methods,
+                workspace,
+                runs,
+                seeds[index],
                 aggregation,
             )
-            row.errors[method.label] = error
-            row.estimates[method.label] = mean_estimate
-        rows.append(row)
-    return rows
+            for index, query in enumerate(queries)
+        ]
+
+
+def _evaluate_parallel(
+    dataset: Dataset,
+    queries: Sequence[Query],
+    methods: Sequence[MethodSpec],
+    workspace: Workspace,
+    runs: int,
+    seeds: list[list[int]],
+    aggregation: Aggregation,
+    cache: SummaryCache | None,
+    worker_count: int,
+    context: multiprocessing.context.BaseContext,
+) -> list[QueryRow]:
+    global _FORK_STATE
+    _FORK_STATE = {
+        "dataset": dataset,
+        "queries": list(queries),
+        "methods": list(methods),
+        "workspace": workspace,
+        "runs": runs,
+        "seeds": seeds,
+        "aggregation": aggregation,
+        "cache": cache,
+    }
+    try:
+        with context.Pool(worker_count) as pool:
+            chunksize = max(1, math.ceil(len(queries) / (worker_count * 4)))
+            return pool.map(
+                _evaluate_query_by_index,
+                range(len(queries)),
+                chunksize=chunksize,
+            )
+    finally:
+        _FORK_STATE = None

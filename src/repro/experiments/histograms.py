@@ -19,6 +19,7 @@ from repro.estimators.pl_histogram import PLHistogramEstimator
 from repro.experiments.data import get_dataset
 from repro.experiments.harness import MethodSpec, evaluate
 from repro.experiments.report import format_series, format_table
+from repro.perf.cache import SummaryCache
 
 #: Bucket counts swept in Figure 7(a)/(b).
 BUCKET_SWEEP = (5, 10, 15, 20, 25, 30, 35, 40, 45)
@@ -61,16 +62,32 @@ def run_bucket_sweep(
     bucket_counts: tuple[int, ...] = BUCKET_SWEEP,
     scale: float = 1.0,
     queries: list[Query] | None = None,
+    workers: int | None = None,
+    cache: SummaryCache | None = None,
 ) -> HistogramSweep:
-    """Figure 7(a) (method="PH") or 7(b) (method="PL")."""
+    """Figure 7(a) (method="PH") or 7(b) (method="PL").
+
+    One summary cache (created here unless supplied) spans the whole
+    bucket sweep, so a tag appearing in several queries has its summary
+    built once per bucket count rather than once per query.
+    """
     dataset = get_dataset(dataset_name, scale=scale)
     if queries is None:
         queries = ALL_WORKLOADS[dataset_name]
+    if cache is None:
+        cache = SummaryCache()
     series: dict[str, list[tuple[float, float]]] = {
         q.id: [] for q in queries
     }
     for buckets in bucket_counts:
-        rows = evaluate(dataset, queries, [_method(method, buckets)], runs=1)
+        rows = evaluate(
+            dataset,
+            queries,
+            [_method(method, buckets)],
+            runs=1,
+            workers=workers,
+            cache=cache,
+        )
         for row in rows:
             series[row.query.id].append(
                 (float(buckets), row.errors[method])
@@ -83,15 +100,21 @@ def run_histogram_comparison(
     ph_cells: int = 50,
     pl_buckets: int = 20,
     scale: float = 1.0,
+    workers: int | None = None,
+    cache: SummaryCache | None = None,
 ) -> str:
     """Figure 7(c): PH vs PL per query at a fixed (400-byte) budget."""
     dataset = get_dataset(dataset_name, scale=scale)
     queries = ALL_WORKLOADS[dataset_name]
+    if cache is None:
+        cache = SummaryCache()
     rows = evaluate(
         dataset,
         queries,
         [_method("PH", ph_cells), _method("PL", pl_buckets)],
         runs=1,
+        workers=workers,
+        cache=cache,
     )
     return format_table(
         ["query", "true size", "PH", "PL"],

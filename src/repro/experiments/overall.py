@@ -15,6 +15,7 @@ from repro.datasets.workloads import ALL_WORKLOADS
 from repro.experiments.data import get_dataset
 from repro.experiments.harness import QueryRow, evaluate, paper_methods
 from repro.experiments.report import format_table
+from repro.perf.cache import SummaryCache
 
 METHOD_ORDER = ("PH", "PL", "IM", "PM")
 
@@ -53,20 +54,33 @@ def run_overall(
     scale: float = 1.0,
     runs: int = 11,
     seed: int = 0,
+    workers: int | None = None,
+    cache: SummaryCache | None = None,
 ) -> list[OverallResult]:
     """Run the overall-performance experiment for one dataset.
 
     Returns one :class:`OverallResult` per budget (default: the paper's
-    200/400/800 bytes, i.e. panels (a)-(c) of Figure 5 or 6).
+    200/400/800 bytes, i.e. panels (a)-(c) of Figure 5 or 6).  One
+    summary cache (created here unless supplied) spans every budget, so
+    the histogram methods build each per-budget summary exactly once
+    across the whole sweep; ``workers`` fans queries out per budget.
     """
     if not budgets:
         budgets = paper_budgets()
     dataset = get_dataset(dataset_name, scale=scale)
     queries = ALL_WORKLOADS[dataset_name]
+    if cache is None:
+        cache = SummaryCache()
     results = []
     for budget in budgets:
         rows = evaluate(
-            dataset, queries, paper_methods(budget), runs=runs, seed=seed
+            dataset,
+            queries,
+            paper_methods(budget),
+            runs=runs,
+            seed=seed,
+            workers=workers,
+            cache=cache,
         )
         results.append(OverallResult(dataset_name, budget, rows))
     return results

@@ -10,7 +10,7 @@ O(|A| log |D| + output).
 
 from __future__ import annotations
 
-from bisect import bisect_right
+import numpy as np
 
 from repro.core.element import Element
 from repro.core.nodeset import NodeSet
@@ -23,13 +23,18 @@ def merge_join(
 
     Pairs are produced in (a.start, d.start) order — the same order as
     :func:`repro.join.naive.nested_loop_join`.
+
+    The descendant start array is the node set's cached numpy view, built
+    once; both the backtrack position and the scan bound come from binary
+    searches on it, so the per-ancestor work is O(log |D| + matches) with
+    no per-call Python list construction.
     """
     result: list[tuple[Element, Element]] = []
-    d_starts = [d.start for d in descendants]
+    d_starts = descendants.starts
     d_elements = descendants.elements
     for a in ancestors:
-        cursor = bisect_right(d_starts, a.start)
-        while cursor < len(d_elements) and d_starts[cursor] < a.end:
-            result.append((a, d_elements[cursor]))
-            cursor += 1
+        lo = int(np.searchsorted(d_starts, a.start, side="right"))
+        hi = int(np.searchsorted(d_starts, a.end, side="left"))
+        for d in d_elements[lo:hi]:
+            result.append((a, d))
     return result

@@ -16,6 +16,7 @@ with distinct codes, and that the ancestor and descendant sets are disjoint
 from repro.models.interval import (
     interval_view,
     point_view,
+    prepare_intervals,
     stabbing_pairs_count,
 )
 from repro.models.position import (
@@ -30,6 +31,7 @@ __all__ = [
     "inner_product_size",
     "interval_view",
     "point_view",
+    "prepare_intervals",
     "stabbing_pairs_count",
     "start_table",
     "turning_points",

@@ -30,8 +30,35 @@ def point_view(node_set: NodeSet) -> np.ndarray:
     return node_set.starts.copy()
 
 
+#: Sorted start and end code arrays, ready for the rank computation.
+PreparedIntervals = tuple[np.ndarray, np.ndarray]
+
+
+def prepare_intervals(
+    intervals: NodeSet | list[tuple[int, int]] | PreparedIntervals,
+) -> PreparedIntervals:
+    """Sorted ``(starts, ends)`` arrays for :func:`stabbing_pairs_count`.
+
+    Callers probing the same interval collection repeatedly should
+    prepare once and pass the result back in — a plain interval list
+    otherwise pays an O(n log n) conversion-and-sort on every call.
+    ``NodeSet`` operands are free either way: their sorted views are
+    cached on the set.
+    """
+    if isinstance(intervals, NodeSet):
+        return intervals.starts, intervals.sorted_ends
+    if (
+        isinstance(intervals, tuple)
+        and len(intervals) == 2
+        and isinstance(intervals[0], np.ndarray)
+    ):
+        return intervals
+    pairs = np.asarray(intervals, dtype=np.int64).reshape(-1, 2)
+    return np.sort(pairs[:, 0]), np.sort(pairs[:, 1])
+
+
 def stabbing_pairs_count(
-    intervals: NodeSet | list[tuple[int, int]],
+    intervals: NodeSet | list[tuple[int, int]] | PreparedIntervals,
     points: np.ndarray,
 ) -> int:
     """Number of (interval, point) pairs with the point inside the interval.
@@ -39,13 +66,12 @@ def stabbing_pairs_count(
     Containment is inclusive (``start <= p <= end``); with distinct region
     codes and disjoint operand sets this equals the strict join condition,
     so by Theorem 1 it equals the containment join size.
+
+    ``intervals`` may be a node set, a raw ``(start, end)`` list, or the
+    output of :func:`prepare_intervals` (preferred when probing the same
+    collection with several point sets).
     """
-    if isinstance(intervals, NodeSet):
-        starts = intervals.starts
-        ends = intervals.sorted_ends
-    else:
-        starts = np.sort(np.array([s for s, _ in intervals], dtype=np.int64))
-        ends = np.sort(np.array([e for _, e in intervals], dtype=np.int64))
+    starts, ends = prepare_intervals(intervals)
     if len(starts) == 0 or len(points) == 0:
         return 0
     started = np.searchsorted(starts, points, side="right")

@@ -13,22 +13,29 @@ Theorem 2: ``|A ⋈ D| = Σ_v PMA(A)[v] · PMD(D)[v]``.
 ``PMA`` is piecewise constant with only O(|S|) *turning points* — positions
 where its value changes — which is what the T-tree index stores
 (Section 5.3.1 and Figure 4).
+
+The public builders are numpy bulk operations (difference arrays filled
+with ``np.add.at``, breakpoints aggregated with ``np.unique``/
+``np.bincount``); the original per-element loops are retained as
+``*_reference`` functions and stay the semantics of record — the property
+suite asserts both paths agree bit for bit, and
+:func:`repro.perf.reference_kernels` re-selects them package-wide for
+benchmarking.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
 
 
-def covering_table(node_set: NodeSet, workspace: Workspace) -> np.ndarray:
-    """Dense ``PMA`` array over every integer position of ``workspace``.
-
-    ``result[v - workspace.lo]`` is the number of regions covering ``v``.
-    Built in O(|S| + W) with a difference array.
-    """
+def covering_table_reference(
+    node_set: NodeSet, workspace: Workspace
+) -> np.ndarray:
+    """Per-element loop implementation of :func:`covering_table`."""
     width = workspace.width
     delta = np.zeros(width + 1, dtype=np.int64)
     for element in node_set:
@@ -41,12 +48,43 @@ def covering_table(node_set: NodeSet, workspace: Workspace) -> np.ndarray:
     return np.cumsum(delta[:-1])
 
 
-def start_table(node_set: NodeSet, workspace: Workspace) -> np.ndarray:
-    """Dense ``PMD`` 0/1 array over every integer position of ``workspace``."""
+def covering_table(node_set: NodeSet, workspace: Workspace) -> np.ndarray:
+    """Dense ``PMA`` array over every integer position of ``workspace``.
+
+    ``result[v - workspace.lo]`` is the number of regions covering ``v``.
+    Built in O(|S| + W) with a difference array.
+    """
+    if perf.reference_kernels_enabled():
+        return covering_table_reference(node_set, workspace)
+    width = workspace.width
+    delta = np.zeros(width + 1, dtype=np.int64)
+    lo = np.maximum(node_set.starts, workspace.lo)
+    hi = np.minimum(node_set.ends, workspace.hi)
+    valid = lo <= hi
+    np.add.at(delta, lo[valid] - workspace.lo, 1)
+    np.add.at(delta, hi[valid] - workspace.lo + 1, -1)
+    return np.cumsum(delta[:-1])
+
+
+def start_table_reference(
+    node_set: NodeSet, workspace: Workspace
+) -> np.ndarray:
+    """Per-element loop implementation of :func:`start_table`."""
     table = np.zeros(workspace.width, dtype=np.int64)
     for element in node_set:
         if workspace.contains(element.start):
             table[element.start - workspace.lo] = 1
+    return table
+
+
+def start_table(node_set: NodeSet, workspace: Workspace) -> np.ndarray:
+    """Dense ``PMD`` 0/1 array over every integer position of ``workspace``."""
+    if perf.reference_kernels_enabled():
+        return start_table_reference(node_set, workspace)
+    table = np.zeros(workspace.width, dtype=np.int64)
+    starts = node_set.starts
+    inside = starts[(starts >= workspace.lo) & (starts <= workspace.hi)]
+    table[inside - workspace.lo] = 1
     return table
 
 
@@ -59,16 +97,8 @@ def inner_product_size(pma: np.ndarray, pmd: np.ndarray) -> int:
     return int(np.dot(pma, pmd))
 
 
-def turning_points(node_set: NodeSet) -> list[tuple[int, int]]:
-    """The sparse encoding of ``PMA``: ``(position, value)`` change points.
-
-    Returns pairs ``(K, PMA[K])`` for every position ``K`` where
-    ``PMA[K] != PMA[K - 1]``; between consecutive turning points the table
-    is constant.  There are at most ``2·|S|`` such points.
-
-    ``PMA`` steps up at every ``e.start`` and steps down just after every
-    ``e.end`` (position ``e.end`` itself is still covered).
-    """
+def turning_points_reference(node_set: NodeSet) -> list[tuple[int, int]]:
+    """Per-element loop implementation of :func:`turning_points`."""
     if len(node_set) == 0:
         return []
     deltas: dict[int, int] = {}
@@ -84,3 +114,35 @@ def turning_points(node_set: NodeSet) -> list[tuple[int, int]]:
         value += change
         points.append((position, value))
     return points
+
+
+def turning_points(node_set: NodeSet) -> list[tuple[int, int]]:
+    """The sparse encoding of ``PMA``: ``(position, value)`` change points.
+
+    Returns pairs ``(K, PMA[K])`` for every position ``K`` where
+    ``PMA[K] != PMA[K - 1]``; between consecutive turning points the table
+    is constant.  There are at most ``2·|S|`` such points.
+
+    ``PMA`` steps up at every ``e.start`` and steps down just after every
+    ``e.end`` (position ``e.end`` itself is still covered).
+    """
+    if perf.reference_kernels_enabled():
+        return turning_points_reference(node_set)
+    if len(node_set) == 0:
+        return []
+    breakpoints = np.concatenate((node_set.starts, node_set.ends + 1))
+    signs = np.concatenate(
+        (
+            np.ones(len(node_set), dtype=np.int64),
+            -np.ones(len(node_set), dtype=np.int64),
+        )
+    )
+    positions, inverse = np.unique(breakpoints, return_inverse=True)
+    changes = np.bincount(
+        inverse, weights=signs, minlength=len(positions)
+    ).astype(np.int64)
+    keep = changes != 0
+    values = np.cumsum(changes[keep])
+    return list(
+        zip(positions[keep].tolist(), values.tolist())
+    )

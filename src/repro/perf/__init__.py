@@ -1,0 +1,62 @@
+"""The performance layer: vectorized kernels, summary caching, parallelism.
+
+Three coordinated pieces (see ``docs/ARCHITECTURE.md``, "Performance
+architecture"):
+
+* **kernels** — the histogram/table builders in ``repro.models`` and
+  ``repro.estimators`` are numpy bulk operations; the original
+  per-element loops are retained as ``*_reference`` functions and the
+  property suite asserts bit-for-bit agreement.  :func:`reference_kernels`
+  switches the package back to the loop implementations, which is how
+  ``benchmarks/bench_runner.py`` measures the speedup.
+* **cache** — :class:`SummaryCache` memoizes built summaries under
+  content keys so budget/method sweeps build each one once.
+* **parallel harness** — ``repro.experiments.harness.evaluate`` fans
+  queries out over worker processes (``workers=``) with deterministic
+  per-query seeding.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.perf.cache import (
+    SummaryCache,
+    active_cache,
+    resolve_cache,
+    use_cache,
+)
+
+__all__ = [
+    "SummaryCache",
+    "active_cache",
+    "resolve_cache",
+    "use_cache",
+    "reference_kernels",
+    "reference_kernels_enabled",
+]
+
+_reference_mode = False
+
+
+def reference_kernels_enabled() -> bool:
+    """True while the retained loop implementations are selected."""
+    return _reference_mode
+
+
+@contextmanager
+def reference_kernels(enabled: bool = True) -> Iterator[None]:
+    """Run the block with the ``*_reference`` loop kernels.
+
+    Only the benchmark runner and the property tests should need this;
+    it exists so the vectorized and reference paths stay comparable
+    through the exact same public entry points.
+    """
+    global _reference_mode
+    previous = _reference_mode
+    _reference_mode = enabled
+    try:
+        yield
+    finally:
+        _reference_mode = previous

@@ -1,0 +1,147 @@
+"""Content-keyed LRU cache for built summaries.
+
+A sweep over budgets × methods × repetitions re-derives the same PL/PH/
+coverage summaries for every configuration; this module lets every
+consumer (estimators, the statistics catalog, the experiment harness)
+build each summary exactly once.
+
+Keys are *content* keys: the node set contributes its
+:attr:`~repro.core.nodeset.NodeSet.fingerprint` — a digest of its region
+codes — so two node sets with identical elements share cache entries no
+matter how they were obtained, while any mutation-by-reconstruction
+changes the key.  The remaining key components identify the summary kind,
+the join role, the workspace and every estimator parameter that affects
+the built artifact.
+
+Two usage styles:
+
+* explicit — pass a :class:`SummaryCache` to the consumer
+  (``PLHistogramEstimator(cache=...)``, ``StatisticsCatalog(cache=...)``);
+* ambient — install one for a region of code with :func:`use_cache`;
+  consumers constructed without an explicit cache pick it up.  The
+  experiment harness wraps its query loop this way.
+
+The cache is bounded (LRU eviction) and thread-safe; cached artifacts are
+treated as immutable by every consumer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Hashable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+#: Default number of summaries kept before LRU eviction kicks in.  A
+#: summary is a few hundred bytes to a few KB, so even the default is
+#: small; sweeps needing more can size their own cache.
+DEFAULT_MAXSIZE = 1024
+
+
+class SummaryCache:
+    """A bounded, thread-safe LRU cache for built estimator summaries.
+
+    Args:
+        maxsize: entries kept before the least recently used is evicted.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, building it on a miss.
+
+        The builder runs outside the lock, so a slow build does not block
+        other threads; if two threads race on the same missing key the
+        second build wins (both produce identical content-keyed values).
+        """
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+        value = builder()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss/eviction counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> dict[str, int | float]:
+        """Counters plus the hit rate (0.0 when never consulted)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"SummaryCache(size={len(self._data)}, maxsize={self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ambient cache
+# ----------------------------------------------------------------------
+
+_local = threading.local()
+
+
+def active_cache() -> SummaryCache | None:
+    """The ambient cache installed by :func:`use_cache`, if any."""
+    return getattr(_local, "cache", None)
+
+
+def resolve_cache(explicit: SummaryCache | None) -> SummaryCache | None:
+    """An explicitly supplied cache, else the ambient one, else None."""
+    return explicit if explicit is not None else active_cache()
+
+
+@contextmanager
+def use_cache(cache: SummaryCache | None) -> Iterator[SummaryCache | None]:
+    """Install ``cache`` as the ambient summary cache for the block.
+
+    Passing None makes the block run uncached even inside an outer
+    :func:`use_cache` region.  The ambient cache is thread-local: worker
+    threads (and forked worker processes) each install their own.
+    """
+    previous = getattr(_local, "cache", None)
+    _local.cache = cache
+    try:
+        yield cache
+    finally:
+        _local.cache = previous

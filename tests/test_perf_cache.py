@@ -1,0 +1,185 @@
+"""Summary cache, ambient installation, and parallel-harness determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import StatisticsCatalog
+from repro.core.budget import SpaceBudget
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+from repro.datasets.workloads import ALL_WORKLOADS
+from repro.estimators.coverage_histogram import CoverageHistogramEstimator
+from repro.estimators.ph_histogram import PHHistogramEstimator
+from repro.estimators.pl_histogram import PLHistogramEstimator
+from repro.experiments.data import get_dataset
+from repro.experiments.harness import evaluate, paper_methods
+from repro.perf import (
+    SummaryCache,
+    active_cache,
+    resolve_cache,
+    use_cache,
+)
+
+
+class TestSummaryCache:
+    def test_get_or_build_builds_once(self):
+        cache = SummaryCache()
+        calls = []
+        for __ in range(3):
+            value = cache.get_or_build("k", lambda: calls.append(1) or 42)
+        assert value == 42
+        assert calls == [1]
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = SummaryCache(maxsize=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        cache.get_or_build("a", lambda: 1)  # refresh a: b is now LRU
+        cache.get_or_build("c", lambda: 3)  # evicts b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            SummaryCache(maxsize=0)
+
+    def test_stats_and_clear(self):
+        cache = SummaryCache()
+        cache.get_or_build("k", lambda: 1)
+        cache.get_or_build("k", lambda: 1)
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hit_rate"] == 0.0
+
+
+class TestAmbientCache:
+    def test_install_and_restore(self):
+        assert active_cache() is None
+        outer, inner = SummaryCache(), SummaryCache()
+        with use_cache(outer):
+            assert active_cache() is outer
+            with use_cache(inner):
+                assert active_cache() is inner
+            assert active_cache() is outer
+        assert active_cache() is None
+
+    def test_none_disables_nested_region(self):
+        with use_cache(SummaryCache()):
+            with use_cache(None):
+                assert active_cache() is None
+
+    def test_resolve_prefers_explicit(self):
+        explicit, ambient = SummaryCache(), SummaryCache()
+        with use_cache(ambient):
+            assert resolve_cache(explicit) is explicit
+            assert resolve_cache(None) is ambient
+        assert resolve_cache(None) is None
+
+
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        a = NodeSet([Element("x", 1, 4, 0), Element("x", 2, 3, 1)])
+        b = NodeSet([Element("y", 2, 3, 1), Element("y", 1, 4, 0)])
+        assert a.fingerprint == b.fingerprint  # tags/order don't matter
+
+    def test_different_content_different_fingerprint(self):
+        a = NodeSet([Element("x", 1, 4, 0)])
+        b = NodeSet([Element("x", 1, 5, 0)])
+        assert a.fingerprint != b.fingerprint
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return get_dataset("dblp", scale=0.05)
+
+
+class TestCachedEstimatorParity:
+    """Cached results must be bit-identical to uncached ones."""
+
+    def _operands(self, dataset):
+        query = ALL_WORKLOADS["dblp"][0]
+        return query.operands(dataset)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda c: PLHistogramEstimator(num_buckets=20, cache=c),
+            lambda c: PLHistogramEstimator(
+                num_buckets=20, bucketing="equi-depth", cache=c
+            ),
+            lambda c: PHHistogramEstimator(num_cells=49, cache=c),
+            lambda c: CoverageHistogramEstimator(num_buckets=10, cache=c),
+        ],
+    )
+    def test_estimates_identical(self, dblp, make):
+        ancestors, descendants = self._operands(dblp)
+        plain = make(None).estimate(ancestors, descendants)
+        cache = SummaryCache()
+        cached_estimator = make(cache)
+        first = cached_estimator.estimate(ancestors, descendants)
+        again = cached_estimator.estimate(ancestors, descendants)
+        assert first.value == plain.value
+        assert again.value == plain.value
+        assert cache.hits > 0  # second call actually hit
+
+    def test_catalog_uses_cache(self, dblp):
+        cache = SummaryCache()
+        catalog = StatisticsCatalog(dblp.tree, SpaceBudget(400), cache=cache)
+        plain = StatisticsCatalog(dblp.tree, SpaceBudget(400))
+        cached = catalog.estimate_join("inproceeding", "author")
+        direct = plain.estimate_join("inproceeding", "author")
+        assert cached.value == direct.value
+        assert cache.misses > 0
+
+    def test_evaluate_cached_equals_uncached(self, dblp):
+        queries = ALL_WORKLOADS["dblp"][:3]
+        methods = paper_methods(SpaceBudget(400))
+        plain = evaluate(dblp, queries, methods, runs=2, seed=7)
+        cache = SummaryCache()
+        cached = evaluate(
+            dblp, queries, methods, runs=2, seed=7, cache=cache
+        )
+        assert cached == plain
+        assert cache.hits > 0
+
+
+class TestParallelHarness:
+    def test_workers_identical_to_serial(self, dblp):
+        queries = ALL_WORKLOADS["dblp"]
+        methods = paper_methods(SpaceBudget(400))
+        serial = evaluate(dblp, queries, methods, runs=2, seed=11)
+        parallel = evaluate(
+            dblp, queries, methods, runs=2, seed=11, workers=2
+        )
+        assert parallel == serial
+
+    def test_workers_with_cache_identical(self, dblp):
+        queries = ALL_WORKLOADS["dblp"]
+        methods = paper_methods(SpaceBudget(400))
+        serial = evaluate(dblp, queries, methods, runs=2, seed=11)
+        parallel = evaluate(
+            dblp,
+            queries,
+            methods,
+            runs=2,
+            seed=11,
+            workers=2,
+            cache=SummaryCache(),
+        )
+        assert parallel == serial
+
+    def test_single_worker_takes_serial_path(self, dblp):
+        queries = ALL_WORKLOADS["dblp"][:2]
+        methods = paper_methods(SpaceBudget(400))
+        assert evaluate(
+            dblp, queries, methods, runs=1, seed=3, workers=1
+        ) == evaluate(dblp, queries, methods, runs=1, seed=3)

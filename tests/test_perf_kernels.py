@@ -1,0 +1,273 @@
+"""Vectorized kernels must equal the retained ``*_reference`` loops.
+
+Every comparison here is *bit for bit*: integer tables with
+``np.array_equal``, float statistics with ``==``.  The vectorized paths
+are built to accumulate floats in the reference order (``np.add.at``
+applies updates sequentially), so exact equality is the contract, not an
+approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.coverage_histogram import (
+    CoverageHistogramEstimator,
+    bucket_coverage,
+    bucket_coverage_reference,
+    merged_intervals,
+    merged_intervals_reference,
+)
+from repro.estimators.ph_histogram import (
+    PHHistogramEstimator,
+    cell_histogram,
+    cell_histogram_reference,
+)
+from repro.estimators.pl_histogram import (
+    PLHistogram,
+    PLHistogramEstimator,
+    equi_depth_edges,
+)
+from repro.models.position import (
+    covering_table,
+    covering_table_reference,
+    start_table,
+    start_table_reference,
+    turning_points,
+    turning_points_reference,
+)
+from repro.xmltree.tree import TreeBuilder
+
+TAGS = ("a", "b", "c")
+
+
+@st.composite
+def random_node_sets(draw, max_size=50):
+    """A strictly nested node set from a random parent array."""
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    parents = [-1] + [
+        draw(st.integers(min_value=0, max_value=i - 1))
+        for i in range(1, size)
+    ]
+    tags = [draw(st.sampled_from(TAGS)) for __ in range(size)]
+    children: list[list[int]] = [[] for __ in range(size)]
+    for child, parent in enumerate(parents):
+        if parent >= 0:
+            children[parent].append(child)
+    builder = TreeBuilder()
+
+    def emit(node: int) -> None:
+        with builder.element(tags[node]):
+            for child in children[node]:
+                emit(child)
+
+    emit(0)
+    tree = builder.finish()
+    tag = draw(st.sampled_from(TAGS))
+    return NodeSet(
+        [e for e in tree.elements if e.tag == tag], name=tag, validate=False
+    )
+
+
+@st.composite
+def node_set_and_workspace(draw):
+    """A node set plus a workspace that may straddle its regions.
+
+    The workspace is drawn independently of the region codes, so some
+    elements lie fully outside it and others straddle its boundary —
+    exactly the clipping paths the kernels must get right.
+    """
+    node_set = draw(random_node_sets())
+    hi_limit = max(
+        (int(e.end) for e in node_set), default=4
+    ) + draw(st.integers(min_value=0, max_value=5))
+    lo = draw(st.integers(min_value=0, max_value=max(hi_limit - 1, 0)))
+    hi = draw(st.integers(min_value=lo + 1, max_value=hi_limit + 1))
+    return node_set, Workspace(lo, hi)
+
+
+EDGE_CASE_SETS = [
+    NodeSet([]),
+    NodeSet([Element("a", 1, 2, 0)]),
+    NodeSet([Element("a", 1, 100, 0)]),
+    NodeSet(
+        [
+            Element("a", 1, 40, 0),
+            Element("a", 2, 9, 1),
+            Element("a", 10, 39, 1),
+            Element("a", 11, 20, 2),
+        ]
+    ),
+]
+
+
+class TestPositionKernels:
+    @given(node_set_and_workspace())
+    @settings(max_examples=80, deadline=None)
+    def test_covering_table(self, case):
+        node_set, workspace = case
+        assert np.array_equal(
+            covering_table(node_set, workspace),
+            covering_table_reference(node_set, workspace),
+        )
+
+    @given(node_set_and_workspace())
+    @settings(max_examples=80, deadline=None)
+    def test_start_table(self, case):
+        node_set, workspace = case
+        assert np.array_equal(
+            start_table(node_set, workspace),
+            start_table_reference(node_set, workspace),
+        )
+
+    @given(random_node_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_turning_points(self, node_set):
+        assert turning_points(node_set) == turning_points_reference(
+            node_set
+        )
+
+    @pytest.mark.parametrize("node_set", EDGE_CASE_SETS)
+    def test_edge_cases(self, node_set):
+        workspace = Workspace(3, 15)  # straddles every non-trivial set
+        assert np.array_equal(
+            covering_table(node_set, workspace),
+            covering_table_reference(node_set, workspace),
+        )
+        assert np.array_equal(
+            start_table(node_set, workspace),
+            start_table_reference(node_set, workspace),
+        )
+        assert turning_points(node_set) == turning_points_reference(
+            node_set
+        )
+
+
+class TestPLKernels:
+    @staticmethod
+    def _assert_histograms_identical(built, reference):
+        assert len(built) == len(reference)
+        for ours, theirs in zip(built.buckets, reference.buckets):
+            assert ours == theirs  # dataclass equality: exact floats
+
+    @given(
+        node_set_and_workspace(),
+        st.integers(min_value=1, max_value=9),
+        st.sampled_from(["clipped", "full"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_build_ancestor(self, case, buckets, length_mode):
+        node_set, workspace = case
+        self._assert_histograms_identical(
+            PLHistogram.build_ancestor(
+                node_set, workspace, buckets, length_mode
+            ),
+            PLHistogram.build_ancestor_reference(
+                node_set, workspace, buckets, length_mode
+            ),
+        )
+
+    @given(node_set_and_workspace(), st.integers(min_value=2, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_build_ancestor_explicit_edges(self, case, buckets):
+        node_set, workspace = case
+        edges = equi_depth_edges(node_set, workspace, buckets)
+        self._assert_histograms_identical(
+            PLHistogram.build_ancestor(
+                node_set, workspace, buckets, edges=edges
+            ),
+            PLHistogram.build_ancestor_reference(
+                node_set, workspace, buckets, edges=edges
+            ),
+        )
+
+    @pytest.mark.parametrize("node_set", EDGE_CASE_SETS)
+    @pytest.mark.parametrize("length_mode", ["clipped", "full"])
+    def test_edge_cases(self, node_set, length_mode):
+        workspace = Workspace(3, 15)
+        self._assert_histograms_identical(
+            PLHistogram.build_ancestor(node_set, workspace, 4, length_mode),
+            PLHistogram.build_ancestor_reference(
+                node_set, workspace, 4, length_mode
+            ),
+        )
+
+
+class TestPHKernels:
+    @given(node_set_and_workspace(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_cell_histogram(self, case, side):
+        node_set, workspace = case
+        inside = node_set.restrict(workspace)
+        built = cell_histogram(inside, workspace, side)
+        reference = cell_histogram_reference(inside, workspace, side)
+        assert built == reference
+        # Insertion order must match too: it pins the downstream float
+        # accumulation order of the positional estimate.
+        assert list(built) == list(reference)
+
+    @given(random_node_sets(), random_node_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_full_estimate(self, ancestors, descendants):
+        estimator = PHHistogramEstimator(num_cells=16, use_coverage=False)
+        vectorized = estimator.estimate(ancestors, descendants)
+        with perf.reference_kernels():
+            reference = estimator.estimate(ancestors, descendants)
+        assert vectorized.value == reference.value
+
+
+class TestCoverageKernels:
+    @given(random_node_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_merged_intervals(self, node_set):
+        assert merged_intervals(node_set) == merged_intervals_reference(
+            node_set
+        )
+
+    @given(
+        random_node_sets(),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.1, max_value=60.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bucket_coverage(self, node_set, wss, width):
+        merged = merged_intervals_reference(node_set)
+        assert bucket_coverage(
+            merged, wss, wss + width
+        ) == bucket_coverage_reference(merged, wss, wss + width)
+
+    def test_bucket_coverage_empty_and_degenerate(self):
+        assert bucket_coverage([], 0.0, 10.0) == 0.0
+        assert bucket_coverage([(1, 5)], 10.0, 10.0) == 0.0
+
+    @given(random_node_sets(), random_node_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_full_estimate_both_modes(self, ancestors, descendants):
+        for mode in ("global", "local"):
+            estimator = CoverageHistogramEstimator(num_buckets=5, mode=mode)
+            vectorized = estimator.estimate(ancestors, descendants)
+            with perf.reference_kernels():
+                reference = estimator.estimate(ancestors, descendants)
+            assert vectorized.value == reference.value, mode
+
+
+class TestPLEstimatorParity:
+    @given(random_node_sets(), random_node_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_full_estimate(self, ancestors, descendants):
+        for bucketing in ("equi-width", "equi-depth"):
+            estimator = PLHistogramEstimator(
+                num_buckets=6, bucketing=bucketing
+            )
+            vectorized = estimator.estimate(ancestors, descendants)
+            with perf.reference_kernels():
+                reference = estimator.estimate(ancestors, descendants)
+            assert vectorized.value == reference.value, bucketing
+            assert vectorized.mre == reference.mre, bucketing
