@@ -13,13 +13,26 @@ retained reference implementations and writes ``BENCH_kernels.json``:
   cache.  The headline ``speedup`` compares reference to
   vectorized+cache.  Both paths are also checked for *identical* sweep
   output, so a kernel regression fails the run outright;
+* **obs_overhead** — the same sweep with :mod:`repro.obs`
+  instrumentation enabled (registry only, no sink) versus disabled;
+  the enabled-but-unsinked overhead is the number the instrumentation
+  layer promises to keep small;
 * **parallel** — the same sweep fanned out over worker processes.
+
+Every measurement is recorded through a :class:`repro.obs`
+``MetricsRegistry`` (as ``bench.*`` histograms) and the report's
+``metrics`` section is that registry's snapshot, so ``BENCH_*.json``
+and any telemetry stream agree by construction.  ``--telemetry FILE``
+additionally streams each measurement (and the instrumented sweep's
+per-call events) to ``FILE`` as JSONL for ``python -m repro
+obs-report``.
 
 Usage::
 
     python benchmarks/bench_runner.py            # full (scale 1.0)
     python benchmarks/bench_runner.py --quick    # CI smoke (scale 0.1)
     python benchmarks/bench_runner.py --min-speedup 5
+    python benchmarks/bench_runner.py --quick --telemetry telemetry.jsonl
 
 Exits non-zero when the reference/vectorized outputs disagree or when
 the sweep speedup falls below ``--min-speedup``.
@@ -28,8 +41,10 @@ the sweep speedup falls below ``--min-speedup``.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import multiprocessing
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -38,6 +53,7 @@ sys.path.insert(
     0, str(Path(__file__).resolve().parent.parent / "src")
 )
 
+from repro import obs  # noqa: E402
 from repro import perf  # noqa: E402
 from repro.estimators.ph_histogram import cell_histogram  # noqa: E402
 from repro.estimators.pl_histogram import PLHistogram  # noqa: E402
@@ -57,6 +73,23 @@ QUICK_SCALE = 0.1
 QUICK_BUCKETS = (5, 15, 25)
 FULL_SCALE = 1.0
 
+#: Every timing below lands in this registry as a ``bench.*`` histogram;
+#: the JSON report's ``metrics`` section is its snapshot, so telemetry
+#: and BENCH_*.json agree by construction.
+REGISTRY = obs.MetricsRegistry()
+
+#: Telemetry sink installed by ``--telemetry`` (module-level rather than
+#: ambient: the timed sweeps must run *uninstrumented* except where the
+#: obs-overhead phase enables observation deliberately).
+_SINK: obs.TelemetrySink | None = None
+
+
+def _record(name: str, seconds: float) -> None:
+    """One benchmark measurement: registry histogram + telemetry event."""
+    REGISTRY.histogram(f"bench.{name}").observe(seconds)
+    if _SINK is not None:
+        _SINK.emit({"event": "bench", "name": name, "seconds": seconds})
+
 
 def _best_of(callable_, repeats: int) -> float:
     best = float("inf")
@@ -67,11 +100,13 @@ def _best_of(callable_, repeats: int) -> float:
     return best
 
 
-def _timed_pair(callable_, repeats: int) -> dict[str, float]:
+def _timed_pair(name: str, callable_, repeats: int) -> dict[str, float]:
     """Time ``callable_`` under reference kernels and vectorized kernels."""
     with perf.reference_kernels():
         reference = _best_of(callable_, repeats)
     vectorized = _best_of(callable_, repeats)
+    _record(f"kernels.{name}.reference_s", reference)
+    _record(f"kernels.{name}.vectorized_s", vectorized)
     return {
         "reference_s": reference,
         "vectorized_s": vectorized,
@@ -85,20 +120,23 @@ def bench_kernels(dataset, repeats: int) -> dict[str, dict[str, float]]:
     intervals = dataset.node_set("text")  # large, self-nesting set
     results: dict[str, dict[str, float]] = {}
     results["covering_table"] = _timed_pair(
-        lambda: covering_table(intervals, workspace), repeats
+        "covering_table", lambda: covering_table(intervals, workspace),
+        repeats,
     )
     results["turning_points"] = _timed_pair(
-        lambda: turning_points(intervals), repeats
+        "turning_points", lambda: turning_points(intervals), repeats
     )
     results["pl_build_ancestor"] = _timed_pair(
+        "pl_build_ancestor",
         lambda: PLHistogram.build_ancestor(intervals, workspace, 20),
         repeats,
     )
     results["ph_cell_histogram"] = _timed_pair(
+        "ph_cell_histogram",
         lambda: cell_histogram(intervals, workspace, 7), repeats
     )
     results["merged_intervals"] = _timed_pair(
-        lambda: merged_intervals(intervals), repeats
+        "merged_intervals", lambda: merged_intervals(intervals), repeats
     )
     return results
 
@@ -137,6 +175,9 @@ def bench_fig7_sweep(scale: float, buckets) -> dict:
     identical = (
         reference_series == vector_series == cached_series
     )
+    _record("fig7.reference_s", reference_s)
+    _record("fig7.vectorized_s", vectorized_s)
+    _record("fig7.vectorized_cached_s", cached_s)
     return {
         "scale": scale,
         "bucket_counts": list(buckets),
@@ -146,6 +187,80 @@ def bench_fig7_sweep(scale: float, buckets) -> dict:
         "speedup": reference_s / cached_s if cached_s > 0 else float("inf"),
         "identical_output": identical,
         "cache": cache.stats(),
+    }
+
+
+def bench_obs_overhead(scale: float, buckets, repeats: int = 15) -> dict:
+    """The instrumented-but-unsinked sweep versus the uninstrumented one.
+
+    Each variant runs with a warm dataset cache and its own summary
+    cache.  Measuring a single-digit-percent effect on a
+    tens-of-milliseconds sweep needs two noise controls: each timed
+    window repeats the sweep enough times (``inner``) to last ~0.15 s,
+    so scheduler jitter is small relative to the window, and the
+    variants are timed in adjacent (baseline, observed) pairs with the
+    *median of the per-pair ratios* as the headline — machine load
+    drifts severalfold between bench runs here, so the pairing cancels
+    drift inside each ratio and the median rejects pairs a descheduling
+    hit lands in.  ``overhead_pct`` is the number the observability
+    layer promises to keep below a few percent; the disabled path is a
+    single-branch guard by construction.
+    """
+    def one_sweep():
+        _sweep(scale, buckets, cache=SummaryCache())
+
+    start = time.perf_counter()
+    one_sweep()  # warm the dataset/query caches; sizes the timing window
+    warm_s = time.perf_counter() - start
+    inner = max(1, min(10, round(0.15 / max(warm_s, 1e-9))))
+
+    def baseline_sweep():
+        for _ in range(inner):
+            one_sweep()
+
+    def observed_sweep():
+        with obs.observe(registry=obs.MetricsRegistry()):
+            for _ in range(inner):
+                one_sweep()
+
+    # Collector debt accrued by earlier phases would otherwise be paid
+    # inside whichever timed window happens to cross the threshold, so
+    # GC is frozen across the measurement and drained between windows.
+    gc.collect()
+    gc.disable()
+    try:
+        baselines, ratios = [], []
+        for _ in range(repeats):
+            gc.collect()
+            baseline = _best_of(baseline_sweep, 1) / inner
+            gc.collect()
+            observed = _best_of(observed_sweep, 1) / inner
+            baselines.append(baseline)
+            ratios.append(observed / baseline if baseline > 0 else 1.0)
+    finally:
+        gc.enable()
+    ratio = statistics.median(ratios)
+    baseline_s = statistics.median(baselines)
+    observed_s = baseline_s * ratio
+    with obs.observe(registry=obs.MetricsRegistry()) as registry:
+        _sweep(scale, buckets, cache=SummaryCache())
+    counters = registry.counters()
+    _record("obs_overhead.baseline_s", baseline_s)
+    _record("obs_overhead.observed_s", observed_s)
+    return {
+        "baseline_s": baseline_s,
+        "observed_s": observed_s,
+        "overhead_pct": (
+            (observed_s - baseline_s) / baseline_s * 100.0
+            if baseline_s > 0
+            else 0.0
+        ),
+        "estimator_calls": sum(
+            v for k, v in counters.items()
+            if k.startswith("estimator.") and k.endswith(".calls")
+        ),
+        "cache_lookups": counters.get("cache.hits", 0)
+        + counters.get("cache.misses", 0),
     }
 
 
@@ -171,6 +286,8 @@ def bench_parallel(scale: float, runs: int) -> dict:
         dataset, queries, methods, runs=runs, seed=3, workers=workers
     )
     workers_s = time.perf_counter() - start
+    _record("parallel.serial_s", serial_s)
+    _record("parallel.workers_s", workers_s)
     return {
         "runs": runs,
         "cpu_count": multiprocessing.cpu_count(),
@@ -211,7 +328,25 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the multiprocessing phase (slow on small machines)",
     )
+    parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        help="stream measurements and an instrumented sweep's events "
+        "to this JSONL file (for python -m repro obs-report)",
+    )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=None,
+        help="fail if the enabled-but-unsinked observation overhead "
+        "exceeds this percentage",
+    )
     args = parser.parse_args(argv)
+
+    global _SINK
+    if args.telemetry is not None:
+        _SINK = obs.TelemetrySink(args.telemetry)
 
     scale = args.scale if args.scale is not None else (
         QUICK_SCALE if args.quick else FULL_SCALE
@@ -222,7 +357,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"generating xmark at scale {scale} ...", flush=True)
     dataset = get_dataset("xmark", scale=scale)
 
-    print("phase 1/3: kernel microbenchmarks", flush=True)
+    print("phase 1/4: kernel microbenchmarks", flush=True)
     kernels = bench_kernels(dataset, repeats)
     for name, timing in kernels.items():
         print(
@@ -231,7 +366,7 @@ def main(argv: list[str] | None = None) -> int:
             f"({timing['speedup']:.1f}x)"
         )
 
-    print("phase 2/3: Fig. 7 histogram sweep (build + estimate)", flush=True)
+    print("phase 2/4: Fig. 7 histogram sweep (build + estimate)", flush=True)
     sweep = bench_fig7_sweep(scale, buckets)
     print(
         f"  reference {sweep['reference_s']:.2f} s, vectorized "
@@ -241,9 +376,19 @@ def main(argv: list[str] | None = None) -> int:
         f"{sweep['identical_output']}"
     )
 
+    print("phase 3/4: observation overhead (enabled, no sink)", flush=True)
+    overhead = bench_obs_overhead(scale, buckets)
+    print(
+        f"  baseline {overhead['baseline_s']:.2f} s, observed "
+        f"{overhead['observed_s']:.2f} s "
+        f"({overhead['overhead_pct']:+.2f}%, "
+        f"{overhead['estimator_calls']} estimator calls, "
+        f"{overhead['cache_lookups']} cache lookups)"
+    )
+
     parallel = None
     if not args.skip_parallel:
-        print("phase 3/3: parallel harness", flush=True)
+        print("phase 4/4: parallel harness", flush=True)
         parallel = bench_parallel(scale, runs=5 if args.quick else 31)
         print(
             f"  serial {parallel['serial_s']:.2f} s, "
@@ -253,15 +398,31 @@ def main(argv: list[str] | None = None) -> int:
             f"cpu(s)), identical rows: {parallel['identical_rows']}"
         )
 
+    if _SINK is not None:
+        # One more instrumented sweep, this time streaming per-call
+        # estimate events and cache counters into the telemetry file so
+        # obs-report has per-estimator latency distributions to show.
+        print("telemetry: instrumented sweep", flush=True)
+        with obs.observe(registry=REGISTRY, sink=_SINK):
+            _sweep(scale, buckets, cache=SummaryCache())
+            obs.emit_summary()
+
     report = {
         "mode": "quick" if args.quick else "full",
         "scale": scale,
         "kernels": kernels,
         "fig7_sweep": sweep,
+        "obs_overhead": overhead,
         "parallel": parallel,
+        "metrics": REGISTRY.snapshot(),
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+    if _SINK is not None:
+        _SINK.close()
+        print(
+            f"wrote {_SINK.emitted} telemetry records to {args.telemetry}"
+        )
 
     if not sweep["identical_output"]:
         print(
@@ -279,6 +440,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: sweep speedup {sweep['speedup']:.2f}x below "
             f"required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.max_obs_overhead is not None
+        and overhead["overhead_pct"] > args.max_obs_overhead
+    ):
+        print(
+            f"FAIL: observation overhead {overhead['overhead_pct']:.2f}% "
+            f"above allowed {args.max_obs_overhead}%",
             file=sys.stderr,
         )
         return 1

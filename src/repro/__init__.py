@@ -19,34 +19,57 @@ The package provides:
 * the experiment harness that regenerates every table and figure of the
   paper's evaluation (:mod:`repro.experiments`).
 
-Quickstart::
+Quickstart (the stable public surface, see ``docs/API.md``)::
 
+    import repro
     from repro.datasets import generate_xmark
-    from repro.join import containment_join_size
-    from repro.estimators import IMSamplingEstimator
 
     tree = generate_xmark(scale=0.1, seed=42)
-    ancestors = tree.node_set("item")
-    descendants = tree.node_set("name")
-
-    exact = containment_join_size(ancestors, descendants)
-    estimate = IMSamplingEstimator(num_samples=100, seed=7).estimate(
-        ancestors, descendants
+    result = repro.estimate(
+        tree.node_set("item"), tree.node_set("name"),
+        method="IM", num_samples=100, seed=7,
     )
+    print(result.value, result.details)
+
+Observability (:mod:`repro.obs`)::
+
+    from repro import obs
+
+    with obs.observe(sink=obs.TelemetrySink("telemetry.jsonl")) as reg:
+        repro.estimate(ancestors, descendants, method="PL", num_buckets=20)
+        obs.emit_summary()
+
+Everything importable from ``repro`` directly is the documented public
+API; deeper ``repro.*`` modules are internals with no stability
+guarantee.
 """
 
 from repro.core.budget import SpaceBudget
 from repro.core.element import Element, Region
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
+from repro.api import (
+    Estimate,
+    Estimator,
+    available_estimators,
+    build_catalog,
+    estimate,
+    make_estimator,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Element",
-    "Region",
+    "Estimate",
+    "Estimator",
     "NodeSet",
-    "Workspace",
+    "Region",
     "SpaceBudget",
+    "Workspace",
+    "available_estimators",
+    "build_catalog",
+    "estimate",
+    "make_estimator",
     "__version__",
 ]

@@ -14,14 +14,23 @@ Usage::
 
 Reports print to stdout; ``--out DIR`` additionally writes each report to
 ``DIR/<name>.txt``.
+
+Observability: ``--telemetry FILE`` runs any experiment command with
+instrumentation enabled (see :mod:`repro.obs`), streaming per-call and
+per-query events to ``FILE`` as JSONL and closing with an aggregated
+``summary`` record; ``python -m repro obs-report --input FILE`` renders
+such a file into per-estimator latency and error tables.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable
+
+from repro import obs
 
 from repro.core.budget import SpaceBudget
 from repro.estimators.mre import maximum_relative_error
@@ -162,8 +171,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*_COMMANDS, "all"],
-        help="which table/figure to regenerate",
+        choices=[*_COMMANDS, "obs-report", "all"],
+        help="which table/figure to regenerate, or obs-report to "
+        "summarize a telemetry file",
     )
     parser.add_argument("--dataset", choices=["xmark", "dblp", "xmach"],
                         help="restrict table2/table3 to one dataset")
@@ -176,14 +186,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to write reports into")
+    parser.add_argument("--telemetry", type=Path, default=None,
+                        help="run instrumented, streaming JSONL "
+                        "telemetry to this file")
+    parser.add_argument("--input", type=Path, default=None,
+                        help="telemetry JSONL file for obs-report")
     args = parser.parse_args(argv)
 
+    if args.experiment == "obs-report":
+        if args.input is None:
+            parser.error("obs-report requires --input FILE")
+        print(obs.render_report(obs.iter_telemetry(args.input)))
+        return 0
+
     emit = lambda name, text: _emit(name, text, args.out)  # noqa: E731
-    if args.experiment == "all":
-        for command in _COMMANDS.values():
-            command(args, emit)
-    else:
-        _COMMANDS[args.experiment](args, emit)
+    sink = (
+        obs.TelemetrySink(args.telemetry)
+        if args.telemetry is not None
+        else None
+    )
+    scope = obs.observe(sink=sink) if sink is not None else nullcontext()
+    try:
+        with scope:
+            if args.experiment == "all":
+                for command in _COMMANDS.values():
+                    command(args, emit)
+            else:
+                _COMMANDS[args.experiment](args, emit)
+            if sink is not None:
+                obs.emit_summary()
+    finally:
+        if sink is not None:
+            sink.close()
+            print(
+                f"wrote {sink.emitted} telemetry records to "
+                f"{args.telemetry}"
+            )
     return 0
 
 

@@ -1,0 +1,137 @@
+"""The stable public estimation API.
+
+Everything a caller (an optimizer, a benchmark harness, a notebook)
+needs without touching package internals:
+
+* :func:`estimate` — one containment join size estimate by method name;
+* :func:`build_catalog` — budgeted per-tag synopses for plan-time
+  estimation over a whole document;
+* the re-exported types: :class:`Estimate`, :class:`Estimator`,
+  :class:`NodeSet`, :class:`Workspace`, :class:`SpaceBudget`,
+  :class:`SummaryCache`, plus :func:`make_estimator` /
+  :func:`available_estimators` for direct construction.
+
+This module (and the same names re-exported from :mod:`repro`) is the
+documented stable surface — see ``docs/API.md`` for the stability
+policy.  Anything imported from deeper ``repro.*`` paths is internal
+and may change between versions.
+
+``estimate`` is a thin veneer: it resolves the method name through the
+registry (case-insensitive, aliases allowed), constructs the estimator
+from ``**config``, and runs it — optionally under an ambient
+:class:`~repro.perf.SummaryCache` so repeated calls share built
+summaries.  It is guaranteed to return exactly what direct construction
+would::
+
+    repro.api.estimate(a, d, method="pl-histogram", num_buckets=20)
+    == make_estimator("PL", num_buckets=20).estimate(a, d)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.budget import SpaceBudget
+from repro.core.nodeset import NodeSet
+from repro.core.rng import SeedLike
+from repro.core.workspace import Workspace
+from repro.catalog.catalog import CatalogMethod, StatisticsCatalog
+from repro.estimators.base import Estimate, Estimator
+from repro.estimators.registry import (
+    available_estimators,
+    canonical_name,
+    make_estimator,
+)
+from repro.perf.cache import SummaryCache, use_cache
+from repro.xmltree.tree import DataTree
+
+__all__ = [
+    "Estimate",
+    "Estimator",
+    "NodeSet",
+    "SpaceBudget",
+    "StatisticsCatalog",
+    "SummaryCache",
+    "Workspace",
+    "available_estimators",
+    "build_catalog",
+    "canonical_name",
+    "estimate",
+    "make_estimator",
+]
+
+
+def estimate(
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    method: str = "PL",
+    *,
+    workspace: Workspace | None = None,
+    cache: SummaryCache | None = None,
+    **config: Any,
+) -> Estimate:
+    """Estimate ``|ancestors ⋈ descendants|`` with the named method.
+
+    Args:
+        ancestors: the ancestor operand ``A``.
+        descendants: the descendant operand ``D``.
+        method: a registry name or alias, any case ("PL",
+            "pl-histogram", "IM", "im-da", ...); see
+            :func:`available_estimators`.
+        workspace: the position domain; defaults to the tight span of
+            both operands.
+        cache: a summary cache installed ambiently for the call, so
+            histogram methods reuse summaries across calls that share
+            operands.
+        **config: estimator constructor arguments (``num_buckets=``,
+            ``budget=``, ``num_samples=``, ``seed=``, ...).
+
+    Returns the same :class:`Estimate` that
+    ``make_estimator(method, **config).estimate(...)`` would.
+    """
+    estimator = make_estimator(method, **config)
+    if cache is None:
+        return estimator.estimate(ancestors, descendants, workspace)
+    with use_cache(cache):
+        return estimator.estimate(ancestors, descendants, workspace)
+
+
+def build_catalog(
+    tree: DataTree | Any,
+    budget_per_tag: SpaceBudget | int = 400,
+    *,
+    method: CatalogMethod = "histogram",
+    seed: SeedLike = None,
+    tags: list[str] | None = None,
+    cache: SummaryCache | None = None,
+) -> StatisticsCatalog:
+    """Build a per-tag statistics catalog for plan-time estimation.
+
+    Args:
+        tree: the document to summarize — a :class:`DataTree` or any
+            generated :class:`~repro.datasets.base.Dataset` (its
+            ``.tree`` is used).
+        budget_per_tag: byte budget per tag; a plain int is wrapped in a
+            :class:`SpaceBudget` (default 400, the paper's middle
+            budget).
+        method: "histogram" (PL statistics, Table 1) or "sample"
+            (uniform element sample).
+        seed: RNG seed for sample mode.
+        tags: restrict the catalog to these tags.
+        cache: summary cache consulted for the per-tag builds.
+
+    The result answers ``catalog.estimate_join(a_tag, d_tag)`` with no
+    base-data access.
+    """
+    if not isinstance(tree, DataTree) and hasattr(tree, "tree"):
+        tree = tree.tree
+    if not isinstance(budget_per_tag, SpaceBudget):
+        budget_per_tag = SpaceBudget(int(budget_per_tag))
+    return StatisticsCatalog(
+        tree,
+        budget_per_tag,
+        method=method,
+        seed=seed,
+        tags=tags,
+        cache=cache,
+    )

@@ -9,12 +9,15 @@ objects so the experiment harness can sweep their parameters uniformly.
 from __future__ import annotations
 
 import abc
+import functools
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Any, ClassVar
+from typing import Any, Callable, ClassVar
 
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
+from repro.obs import runtime as _obs
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +42,12 @@ class Estimate:
     def relative_error(self, true_size: int) -> float:
         """``|x - x̂| / x`` as a percentage — the paper's quality metric.
 
+        ``value`` is a cardinality estimate and therefore expected to be
+        ``>= 0`` (every estimator in this package guarantees it); the
+        magnitude here is of the *unsigned* deviation — use
+        :meth:`signed_relative_error` to keep the over/underestimate
+        direction.
+
         When the true size is 0, returns 0.0 for an exact estimate and
         ``math.inf`` otherwise (the paper's workloads never hit this case).
         """
@@ -46,12 +55,73 @@ class Estimate:
             return 0.0 if self.value == 0 else math.inf
         return abs(true_size - self.value) / true_size * 100.0
 
+    def signed_relative_error(self, true_size: int) -> float:
+        """``(x̂ - x) / x`` as a percentage, keeping the sign.
+
+        Positive means overestimate, negative underestimate.  The zero
+        truth convention matches :meth:`relative_error`: 0.0 for an
+        exact estimate, ``math.inf`` for any nonzero one.
+        """
+        if true_size == 0:
+            return 0.0 if self.value == 0 else math.inf
+        return (self.value - true_size) / true_size * 100.0
+
+
+def _instrument_estimate(
+    method: Callable[..., Estimate],
+) -> Callable[..., Estimate]:
+    """Wrap a concrete ``estimate`` with the observation hook.
+
+    While :func:`repro.obs.enabled` is False the wrapper is one branch
+    on a module-level flag; while observation is on it records the
+    call's wall time, ``mre`` and sample/bucket details into the
+    ambient registry and streams an ``estimate`` event to the ambient
+    sink (see :func:`repro.obs.record_estimate`).
+    """
+
+    @functools.wraps(method)
+    def estimate(
+        self: "Estimator",
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None = None,
+    ) -> Estimate:
+        if not _obs.enabled():
+            return method(self, ancestors, descendants, workspace)
+        start = time.perf_counter()
+        result = method(self, ancestors, descendants, workspace)
+        _obs.record_estimate(
+            self.name,
+            result,
+            time.perf_counter() - start,
+            len(ancestors),
+            len(descendants),
+        )
+        return result
+
+    estimate._obs_instrumented = True  # type: ignore[attr-defined]
+    return estimate
+
 
 class Estimator(abc.ABC):
-    """Base class for containment join size estimators."""
+    """Base class for containment join size estimators.
+
+    Subclasses overriding :meth:`estimate` are instrumented
+    automatically (via ``__init_subclass__``): every call records wall
+    time and result diagnostics through :mod:`repro.obs` whenever
+    observation is enabled, and costs a single guard branch otherwise.
+    """
 
     #: Short name used in reports ("PL", "PH", "IM", "PM", ...).
     name: ClassVar[str] = "?"
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        impl = cls.__dict__.get("estimate")
+        if impl is not None and not getattr(
+            impl, "_obs_instrumented", False
+        ):
+            cls.estimate = _instrument_estimate(impl)  # type: ignore
 
     @abc.abstractmethod
     def estimate(

@@ -32,6 +32,7 @@ from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate, Estimator
+from repro.obs import runtime as _obs
 from repro.perf.cache import SummaryCache, resolve_cache
 
 CoverageMode = Literal["global", "local"]
@@ -175,12 +176,13 @@ class CoverageHistogramEstimator(Estimator):
         if len(ancestors) == 0 or len(descendants) == 0:
             return Estimate(0.0, self.name)
         cache = resolve_cache(self.cache)
-        if perf.reference_kernels_enabled():
-            merged: list[tuple[int, int]] | np.ndarray = merged_intervals(
-                ancestors
-            )
-        else:
-            merged = merged_intervals_cached(ancestors, cache)
+        with _obs.phase_timer(self.name, "summary_build"):
+            if perf.reference_kernels_enabled():
+                merged: list[tuple[int, int]] | np.ndarray = (
+                    merged_intervals(ancestors)
+                )
+            else:
+                merged = merged_intervals_cached(ancestors, cache)
         if self.mode == "global":
             coverage = bucket_coverage(
                 merged, workspace.lo, workspace.hi + 1

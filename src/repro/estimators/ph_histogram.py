@@ -30,6 +30,7 @@ import numpy as np
 
 from repro import perf
 from repro.core.budget import SpaceBudget
+from repro.obs import runtime as _obs
 from repro.core.errors import EstimationError, ReproError
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
@@ -254,13 +255,15 @@ class PHHistogramEstimator(Estimator):
                 details={"method": "coverage", **inner.details},
             )
         cache = resolve_cache(self.cache)
-        cells_a = cell_histogram_cached(
-            ancestors, workspace, self.side, cache
-        )
-        cells_d = cell_histogram_cached(
-            descendants, workspace, self.side, cache
-        )
-        total = _positional_total(cells_a, cells_d)
+        with _obs.phase_timer(self.name, "summary_build"):
+            cells_a = cell_histogram_cached(
+                ancestors, workspace, self.side, cache
+            )
+            cells_d = cell_histogram_cached(
+                descendants, workspace, self.side, cache
+            )
+        with _obs.phase_timer(self.name, "estimate"):
+            total = _positional_total(cells_a, cells_d)
         return Estimate(
             total,
             self.name,

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro import perf
 from repro.core.budget import SpaceBudget
+from repro.obs import runtime as _obs
 from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Bucket, Workspace
@@ -359,33 +360,35 @@ class PLHistogramEstimator(Estimator):
         if len(ancestors) == 0 or len(descendants) == 0:
             return Estimate(0.0, self.name, mre=0.0)
         cache = resolve_cache(self.cache)
-        edges = None
-        if self.bucketing == "equi-depth":
-            if cache is None:
-                edges = equi_depth_edges(
-                    descendants, workspace, self.num_buckets
-                )
-            else:
-                edges = cache.get_or_build(
-                    (
-                        "pl-edges",
-                        descendants.fingerprint,
-                        workspace,
-                        self.num_buckets,
-                    ),
-                    lambda: equi_depth_edges(
+        with _obs.phase_timer(self.name, "summary_build"):
+            edges = None
+            if self.bucketing == "equi-depth":
+                if cache is None:
+                    edges = equi_depth_edges(
                         descendants, workspace, self.num_buckets
-                    ),
-                )
-        hist_a = build_ancestor_cached(
-            ancestors, workspace, self.num_buckets, self.length_mode,
-            edges=edges, cache=cache,
-        )
-        hist_d = build_descendant_cached(
-            descendants, workspace, self.num_buckets, edges=edges,
-            cache=cache,
-        )
-        return self.estimate_from_histograms(hist_a, hist_d)
+                    )
+                else:
+                    edges = cache.get_or_build(
+                        (
+                            "pl-edges",
+                            descendants.fingerprint,
+                            workspace,
+                            self.num_buckets,
+                        ),
+                        lambda: equi_depth_edges(
+                            descendants, workspace, self.num_buckets
+                        ),
+                    )
+            hist_a = build_ancestor_cached(
+                ancestors, workspace, self.num_buckets, self.length_mode,
+                edges=edges, cache=cache,
+            )
+            hist_d = build_descendant_cached(
+                descendants, workspace, self.num_buckets, edges=edges,
+                cache=cache,
+            )
+        with _obs.phase_timer(self.name, "estimate"):
+            return self.estimate_from_histograms(hist_a, hist_d)
 
     def estimate_from_histograms(
         self, hist_a: PLHistogram, hist_d: PLHistogram

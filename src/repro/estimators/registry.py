@@ -2,10 +2,17 @@
 
 Used by the experiment harness and the examples so that a method sweep is
 just a list of names plus shared keyword arguments.
+
+Names are case-insensitive and an alias table maps the paper's longer
+method names (``"pl-histogram"``, ``"im-da"``, ``"pm-est"``, ...) onto
+the canonical short names; unknown names raise
+:class:`~repro.core.errors.EstimationError` listing every available name
+plus the nearest match.
 """
 
 from __future__ import annotations
 
+import difflib
 from typing import Any, Callable
 
 from repro.core.errors import EstimationError
@@ -47,22 +54,67 @@ _REGISTRY: dict[str, Callable[..., Estimator]] = {
 }
 
 
+#: Longer / paper-style method names accepted as synonyms (uppercased).
+_ALIASES: dict[str, str] = {
+    "PL-HISTOGRAM": "PL",
+    "PL-HIST": "PL",
+    "PL-HIST-EST": "PL",
+    "POINT-LINE": "PL",
+    "PH-HISTOGRAM": "PH",
+    "POSITIONAL": "PH",
+    "POSITIONAL-HISTOGRAM": "PH",
+    "IM-DA": "IM",
+    "IM-DA-EST": "IM",
+    "INTERVAL-SAMPLING": "IM",
+    "PM-EST": "PM",
+    "POSITION-SAMPLING": "PM",
+    "COVERAGE": "COV",
+    "COVERAGE-HISTOGRAM": "COV",
+    "CROSS-SAMPLING": "CROSS",
+    "SYSTEMATIC": "SYS",
+    "SYSTEMATIC-SAMPLING": "SYS",
+    "BIFOCAL-SAMPLING": "BIFOCAL",
+    "COUNT-SKETCH": "SKETCH",
+    "SEMIJOIN-ANCESTORS": "SEMI-A",
+    "SEMIJOIN-DESCENDANTS": "SEMI-D",
+    "TWO-SAMPLE": "2SAMPLE",
+}
+
+
 def available_estimators() -> list[str]:
-    """Short names accepted by :func:`make_estimator`."""
+    """Canonical short names accepted by :func:`make_estimator`."""
     return sorted(_REGISTRY)
 
 
+def canonical_name(name: str) -> str:
+    """Resolve any accepted spelling to a canonical registry name.
+
+    Raises :class:`EstimationError` for unknown names, listing the
+    available names and the nearest match (when one is close enough).
+    """
+    key = name.strip().upper()
+    key = _ALIASES.get(key, key)
+    if key in _REGISTRY:
+        return key
+    close = difflib.get_close_matches(
+        key, [*_REGISTRY, *_ALIASES], n=1, cutoff=0.5
+    )
+    hint = ""
+    if close:
+        suggestion = _ALIASES.get(close[0], close[0])
+        hint = f"; did you mean {suggestion!r}?"
+    raise EstimationError(
+        f"unknown estimator {name!r}; available: "
+        f"{', '.join(available_estimators())}{hint}"
+    )
+
+
 def make_estimator(name: str, **kwargs: Any) -> Estimator:
-    """Instantiate an estimator by short name.
+    """Instantiate an estimator by short name or alias (any case).
 
     >>> make_estimator("PL", num_buckets=20).name
     'PL'
+    >>> make_estimator("pl-histogram", num_buckets=20).name
+    'PL'
     """
-    try:
-        factory = _REGISTRY[name.upper()]
-    except KeyError:
-        raise EstimationError(
-            f"unknown estimator {name!r}; available: "
-            f"{', '.join(available_estimators())}"
-        ) from None
-    return factory(**kwargs)
+    return _REGISTRY[canonical_name(name)](**kwargs)

@@ -16,6 +16,15 @@ Performance controls (see ``docs/ARCHITECTURE.md``):
   per-query seed is derived from the master generator *before* the
   fan-out, in the exact order the serial loop would draw them, so
   ``workers=N`` returns rows identical to ``workers=1``.
+
+Observability (see ``docs/API.md``): while :func:`repro.obs.observe`
+is active, every estimator call records into the ambient metrics
+registry and each finished query row is streamed to the ambient
+telemetry sink as a ``query`` event.  Under the fork fan-out each query
+is evaluated inside a fresh worker-local registry whose snapshot rides
+back with the row; the parent merges the snapshots (in query order)
+into its own registry, so totals are identical for every worker count,
+serial runs included.
 """
 
 from __future__ import annotations
@@ -39,6 +48,8 @@ from repro.estimators.ph_histogram import PHHistogramEstimator
 from repro.estimators.pl_histogram import PLHistogramEstimator
 from repro.estimators.pm_sampling import PMSamplingEstimator
 from repro.join import containment_join_size
+from repro.obs import runtime as _obs
+from repro.obs.metrics import MetricsRegistry
 from repro.perf.cache import SummaryCache, use_cache
 
 Aggregation = Literal["mean_error", "error_of_mean"]
@@ -170,20 +181,44 @@ def _evaluate_query(
 _FORK_STATE: dict[str, Any] | None = None
 
 
-def _evaluate_query_by_index(index: int) -> QueryRow:
+def _evaluate_query_by_index(
+    index: int,
+) -> tuple[QueryRow, dict[str, Any] | None]:
+    """One query in a worker; returns the row plus its metric snapshot.
+
+    When the parent had observation enabled, the query runs inside a
+    fresh worker-local registry (the parent's sink is explicitly *not*
+    installed — forked workers must never write to its stream) and the
+    registry snapshot travels back with the row for the parent to merge.
+    """
     state = _FORK_STATE
     assert state is not None, "worker started without fork state"
     cache: SummaryCache | None = state["cache"]
     scope = use_cache(cache) if cache is not None else nullcontext()
     with scope:
-        return _evaluate_query(
-            state["dataset"],
-            state["queries"][index],
-            state["methods"],
-            state["workspace"],
-            state["runs"],
-            state["seeds"][index],
-            state["aggregation"],
+        if state["observe"]:
+            with _obs.observe(registry=MetricsRegistry()) as registry:
+                row = _evaluate_query(
+                    state["dataset"],
+                    state["queries"][index],
+                    state["methods"],
+                    state["workspace"],
+                    state["runs"],
+                    state["seeds"][index],
+                    state["aggregation"],
+                )
+            return row, registry.snapshot()
+        return (
+            _evaluate_query(
+                state["dataset"],
+                state["queries"][index],
+                state["methods"],
+                state["workspace"],
+                state["runs"],
+                state["seeds"][index],
+                state["aggregation"],
+            ),
+            None,
         )
 
 
@@ -209,6 +244,10 @@ def evaluate(
             histogram-based methods then build each summary once per
             distinct (node set, workspace, configuration).  Forked
             workers inherit a copy-on-write snapshot of it.
+
+    While :func:`repro.obs.observe` is active, per-worker metrics are
+    merged back into the ambient registry and each row is streamed to
+    the ambient sink as a ``query`` telemetry event.
     """
     workspace = dataset.tree.workspace()
     rng = make_rng(seed)
@@ -237,8 +276,9 @@ def evaluate(
             )
     scope = use_cache(cache) if cache is not None else nullcontext()
     with scope:
-        return [
-            _evaluate_query(
+        rows = []
+        for index, query in enumerate(queries):
+            row = _evaluate_query(
                 dataset,
                 query,
                 methods,
@@ -247,8 +287,12 @@ def evaluate(
                 seeds[index],
                 aggregation,
             )
-            for index, query in enumerate(queries)
-        ]
+            if _obs.enabled():
+                _obs.record_query(
+                    row.query.id, row.true_size, row.errors, row.estimates
+                )
+            rows.append(row)
+        return rows
 
 
 def _evaluate_parallel(
@@ -273,14 +317,28 @@ def _evaluate_parallel(
         "seeds": seeds,
         "aggregation": aggregation,
         "cache": cache,
+        "observe": _obs.enabled(),
     }
     try:
         with context.Pool(worker_count) as pool:
             chunksize = max(1, math.ceil(len(queries) / (worker_count * 4)))
-            return pool.map(
+            results = pool.map(
                 _evaluate_query_by_index,
                 range(len(queries)),
                 chunksize=chunksize,
             )
     finally:
         _FORK_STATE = None
+    rows = []
+    registry = _obs.get_registry()
+    for row, snapshot in results:
+        # Merge in query order: parent totals are then independent of
+        # how the pool sharded the queries over workers.
+        if snapshot is not None:
+            registry.merge(snapshot)
+        if _obs.enabled():
+            _obs.record_query(
+                row.query.id, row.true_size, row.errors, row.estimates
+            )
+        rows.append(row)
+    return rows

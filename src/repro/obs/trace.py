@@ -1,0 +1,124 @@
+"""Span-based tracing with a context-manager API.
+
+A :class:`Span` is one named, timed region with free-form attributes; a
+:class:`Tracer` maintains a per-thread stack of open spans (so nesting
+gives parent links for free) and a bounded buffer of finished spans.
+The process-global default tracer lives in :mod:`repro.obs.runtime` and
+can be swapped for tests via :func:`repro.obs.observe`.
+
+Usage::
+
+    with tracer.span("evaluate", dataset="xmark") as span:
+        ...
+        span.attributes["queries"] = len(rows)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Finished spans retained by a tracer before the oldest are dropped.
+DEFAULT_MAX_SPANS = 10_000
+
+
+@dataclass(slots=True)
+class Span:
+    """One named, timed region."""
+
+    name: str
+    start: float
+    end: float | None = None
+    parent: str | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_record(self) -> dict[str, Any]:
+        """A JSON-able representation (telemetry event shape)."""
+        return {
+            "event": "span",
+            "name": self.name,
+            "seconds": self.duration,
+            "parent": self.parent,
+            **self.attributes,
+        }
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._span.end = time.perf_counter()
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Collects spans; thread-safe, bounded.
+
+    Args:
+        max_spans: finished spans retained (oldest dropped first).
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._stacks = threading.local()
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a span as a context manager; yields the :class:`Span`."""
+        stack = self._stack()
+        parent = stack[-1].name if stack else None
+        return _SpanContext(
+            self,
+            Span(
+                name=name,
+                start=time.perf_counter(),
+                parent=parent,
+                attributes=dict(attributes),
+            ),
+        )
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._finished.append(span)
+
+    @property
+    def finished(self) -> list[Span]:
+        """Finished spans, oldest first (a copy)."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"Tracer(finished={len(self._finished)})"

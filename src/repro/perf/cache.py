@@ -27,12 +27,49 @@ treated as immutable by every consumer.
 
 from __future__ import annotations
 
+import sys
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Callable, Hashable, Iterator, TypeVar
 
+from repro.obs import runtime as _obs
+
 T = TypeVar("T")
+
+
+def approx_nbytes(value: Any, depth: int = 4) -> int:
+    """Approximate deep size of a cached summary, in bytes.
+
+    Recursion is bounded (``depth``) and cycle-safe enough for the
+    artifact shapes the cache holds — histogram objects with bucket
+    lists, Counters, numpy arrays, tuples of floats.  Exactness is not
+    the point; stable relative accounting across runs is.
+    """
+    arr_nbytes = getattr(value, "nbytes", None)
+    if isinstance(arr_nbytes, int):  # numpy arrays and scalars
+        return int(arr_nbytes) + 96
+    total = sys.getsizeof(value, 64)
+    if depth <= 0:
+        return total
+    if isinstance(value, dict):
+        for key, item in value.items():
+            total += approx_nbytes(key, depth - 1)
+            total += approx_nbytes(item, depth - 1)
+    elif isinstance(value, (list, tuple, set, frozenset)):
+        for item in value:
+            total += approx_nbytes(item, depth - 1)
+    else:
+        state = getattr(value, "__dict__", None)
+        if state is not None:
+            for item in state.values():
+                total += approx_nbytes(item, depth - 1)
+        elif hasattr(type(value), "__slots__"):
+            for slot in type(value).__slots__:
+                total += approx_nbytes(
+                    getattr(value, slot, None), depth - 1
+                )
+    return total
 
 #: Default number of summaries kept before LRU eviction kicks in.  A
 #: summary is a few hundred bytes to a few KB, so even the default is
@@ -52,10 +89,12 @@ class SummaryCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.nbytes = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -75,24 +114,39 @@ class SummaryCache:
             if key in self._data:
                 self._data.move_to_end(key)
                 self.hits += 1
+                if _obs.enabled():
+                    _obs.record_cache("hits")
                 return self._data[key]
             self.misses += 1
+        if _obs.enabled():
+            _obs.record_cache("misses")
         value = builder()
+        size = approx_nbytes(value)
+        evicted = 0
         with self._lock:
+            if key not in self._data:
+                self.nbytes += size
+                self._sizes[key] = size
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                victim, __ = self._data.popitem(last=False)
+                self.nbytes -= self._sizes.pop(victim, 0)
                 self.evictions += 1
+                evicted += 1
+        if evicted and _obs.enabled():
+            _obs.record_cache("evictions", evicted)
         return value
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss/eviction counters."""
         with self._lock:
             self._data.clear()
+            self._sizes.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.nbytes = 0
 
     def stats(self) -> dict[str, int | float]:
         """Counters plus the hit rate (0.0 when never consulted)."""
@@ -104,6 +158,7 @@ class SummaryCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "nbytes": self.nbytes,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
             }
 

@@ -1,0 +1,121 @@
+"""Tests for the stable public facade (repro.api / top-level repro).
+
+The facade contract: ``repro.estimate(..., method=NAME)`` returns
+exactly what direct registry construction would, for every registered
+name; aliases and case variants resolve; errors carry a nearest-match
+hint; ``build_catalog`` accepts datasets and plain-int budgets.
+"""
+
+import pytest
+
+import repro
+from repro import api
+from repro.core.errors import EstimationError
+from repro.core.workspace import Workspace
+from repro.estimators.registry import canonical_name
+from repro.perf.cache import SummaryCache
+
+#: Constructor arguments that make every registry method cheap and
+#: deterministic for a facade round-trip.
+METHOD_KWARGS = {
+    "PL": {"num_buckets": 10},
+    "PH": {"num_cells": 25},
+    "IM": {"num_samples": 10, "seed": 3},
+    "PM": {"num_samples": 10, "seed": 3},
+    "COV": {"num_buckets": 10},
+    "CROSS": {"num_samples": 10, "seed": 3},
+    "SYS": {"num_samples": 10, "seed": 3},
+    "BIFOCAL": {"num_samples": 10, "seed": 3},
+    "SKETCH": {"num_counters": 10, "depth": 2, "seed": 3},
+    "WAVELET": {"num_coefficients": 10},
+    "SEMI-D": {"num_samples": 5, "seed": 3},
+    "SEMI-A": {"num_samples": 5, "seed": 3},
+    "2SAMPLE": {"num_samples": 5, "seed": 3},
+    "HYBRID": {"num_buckets": 10, "num_samples": 10, "seed": 3},
+}
+
+
+class TestEstimateFacade:
+    @pytest.mark.parametrize("name", sorted(repro.available_estimators()))
+    def test_round_trips_every_registry_name(self, name, figure1_tree):
+        a, d = figure1_tree
+        kwargs = METHOD_KWARGS.get(name, {})
+        workspace = Workspace(1, 22)
+        direct = repro.make_estimator(name, **kwargs).estimate(
+            a, d, workspace
+        )
+        via_facade = repro.estimate(
+            a, d, method=name, workspace=workspace, **kwargs
+        )
+        assert via_facade.value == direct.value
+        assert via_facade.estimator == direct.estimator
+        assert via_facade.details == direct.details
+
+    def test_alias_and_case_insensitive(self, figure1_tree):
+        a, d = figure1_tree
+        for method in ("pl", "PL-Histogram", "point-line"):
+            result = repro.estimate(a, d, method=method, num_buckets=5)
+            assert result.estimator == "PL"
+
+    def test_default_method_is_pl(self, figure1_tree):
+        a, d = figure1_tree
+        assert repro.estimate(a, d, num_buckets=5).estimator == "PL"
+
+    def test_nearest_match_hint(self):
+        with pytest.raises(EstimationError, match="did you mean 'PL'"):
+            repro.make_estimator("PLH")
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(EstimationError, match="unknown estimator"):
+            repro.make_estimator("ZZZZZZ")
+
+    def test_canonical_name(self):
+        assert canonical_name("im-da") == "IM"
+        assert canonical_name(" pl ") == "PL"
+        assert canonical_name("COVERAGE") == "COV"
+
+    def test_cache_round_trip(self, figure1_tree):
+        a, d = figure1_tree
+        cache = SummaryCache()
+        bare = repro.estimate(a, d, method="PL", num_buckets=5)
+        first = repro.estimate(
+            a, d, method="PL", num_buckets=5, cache=cache
+        )
+        second = repro.estimate(
+            a, d, method="PL", num_buckets=5, cache=cache
+        )
+        assert first.value == second.value == bare.value
+        assert cache.stats()["hits"] > 0
+
+
+class TestBuildCatalog:
+    def test_accepts_dataset_and_int_budget(self, xmark_small):
+        catalog = repro.build_catalog(
+            xmark_small, 400, tags=["item", "name"]
+        )
+        estimate = catalog.estimate_join("item", "name")
+        assert estimate.value >= 0.0
+
+    def test_accepts_tree(self, xmark_small):
+        catalog = repro.build_catalog(
+            xmark_small.tree, 400, tags=["item", "name"]
+        )
+        assert catalog.estimate_join("item", "name").value >= 0.0
+
+
+class TestPublicSurface:
+    def test_top_level_reexports(self):
+        for name in ("Estimate", "Estimator", "NodeSet", "Workspace",
+                     "estimate", "build_catalog", "make_estimator",
+                     "available_estimators"):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__, name
+
+    def test_api_module_all_resolves(self):
+        for name in api.__all__:
+            assert hasattr(api, name), name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)

@@ -84,3 +84,36 @@ class TestCli:
             "xmach", "--scale", "0.1", "--runs", "1", "--budget", "200"
         )
         assert "xmach" in out
+
+
+class TestTelemetryCli:
+    def test_telemetry_then_obs_report(self, run_cli, tmp_path):
+        from repro import obs
+
+        telemetry = tmp_path / "telemetry.jsonl"
+        code, out = run_cli(
+            "table4", "--scale", SCALE, "--telemetry", str(telemetry)
+        )
+        assert code == 0
+        assert f"telemetry records to {telemetry}" in out
+        records = obs.read_telemetry(telemetry)
+        events = {r["event"] for r in records}
+        assert "estimate" in events and "summary" in events
+
+        code, report = run_cli("obs-report", "--input", str(telemetry))
+        assert code == 0
+        assert "Estimator calls" in report
+        assert "Counters" in report
+
+    def test_obs_report_requires_input(self, run_cli):
+        with pytest.raises(SystemExit):
+            run_cli("obs-report")
+
+    def test_observation_disabled_after_run(self, run_cli, tmp_path):
+        from repro import obs
+
+        run_cli(
+            "table4", "--scale", SCALE,
+            "--telemetry", str(tmp_path / "t.jsonl"),
+        )
+        assert not obs.enabled()

@@ -92,5 +92,15 @@ class TestReadme:
         from repro.__main__ import _COMMANDS
 
         readme = (ROOT / "README.md").read_text()
-        for command in re.findall(r"python -m repro (\w+)", readme):
-            assert command in _COMMANDS or command == "all", command
+        for command in re.findall(r"python -m repro ([\w-]+)", readme):
+            assert (
+                command in _COMMANDS or command in ("all", "obs-report")
+            ), command
+
+    def test_api_doc_present_and_linked(self):
+        api_doc = ROOT / "docs" / "API.md"
+        assert api_doc.exists()
+        assert len(api_doc.read_text()) > 200
+        assert "docs/API.md" in (ROOT / "README.md").read_text()
+        architecture = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        assert "API.md" in architecture

@@ -19,8 +19,32 @@ class TestEstimate:
         assert Estimate(110.0, "X").relative_error(100) == pytest.approx(10.0)
 
     def test_relative_error_zero_truth(self):
+        # The true_size == 0 branch: an exactly-zero estimate is a
+        # perfect answer, anything else is infinitely wrong (the paper
+        # leaves this case undefined; this pins our convention).
         assert Estimate(0.0, "X").relative_error(0) == 0.0
         assert Estimate(5.0, "X").relative_error(0) == math.inf
+        assert Estimate(1e-300, "X").relative_error(0) == math.inf
+
+    def test_signed_relative_error(self):
+        assert Estimate(90.0, "X").signed_relative_error(100) == (
+            pytest.approx(-10.0)
+        )
+        assert Estimate(110.0, "X").signed_relative_error(100) == (
+            pytest.approx(10.0)
+        )
+        assert Estimate(100.0, "X").signed_relative_error(100) == 0.0
+
+    def test_signed_relative_error_zero_truth(self):
+        assert Estimate(0.0, "X").signed_relative_error(0) == 0.0
+        assert Estimate(5.0, "X").signed_relative_error(0) == math.inf
+
+    def test_signed_matches_unsigned_magnitude(self):
+        for value, truth in ((37.0, 50), (63.0, 50), (0.0, 7), (12.0, 0)):
+            estimate = Estimate(value, "X")
+            assert abs(estimate.signed_relative_error(truth)) == (
+                pytest.approx(estimate.relative_error(truth))
+            )
 
     def test_defaults(self):
         estimate = Estimate(1.0, "X")
