@@ -13,6 +13,12 @@ retained reference implementations and writes ``BENCH_kernels.json``:
   cache.  The headline ``speedup`` compares reference to
   vectorized+cache.  Both paths are also checked for *identical* sweep
   output, so a kernel regression fails the run outright;
+* **sampling** — the batched probe layer: per-backend micro timings
+  (``estimate_trials`` + index cache versus sequential reference-mode
+  ``estimate`` calls) and the Figure 8 sample-count sweeps for IM-DA-Est
+  and PM-Est, reference versus batched, with bit-identical output
+  asserted in both cases.  Also written standalone as
+  ``BENCH_sampling.json``;
 * **obs_overhead** — the same sweep with :mod:`repro.obs`
   instrumentation enabled (registry only, no sink) versus disabled;
   the enabled-but-unsinked overhead is the number the instrumentation
@@ -32,10 +38,12 @@ Usage::
     python benchmarks/bench_runner.py            # full (scale 1.0)
     python benchmarks/bench_runner.py --quick    # CI smoke (scale 0.1)
     python benchmarks/bench_runner.py --min-speedup 5
+    python benchmarks/bench_runner.py --min-sampling-speedup 5
     python benchmarks/bench_runner.py --quick --telemetry telemetry.jsonl
 
-Exits non-zero when the reference/vectorized outputs disagree or when
-the sweep speedup falls below ``--min-speedup``.
+Exits non-zero when the reference/vectorized (or reference/batched)
+outputs disagree or when a sweep speedup falls below ``--min-speedup``
+/ ``--min-sampling-speedup``.
 """
 
 from __future__ import annotations
@@ -190,6 +198,124 @@ def bench_fig7_sweep(scale: float, buckets) -> dict:
     }
 
 
+def bench_sampling(scale: float, runs: int) -> dict:
+    """Batched sampling trials + index cache versus the reference path.
+
+    The reference side runs each repetition as its own ``estimate`` call
+    under :func:`repro.perf.reference_kernels` — per-element probe
+    loops, probe indexes rebuilt on every call, index caches disabled —
+    which reproduces the sampling estimators' pre-batching behavior
+    through the same public entry points.  The batched side makes one
+    ``estimate_trials`` call against a warm :class:`IndexCache`.  Both
+    sides consume the same seed stream, so the batched values are
+    checked bit-identical before any speedup is trusted.  The headline
+    number is the Figure 8 IM sweep (reference versus batched), the
+    ``--min-sampling-speedup`` gate.
+    """
+    from repro.datasets.workloads import ALL_WORKLOADS
+    from repro.estimators.im_sampling import IMSamplingEstimator
+    from repro.estimators.pm_sampling import PMSamplingEstimator
+    from repro.experiments.sampling import run_sample_sweep
+    from repro.perf import IndexCache, use_index_cache
+
+    dataset = get_dataset("xmark", scale=scale)
+    ancestors, descendants = ALL_WORKLOADS["xmark"][0].operands(dataset)
+    workspace = dataset.tree.workspace()
+
+    configs = [
+        ("IM.rank", lambda s: IMSamplingEstimator(num_samples=100, seed=s)),
+        (
+            "IM.ttree",
+            lambda s: IMSamplingEstimator(
+                num_samples=100, seed=s, backend="ttree"
+            ),
+        ),
+        (
+            "IM.xrtree",
+            lambda s: IMSamplingEstimator(
+                num_samples=100, seed=s, backend="xrtree"
+            ),
+        ),
+        ("PM.rank", lambda s: PMSamplingEstimator(num_samples=100, seed=s)),
+        (
+            "PM.ttree",
+            lambda s: PMSamplingEstimator(
+                num_samples=100, seed=s, backend="ttree"
+            ),
+        ),
+    ]
+    backends: dict[str, dict] = {}
+    for label, factory in configs:
+        with perf.reference_kernels():
+            estimator = factory(11)
+            start = time.perf_counter()
+            reference_values = [
+                estimator.estimate(ancestors, descendants, workspace).value
+                for __ in range(runs)
+            ]
+            reference_s = time.perf_counter() - start
+        estimator = factory(11)
+        with use_index_cache(IndexCache()):
+            start = time.perf_counter()
+            results = estimator.estimate_trials(
+                ancestors, descendants, runs, workspace
+            )
+            batched_s = time.perf_counter() - start
+        _record(f"sampling.{label}.reference_s", reference_s)
+        _record(f"sampling.{label}.batched_s", batched_s)
+        backends[label] = {
+            "trials": runs,
+            "reference_s": reference_s,
+            "batched_s": batched_s,
+            "speedup": (
+                reference_s / batched_s if batched_s > 0 else float("inf")
+            ),
+            "identical": reference_values == [r.value for r in results],
+        }
+
+    fig8: dict[str, dict] = {}
+    for method in ("IM", "PM"):
+        # Each side gets an untimed first pass (it also yields the series
+        # for the identity check) and is then timed best-of-2.  The
+        # batched side keeps its IndexCache across passes — steady-state
+        # reuse across repetitions is exactly what the cache is for and
+        # how the Figure 8 experiment itself runs — while reference mode
+        # has nothing to keep warm: it rebuilds per call by construction.
+        def sweep():
+            return run_sample_sweep("xmark", method, scale=scale, runs=runs)
+
+        with perf.reference_kernels():
+            reference_sweep = sweep()
+            reference_s = _best_of(sweep, 2)
+        cache = IndexCache()
+        with use_index_cache(cache):
+            batched_sweep = sweep()
+            batched_s = _best_of(sweep, 2)
+        _record(f"sampling.fig8.{method}.reference_s", reference_s)
+        _record(f"sampling.fig8.{method}.batched_s", batched_s)
+        fig8[method] = {
+            "runs": runs,
+            "reference_s": reference_s,
+            "batched_s": batched_s,
+            "speedup": (
+                reference_s / batched_s if batched_s > 0 else float("inf")
+            ),
+            "identical_series": (
+                reference_sweep.series == batched_sweep.series
+            ),
+            "index_cache": cache.stats(),
+        }
+
+    return {
+        "scale": scale,
+        "backends": backends,
+        "fig8_sweep": fig8,
+        "identical": all(b["identical"] for b in backends.values())
+        and all(s["identical_series"] for s in fig8.values()),
+        "speedup": fig8["IM"]["speedup"],
+    }
+
+
 def bench_obs_overhead(scale: float, buckets, repeats: int = 15) -> dict:
     """The instrumented-but-unsinked sweep versus the uninstrumented one.
 
@@ -317,11 +443,25 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless the Fig. 7 sweep speedup reaches this factor",
     )
     parser.add_argument(
+        "--min-sampling-speedup",
+        type=float,
+        default=None,
+        help="fail unless the Fig. 8 IM sweep (reference vs batched) "
+        "speedup reaches this factor",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent
         / "BENCH_kernels.json",
         help="where to write the timing report",
+    )
+    parser.add_argument(
+        "--sampling-output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_sampling.json",
+        help="where to write the standalone sampling-phase report",
     )
     parser.add_argument(
         "--skip-parallel",
@@ -357,7 +497,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"generating xmark at scale {scale} ...", flush=True)
     dataset = get_dataset("xmark", scale=scale)
 
-    print("phase 1/4: kernel microbenchmarks", flush=True)
+    print("phase 1/5: kernel microbenchmarks", flush=True)
     kernels = bench_kernels(dataset, repeats)
     for name, timing in kernels.items():
         print(
@@ -366,7 +506,7 @@ def main(argv: list[str] | None = None) -> int:
             f"({timing['speedup']:.1f}x)"
         )
 
-    print("phase 2/4: Fig. 7 histogram sweep (build + estimate)", flush=True)
+    print("phase 2/5: Fig. 7 histogram sweep (build + estimate)", flush=True)
     sweep = bench_fig7_sweep(scale, buckets)
     print(
         f"  reference {sweep['reference_s']:.2f} s, vectorized "
@@ -376,7 +516,27 @@ def main(argv: list[str] | None = None) -> int:
         f"{sweep['identical_output']}"
     )
 
-    print("phase 3/4: observation overhead (enabled, no sink)", flush=True)
+    print(
+        "phase 3/5: batched sampling trials (reference vs batched)",
+        flush=True,
+    )
+    sampling = bench_sampling(scale, runs=5 if args.quick else 11)
+    for label, timing in sampling["backends"].items():
+        print(
+            f"  {label:>20}: {timing['reference_s'] * 1e3:8.2f} ms -> "
+            f"{timing['batched_s'] * 1e3:8.2f} ms "
+            f"({timing['speedup']:.1f}x), identical: "
+            f"{timing['identical']}"
+        )
+    for method, timing in sampling["fig8_sweep"].items():
+        print(
+            f"  {'fig8.' + method:>20}: {timing['reference_s']:8.2f} s  -> "
+            f"{timing['batched_s']:8.2f} s  "
+            f"({timing['speedup']:.1f}x), identical series: "
+            f"{timing['identical_series']}"
+        )
+
+    print("phase 4/5: observation overhead (enabled, no sink)", flush=True)
     overhead = bench_obs_overhead(scale, buckets)
     print(
         f"  baseline {overhead['baseline_s']:.2f} s, observed "
@@ -388,7 +548,7 @@ def main(argv: list[str] | None = None) -> int:
 
     parallel = None
     if not args.skip_parallel:
-        print("phase 4/4: parallel harness", flush=True)
+        print("phase 5/5: parallel harness", flush=True)
         parallel = bench_parallel(scale, runs=5 if args.quick else 31)
         print(
             f"  serial {parallel['serial_s']:.2f} s, "
@@ -412,12 +572,21 @@ def main(argv: list[str] | None = None) -> int:
         "scale": scale,
         "kernels": kernels,
         "fig7_sweep": sweep,
+        "sampling": sampling,
         "obs_overhead": overhead,
         "parallel": parallel,
         "metrics": REGISTRY.snapshot(),
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+    sampling_report = {
+        "mode": report["mode"],
+        **sampling,
+    }
+    args.sampling_output.write_text(
+        json.dumps(sampling_report, indent=2) + "\n"
+    )
+    print(f"wrote {args.sampling_output}")
     if _SINK is not None:
         _SINK.close()
         print(
@@ -436,10 +605,27 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if not sampling["identical"]:
+        print(
+            "FAIL: batched sampling trials disagree with sequential "
+            "reference trials",
+            file=sys.stderr,
+        )
+        return 1
     if args.min_speedup is not None and sweep["speedup"] < args.min_speedup:
         print(
             f"FAIL: sweep speedup {sweep['speedup']:.2f}x below "
             f"required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_sampling_speedup is not None
+        and sampling["speedup"] < args.min_sampling_speedup
+    ):
+        print(
+            f"FAIL: Fig. 8 sampling speedup {sampling['speedup']:.2f}x "
+            f"below required {args.min_sampling_speedup}x",
             file=sys.stderr,
         )
         return 1

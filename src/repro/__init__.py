@@ -57,7 +57,7 @@ from repro.api import (
     make_estimator,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Element",

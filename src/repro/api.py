@@ -8,7 +8,9 @@ needs without touching package internals:
   estimation over a whole document;
 * the re-exported types: :class:`Estimate`, :class:`Estimator`,
   :class:`NodeSet`, :class:`Workspace`, :class:`SpaceBudget`,
-  :class:`SummaryCache`, plus :func:`make_estimator` /
+  :class:`SummaryCache`, :class:`IndexCache` (with
+  :func:`use_index_cache` for ambient installation around repeated
+  sampling calls), plus :func:`make_estimator` /
   :func:`available_estimators` for direct construction.
 
 This module (and the same names re-exported from :mod:`repro`) is the
@@ -43,11 +45,13 @@ from repro.estimators.registry import (
     make_estimator,
 )
 from repro.perf.cache import SummaryCache, use_cache
+from repro.perf.index_cache import IndexCache, use_index_cache
 from repro.xmltree.tree import DataTree
 
 __all__ = [
     "Estimate",
     "Estimator",
+    "IndexCache",
     "NodeSet",
     "SpaceBudget",
     "StatisticsCatalog",
@@ -58,6 +62,7 @@ __all__ = [
     "canonical_name",
     "estimate",
     "make_estimator",
+    "use_index_cache",
 ]
 
 

@@ -25,6 +25,7 @@ the exact dense part removes the highest-variance contributions.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 import numpy as np
 
@@ -33,10 +34,12 @@ from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
-from repro.estimators.base import Estimate, Estimator
-from repro.index.bplus import start_position_index
-from repro.index.stab import StabbingCounter
+from repro.estimators.base import Estimate
+from repro.estimators.sampling_base import SamplingEstimator
+from repro.index.stab import StabbingCounter, start_membership_many
 from repro.models.position import turning_points
+from repro.obs import runtime as _obs
+from repro.perf import IndexCache, resolve_index_cache
 
 
 def dense_runs(
@@ -57,7 +60,7 @@ def dense_runs(
     return runs
 
 
-class BifocalEstimator(Estimator):
+class BifocalEstimator(SamplingEstimator):
     """Bifocal sampling over the position-model equijoin.
 
     Args:
@@ -67,6 +70,10 @@ class BifocalEstimator(Estimator):
         seed: RNG seed or generator.
         threshold: dense-value threshold τ; defaults to
             ``ceil(sqrt(|A|))`` at estimation time.
+        index_cache: probe-index cache; defaults to the ambient one
+            (:func:`repro.perf.use_index_cache`), if any.  Besides the
+            stabbing index it memoizes the exact dense-dense total,
+            which is a pure function of the operands and τ.
     """
 
     name = "BIFOCAL"
@@ -77,6 +84,7 @@ class BifocalEstimator(Estimator):
         budget: SpaceBudget | None = None,
         seed: SeedLike = None,
         threshold: int | None = None,
+        index_cache: IndexCache | None = None,
     ) -> None:
         if (num_samples is None) == (budget is None):
             raise EstimationError(
@@ -91,55 +99,94 @@ class BifocalEstimator(Estimator):
             raise EstimationError(f"threshold must be >= 1, got {threshold}")
         self.threshold = threshold
         self._rng = make_rng(seed)
+        self._index_cache = index_cache
 
-    def estimate(
+    def _prepare_workspace(
         self,
         ancestors: NodeSet,
         descendants: NodeSet,
-        workspace: Workspace | None = None,
-    ) -> Estimate:
-        workspace = self.resolve_workspace(ancestors, descendants, workspace)
-        if len(ancestors) == 0 or len(descendants) == 0:
-            return Estimate(0.0, self.name, details={"samples": 0})
-        threshold = (
-            self.threshold
-            if self.threshold is not None
-            else max(2, math.isqrt(len(ancestors) - 1) + 1)
-        )
-        runs = dense_runs(ancestors, threshold)
+        workspace: Workspace | None,
+    ) -> Workspace:
+        return self.resolve_workspace(ancestors, descendants, workspace)
 
-        # Exact dense-dense part: descendant starts inside dense runs.
+    @staticmethod
+    def _dense_part(
+        ancestors: NodeSet, descendants: NodeSet, threshold: int
+    ) -> tuple[int, int]:
+        """``(run count, exact dense-dense total)`` for threshold τ."""
+        runs = dense_runs(ancestors, threshold)
         dense_total = 0
         for first, last, value in runs:
             dense_total += value * descendants.count_starts_in(
                 first, last + 1
             )
+        return len(runs), dense_total
+
+    def _run_trials(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[Estimate]:
+        assert workspace is not None  # _prepare_workspace resolved it
+        threshold = (
+            self.threshold
+            if self.threshold is not None
+            else max(2, math.isqrt(len(ancestors) - 1) + 1)
+        )
+        cache = resolve_index_cache(self._index_cache)
+
+        # Exact dense-dense part: descendant starts inside dense runs.
+        # Deterministic in (A, D, τ), hence cacheable across trials.
+        with _obs.phase_timer(self.name, "index_build"):
+            if cache is not None:
+                num_runs, dense_total = cache.get_or_build(
+                    (
+                        "bifocal_dense",
+                        ancestors.fingerprint,
+                        descendants.fingerprint,
+                        threshold,
+                    ),
+                    lambda: self._dense_part(
+                        ancestors, descendants, threshold
+                    ),
+                )
+                counter = cache.stabbing_counter(ancestors)
+            else:
+                num_runs, dense_total = self._dense_part(
+                    ancestors, descendants, threshold
+                )
+                counter = StabbingCounter(ancestors)
 
         # Sparse part: PM-Est-style sampling, zeroing dense positions.
         m = self.num_samples
-        positions = self._rng.integers(
-            workspace.lo, workspace.hi + 1, size=m
+        position_rows = self._draw_uniform_matrix(
+            rngs, workspace.lo, workspace.hi + 1, m
         )
-        pma = StabbingCounter(ancestors).count_many(positions)
-        start_index = start_position_index(
-            [int(s) for s in descendants.starts]
-        )
-        pmd = np.array(
-            [1 if int(v) in start_index else 0 for v in positions],
-            dtype=np.int64,
-        )
-        sparse_mask = pma < threshold
-        sparse_sample = int(np.dot(pma * sparse_mask, pmd))
-        sparse_total = float(sparse_sample) * workspace.width / m
-
-        return Estimate(
-            dense_total + sparse_total,
-            self.name,
-            details={
-                "samples": m,
-                "threshold": threshold,
-                "dense_runs": len(runs),
-                "dense_exact": dense_total,
-                "sparse_estimate": sparse_total,
-            },
-        )
+        positions = position_rows.ravel()
+        with _obs.phase_timer(self.name, "probe"):
+            pma = counter.count_many(positions).reshape(len(rngs), m)
+            pmd = start_membership_many(
+                descendants.starts, positions
+            ).reshape(len(rngs), m)
+        with _obs.phase_timer(self.name, "scale"):
+            results = []
+            for pma_row, pmd_row in zip(pma, pmd):
+                sparse_mask = pma_row < threshold
+                sparse_sample = int(np.dot(pma_row * sparse_mask, pmd_row))
+                sparse_total = float(sparse_sample) * workspace.width / m
+                results.append(
+                    Estimate(
+                        dense_total + sparse_total,
+                        self.name,
+                        details={
+                            "samples": m,
+                            "threshold": threshold,
+                            "dense_runs": num_runs,
+                            "dense_exact": dense_total,
+                            "sparse_estimate": sparse_total,
+                        },
+                    )
+                )
+            return results

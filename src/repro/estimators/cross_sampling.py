@@ -13,9 +13,14 @@ make instructive ablations:
   deterministic spacing stratifies the workspace, typically beating
   t_cross at equal sample counts, but correlates with any periodic
   structure in the data.
+
+Both run on the :class:`~repro.estimators.sampling_base.SamplingEstimator`
+engine, so repeated trials evaluate as one batched comparison / probe.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -24,11 +29,14 @@ from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
-from repro.estimators.base import Estimate, Estimator
+from repro.estimators.base import Estimate
+from repro.estimators.sampling_base import SamplingEstimator
 from repro.index.stab import StabbingCounter
+from repro.obs import runtime as _obs
+from repro.perf import IndexCache, resolve_index_cache
 
 
-class CrossSamplingEstimator(Estimator):
+class CrossSamplingEstimator(SamplingEstimator):
     """t_cross: independent pair sampling over ``A × D``."""
 
     name = "CROSS"
@@ -50,28 +58,47 @@ class CrossSamplingEstimator(Estimator):
             raise EstimationError(f"need >= 1 sample, got {self.num_samples}")
         self._rng = make_rng(seed)
 
-    def estimate(
+    def _run_trials(
         self,
         ancestors: NodeSet,
         descendants: NodeSet,
-        workspace: Workspace | None = None,
-    ) -> Estimate:
-        if len(ancestors) == 0 or len(descendants) == 0:
-            return Estimate(0.0, self.name, details={"samples": 0})
+        workspace: Workspace | None,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[Estimate]:
         m = self.num_samples
-        a_idx = self._rng.integers(0, len(ancestors), size=m)
-        d_idx = self._rng.integers(0, len(descendants), size=m)
-        a_starts = ancestors.starts[a_idx]
-        a_ends = ancestors.ends[a_idx]
-        d_starts = descendants.starts[d_idx]
-        hits = int(((a_starts < d_starts) & (d_starts < a_ends)).sum())
-        value = hits / m * len(ancestors) * len(descendants)
-        return Estimate(
-            value, self.name, details={"samples": m, "hits": hits}
-        )
+        # Each trial draws its ancestor indices before its descendant
+        # indices; the alternating bounds rule out one bulk call, but the
+        # draws are trivially cheap next to the comparison kernel.
+        a_rows = []
+        d_rows = []
+        for rng in rngs:
+            a_rows.append(rng.integers(0, len(ancestors), size=m))
+            d_rows.append(rng.integers(0, len(descendants), size=m))
+        a_idx = np.concatenate(a_rows) if len(rngs) > 1 else a_rows[0]
+        d_idx = np.concatenate(d_rows) if len(rngs) > 1 else d_rows[0]
+        with _obs.phase_timer(self.name, "probe"):
+            a_starts = ancestors.starts[a_idx]
+            a_ends = ancestors.ends[a_idx]
+            d_starts = descendants.starts[d_idx]
+            flags = (
+                (a_starts < d_starts) & (d_starts < a_ends)
+            ).reshape(len(rngs), m)
+        with _obs.phase_timer(self.name, "scale"):
+            results = []
+            for row in flags:
+                hits = int(row.sum())
+                value = hits / m * len(ancestors) * len(descendants)
+                results.append(
+                    Estimate(
+                        value,
+                        self.name,
+                        details={"samples": m, "hits": hits},
+                    )
+                )
+            return results
 
 
-class SystematicSamplingEstimator(Estimator):
+class SystematicSamplingEstimator(SamplingEstimator):
     """Systematic every-k-th descendant sampling.
 
     With target sample size ``m``, uses stride ``k = ceil(|D| / m)`` from
@@ -87,6 +114,7 @@ class SystematicSamplingEstimator(Estimator):
         num_samples: int | None = None,
         budget: SpaceBudget | None = None,
         seed: SeedLike = None,
+        index_cache: IndexCache | None = None,
     ) -> None:
         if (num_samples is None) == (budget is None):
             raise EstimationError(
@@ -98,27 +126,47 @@ class SystematicSamplingEstimator(Estimator):
         if self.num_samples < 1:
             raise EstimationError(f"need >= 1 sample, got {self.num_samples}")
         self._rng = make_rng(seed)
+        self._index_cache = index_cache
 
-    def estimate(
+    def _run_trials(
         self,
         ancestors: NodeSet,
         descendants: NodeSet,
-        workspace: Workspace | None = None,
-    ) -> Estimate:
-        if len(ancestors) == 0 or len(descendants) == 0:
-            return Estimate(0.0, self.name, details={"samples": 0})
+        workspace: Workspace | None,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[Estimate]:
         population = len(descendants)
         stride = max(1, -(-population // self.num_samples))  # ceil division
-        offset = int(self._rng.integers(0, stride))
-        points = descendants.starts[offset::stride]
-        counts = StabbingCounter(ancestors).count_many(points)
-        value = float(counts.sum()) * stride
-        return Estimate(
-            value,
-            self.name,
-            details={
-                "samples": int(len(points)),
-                "stride": stride,
-                "offset": offset,
-            },
-        )
+        # A scalar draw per trial, matching the sequential stream; the
+        # selected slices have data-dependent lengths, so trials are
+        # concatenated raggedly and split back after the probe.
+        offsets = [int(rng.integers(0, stride)) for rng in rngs]
+        rows = [descendants.starts[offset::stride] for offset in offsets]
+        points = np.concatenate(rows) if len(rows) > 1 else rows[0]
+        cache = resolve_index_cache(self._index_cache)
+        with _obs.phase_timer(self.name, "index_build"):
+            counter = (
+                cache.stabbing_counter(ancestors)
+                if cache is not None
+                else StabbingCounter(ancestors)
+            )
+        with _obs.phase_timer(self.name, "probe"):
+            counts = counter.count_many(points)
+        with _obs.phase_timer(self.name, "scale"):
+            bounds = np.cumsum([len(row) for row in rows])
+            results = []
+            for offset, row_counts in zip(
+                offsets, np.split(counts, bounds[:-1])
+            ):
+                results.append(
+                    Estimate(
+                        float(row_counts.sum()) * stride,
+                        self.name,
+                        details={
+                            "samples": int(len(row_counts)),
+                            "stride": stride,
+                            "offset": offset,
+                        },
+                    )
+                )
+            return results

@@ -14,12 +14,16 @@ plain bifocal sampling.  Both properties are verified by the test suite.
 
 The per-sample probe ("how many intervals contain this point?") supports
 three interchangeable backends (Section 5.3.1): the rank oracle (two
-binary searches), the T-tree and the XR-tree.
+binary searches), the T-tree and the XR-tree.  All three probe through
+their batched ``count_many`` kernels and are served by the ambient
+:class:`~repro.perf.IndexCache` when one is installed, so repeated
+trials (``estimate_trials``, harness repetitions) neither rebuild the
+index nor re-enter Python per sample point.
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Sequence
 
 import numpy as np
 
@@ -28,15 +32,18 @@ from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
-from repro.estimators.base import Estimate, Estimator
+from repro.estimators.base import Estimate
+from repro.estimators.sampling_base import SamplingEstimator
 from repro.index.stab import StabbingCounter
 from repro.index.ttree import TTree
 from repro.index.xrtree import XRTree
+from repro.obs import runtime as _obs
+from repro.perf import IndexCache, resolve_index_cache
 
 Backend = Literal["rank", "ttree", "xrtree"]
 
 
-class IMSamplingEstimator(Estimator):
+class IMSamplingEstimator(SamplingEstimator):
     """IM-DA-Est (Algorithm 2).
 
     Args:
@@ -49,6 +56,8 @@ class IMSamplingEstimator(Estimator):
             matches Algorithm 2's "random sample from IMD(D)"; when the
             requested m exceeds |D| the sample is the whole set and the
             estimate is exact.
+        index_cache: probe-index cache; defaults to the ambient one
+            (:func:`repro.perf.use_index_cache`), if any.
     """
 
     name = "IM"
@@ -60,6 +69,7 @@ class IMSamplingEstimator(Estimator):
         seed: SeedLike = None,
         backend: Backend = "rank",
         replace: bool = False,
+        index_cache: IndexCache | None = None,
     ) -> None:
         if (num_samples is None) == (budget is None):
             raise EstimationError(
@@ -75,47 +85,67 @@ class IMSamplingEstimator(Estimator):
         self.backend: Backend = backend
         self.replace = replace
         self._rng = make_rng(seed)
+        self._index_cache = index_cache
 
     def _stab_counts(
         self, ancestors: NodeSet, points: np.ndarray
     ) -> np.ndarray:
-        if self.backend == "rank":
-            return StabbingCounter(ancestors).count_many(points)
-        if self.backend == "ttree":
-            ttree = TTree(ancestors)
-            return np.array(
-                [ttree.count(int(p)) for p in points], dtype=np.int64
-            )
-        xrtree = XRTree(ancestors)
-        return np.array(
-            [xrtree.stab_count(int(p)) for p in points], dtype=np.int64
-        )
+        cache = resolve_index_cache(self._index_cache)
+        with _obs.phase_timer(self.name, "index_build"):
+            if self.backend == "rank":
+                index = (
+                    cache.stabbing_counter(ancestors)
+                    if cache is not None
+                    else StabbingCounter(ancestors)
+                )
+            elif self.backend == "ttree":
+                index = (
+                    cache.ttree(ancestors)
+                    if cache is not None
+                    else TTree(ancestors)
+                )
+            else:
+                index = (
+                    cache.xrtree(ancestors)
+                    if cache is not None
+                    else XRTree(ancestors)
+                )
+        with _obs.phase_timer(self.name, "probe"):
+            if self.backend == "xrtree":
+                return index.stab_count_many(points)
+            return index.count_many(points)
 
-    def estimate(
+    def _run_trials(
         self,
         ancestors: NodeSet,
         descendants: NodeSet,
-        workspace: Workspace | None = None,
-    ) -> Estimate:
-        if len(ancestors) == 0 or len(descendants) == 0:
-            return Estimate(0.0, self.name, details={"samples": 0})
+        workspace: Workspace | None,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[Estimate]:
         population = len(descendants)
         if self.replace:
             m = self.num_samples
-            indices = self._rng.integers(0, population, size=m)
+            index_rows = self._draw_uniform_matrix(rngs, 0, population, m)
         else:
             m = min(self.num_samples, population)
-            indices = self._rng.choice(population, size=m, replace=False)
-        points = descendants.starts[indices]
-        counts = self._stab_counts(ancestors, points)
-        value = float(counts.sum()) * population / m
-        return Estimate(
-            value,
-            self.name,
-            details={
-                "samples": m,
-                "backend": self.backend,
-                "replace": self.replace,
-                "max_subjoin": int(counts.max()) if m else 0,
-            },
-        )
+            index_rows = self._draw_choice_rows(rngs, population, m)
+        points = descendants.starts[index_rows.ravel()]
+        counts = self._stab_counts(ancestors, points).reshape(len(rngs), m)
+        with _obs.phase_timer(self.name, "scale"):
+            # Integer reductions, so the axis forms are exactly the
+            # per-row ``row.sum()`` / ``row.max()`` values.
+            sums = counts.sum(axis=1)
+            maxes = counts.max(axis=1) if m else np.zeros(len(rngs), int)
+            return [
+                Estimate(
+                    float(sums[i]) * population / m,
+                    self.name,
+                    details={
+                        "samples": m,
+                        "backend": self.backend,
+                        "replace": self.replace,
+                        "max_subjoin": int(maxes[i]),
+                    },
+                )
+                for i in range(len(rngs))
+            ]

@@ -11,13 +11,18 @@ probability, where ``w = cmax - cmin + 1`` is the workspace width.  Since
 needs more samples for the same accuracy — the inferiority the paper
 predicts in Section 5.2 and confirms in Figure 8.
 
-Probes: ``PMA[v]`` via the T-tree (or the rank oracle), ``PMD[v]`` via any
-index on start positions — a B+-tree here (Section 5.3.1).
+Probes: ``PMA[v]`` via the T-tree (or the rank oracle), ``PMD[v]`` via an
+index on start positions (Section 5.3.1).  The fast path answers the
+membership probe with one ``searchsorted`` over the already-sorted start
+array (:func:`repro.index.start_membership_many`); the B+-tree build and
+per-position lookup of the paper's description are retained as its
+reference implementation and reselected under
+:func:`repro.perf.reference_kernels`.
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Sequence
 
 import numpy as np
 
@@ -26,15 +31,17 @@ from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
-from repro.estimators.base import Estimate, Estimator
-from repro.index.bplus import start_position_index
-from repro.index.stab import StabbingCounter
+from repro.estimators.base import Estimate
+from repro.estimators.sampling_base import SamplingEstimator
+from repro.index.stab import StabbingCounter, start_membership_many
 from repro.index.ttree import TTree
+from repro.obs import runtime as _obs
+from repro.perf import IndexCache, resolve_index_cache
 
 Backend = Literal["rank", "ttree"]
 
 
-class PMSamplingEstimator(Estimator):
+class PMSamplingEstimator(SamplingEstimator):
     """PM-Est (Algorithm 3).
 
     Args:
@@ -42,8 +49,11 @@ class PMSamplingEstimator(Estimator):
         budget: byte budget converted at 8 bytes per sample.
         seed: RNG seed or generator.
         backend: probe structure for ``PMA[v]`` — "rank" (two binary
-            searches) or "ttree".  ``PMD[v]`` always probes a B+-tree on
-            the descendant start positions.
+            searches) or "ttree".  ``PMD[v]`` probes the descendant start
+            positions (vectorized membership; a B+-tree in reference
+            mode).
+        index_cache: probe-index cache; defaults to the ambient one
+            (:func:`repro.perf.use_index_cache`), if any.
     """
 
     name = "PM"
@@ -54,6 +64,7 @@ class PMSamplingEstimator(Estimator):
         budget: SpaceBudget | None = None,
         seed: SeedLike = None,
         backend: Backend = "rank",
+        index_cache: IndexCache | None = None,
     ) -> None:
         if (num_samples is None) == (budget is None):
             raise EstimationError(
@@ -68,43 +79,68 @@ class PMSamplingEstimator(Estimator):
             raise EstimationError(f"unknown backend {backend!r}")
         self.backend: Backend = backend
         self._rng = make_rng(seed)
+        self._index_cache = index_cache
 
-    def estimate(
+    def _prepare_workspace(
         self,
         ancestors: NodeSet,
         descendants: NodeSet,
-        workspace: Workspace | None = None,
-    ) -> Estimate:
-        workspace = self.resolve_workspace(ancestors, descendants, workspace)
-        if len(ancestors) == 0 or len(descendants) == 0:
-            return Estimate(0.0, self.name, details={"samples": 0})
+        workspace: Workspace | None,
+    ) -> Workspace:
+        return self.resolve_workspace(ancestors, descendants, workspace)
+
+    def _pma_counts(
+        self, ancestors: NodeSet, positions: np.ndarray
+    ) -> np.ndarray:
+        cache = resolve_index_cache(self._index_cache)
+        with _obs.phase_timer(self.name, "index_build"):
+            if self.backend == "ttree":
+                index = (
+                    cache.ttree(ancestors)
+                    if cache is not None
+                    else TTree(ancestors)
+                )
+            else:
+                index = (
+                    cache.stabbing_counter(ancestors)
+                    if cache is not None
+                    else StabbingCounter(ancestors)
+                )
+        with _obs.phase_timer(self.name, "probe"):
+            return index.count_many(positions)
+
+    def _run_trials(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[Estimate]:
+        assert workspace is not None  # _prepare_workspace resolved it
         m = self.num_samples
-        positions = self._rng.integers(
-            workspace.lo, workspace.hi + 1, size=m
+        position_rows = self._draw_uniform_matrix(
+            rngs, workspace.lo, workspace.hi + 1, m
         )
-        start_index = start_position_index(
-            [int(s) for s in descendants.starts]
-        )
-        if self.backend == "ttree":
-            ttree = TTree(ancestors)
-            pma = np.array(
-                [ttree.count(int(v)) for v in positions], dtype=np.int64
-            )
-        else:
-            pma = StabbingCounter(ancestors).count_many(positions)
-        pmd = np.array(
-            [1 if int(v) in start_index else 0 for v in positions],
-            dtype=np.int64,
-        )
-        total = int(np.dot(pma, pmd))
-        value = float(total) * workspace.width / m
-        return Estimate(
-            value,
-            self.name,
-            details={
-                "samples": m,
-                "backend": self.backend,
-                "workspace_width": workspace.width,
-                "hits": int(pmd.sum()),
-            },
-        )
+        positions = position_rows.ravel()
+        pma = self._pma_counts(ancestors, positions).reshape(len(rngs), m)
+        with _obs.phase_timer(self.name, "probe"):
+            pmd = start_membership_many(
+                descendants.starts, positions
+            ).reshape(len(rngs), m)
+        with _obs.phase_timer(self.name, "scale"):
+            results = []
+            for pma_row, pmd_row in zip(pma, pmd):
+                total = int(np.dot(pma_row, pmd_row))
+                results.append(
+                    Estimate(
+                        float(total) * workspace.width / m,
+                        self.name,
+                        details={
+                            "samples": m,
+                            "backend": self.backend,
+                            "workspace_width": workspace.width,
+                            "hits": int(pmd_row.sum()),
+                        },
+                    )
+                )
+            return results

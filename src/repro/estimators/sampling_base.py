@@ -1,0 +1,259 @@
+"""Shared multi-trial execution engine for the sampling estimators.
+
+Every sampling method in the package (IM-DA-Est, PM-Est, the baselines)
+has the same three-beat body: *draw* sample positions from its RNG,
+*probe* them against an index over one operand, *scale* the probe results
+into an estimate.  Experiments repeat that body many times — the harness
+averages ``runs`` repetitions, Figure 8 sweeps six sample sizes over
+eleven queries — and running each repetition separately pays Python
+dispatch and index construction per trial for kernels that are a few
+microseconds of actual numpy work.
+
+:class:`SamplingEstimator` factors the skeleton so concrete estimators
+implement one hook, :meth:`_run_trials`, which receives *one RNG per
+trial* and executes every trial in a single pass: all draws up front
+(one bulk RNG call when the trials share a generator), one concatenated
+probe-kernel invocation, then a per-trial scaling loop over row slices.
+
+The contract making this safe is **bit-for-bit stream equivalence**:
+
+* ``estimator.estimate_trials(A, D, k)`` returns exactly the estimates
+  ``k`` sequential ``estimator.estimate(A, D)`` calls would have
+  produced — same RNG consumption, same float arithmetic — because a
+  numpy ``Generator`` fills a ``(k, m)`` draw identically to ``k``
+  size-``m`` draws, and because every scaling expression operates on the
+  same per-trial row a sequential call would see;
+* ``SamplingEstimator.estimate_across([e1, .., ek], A, D)`` does the
+  same for *distinct* estimator instances with identical configuration
+  (the harness's fresh-instance-per-repetition pattern), advancing each
+  instance's own generator exactly as its solo ``estimate`` would.
+
+``tests/test_index_batch.py`` enforces both equivalences property-style.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimate, Estimator
+from repro.obs import runtime as _obs
+
+
+class SamplingEstimator(Estimator):
+    """Base class for estimators whose ``estimate`` is draw/probe/scale.
+
+    Concrete subclasses implement :meth:`_run_trials`; this class turns
+    it into the public single-shot :meth:`estimate`, the batched
+    :meth:`estimate_trials` and the cross-instance
+    :meth:`estimate_across`.  Subclasses that sample from the workspace
+    (PM-Est, bifocal) override :meth:`_prepare_workspace` to resolve it
+    the way their original ``estimate`` did — before the empty-operand
+    check, so invalid explicit workspaces still raise.
+    """
+
+    def _prepare_workspace(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None,
+    ) -> Workspace | None:
+        """Resolve the workspace exactly when the estimator needs one."""
+        return workspace
+
+    def _empty_estimate(self) -> Estimate:
+        """The estimate for an empty operand (no RNG draw happens)."""
+        return Estimate(0.0, self.name, details={"samples": 0})
+
+    def _run_trials(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[Estimate]:
+        """Execute ``len(rngs)`` trials, drawing trial ``i`` from
+        ``rngs[i]``, and return per-trial estimates.
+
+        Called with non-empty operands and ``len(rngs) >= 1``.  Trials
+        must consume each generator exactly as a solo :meth:`estimate`
+        would, in trial order, so batched and sequential execution see
+        identical streams.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None = None,
+    ) -> Estimate:
+        workspace = self._prepare_workspace(ancestors, descendants, workspace)
+        if len(ancestors) == 0 or len(descendants) == 0:
+            return self._empty_estimate()
+        results = self._run_trials(
+            ancestors, descendants, workspace, (self._rng,)
+        )
+        return results[0]
+
+    def estimate_trials(
+        self,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        trials: int,
+        workspace: Workspace | None = None,
+    ) -> list[Estimate]:
+        """``trials`` independent estimates in one batched pass.
+
+        Returns exactly what ``[self.estimate(ancestors, descendants,
+        workspace) for _ in range(trials)]`` would — same values, same
+        details, same RNG stream afterwards — with all draws taken in
+        one bulk RNG call (where the draw kind allows it) and all probes
+        answered by one kernel invocation.
+        """
+        if trials < 0:
+            raise EstimationError(f"trials must be >= 0, got {trials}")
+        if trials == 0:
+            return []
+        workspace = self._prepare_workspace(ancestors, descendants, workspace)
+        if len(ancestors) == 0 or len(descendants) == 0:
+            return [self._empty_estimate() for _ in range(trials)]
+        start = time.perf_counter()
+        results = self._run_trials(
+            ancestors, descendants, workspace, (self._rng,) * trials
+        )
+        if _obs.enabled():
+            self._record_trials(results, start, ancestors, descendants)
+        return results
+
+    @classmethod
+    def estimate_across(
+        cls,
+        estimators: "Sequence[SamplingEstimator]",
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None = None,
+    ) -> list[Estimate]:
+        """One estimate per instance, probed as a single batch.
+
+        All instances must share a class and configuration
+        (:meth:`_batch_key`); trial ``i`` draws from ``estimators[i]``'s
+        generator, so afterwards every instance's RNG state matches what
+        its own ``estimate`` call would have left.  This is the harness
+        repetition loop — fresh estimator per run — executed as one
+        kernel pass.
+        """
+        if not estimators:
+            return []
+        lead = estimators[0]
+        key = lead._batch_key()
+        for other in estimators[1:]:
+            if other._batch_key() != key:
+                raise EstimationError(
+                    "estimate_across needs identically configured "
+                    f"estimators; {other!r} differs from {lead!r}"
+                )
+        workspace = lead._prepare_workspace(ancestors, descendants, workspace)
+        if len(ancestors) == 0 or len(descendants) == 0:
+            return [e._empty_estimate() for e in estimators]
+        start = time.perf_counter()
+        results = lead._run_trials(
+            ancestors,
+            descendants,
+            workspace,
+            tuple(e._rng for e in estimators),
+        )
+        if _obs.enabled():
+            lead._record_trials(results, start, ancestors, descendants)
+        return results
+
+    # ------------------------------------------------------------------
+    # Shared helpers for _run_trials implementations
+    # ------------------------------------------------------------------
+
+    def _batch_key(self) -> tuple[Any, ...]:
+        """Hashable configuration identity for cross-instance batching.
+
+        Two estimators with equal keys run the same draw/probe/scale
+        code on the same parameters (their RNG states may differ —
+        that is the point).  Public attributes are the configuration;
+        underscored attributes (``_rng``, ``_index_cache``) are not.
+        Configuration is fixed after ``__init__``, so the key is
+        computed once and memoized (the harness asks per instance per
+        batch).
+        """
+        cached = getattr(self, "_batch_key_cached", None)
+        if cached is None:
+            config = tuple(
+                sorted(
+                    (name, value)
+                    for name, value in vars(self).items()
+                    if not name.startswith("_")
+                )
+            )
+            cached = self._batch_key_cached = (type(self), config)
+        return cached
+
+    @staticmethod
+    def _draw_uniform_matrix(
+        rngs: Sequence[np.random.Generator], lo: int, hi: int, m: int
+    ) -> np.ndarray:
+        """A ``(len(rngs), m)`` matrix of uniform draws from ``[lo, hi)``,
+        row ``i`` drawn from ``rngs[i]``.
+
+        When every trial shares one generator (``estimate_trials``) the
+        whole matrix is a single ``integers`` call — numpy fills it
+        C-contiguously, so row ``i`` is bit-identical to the ``i``-th
+        sequential size-``m`` draw.
+        """
+        first = rngs[0]
+        if all(rng is first for rng in rngs):
+            return first.integers(lo, hi, size=(len(rngs), m))
+        return np.stack([rng.integers(lo, hi, size=m) for rng in rngs])
+
+    @staticmethod
+    def _draw_choice_rows(
+        rngs: Sequence[np.random.Generator], population: int, m: int
+    ) -> np.ndarray:
+        """A ``(len(rngs), m)`` matrix of without-replacement draws.
+
+        ``Generator.choice(replace=False)`` has no batched form with an
+        equivalent stream, so rows are drawn per trial — the draws are
+        tiny; the win is batching the probes they feed.
+        """
+        return np.stack(
+            [rng.choice(population, size=m, replace=False) for rng in rngs]
+        )
+
+    def _record_trials(
+        self,
+        results: list[Estimate],
+        start: float,
+        ancestors: NodeSet,
+        descendants: NodeSet,
+    ) -> None:
+        """Record batched trials as per-trial estimate events.
+
+        A batch of ``k`` trials shows up in telemetry as ``k`` estimate
+        calls of ``1/k``-th the batch wall time each, so call counts and
+        total seconds stay comparable with the sequential path.
+        """
+        elapsed = time.perf_counter() - start
+        per_trial = elapsed / len(results) if results else 0.0
+        for result in results:
+            _obs.record_estimate(
+                self.name,
+                result,
+                per_trial,
+                len(ancestors),
+                len(descendants),
+            )

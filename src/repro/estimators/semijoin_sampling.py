@@ -12,10 +12,13 @@ Extends the paper's IM-DA-Est idea to the predicate-selectivity problem
   whether any descendant start lies strictly inside; scaled by |A|.
 
 Both are unbiased for their semijoin cardinalities (checked statistically
-by the test suite).
+by the test suite) and run on the
+:class:`~repro.estimators.sampling_base.SamplingEstimator` engine.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -24,16 +27,20 @@ from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
-from repro.estimators.base import Estimate, Estimator
+from repro.estimators.base import Estimate
+from repro.estimators.sampling_base import SamplingEstimator
 from repro.index.stab import StabbingCounter
+from repro.obs import runtime as _obs
+from repro.perf import IndexCache, resolve_index_cache
 
 
-class _SemijoinSamplingBase(Estimator):
+class _SemijoinSamplingBase(SamplingEstimator):
     def __init__(
         self,
         num_samples: int | None = None,
         budget: SpaceBudget | None = None,
         seed: SeedLike = None,
+        index_cache: IndexCache | None = None,
     ) -> None:
         if (num_samples is None) == (budget is None):
             raise EstimationError(
@@ -45,6 +52,7 @@ class _SemijoinSamplingBase(Estimator):
         if self.num_samples < 1:
             raise EstimationError(f"need >= 1 sample, got {self.num_samples}")
         self._rng = make_rng(seed)
+        self._index_cache = index_cache
 
 
 class SemijoinDescendantsEstimator(_SemijoinSamplingBase):
@@ -52,26 +60,38 @@ class SemijoinDescendantsEstimator(_SemijoinSamplingBase):
 
     name = "SEMI-D"
 
-    def estimate(
+    def _run_trials(
         self,
         ancestors: NodeSet,
         descendants: NodeSet,
-        workspace: Workspace | None = None,
-    ) -> Estimate:
-        if len(ancestors) == 0 or len(descendants) == 0:
-            return Estimate(0.0, self.name, details={"samples": 0})
+        workspace: Workspace | None,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[Estimate]:
         population = len(descendants)
         m = min(self.num_samples, population)
-        indices = self._rng.choice(population, size=m, replace=False)
-        points = descendants.starts[indices]
-        hits = int(
-            (StabbingCounter(ancestors).count_many(points) > 0).sum()
-        )
-        return Estimate(
-            hits * population / m,
-            self.name,
-            details={"samples": m, "hits": hits},
-        )
+        index_rows = self._draw_choice_rows(rngs, population, m)
+        points = descendants.starts[index_rows.ravel()]
+        cache = resolve_index_cache(self._index_cache)
+        with _obs.phase_timer(self.name, "index_build"):
+            counter = (
+                cache.stabbing_counter(ancestors)
+                if cache is not None
+                else StabbingCounter(ancestors)
+            )
+        with _obs.phase_timer(self.name, "probe"):
+            counts = counter.count_many(points).reshape(len(rngs), m)
+        with _obs.phase_timer(self.name, "scale"):
+            results = []
+            for row in counts:
+                hits = int((row > 0).sum())
+                results.append(
+                    Estimate(
+                        hits * population / m,
+                        self.name,
+                        details={"samples": m, "hits": hits},
+                    )
+                )
+            return results
 
 
 class SemijoinAncestorsEstimator(_SemijoinSamplingBase):
@@ -79,25 +99,35 @@ class SemijoinAncestorsEstimator(_SemijoinSamplingBase):
 
     name = "SEMI-A"
 
-    def estimate(
+    def _run_trials(
         self,
         ancestors: NodeSet,
         descendants: NodeSet,
-        workspace: Workspace | None = None,
-    ) -> Estimate:
-        if len(ancestors) == 0 or len(descendants) == 0:
-            return Estimate(0.0, self.name, details={"samples": 0})
+        workspace: Workspace | None,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[Estimate]:
         population = len(ancestors)
         m = min(self.num_samples, population)
-        indices = self._rng.choice(population, size=m, replace=False)
+        index_rows = self._draw_choice_rows(rngs, population, m)
+        flat = index_rows.ravel()
         starts = descendants.starts
-        sample_starts = ancestors.starts[indices]
-        sample_ends = ancestors.ends[indices]
-        first_inside = np.searchsorted(starts, sample_starts, side="right")
-        first_beyond = np.searchsorted(starts, sample_ends, side="left")
-        hits = int((first_beyond > first_inside).sum())
-        return Estimate(
-            hits * population / m,
-            self.name,
-            details={"samples": m, "hits": hits},
-        )
+        with _obs.phase_timer(self.name, "probe"):
+            sample_starts = ancestors.starts[flat]
+            sample_ends = ancestors.ends[flat]
+            first_inside = np.searchsorted(
+                starts, sample_starts, side="right"
+            )
+            first_beyond = np.searchsorted(starts, sample_ends, side="left")
+            hit_flags = (first_beyond > first_inside).reshape(len(rngs), m)
+        with _obs.phase_timer(self.name, "scale"):
+            results = []
+            for row in hit_flags:
+                hits = int(row.sum())
+                results.append(
+                    Estimate(
+                        hits * population / m,
+                        self.name,
+                        details={"samples": m, "hits": hits},
+                    )
+                )
+            return results

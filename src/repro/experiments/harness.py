@@ -12,6 +12,18 @@ Performance controls (see ``docs/ARCHITECTURE.md``):
 * ``cache=`` installs a :class:`~repro.perf.SummaryCache` around the
   sweep, so histograms shared between queries, methods and repetitions
   build once;
+* ``index_cache=`` does the same for the sampling estimators' probe
+  indexes (:class:`~repro.perf.IndexCache`); :func:`evaluate` installs
+  a private one automatically when none is given, and additionally
+  memoizes each query's exact join size in it, since repetition sweeps
+  ask for the same ground truth many times;
+* the repetition loop of :func:`run_method` executes all runs of a
+  sampling method as **one batched pass**
+  (:meth:`~repro.estimators.sampling_base.SamplingEstimator.estimate_across`)
+  — per-run seeds are drawn from the method generator in the exact
+  order the sequential loop would draw them and each run's estimate is
+  bit-identical to its sequential counterpart, so aggregates are
+  unchanged to the last ulp;
 * ``workers=`` fans queries out over forked worker processes.  Every
   per-query seed is derived from the master generator *before* the
   fan-out, in the exact order the serial loop would draw them, so
@@ -47,10 +59,18 @@ from repro.estimators.im_sampling import IMSamplingEstimator
 from repro.estimators.ph_histogram import PHHistogramEstimator
 from repro.estimators.pl_histogram import PLHistogramEstimator
 from repro.estimators.pm_sampling import PMSamplingEstimator
+from repro.estimators.sampling_base import SamplingEstimator
 from repro.join import containment_join_size
 from repro.obs import runtime as _obs
 from repro.obs.metrics import MetricsRegistry
+from repro.perf import reference_kernels_enabled
 from repro.perf.cache import SummaryCache, use_cache
+from repro.perf.index_cache import (
+    IndexCache,
+    active_index_cache,
+    resolve_index_cache,
+    use_index_cache,
+)
 
 Aggregation = Literal["mean_error", "error_of_mean"]
 
@@ -126,12 +146,15 @@ def run_method(
     """
     rng = make_rng(seed)
     effective_runs = runs if method.stochastic else 1
-    estimates: list[float] = []
-    for __ in range(effective_runs):
-        estimator = method.factory(int(rng.integers(0, 2**63 - 1)))
-        estimates.append(
-            estimator.estimate(ancestors, descendants, workspace).value
-        )
+    # One bulk draw fills the seed array exactly as per-run scalar draws
+    # would (factories never touch this generator), so constructing every
+    # estimator up front leaves the stream unchanged and lets all runs
+    # execute as a single batched pass.
+    seeds = rng.integers(0, 2**63 - 1, size=effective_runs)
+    estimators = [method.factory(int(s)) for s in seeds]
+    estimates = _run_estimators(
+        estimators, ancestors, descendants, workspace
+    )
     mean_estimate = statistics.fmean(estimates)
     if true_size == 0:
         error = 0.0 if all(e == 0 for e in estimates) else float("inf")
@@ -142,6 +165,40 @@ def run_method(
             abs(true_size - e) / true_size * 100.0 for e in estimates
         )
     return error, mean_estimate
+
+
+def _run_estimators(
+    estimators: Sequence[Estimator],
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    workspace: Workspace,
+) -> list[float]:
+    """Estimates of every instance, batched when they can share a pass.
+
+    Identically configured sampling estimators (the stochastic
+    repetition pattern) run through
+    :meth:`SamplingEstimator.estimate_across`, which returns exactly the
+    values sequential ``estimate`` calls would.  Everything else — and
+    everything under :func:`repro.perf.reference_kernels`, whose purpose
+    is to reproduce the per-call behaviour — runs sequentially.
+    """
+    first = estimators[0]
+    if (
+        len(estimators) > 1
+        and isinstance(first, SamplingEstimator)
+        and not reference_kernels_enabled()
+        and all(type(e) is type(first) for e in estimators)
+    ):
+        key = first._batch_key()
+        if all(e._batch_key() == key for e in estimators):
+            results = type(first).estimate_across(
+                estimators, ancestors, descendants, workspace
+            )
+            return [r.value for r in results]
+    return [
+        e.estimate(ancestors, descendants, workspace).value
+        for e in estimators
+    ]
 
 
 def _evaluate_query(
@@ -155,7 +212,7 @@ def _evaluate_query(
 ) -> QueryRow:
     """One query against every method, with pre-derived per-method seeds."""
     ancestors, descendants = query.operands(dataset)
-    true_size = containment_join_size(ancestors, descendants)
+    true_size = _true_size(ancestors, descendants)
     row = QueryRow(query=query, true_size=true_size)
     for method, method_seed in zip(methods, method_seeds):
         error, mean_estimate = run_method(
@@ -171,6 +228,23 @@ def _evaluate_query(
         row.errors[method.label] = error
         row.estimates[method.label] = mean_estimate
     return row
+
+
+def _true_size(ancestors: NodeSet, descendants: NodeSet) -> int:
+    """Exact join size, memoized in the ambient index cache.
+
+    Sample-count and budget sweeps evaluate the same operand pair under
+    many configurations; the ground truth is a pure function of operand
+    content, so it lives happily next to the probe indexes under a
+    content key.
+    """
+    cache = resolve_index_cache(None)
+    if cache is None:
+        return containment_join_size(ancestors, descendants)
+    return cache.get_or_build(
+        ("join_size", ancestors.fingerprint, descendants.fingerprint),
+        lambda: containment_join_size(ancestors, descendants),
+    )
 
 
 #: Fork-inherited state for worker processes.  ``MethodSpec`` factories
@@ -194,8 +268,18 @@ def _evaluate_query_by_index(
     state = _FORK_STATE
     assert state is not None, "worker started without fork state"
     cache: SummaryCache | None = state["cache"]
+    index_cache: IndexCache | None = state["index_cache"]
+    if index_cache is None and state["auto_index_cache"]:
+        # Mirror the serial path's per-query private cache, keeping
+        # merged counter totals identical for every worker count.
+        index_cache = IndexCache()
     scope = use_cache(cache) if cache is not None else nullcontext()
-    with scope:
+    index_scope = (
+        use_index_cache(index_cache)
+        if index_cache is not None
+        else nullcontext()
+    )
+    with scope, index_scope:
         if state["observe"]:
             with _obs.observe(registry=MetricsRegistry()) as registry:
                 row = _evaluate_query(
@@ -231,6 +315,7 @@ def evaluate(
     aggregation: Aggregation = "mean_error",
     workers: int | None = None,
     cache: SummaryCache | None = None,
+    index_cache: IndexCache | None = None,
 ) -> list[QueryRow]:
     """Run every method on every query of one dataset.
 
@@ -244,12 +329,26 @@ def evaluate(
             histogram-based methods then build each summary once per
             distinct (node set, workspace, configuration).  Forked
             workers inherit a copy-on-write snapshot of it.
+        index_cache: probe-index cache installed around the sweep for
+            the sampling methods (and the exact-size memo).  When
+            omitted and no ambient one is active, a private cache is
+            created *per query* — results are identical either way, and
+            per-query caches keep obs counter totals independent of how
+            the parallel path shards queries over workers.  Pass an
+            :class:`~repro.perf.IndexCache` (or install one ambiently,
+            as the Figure 8 sweeps do) to share built indexes and
+            exact-size memos across queries and ``evaluate`` calls.
 
     While :func:`repro.obs.observe` is active, per-worker metrics are
     merged back into the ambient registry and each row is streamed to
     the ambient sink as a ``query`` telemetry event.
     """
     workspace = dataset.tree.workspace()
+    auto_index_cache = (
+        index_cache is None
+        and active_index_cache() is None
+        and not reference_kernels_enabled()
+    )
     rng = make_rng(seed)
     seeds = [
         [int(rng.integers(0, 2**63 - 1)) for __ in methods]
@@ -271,22 +370,35 @@ def evaluate(
                 seeds,
                 aggregation,
                 cache,
+                index_cache,
+                auto_index_cache,
                 worker_count,
                 context,
             )
     scope = use_cache(cache) if cache is not None else nullcontext()
-    with scope:
+    index_scope = (
+        use_index_cache(index_cache)
+        if index_cache is not None
+        else nullcontext()
+    )
+    with scope, index_scope:
         rows = []
         for index, query in enumerate(queries):
-            row = _evaluate_query(
-                dataset,
-                query,
-                methods,
-                workspace,
-                runs,
-                seeds[index],
-                aggregation,
+            per_query_scope = (
+                use_index_cache(IndexCache())
+                if auto_index_cache
+                else nullcontext()
             )
+            with per_query_scope:
+                row = _evaluate_query(
+                    dataset,
+                    query,
+                    methods,
+                    workspace,
+                    runs,
+                    seeds[index],
+                    aggregation,
+                )
             if _obs.enabled():
                 _obs.record_query(
                     row.query.id, row.true_size, row.errors, row.estimates
@@ -304,6 +416,8 @@ def _evaluate_parallel(
     seeds: list[list[int]],
     aggregation: Aggregation,
     cache: SummaryCache | None,
+    index_cache: IndexCache | None,
+    auto_index_cache: bool,
     worker_count: int,
     context: multiprocessing.context.BaseContext,
 ) -> list[QueryRow]:
@@ -317,6 +431,8 @@ def _evaluate_parallel(
         "seeds": seeds,
         "aggregation": aggregation,
         "cache": cache,
+        "index_cache": index_cache,
+        "auto_index_cache": auto_index_cache,
         "observe": _obs.enabled(),
     }
     try:

@@ -9,6 +9,11 @@ paper's observations to reproduce:
 * PM fluctuates and needs more samples for the same confidence (its
   additive error term is O(w), not O(|D|));
 * both beat the histogram methods overall.
+
+Each sweep installs one ambient :class:`~repro.perf.IndexCache` around
+its whole run, so every sample count (and both methods in the
+comparison) probes the same built indexes and reuses the memoized exact
+sizes; the harness batches the repetition trials on top of that.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.estimators.pm_sampling import PMSamplingEstimator
 from repro.experiments.data import get_dataset
 from repro.experiments.harness import MethodSpec, evaluate
 from repro.experiments.report import format_series, format_table
+from repro.perf import IndexCache, resolve_index_cache, use_index_cache
 
 #: Sample counts swept in Figure 8(a)/(b).
 SAMPLE_SWEEP = (25, 40, 55, 70, 85, 100)
@@ -73,18 +79,21 @@ def run_sample_sweep(
     series: dict[str, list[tuple[float, float]]] = {
         q.id: [] for q in queries
     }
-    for samples in sample_counts:
-        rows = evaluate(
-            dataset,
-            queries,
-            [_method(method, samples)],
-            runs=runs,
-            seed=seed,
-        )
-        for row in rows:
-            series[row.query.id].append(
-                (float(samples), row.errors[method])
+    ambient = resolve_index_cache(None)
+    cache = ambient if ambient is not None else IndexCache()
+    with use_index_cache(cache):
+        for samples in sample_counts:
+            rows = evaluate(
+                dataset,
+                queries,
+                [_method(method, samples)],
+                runs=runs,
+                seed=seed,
             )
+            for row in rows:
+                series[row.query.id].append(
+                    (float(samples), row.errors[method])
+                )
     return SamplingSweep(dataset_name, method, series)
 
 
@@ -98,13 +107,16 @@ def run_sampling_comparison(
     """Figure 8(c): IM vs PM per query at a fixed sample count."""
     dataset = get_dataset(dataset_name, scale=scale)
     queries = ALL_WORKLOADS[dataset_name]
-    rows = evaluate(
-        dataset,
-        queries,
-        [_method("IM", samples), _method("PM", samples)],
-        runs=runs,
-        seed=seed,
-    )
+    ambient = resolve_index_cache(None)
+    cache = ambient if ambient is not None else IndexCache()
+    with use_index_cache(cache):
+        rows = evaluate(
+            dataset,
+            queries,
+            [_method("IM", samples), _method("PM", samples)],
+            runs=runs,
+            seed=seed,
+        )
     return format_table(
         ["query", "true size", "IM", "PM"],
         [

@@ -12,8 +12,14 @@
 """
 
 from repro.index.bplus import BPlusTree
-from repro.index.stab import StabbingCounter
+from repro.index.stab import StabbingCounter, start_membership_many
 from repro.index.ttree import TTree
 from repro.index.xrtree import XRTree
 
-__all__ = ["BPlusTree", "StabbingCounter", "TTree", "XRTree"]
+__all__ = [
+    "BPlusTree",
+    "StabbingCounter",
+    "TTree",
+    "XRTree",
+    "start_membership_many",
+]

@@ -1,4 +1,4 @@
-"""Rank-based stabbing-count oracle.
+"""Rank-based stabbing-count oracle and start-membership probes.
 
 ``count(v)`` — the number of intervals of a set containing position ``v`` —
 is computable with two binary searches over the sorted start and end codes:
@@ -6,12 +6,22 @@ is computable with two binary searches over the sorted start and end codes:
 sorted arrays, so it serves both as the fastest probe backend for the
 sampling estimators and as the reference implementation the T-tree and
 XR-tree are validated against.
+
+The module also hosts the *start-membership* kernel ``PMD(S)[v]`` — is some
+element starting exactly at ``v``? — probed by PM-Est and bifocal sampling.
+The batched entry points (:meth:`StabbingCounter.count_many`,
+:func:`start_membership_many`) are numpy bulk operations; the per-element
+loops are retained as ``*_reference`` implementations (the B+-tree probe in
+the membership case), re-selected package-wide by
+:func:`repro.perf.reference_kernels` and asserted bit-for-bit equal by the
+property suite (``tests/test_index_batch.py``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.core.nodeset import NodeSet
 
 
@@ -28,8 +38,53 @@ class StabbingCounter:
         ended = int(np.searchsorted(self._ends, position, side="left"))
         return started - ended
 
+    def count_many_reference(self, positions: np.ndarray) -> np.ndarray:
+        """Per-element loop implementation of :meth:`count_many`."""
+        return np.array(
+            [self.count(int(p)) for p in positions], dtype=np.int64
+        )
+
     def count_many(self, positions: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`count` over an array of positions."""
+        if perf.reference_kernels_enabled():
+            return self.count_many_reference(positions)
         started = np.searchsorted(self._starts, positions, side="right")
         ended = np.searchsorted(self._ends, positions, side="left")
         return (started - ended).astype(np.int64)
+
+
+def start_membership_many_reference(
+    starts: np.ndarray, positions: np.ndarray
+) -> np.ndarray:
+    """Per-position B+-tree probe implementation of
+    :func:`start_membership_many`.
+
+    Builds the Section 5.3.1 start-position B+-tree and probes it with a
+    membership test per position — the original PM-Est probe, retained as
+    the semantics of record.
+    """
+    from repro.index.bplus import start_position_index
+
+    index = start_position_index([int(s) for s in starts])
+    return np.array(
+        [1 if int(v) in index else 0 for v in positions], dtype=np.int64
+    )
+
+
+def start_membership_many(
+    starts: np.ndarray, positions: np.ndarray
+) -> np.ndarray:
+    """``PMD[v]`` for every ``v`` in ``positions``: 1 when some element
+    starts exactly at ``v``, else 0.
+
+    ``starts`` must be ascending (``NodeSet.starts`` is); region codes are
+    distinct so the count never exceeds 1.  One ``searchsorted`` plus an
+    equality check — no index construction at all.
+    """
+    if perf.reference_kernels_enabled():
+        return start_membership_many_reference(starts, positions)
+    if len(starts) == 0:
+        return np.zeros(len(positions), dtype=np.int64)
+    slots = np.searchsorted(starts, positions, side="left")
+    slots[slots == len(starts)] = len(starts) - 1
+    return (starts[slots] == positions).astype(np.int64)

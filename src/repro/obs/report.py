@@ -8,8 +8,10 @@ record shapes); the output is three plain-text sections:
   time from ``estimate`` events;
 * **accuracy** — per-method relative-error distribution from ``query``
   events;
-* **counters / phase timings** — the merged ``summary`` registry
-  snapshots: cache hit/miss/eviction counts, sample totals, and the
+* **counters / caches / phase timings** — the merged ``summary``
+  registry snapshots: raw counters, a per-cache effectiveness table
+  (the ``cache.*`` summary cache and ``index_cache.*`` probe-index
+  cache: hits, misses, hit rate, evictions, built bytes), and the
   summary-build vs estimate-phase time split.
 
 Deliberately dependency-free (stdlib only) so the reporting path works
@@ -157,6 +159,40 @@ def render_report(records: Iterable[Mapping[str, Any]]) -> str:
                 ["counter", "value"],
                 sorted(counters.items()),
                 title="Counters (merged registry snapshots)",
+            )
+        )
+
+    cache_rows = []
+    kinds = sorted(
+        {
+            name.rsplit(".", 1)[0]
+            for name in counters
+            if name.endswith((".hits", ".misses"))
+        }
+    )
+    for kind in kinds:
+        hits = int(counters.get(f"{kind}.hits", 0))
+        misses = int(counters.get(f"{kind}.misses", 0))
+        lookups = hits + misses
+        if not lookups:
+            continue
+        cache_rows.append(
+            [
+                kind,
+                hits,
+                misses,
+                hits / lookups,
+                int(counters.get(f"{kind}.evictions", 0)),
+                int(counters.get(f"{kind}.built_nbytes", 0)),
+            ]
+        )
+    if cache_rows:
+        sections.append(
+            _format_table(
+                ["cache", "hits", "misses", "hit rate", "evictions",
+                 "built bytes"],
+                cache_rows,
+                title="Cache effectiveness",
             )
         )
 

@@ -45,7 +45,7 @@ _DETAIL_COUNTERS = ("samples", "num_buckets", "grid_side", "num_coefficients")
 # ever grow (one entry per estimator name / stage / cache event) and
 # dict reads are GIL-atomic, so no locking is needed.
 _phase_name_cache: dict[tuple[str, str], str] = {}
-_cache_name_cache: dict[str, str] = {}
+_cache_name_cache: dict[tuple[str, str], str] = {}
 _estimator_name_cache: dict[str, dict[str, str]] = {}
 
 
@@ -197,11 +197,16 @@ def record_estimate(
         sink.emit(record)
 
 
-def record_cache(event: str, amount: int = 1) -> None:
-    """Record a summary-cache event (``hit``/``miss``/``eviction``/...)."""
-    name = _cache_name_cache.get(event)
+def record_cache(event: str, amount: int = 1, kind: str = "cache") -> None:
+    """Record a cache event (``hits``/``misses``/``evictions``/...).
+
+    ``kind`` prefixes the counter name: the summary cache records under
+    ``cache.*``, the probe-index cache under ``index_cache.*``.
+    """
+    key = (kind, event)
+    name = _cache_name_cache.get(key)
     if name is None:
-        name = _cache_name_cache[event] = f"cache.{event}"
+        name = _cache_name_cache[key] = f"{kind}.{event}"
     _registry.counter(name).inc(amount)
 
 

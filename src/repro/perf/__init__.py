@@ -10,7 +10,10 @@ architecture"):
   switches the package back to the loop implementations, which is how
   ``benchmarks/bench_runner.py`` measures the speedup.
 * **cache** — :class:`SummaryCache` memoizes built summaries under
-  content keys so budget/method sweeps build each one once.
+  content keys so budget/method sweeps build each one once;
+  :class:`IndexCache` does the same for the probe indexes the sampling
+  estimators build (stabbing arrays, T-tree, XR-tree, start-position
+  B+-tree).
 * **parallel harness** — ``repro.experiments.harness.evaluate`` fans
   queries out over worker processes (``workers=``) with deterministic
   per-query seeding.
@@ -33,6 +36,10 @@ __all__ = [
     "active_cache",
     "resolve_cache",
     "use_cache",
+    "IndexCache",
+    "active_index_cache",
+    "resolve_index_cache",
+    "use_index_cache",
     "reference_kernels",
     "reference_kernels_enabled",
 ]
@@ -60,3 +67,14 @@ def reference_kernels(enabled: bool = True) -> Iterator[None]:
         yield
     finally:
         _reference_mode = previous
+
+
+# Imported last: index_cache consults reference_kernels_enabled (defined
+# above) and pulls in the index structures, which themselves import this
+# package for the kernel switch.
+from repro.perf.index_cache import (  # noqa: E402
+    IndexCache,
+    active_index_cache,
+    resolve_index_cache,
+    use_index_cache,
+)

@@ -84,6 +84,11 @@ class SummaryCache:
         maxsize: entries kept before the least recently used is evicted.
     """
 
+    #: Prefix for the obs counters this cache records
+    #: (``cache.hits``/``cache.misses``/...).  Subclasses override it to
+    #: report under their own namespace (``IndexCache`` → ``index_cache``).
+    metric_kind = "cache"
+
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
@@ -115,11 +120,11 @@ class SummaryCache:
                 self._data.move_to_end(key)
                 self.hits += 1
                 if _obs.enabled():
-                    _obs.record_cache("hits")
+                    _obs.record_cache("hits", kind=self.metric_kind)
                 return self._data[key]
             self.misses += 1
         if _obs.enabled():
-            _obs.record_cache("misses")
+            _obs.record_cache("misses", kind=self.metric_kind)
         value = builder()
         size = approx_nbytes(value)
         evicted = 0
@@ -134,8 +139,10 @@ class SummaryCache:
                 self.nbytes -= self._sizes.pop(victim, 0)
                 self.evictions += 1
                 evicted += 1
-        if evicted and _obs.enabled():
-            _obs.record_cache("evictions", evicted)
+        if _obs.enabled():
+            _obs.record_cache("built_nbytes", size, kind=self.metric_kind)
+            if evicted:
+                _obs.record_cache("evictions", evicted, kind=self.metric_kind)
         return value
 
     def clear(self) -> None:
@@ -164,7 +171,8 @@ class SummaryCache:
 
     def __repr__(self) -> str:
         return (
-            f"SummaryCache(size={len(self._data)}, maxsize={self.maxsize}, "
+            f"{type(self).__name__}(size={len(self._data)}, "
+            f"maxsize={self.maxsize}, "
             f"hits={self.hits}, misses={self.misses})"
         )
 
