@@ -23,7 +23,18 @@ retained reference implementations and writes ``BENCH_kernels.json``:
   instrumentation enabled (registry only, no sink) versus disabled;
   the enabled-but-unsinked overhead is the number the instrumentation
   layer promises to keep small;
-* **parallel** — the same sweep fanned out over worker processes.
+* **parallel** — the same sweep fanned out over worker processes;
+* **service** — the estimation service layer against the optimizer
+  trace (:mod:`repro.service.bench`): micro-batched + memoized
+  throughput versus sequential ``repro.api.estimate`` (identity-gated),
+  plus the deadline and stress phases exercising the degradation
+  ladder.  Written standalone as ``BENCH_service.json``; the
+  ``--min-service-speedup`` / ``--max-p99-ms`` /
+  ``--max-deadline-miss-rate`` gates fail the run when the service
+  regresses.  ``--only-service`` runs just this phase (the CI
+  service-smoke job).  The phase always runs the service bench's own
+  tuned workload (xmark at scale 0.4), independent of ``--quick`` — it
+  is seconds-fast either way and the gated numbers stay comparable.
 
 Every measurement is recorded through a :class:`repro.obs`
 ``MetricsRegistry`` (as ``bench.*`` histograms) and the report's
@@ -425,6 +436,89 @@ def bench_parallel(scale: float, runs: int) -> dict:
     }
 
 
+def bench_service() -> dict:
+    """The estimation service layer against the optimizer trace.
+
+    Delegates to :func:`repro.service.bench.run_service_bench` (which
+    carries its own tuned workload — scale, repeat count, timing
+    trials) and mirrors the headline timings into the bench registry.
+    """
+    from repro.service.bench import run_service_bench
+
+    report = run_service_bench()
+    throughput = report["throughput"]
+    _record("service.sequential_s", throughput["sequential_seconds"])
+    _record("service.service_s", throughput["service_seconds"])
+    _record(
+        "service.deadline_p99_s", report["deadline"]["latency_p99_s"]
+    )
+    return report
+
+
+def _print_service(report: dict) -> None:
+    from repro.service.bench import render_report
+
+    for line in render_report(report).splitlines():
+        print(f"  {line}")
+
+
+def _check_service(report: dict, args) -> int:
+    """Apply the service gates; returns 0 (pass) or 1 (fail)."""
+    throughput = report["throughput"]
+    deadline = report["deadline"]
+    stress = report["stress"]
+    if not throughput["identical"]:
+        print(
+            "FAIL: non-degraded service responses differ from "
+            f"sequential estimates: {throughput['mismatches']}",
+            file=sys.stderr,
+        )
+        return 1
+    if not (deadline["all_answered"] and stress["all_answered"]):
+        print(
+            "FAIL: a deadline-constrained request went unanswered",
+            file=sys.stderr,
+        )
+        return 1
+    if not (deadline["degraded_flagged"] and stress["degraded_flagged"]):
+        print(
+            "FAIL: a degraded response was not flagged as degraded",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_service_speedup is not None
+        and report["workload_speedup"] < args.min_service_speedup
+    ):
+        print(
+            f"FAIL: service workload speedup "
+            f"{report['workload_speedup']:.2f}x below required "
+            f"{args.min_service_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    p99_ms = deadline["latency_p99_s"] * 1000.0
+    if args.max_p99_ms is not None and p99_ms > args.max_p99_ms:
+        print(
+            f"FAIL: deadline-phase p99 latency {p99_ms:.2f} ms above "
+            f"allowed {args.max_p99_ms} ms",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.max_deadline_miss_rate is not None
+        and deadline["deadline_miss_rate"] > args.max_deadline_miss_rate
+    ):
+        print(
+            f"FAIL: deadline miss rate "
+            f"{deadline['deadline_miss_rate']:.4f} above allowed "
+            f"{args.max_deadline_miss_rate}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -469,6 +563,40 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the multiprocessing phase (slow on small machines)",
     )
     parser.add_argument(
+        "--only-service",
+        action="store_true",
+        help="run only the estimation-service phase and its gates "
+        "(the CI service-smoke job)",
+    )
+    parser.add_argument(
+        "--min-service-speedup",
+        type=float,
+        default=None,
+        help="fail unless the service-vs-sequential workload speedup "
+        "reaches this factor",
+    )
+    parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        help="fail if the deadline phase's p99 latency exceeds this "
+        "many milliseconds",
+    )
+    parser.add_argument(
+        "--max-deadline-miss-rate",
+        type=float,
+        default=None,
+        help="fail if the deadline phase misses more than this "
+        "fraction of deadlines (e.g. 0.01)",
+    )
+    parser.add_argument(
+        "--service-output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_service.json",
+        help="where to write the standalone service-phase report",
+    )
+    parser.add_argument(
         "--telemetry",
         type=Path,
         default=None,
@@ -488,6 +616,25 @@ def main(argv: list[str] | None = None) -> int:
     if args.telemetry is not None:
         _SINK = obs.TelemetrySink(args.telemetry)
 
+    if args.only_service:
+        print(
+            "service phase: estimation service vs sequential estimate()",
+            flush=True,
+        )
+        service = bench_service()
+        _print_service(service)
+        args.service_output.write_text(
+            json.dumps(service, indent=2) + "\n"
+        )
+        print(f"wrote {args.service_output}")
+        if _SINK is not None:
+            _SINK.close()
+            print(
+                f"wrote {_SINK.emitted} telemetry records to "
+                f"{args.telemetry}"
+            )
+        return _check_service(service, args)
+
     scale = args.scale if args.scale is not None else (
         QUICK_SCALE if args.quick else FULL_SCALE
     )
@@ -497,7 +644,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"generating xmark at scale {scale} ...", flush=True)
     dataset = get_dataset("xmark", scale=scale)
 
-    print("phase 1/5: kernel microbenchmarks", flush=True)
+    print("phase 1/6: kernel microbenchmarks", flush=True)
     kernels = bench_kernels(dataset, repeats)
     for name, timing in kernels.items():
         print(
@@ -506,7 +653,7 @@ def main(argv: list[str] | None = None) -> int:
             f"({timing['speedup']:.1f}x)"
         )
 
-    print("phase 2/5: Fig. 7 histogram sweep (build + estimate)", flush=True)
+    print("phase 2/6: Fig. 7 histogram sweep (build + estimate)", flush=True)
     sweep = bench_fig7_sweep(scale, buckets)
     print(
         f"  reference {sweep['reference_s']:.2f} s, vectorized "
@@ -517,7 +664,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     print(
-        "phase 3/5: batched sampling trials (reference vs batched)",
+        "phase 3/6: batched sampling trials (reference vs batched)",
         flush=True,
     )
     sampling = bench_sampling(scale, runs=5 if args.quick else 11)
@@ -536,7 +683,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{timing['identical_series']}"
         )
 
-    print("phase 4/5: observation overhead (enabled, no sink)", flush=True)
+    print("phase 4/6: observation overhead (enabled, no sink)", flush=True)
     overhead = bench_obs_overhead(scale, buckets)
     print(
         f"  baseline {overhead['baseline_s']:.2f} s, observed "
@@ -548,7 +695,7 @@ def main(argv: list[str] | None = None) -> int:
 
     parallel = None
     if not args.skip_parallel:
-        print("phase 5/5: parallel harness", flush=True)
+        print("phase 5/6: parallel harness", flush=True)
         parallel = bench_parallel(scale, runs=5 if args.quick else 31)
         print(
             f"  serial {parallel['serial_s']:.2f} s, "
@@ -557,6 +704,13 @@ def main(argv: list[str] | None = None) -> int:
             f"({parallel['speedup']:.1f}x on {parallel['cpu_count']} "
             f"cpu(s)), identical rows: {parallel['identical_rows']}"
         )
+
+    print(
+        "phase 6/6: estimation service vs sequential estimate()",
+        flush=True,
+    )
+    service = bench_service()
+    _print_service(service)
 
     if _SINK is not None:
         # One more instrumented sweep, this time streaming per-call
@@ -575,6 +729,7 @@ def main(argv: list[str] | None = None) -> int:
         "sampling": sampling,
         "obs_overhead": overhead,
         "parallel": parallel,
+        "service": service,
         "metrics": REGISTRY.snapshot(),
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -587,6 +742,8 @@ def main(argv: list[str] | None = None) -> int:
         json.dumps(sampling_report, indent=2) + "\n"
     )
     print(f"wrote {args.sampling_output}")
+    args.service_output.write_text(json.dumps(service, indent=2) + "\n")
+    print(f"wrote {args.service_output}")
     if _SINK is not None:
         _SINK.close()
         print(
@@ -639,7 +796,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return _check_service(service, args)
 
 
 if __name__ == "__main__":

@@ -50,18 +50,25 @@ from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
 from repro.api import (
     Estimate,
+    EstimateRequest,
+    EstimateResponse,
+    EstimationService,
     Estimator,
     available_estimators,
     build_catalog,
     estimate,
     make_estimator,
+    serve,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Element",
     "Estimate",
+    "EstimateRequest",
+    "EstimateResponse",
+    "EstimationService",
     "Estimator",
     "NodeSet",
     "Region",
@@ -71,5 +78,6 @@ __all__ = [
     "build_catalog",
     "estimate",
     "make_estimator",
+    "serve",
     "__version__",
 ]

@@ -6,6 +6,10 @@ needs without touching package internals:
 * :func:`estimate` — one containment join size estimate by method name;
 * :func:`build_catalog` — budgeted per-tag synopses for plan-time
   estimation over a whole document;
+* :func:`serve` — a concurrent micro-batching estimation front-end
+  (:class:`EstimationService`) with per-request deadlines, graceful
+  degradation and load shedding, for callers that issue many requests
+  (an optimizer costing candidate plans) rather than one;
 * the re-exported types: :class:`Estimate`, :class:`Estimator`,
   :class:`NodeSet`, :class:`Workspace`, :class:`SpaceBudget`,
   :class:`SummaryCache`, :class:`IndexCache` (with
@@ -46,10 +50,15 @@ from repro.estimators.registry import (
 )
 from repro.perf.cache import SummaryCache, use_cache
 from repro.perf.index_cache import IndexCache, use_index_cache
+from repro.service.engine import EstimationService
+from repro.service.request import EstimateRequest, EstimateResponse
 from repro.xmltree.tree import DataTree
 
 __all__ = [
     "Estimate",
+    "EstimateRequest",
+    "EstimateResponse",
+    "EstimationService",
     "Estimator",
     "IndexCache",
     "NodeSet",
@@ -62,6 +71,7 @@ __all__ = [
     "canonical_name",
     "estimate",
     "make_estimator",
+    "serve",
     "use_index_cache",
 ]
 
@@ -99,6 +109,38 @@ def estimate(
         return estimator.estimate(ancestors, descendants, workspace)
     with use_cache(cache):
         return estimator.estimate(ancestors, descendants, workspace)
+
+
+def serve(
+    *,
+    catalog: StatisticsCatalog | None = None,
+    **options: Any,
+) -> EstimationService:
+    """Start an :class:`EstimationService` over the estimator registry.
+
+    The service front-ends :func:`estimate` for callers that issue many
+    requests: compatible requests coalesce into micro-batches, repeat
+    seeded requests are answered from a result memo, and a request with
+    a ``deadline_s`` always gets *an* answer — degraded down the
+    catalog/bound ladder instead of erroring when the deadline cannot be
+    met.  Use it as a context manager::
+
+        with repro.serve(catalog=catalog) as service:
+            response = service.estimate(
+                a, d, "IM", num_samples=100, seed=7, deadline_s=0.05,
+            )
+            response.estimate.value   # always present
+            response.degraded         # True if the ladder answered
+
+    Args:
+        catalog: optional :class:`StatisticsCatalog` enabling the
+            plan-time ``catalog`` degradation rung (without one the
+            ladder falls through to the closed-form bound).
+        **options: forwarded to :class:`EstimationService` — ``workers``
+            (0 = caller-runs, the embedded-optimizer mode), ``max_batch``,
+            ``queue_size``, ``memoize``, breaker tuning, caches.
+    """
+    return EstimationService(catalog=catalog, **options)
 
 
 def build_catalog(

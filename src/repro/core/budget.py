@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.errors import ReproError
+from repro.core.errors import BudgetExceededError
 
 #: Bytes consumed by one PH histogram bucket (a grid-cell counter).
 PH_BYTES_PER_BUCKET = 8
@@ -43,7 +43,7 @@ class SpaceBudget:
         if self.nbytes < max(
             PH_BYTES_PER_BUCKET, PL_BYTES_PER_BUCKET, BYTES_PER_SAMPLE
         ):
-            raise ReproError(
+            raise BudgetExceededError(
                 f"budget of {self.nbytes} bytes cannot hold even one bucket "
                 "or sample"
             )

@@ -1,11 +1,30 @@
-"""Exception hierarchy for the repro package."""
+"""Exception hierarchy for the repro package.
+
+Everything this package raises on its public paths derives from
+:class:`ReproError`, so callers can catch one root type.  The taxonomy
+is layered for compatibility: each newer, more specific error subclasses
+the older, broader one it used to be raised as (for example
+:class:`UnknownEstimatorError` is an :class:`EstimationError`, and
+:class:`EmptyNodeSetError` is an :class:`InvalidNodeSetError`), so
+``except`` clauses written against earlier versions keep working.  The
+mapping is documented in ``docs/API.md``.
+"""
 
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
-class InvalidRegionCodeError(ReproError):
+class InvalidNodeSetError(ReproError):
+    """An operand is not a usable node set.
+
+    Raised when a public entry point receives something that is not a
+    :class:`~repro.core.nodeset.NodeSet` (or whose region codes violate
+    the XML nesting invariants — see the subclasses).
+    """
+
+
+class InvalidRegionCodeError(InvalidNodeSetError):
     """A region code violates the XML region coding invariants.
 
     Raised when ``end <= start``, when two elements share a start or end
@@ -14,12 +33,8 @@ class InvalidRegionCodeError(ReproError):
     """
 
 
-class EmptyNodeSetError(ReproError):
+class EmptyNodeSetError(InvalidNodeSetError):
     """An operation that requires a non-empty node set received an empty one."""
-
-
-class EstimationError(ReproError):
-    """An estimator was configured or invoked incorrectly."""
 
 
 class ParseError(ReproError):
@@ -28,3 +43,49 @@ class ParseError(ReproError):
 
 class QueryError(ReproError):
     """Malformed or unsupported path expression."""
+
+
+class EstimationError(ReproError):
+    """An estimator was configured or invoked incorrectly."""
+
+
+class UnknownEstimatorError(EstimationError):
+    """A method name did not resolve to any registered estimator.
+
+    Attributes:
+        name: the unresolved name as given.
+        candidates: canonical registry names closest to ``name`` (possibly
+            empty), ordered by similarity.  When a name is an ambiguous
+            fragment ("SEMI", "PLH") *every* near match is listed instead
+            of silently picking one.
+    """
+
+    def __init__(self, name: str, candidates: tuple[str, ...], message: str):
+        super().__init__(message)
+        self.name = name
+        self.candidates = candidates
+
+
+class BudgetExceededError(EstimationError):
+    """A space or work budget cannot accommodate the request.
+
+    Raised when a :class:`~repro.core.budget.SpaceBudget` is too small to
+    hold a single bucket or sample, and by the estimation service when a
+    request's budget is exhausted before any estimator could run.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A deadline expired before a result could be produced.
+
+    Also a :class:`TimeoutError`, so generic timeout handling catches it.
+    The estimation service raises it from
+    :meth:`~repro.service.ServiceFuture.result` when the caller-side wait
+    times out; requests that miss their deadline *inside* the service do
+    not raise — they degrade down the fallback ladder and return a
+    flagged estimate instead.
+    """
+
+
+class ServiceError(ReproError):
+    """The estimation service was used incorrectly (e.g. submit after stop)."""

@@ -15,9 +15,52 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, ClassVar
 
+from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
 from repro.obs import runtime as _obs
+
+#: Version of the :meth:`Estimate.to_dict` wire schema.  Bumped whenever
+#: a field is renamed, removed, or changes meaning; additions are
+#: backward compatible and do not bump it.
+ESTIMATE_SCHEMA_VERSION = 1
+
+
+def _to_wire(value: Any) -> Any:
+    """A strictly JSON-representable copy of a result field.
+
+    numpy scalars become Python scalars, non-finite floats become the
+    strings ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"`` (strict JSON has
+    no encoding for them), containers are converted recursively, and
+    anything else is stringified.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)) or hasattr(value, "item"):
+        value = value.item() if hasattr(value, "item") else value
+        if isinstance(value, float) and not math.isfinite(value):
+            if math.isnan(value):
+                return "NaN"
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    if isinstance(value, dict):
+        return {str(k): _to_wire(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_wire(v) for v in value]
+    return str(value)
+
+
+def _from_wire_float(value: Any) -> float | None:
+    """Invert :func:`_to_wire` for a float-valued field."""
+    if value is None:
+        return None
+    if value == "Infinity":
+        return math.inf
+    if value == "-Infinity":
+        return -math.inf
+    if value == "NaN":
+        return math.nan
+    return float(value)
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +108,45 @@ class Estimate:
         if true_size == 0:
             return 0.0 if self.value == 0 else math.inf
         return (self.value - true_size) / true_size * 100.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """The stable JSON wire form of this estimate.
+
+        One schema serves every serialization in the package — JSONL
+        telemetry ``estimate`` events, ``BENCH_*.json`` reports and
+        estimation-service responses — so consumers parse a single
+        format.  The layout is versioned by ``schema_version``
+        (:data:`ESTIMATE_SCHEMA_VERSION`); every value is strictly
+        JSON-representable (non-finite floats are encoded as the strings
+        ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"``).
+        """
+        return {
+            "schema_version": ESTIMATE_SCHEMA_VERSION,
+            "estimator": self.estimator,
+            "value": _to_wire(self.value),
+            "mre": _to_wire(self.mre),
+            "details": _to_wire(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Estimate":
+        """Rebuild an :class:`Estimate` from its :meth:`to_dict` form.
+
+        Raises :class:`~repro.core.errors.EstimationError` for a missing
+        or unsupported ``schema_version``.
+        """
+        version = payload.get("schema_version")
+        if version != ESTIMATE_SCHEMA_VERSION:
+            raise EstimationError(
+                f"unsupported Estimate schema_version {version!r} "
+                f"(this version reads {ESTIMATE_SCHEMA_VERSION})"
+            )
+        return cls(
+            value=_from_wire_float(payload["value"]),
+            estimator=str(payload["estimator"]),
+            mre=_from_wire_float(payload.get("mre")),
+            details=dict(payload.get("details") or {}),
+        )
 
 
 def _instrument_estimate(

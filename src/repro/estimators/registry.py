@@ -6,8 +6,10 @@ just a list of names plus shared keyword arguments.
 Names are case-insensitive and an alias table maps the paper's longer
 method names (``"pl-histogram"``, ``"im-da"``, ``"pm-est"``, ...) onto
 the canonical short names; unknown names raise
-:class:`~repro.core.errors.EstimationError` listing every available name
-plus the nearest match.
+:class:`~repro.core.errors.UnknownEstimatorError` listing every
+available name plus the closest candidates.  An ambiguous fragment
+("SEMI" is equally close to SEMI-A and SEMI-D) lists *all* of its near
+matches — resolution never silently picks one.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from __future__ import annotations
 import difflib
 from typing import Any, Callable
 
-from repro.core.errors import EstimationError
+from repro.core.errors import UnknownEstimatorError
 from repro.estimators.base import Estimator
 from repro.estimators.bifocal import BifocalEstimator
 from repro.estimators.coverage_histogram import CoverageHistogramEstimator
@@ -86,26 +88,52 @@ def available_estimators() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def nearest_estimators(name: str, limit: int = 3) -> tuple[str, ...]:
+    """Canonical names closest to ``name``, best first.
+
+    Aliases participate in the matching (so "semijoin" finds SEMI-A and
+    SEMI-D through the alias table) but the returned candidates are
+    always canonical registry names, deduplicated in similarity order.
+    """
+    key = _ALIASES.get(name.strip().upper(), name.strip().upper())
+    close = difflib.get_close_matches(
+        key, [*_REGISTRY, *_ALIASES], n=max(limit * 2, 6), cutoff=0.5
+    )
+    candidates: list[str] = []
+    for match in close:
+        canonical = _ALIASES.get(match, match)
+        if canonical not in candidates:
+            candidates.append(canonical)
+        if len(candidates) >= limit:
+            break
+    return tuple(candidates)
+
+
 def canonical_name(name: str) -> str:
     """Resolve any accepted spelling to a canonical registry name.
 
-    Raises :class:`EstimationError` for unknown names, listing the
-    available names and the nearest match (when one is close enough).
+    Raises :class:`UnknownEstimatorError` for unknown names, listing the
+    available names and *every* close candidate — an ambiguous fragment
+    is reported with all of its near matches rather than silently
+    resolved to an arbitrary one.
     """
     key = name.strip().upper()
     key = _ALIASES.get(key, key)
     if key in _REGISTRY:
         return key
-    close = difflib.get_close_matches(
-        key, [*_REGISTRY, *_ALIASES], n=1, cutoff=0.5
-    )
-    hint = ""
-    if close:
-        suggestion = _ALIASES.get(close[0], close[0])
-        hint = f"; did you mean {suggestion!r}?"
-    raise EstimationError(
+    candidates = nearest_estimators(name)
+    if not candidates:
+        hint = ""
+    elif len(candidates) == 1:
+        hint = f"; did you mean {candidates[0]!r}?"
+    else:
+        listed = ", ".join(repr(c) for c in candidates[:-1])
+        hint = f"; did you mean {listed} or {candidates[-1]!r}?"
+    raise UnknownEstimatorError(
+        name,
+        candidates,
         f"unknown estimator {name!r}; available: "
-        f"{', '.join(available_estimators())}{hint}"
+        f"{', '.join(available_estimators())}{hint}",
     )
 
 

@@ -177,6 +177,36 @@ class SamplingEstimator(Estimator):
         return results
 
     # ------------------------------------------------------------------
+    # Batch hooks (public): how callers decide what can share a pass
+    # ------------------------------------------------------------------
+
+    def batch_key(self) -> tuple[Any, ...]:
+        """Hashable configuration identity for cross-instance batching.
+
+        Two estimators with equal keys may run through
+        :meth:`estimate_across` as one pass; their RNG states may differ
+        — per-trial draws keep each instance's stream intact.  This is
+        the public form of the identity the estimation service and the
+        harness use to coalesce compatible requests.
+        """
+        return self._batch_key()
+
+    @classmethod
+    def batchable(cls, estimators: "Sequence[Estimator]") -> bool:
+        """True when ``estimators`` can execute as one
+        :meth:`estimate_across` pass: all the same concrete sampling
+        class with equal :meth:`batch_key`."""
+        if not estimators:
+            return False
+        first = estimators[0]
+        if not isinstance(first, SamplingEstimator):
+            return False
+        if any(type(e) is not type(first) for e in estimators[1:]):
+            return False
+        key = first.batch_key()
+        return all(e.batch_key() == key for e in estimators[1:])
+
+    # ------------------------------------------------------------------
     # Shared helpers for _run_trials implementations
     # ------------------------------------------------------------------
 

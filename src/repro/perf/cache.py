@@ -89,6 +89,15 @@ class SummaryCache:
     #: report under their own namespace (``IndexCache`` → ``index_cache``).
     metric_kind = "cache"
 
+    def _value_nbytes(self, value: Any) -> int:
+        """Size estimate used for the byte accounting.
+
+        Subclasses caching many small homogeneous values (the service's
+        result memo) override this with a flat estimate to keep inserts
+        off the recursive :func:`approx_nbytes` path.
+        """
+        return approx_nbytes(value)
+
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
@@ -126,7 +135,7 @@ class SummaryCache:
         if _obs.enabled():
             _obs.record_cache("misses", kind=self.metric_kind)
         value = builder()
-        size = approx_nbytes(value)
+        size = self._value_nbytes(value)
         evicted = 0
         with self._lock:
             if key not in self._data:
@@ -144,6 +153,48 @@ class SummaryCache:
             if evicted:
                 _obs.record_cache("evictions", evicted, kind=self.metric_kind)
         return value
+
+    def peek(self, key: Hashable, default: T | None = None) -> T | None:
+        """Look up ``key`` without building; counts as a hit or miss."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                found = True
+                value = self._data[key]
+            else:
+                self.misses += 1
+                found = False
+                value = default
+        if _obs.enabled():
+            _obs.record_cache(
+                "hits" if found else "misses", kind=self.metric_kind
+            )
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value`` under ``key`` (no hit/miss accounting).
+
+        The counterpart of :meth:`peek` for consumers that compute
+        values out-of-band (the estimation service memoizes finished
+        estimates this way); :meth:`get_or_build` remains the one-stop
+        path when the builder can run at lookup time.
+        """
+        size = self._value_nbytes(value)
+        evicted = 0
+        with self._lock:
+            if key not in self._data:
+                self.nbytes += size
+                self._sizes[key] = size
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                victim, __ = self._data.popitem(last=False)
+                self.nbytes -= self._sizes.pop(victim, 0)
+                self.evictions += 1
+                evicted += 1
+        if _obs.enabled() and evicted:
+            _obs.record_cache("evictions", evicted, kind=self.metric_kind)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss/eviction counters."""

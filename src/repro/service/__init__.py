@@ -1,0 +1,31 @@
+"""Estimation service: a concurrent, deadline-aware serving front-end.
+
+The package's estimators answer one call at a time; this subsystem
+serves them the way an optimizer consumes them — many concurrent
+requests, repeated configurations, per-request latency budgets.  See
+:class:`EstimationService` for the mechanism inventory (micro-batching,
+result memoization, deadlines with graceful degradation, load shedding,
+circuit breaking) and :mod:`repro.service.bench` for the workload it is
+measured on.
+"""
+
+from repro.service.degrade import DegradationLadder
+from repro.service.engine import CircuitBreaker, EstimationService
+from repro.service.queue import RequestQueue
+from repro.service.request import (
+    LADDER,
+    EstimateRequest,
+    EstimateResponse,
+    ServiceFuture,
+)
+
+__all__ = [
+    "LADDER",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "EstimateRequest",
+    "EstimateResponse",
+    "EstimationService",
+    "RequestQueue",
+    "ServiceFuture",
+]

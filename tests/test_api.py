@@ -10,8 +10,9 @@ import pytest
 
 import repro
 from repro import api
-from repro.core.errors import EstimationError
+from repro.core.errors import EstimationError, UnknownEstimatorError
 from repro.core.workspace import Workspace
+from repro.estimators.base import Estimate
 from repro.estimators.registry import canonical_name
 from repro.perf.cache import SummaryCache
 
@@ -69,6 +70,19 @@ class TestEstimateFacade:
         with pytest.raises(EstimationError, match="unknown estimator"):
             repro.make_estimator("ZZZZZZ")
 
+    def test_ambiguous_fragment_lists_every_candidate(self):
+        """An ambiguous prefix must not silently pick one variant."""
+        with pytest.raises(UnknownEstimatorError) as excinfo:
+            canonical_name("SEMI")
+        error = excinfo.value
+        assert error.name == "SEMI"
+        assert "SEMI-A" in error.candidates
+        assert "SEMI-D" in error.candidates
+
+    def test_unknown_estimator_error_is_estimation_error(self):
+        with pytest.raises(EstimationError):
+            canonical_name("PLH")
+
     def test_canonical_name(self):
         assert canonical_name("im-da") == "IM"
         assert canonical_name(" pl ") == "PL"
@@ -103,11 +117,51 @@ class TestBuildCatalog:
         assert catalog.estimate_join("item", "name").value >= 0.0
 
 
+class TestWireSchema:
+    def test_round_trip(self, figure1_tree):
+        a, d = figure1_tree
+        original = repro.estimate(a, d, method="PL", num_buckets=5)
+        rebuilt = Estimate.from_dict(original.to_dict())
+        assert rebuilt.value == original.value
+        assert rebuilt.estimator == original.estimator
+        assert rebuilt.mre == original.mre
+
+    def test_non_finite_floats_survive(self):
+        original = Estimate(float("inf"), "PL", mre=float("inf"))
+        payload = original.to_dict()
+        assert payload["value"] == "Infinity"  # strict-JSON encoding
+        rebuilt = Estimate.from_dict(payload)
+        assert rebuilt.value == float("inf")
+        assert rebuilt.mre == float("inf")
+
+    def test_payload_is_strict_json(self, figure1_tree):
+        import json
+
+        a, d = figure1_tree
+        payload = repro.estimate(
+            a, d, method="IM", num_samples=10, seed=3
+        ).to_dict()
+        round_tripped = json.loads(
+            json.dumps(payload, allow_nan=False)
+        )
+        assert round_tripped == payload
+
+    def test_unsupported_version_rejected(self):
+        payload = Estimate(1.0, "PL").to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(EstimationError, match="schema_version"):
+            Estimate.from_dict(payload)
+        del payload["schema_version"]
+        with pytest.raises(EstimationError, match="schema_version"):
+            Estimate.from_dict(payload)
+
+
 class TestPublicSurface:
     def test_top_level_reexports(self):
         for name in ("Estimate", "Estimator", "NodeSet", "Workspace",
                      "estimate", "build_catalog", "make_estimator",
-                     "available_estimators"):
+                     "available_estimators", "serve", "EstimationService",
+                     "EstimateRequest", "EstimateResponse"):
             assert hasattr(repro, name), name
             assert name in repro.__all__, name
 
