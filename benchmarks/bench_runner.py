@@ -87,6 +87,7 @@ from repro.models.position import (  # noqa: E402
     turning_points,
 )
 from repro.perf.cache import SummaryCache  # noqa: E402
+from repro.qa.bench_schema import validate_bench_report  # noqa: E402
 
 QUICK_SCALE = 0.1
 QUICK_BUCKETS = (5, 15, 25)
@@ -623,6 +624,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         service = bench_service()
         _print_service(service)
+        validate_bench_report(service, "service")
         args.service_output.write_text(
             json.dumps(service, indent=2) + "\n"
         )
@@ -732,12 +734,16 @@ def main(argv: list[str] | None = None) -> int:
         "service": service,
         "metrics": REGISTRY.snapshot(),
     }
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
     sampling_report = {
         "mode": report["mode"],
         **sampling,
     }
+    # Fail fast on report-shape drift before anything hits disk.
+    validate_bench_report(report, "kernels")
+    validate_bench_report(sampling_report, "sampling")
+    validate_bench_report(service, "service")
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
     args.sampling_output.write_text(
         json.dumps(sampling_report, indent=2) + "\n"
     )

@@ -21,6 +21,12 @@ instrumentation enabled (see :mod:`repro.obs`), streaming per-call and
 per-query events to ``FILE`` as JSONL and closing with an aggregated
 ``summary`` record; ``python -m repro obs-report --input FILE`` renders
 such a file into per-estimator latency and error tables.
+
+Correctness tooling: ``python -m repro qa --budget-s N --seed S`` runs
+the generative-testing campaign (:mod:`repro.qa`) and exits non-zero on
+any confirmed finding; ``--report FILE`` writes the JSON report with
+minimized reproducers, ``--replay FILE`` re-executes a saved report or
+reproducer block (see docs/TESTING.md).
 """
 
 from __future__ import annotations
@@ -177,6 +183,40 @@ _COMMANDS: dict[str, Callable] = {
 }
 
 
+def _cmd_qa(args) -> int:
+    import json
+
+    from repro.qa import replay_file, run_qa
+
+    if args.replay is not None:
+        try:
+            message = replay_file(str(args.replay))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot replay {args.replay}: {error}", file=sys.stderr)
+            return 2
+        if message is None:
+            print(f"replay clean: {args.replay}")
+            return 0
+        print(f"replay reproduces failure: {message}", file=sys.stderr)
+        return 1
+    report = run_qa(budget_s=args.budget_s, seed=args.seed)
+    text = json.dumps(report, indent=2)
+    if args.report is not None:
+        args.report.write_text(text + "\n")
+        print(f"wrote {args.report}")
+    else:
+        print(text)
+    confirmed = report["confirmed_findings"]
+    gates_failed = sum(1 for g in report["gates"] if not g["passed"])
+    print(
+        f"qa: {report['cases_run']} cases in {report['elapsed_s']:.1f}s, "
+        f"{confirmed} confirmed finding(s), "
+        f"{len(report['gates'])} gate(s) ({gates_failed} failed)",
+        file=sys.stderr,
+    )
+    return 1 if confirmed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -184,9 +224,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*_COMMANDS, "obs-report", "all"],
-        help="which table/figure to regenerate, or obs-report to "
-        "summarize a telemetry file",
+        choices=[*_COMMANDS, "obs-report", "qa", "all"],
+        help="which table/figure to regenerate, obs-report to "
+        "summarize a telemetry file, or qa to run the "
+        "generative-testing campaign",
     )
     parser.add_argument("--dataset", choices=["xmark", "dblp", "xmach"],
                         help="restrict table2/table3 to one dataset")
@@ -207,7 +248,18 @@ def main(argv: list[str] | None = None) -> int:
                         "telemetry to this file")
     parser.add_argument("--input", type=Path, default=None,
                         help="telemetry JSONL file for obs-report")
+    parser.add_argument("--budget-s", type=float, default=60.0,
+                        help="qa wall-clock budget in seconds")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="qa: write the JSON report here instead "
+                        "of stdout")
+    parser.add_argument("--replay", type=Path, default=None,
+                        help="qa: replay a saved report/reproducer "
+                        "instead of fuzzing")
     args = parser.parse_args(argv)
+
+    if args.experiment == "qa":
+        return _cmd_qa(args)
 
     if args.experiment == "obs-report":
         if args.input is None:

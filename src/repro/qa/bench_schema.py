@@ -1,0 +1,250 @@
+"""Schemas for the ``BENCH_*.json`` bench-report artifacts.
+
+``bench_runner`` validates each report against these specs before
+writing it, and ``tests/test_bench_schema.py`` validates the checked-in
+artifacts, so a drive-by change to a report's shape fails fast on both
+sides instead of silently breaking downstream consumers (the CI identity
+gates and the obs-report tooling parse these files).
+
+Dependency-free on purpose: the container has no ``jsonschema``, so the
+spec language is a small recursive structure —
+
+* a type or tuple of types — a leaf value (``float`` accepts ints);
+* :class:`Spec` — a mapping with ``required``/``optional`` fields and an
+  optional ``values`` sub-spec that every *other* value must match;
+* :func:`nullable` — the wrapped spec, or ``None``.
+
+Unknown keys are allowed (reports may grow), missing required keys and
+wrong types are errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "BenchSchemaError",
+    "Spec",
+    "nullable",
+    "KERNELS_SCHEMA",
+    "SAMPLING_SCHEMA",
+    "SERVICE_SCHEMA",
+    "SCHEMAS",
+    "schema_kind_for_path",
+    "validate_bench_report",
+    "validate_bench_file",
+]
+
+
+class BenchSchemaError(ValueError):
+    """A bench report does not match its schema."""
+
+
+@dataclass(frozen=True)
+class Spec:
+    """Shape of one JSON object."""
+
+    required: Mapping[str, Any] = field(default_factory=dict)
+    optional: Mapping[str, Any] = field(default_factory=dict)
+    #: When set, every key not named in required/optional must match.
+    values: Any = None
+
+
+@dataclass(frozen=True)
+class _Nullable:
+    spec: Any
+
+
+def nullable(spec: Any) -> _Nullable:
+    return _Nullable(spec)
+
+
+#: Leaf helper: JSON numbers arrive as int or float interchangeably.
+NUMBER = (int, float)
+
+
+def _check(value: Any, spec: Any, path: str) -> None:
+    if isinstance(spec, _Nullable):
+        if value is None:
+            return
+        _check(value, spec.spec, path)
+        return
+    if isinstance(spec, Spec):
+        if not isinstance(value, dict):
+            raise BenchSchemaError(
+                f"{path}: expected object, got {type(value).__name__}"
+            )
+        for key, sub in spec.required.items():
+            if key not in value:
+                raise BenchSchemaError(f"{path}: missing required key {key!r}")
+            _check(value[key], sub, f"{path}.{key}")
+        for key, sub in spec.optional.items():
+            if key in value:
+                _check(value[key], sub, f"{path}.{key}")
+        if spec.values is not None:
+            known = set(spec.required) | set(spec.optional)
+            for key, sub in value.items():
+                if key not in known:
+                    _check(sub, spec.values, f"{path}.{key}")
+        return
+    if isinstance(spec, list):  # homogeneous array, spec is [item_spec]
+        if not isinstance(value, list):
+            raise BenchSchemaError(
+                f"{path}: expected array, got {type(value).__name__}"
+            )
+        for i, item in enumerate(value):
+            _check(item, spec[0], f"{path}[{i}]")
+        return
+    # Leaf: type or tuple of types.  bool is an int subclass in Python;
+    # reject it where a number is expected.
+    if not isinstance(value, spec) or (
+        spec in (int, float, NUMBER)
+        and isinstance(value, bool)
+    ):
+        expected = getattr(spec, "__name__", None) or "/".join(
+            t.__name__ for t in spec
+        )
+        raise BenchSchemaError(
+            f"{path}: expected {expected}, got {type(value).__name__} "
+            f"({value!r})"
+        )
+
+
+_KERNEL_TIMING = Spec(
+    required={
+        "reference_s": NUMBER,
+        "vectorized_s": NUMBER,
+        "speedup": NUMBER,
+    }
+)
+
+_BATCH_TIMING = Spec(
+    required={
+        "trials": int,
+        "reference_s": NUMBER,
+        "batched_s": NUMBER,
+        "speedup": NUMBER,
+        "identical": bool,
+    }
+)
+
+_SWEEP_TIMING = Spec(
+    required={
+        "runs": int,
+        "reference_s": NUMBER,
+        "batched_s": NUMBER,
+        "speedup": NUMBER,
+        "identical_series": bool,
+    },
+    optional={"index_cache": dict},
+)
+
+#: Shared body of the sampling phase (embedded in the kernels report and
+#: written standalone as BENCH_sampling.json).
+_SAMPLING_BODY = {
+    "backends": Spec(values=_BATCH_TIMING),
+    "fig8_sweep": Spec(values=_SWEEP_TIMING),
+    "identical": bool,
+    "speedup": NUMBER,
+}
+
+SAMPLING_SCHEMA = Spec(
+    required={"mode": str, **_SAMPLING_BODY},
+    optional={"scale": NUMBER},
+)
+
+SERVICE_SCHEMA = Spec(
+    required={
+        "bench": str,
+        "dataset": str,
+        "scale": NUMBER,
+        "method": str,
+        "workers": int,
+        "max_batch": int,
+        "repeats": int,
+        "distinct_configs": int,
+        "throughput": dict,
+        "deadline": Spec(required={"latency_p99_s": NUMBER}),
+        "stress": dict,
+        "workload_speedup": NUMBER,
+    },
+    optional={"batching": dict, "batching_speedup": NUMBER},
+)
+
+KERNELS_SCHEMA = Spec(
+    required={
+        "mode": str,
+        "scale": NUMBER,
+        "kernels": Spec(values=_KERNEL_TIMING),
+        "fig7_sweep": Spec(
+            required={
+                "scale": NUMBER,
+                "bucket_counts": [int],
+                "reference_s": NUMBER,
+                "vectorized_s": NUMBER,
+                "vectorized_cached_s": NUMBER,
+                "speedup": NUMBER,
+            },
+            optional={"identical_output": bool},
+        ),
+        "sampling": Spec(
+            required=dict(_SAMPLING_BODY), optional={"scale": NUMBER}
+        ),
+        "obs_overhead": Spec(
+            required={
+                "baseline_s": NUMBER,
+                "observed_s": NUMBER,
+                "overhead_pct": NUMBER,
+                "estimator_calls": int,
+                "cache_lookups": int,
+            }
+        ),
+        "parallel": nullable(dict),
+        "metrics": dict,
+    },
+    # Older artifacts predate the service phase.
+    optional={"service": SERVICE_SCHEMA},
+)
+
+SCHEMAS: dict[str, Spec] = {
+    "kernels": KERNELS_SCHEMA,
+    "sampling": SAMPLING_SCHEMA,
+    "service": SERVICE_SCHEMA,
+}
+
+
+def schema_kind_for_path(path: str | Path) -> str:
+    """Map ``BENCH_<kind>.json`` (any directory) to its schema kind."""
+    stem = Path(path).stem
+    if not stem.startswith("BENCH_"):
+        raise BenchSchemaError(f"{path}: not a BENCH_*.json artifact")
+    kind = stem[len("BENCH_"):]
+    if kind not in SCHEMAS:
+        raise BenchSchemaError(
+            f"{path}: unknown bench report kind {kind!r} "
+            f"(expected one of {sorted(SCHEMAS)})"
+        )
+    return kind
+
+
+def validate_bench_report(data: Any, kind: str) -> None:
+    """Raise :class:`BenchSchemaError` unless ``data`` matches ``kind``."""
+    if kind not in SCHEMAS:
+        raise BenchSchemaError(
+            f"unknown bench report kind {kind!r} "
+            f"(expected one of {sorted(SCHEMAS)})"
+        )
+    _check(data, SCHEMAS[kind], kind)
+
+
+def validate_bench_file(path: str | Path) -> str:
+    """Validate a BENCH_*.json file; returns the detected kind."""
+    import json
+
+    kind = schema_kind_for_path(path)
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    validate_bench_report(data, kind)
+    return kind

@@ -1,0 +1,281 @@
+"""Seeded random generators for the qa subsystem.
+
+Everything here is a pure function of a :class:`numpy.random.Generator`,
+so a case is reproducible from its seed alone.  Two kinds of output:
+
+* **valid-by-construction inputs** — random region-coded documents built
+  by a depth-first walk that assigns strictly nested, distinct codes
+  (with random gaps, so code arithmetic is exercised away from the dense
+  ``1..2n`` layout), and operand pairs drawn from them;
+* **an invalid-input corpus** — malformed XML documents and broken
+  region-code element lists that the parser and the NodeSet validator
+  must reject with their *typed* errors (anything else — a wrong
+  exception type, a silent acceptance — is a finding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+from repro.core.rng import make_rng
+from repro.core.workspace import Workspace
+
+#: Tag alphabet for generated documents.  Small on purpose: collisions
+#: between the ancestor and descendant predicates are part of the space.
+TAGS = ("a", "b", "c", "d", "e")
+
+
+@dataclass
+class Case:
+    """One generated workload: two operands over a shared workspace.
+
+    ``elements`` is the full generated document (the operands are
+    subsets of it), kept so metamorphic transforms can rebuild variants
+    from the same structure.
+    """
+
+    seed: int
+    ancestors: NodeSet
+    descendants: NodeSet
+    workspace: Workspace
+    elements: tuple[Element, ...] = ()
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form used by qa-report reproducers."""
+        return {
+            "seed": self.seed,
+            "workspace": [self.workspace.lo, self.workspace.hi],
+            "ancestors": serialize_elements(self.ancestors.elements),
+            "descendants": serialize_elements(self.descendants.elements),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Case":
+        lo, hi = payload["workspace"]
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            ancestors=NodeSet(
+                deserialize_elements(payload["ancestors"]), name="A"
+            ),
+            descendants=NodeSet(
+                deserialize_elements(payload["descendants"]), name="D"
+            ),
+            workspace=Workspace(int(lo), int(hi)),
+        )
+
+
+def serialize_elements(
+    elements: Sequence[Element],
+) -> list[list[Any]]:
+    """Elements as ``[tag, start, end, level]`` rows (JSON-safe)."""
+    return [[e.tag, e.start, e.end, e.level] for e in elements]
+
+
+def deserialize_elements(rows: Sequence[Sequence[Any]]) -> list[Element]:
+    return [
+        Element(str(tag), int(start), int(end), int(level))
+        for tag, start, end, level in rows
+    ]
+
+
+# ----------------------------------------------------------------------
+# Valid documents
+# ----------------------------------------------------------------------
+
+
+def random_document(
+    rng: np.random.Generator,
+    max_nodes: int = 80,
+    max_depth: int = 7,
+    max_gap: int = 4,
+    first_position: int | None = None,
+) -> list[Element]:
+    """A random strictly nested, distinct-code element list.
+
+    Codes are assigned by a depth-first walk of a randomly shaped tree;
+    ``max_gap`` inserts random unused positions between events so the
+    generated workspaces are not the dense region coding the datasets
+    produce.  The result is valid by construction: ``NodeSet(...,
+    validate=True)`` accepts any subset of it.
+    """
+    if first_position is None:
+        first_position = int(rng.integers(1, 1000))
+    position = first_position
+    budget = int(rng.integers(1, max_nodes + 1))
+    elements: list[Element] = []
+
+    def gap() -> int:
+        return int(rng.integers(0, max_gap + 1)) if max_gap else 0
+
+    def build(depth: int) -> None:
+        nonlocal position, budget
+        budget -= 1
+        tag = str(rng.choice(TAGS))
+        start = position
+        position += 1 + gap()
+        # Branchy near the root, thinner as depth grows.
+        while (
+            budget > 0
+            and depth < max_depth
+            and rng.random() < 0.6 / (1 + 0.3 * depth)
+        ):
+            build(depth + 1)
+        end = position
+        position += 1 + gap()
+        elements.append(Element(tag, start, end, depth))
+
+    while budget > 0:
+        build(0)
+        position += gap()
+    return elements
+
+
+def random_case(seed: int, max_nodes: int = 80) -> Case:
+    """A random operand pair drawn from one random document.
+
+    Both operands are non-empty subsets of the document's elements:
+    usually the node sets of one or more tags, sometimes a uniformly
+    random subset (so operands that share elements, nest inside each
+    other, or interleave all occur).
+    """
+    rng = make_rng(seed)
+    elements = random_document(rng, max_nodes=max_nodes)
+
+    def pick(role: str) -> list[Element]:
+        if rng.random() < 0.7:
+            count = int(rng.integers(1, 3))
+            tags = rng.choice(TAGS, size=count, replace=False)
+            chosen = [e for e in elements if e.tag in set(tags)]
+        else:
+            mask = rng.random(len(elements)) < rng.uniform(0.2, 0.9)
+            chosen = [e for e, keep in zip(elements, mask) if keep]
+        if not chosen:  # guarantee non-empty operands
+            chosen = [elements[int(rng.integers(0, len(elements)))]]
+        return chosen
+
+    ancestors = NodeSet(pick("A"), name="A")
+    descendants = NodeSet(pick("D"), name="D")
+    lo = min(int(ancestors.starts[0]), int(descendants.starts[0]))
+    hi = max(
+        int(ancestors.sorted_ends[-1]), int(descendants.sorted_ends[-1])
+    )
+    pad = int(rng.integers(0, 5))
+    workspace = Workspace(lo - pad, hi + pad)
+    return Case(
+        seed=seed,
+        ancestors=ancestors,
+        descendants=descendants,
+        workspace=workspace,
+        elements=tuple(sorted(elements, key=lambda e: e.start)),
+    )
+
+
+def random_xml(rng: np.random.Generator, max_nodes: int = 40) -> str:
+    """A random well-formed XML document (single root, nested tags)."""
+    budget = int(rng.integers(1, max_nodes + 1))
+    pieces: list[str] = []
+
+    def build(depth: int) -> None:
+        nonlocal budget
+        budget -= 1
+        tag = str(rng.choice(TAGS))
+        children = (
+            budget > 0
+            and depth < 6
+            and rng.random() < 0.7 / (1 + 0.3 * depth)
+        )
+        if not children:
+            pieces.append(f"<{tag}/>")
+            return
+        pieces.append(f"<{tag}>")
+        while (
+            budget > 0
+            and depth < 6
+            and rng.random() < 0.6 / (1 + 0.3 * depth)
+        ):
+            build(depth + 1)
+        if rng.random() < 0.2:
+            pieces.append("some text ")
+        pieces.append(f"</{tag}>")
+
+    pieces.append("<root>")
+    while budget > 0:
+        build(1)
+    pieces.append("</root>")
+    return "".join(pieces)
+
+
+def disjoint_operands(case: Case) -> tuple[NodeSet, NodeSet]:
+    """The case's operands with shared elements removed from D.
+
+    The paper's model draws A and D from different query predicates, so
+    an element never appears on both sides; the stab-based estimators
+    rely on that (an element's own start stabs its own interval, which
+    the strict containment join excludes).  Checks that compare
+    estimates against the exact size — the statistical gates and the
+    full-sample identity — must therefore run on disjoint operands.
+
+    Falls back to the full descendant set when removal would empty it.
+    """
+    shared = set(case.ancestors.elements)
+    kept = [e for e in case.descendants.elements if e not in shared]
+    if not kept:
+        return case.ancestors, case.descendants
+    return case.ancestors, NodeSet(kept, name="D\\A", validate=False)
+
+
+# ----------------------------------------------------------------------
+# Invalid corpora
+# ----------------------------------------------------------------------
+
+
+def invalid_xml_corpus(rng: np.random.Generator) -> list[str]:
+    """Malformed XML documents the parser must reject with ParseError."""
+    base = random_xml(rng, max_nodes=10)
+    cut = int(rng.integers(1, max(2, len(base))))
+    corpus = [
+        "",  # no root at all
+        "just text, no markup",
+        "<a><b></a></b>",  # mismatched close order
+        "<a>",  # unclosed root
+        "</a>",  # close without open
+        "<a/><b/>",  # multiple roots
+        "<a></a>trailing<b></b>",  # content after the root
+        "text outside <a/>",  # character data before the root
+        "<a><b></b>",  # unclosed inner element left open
+        "<1bad/>",  # invalid tag name
+        base[:cut] + "<",  # truncated mid-token
+    ]
+    # Random mutation of a valid document: delete a closing tag.
+    mutated = base.replace("</root>", "", 1)
+    corpus.append(mutated)
+    return corpus
+
+
+def invalid_element_corpus(
+    rng: np.random.Generator,
+) -> list[list[tuple[str, int, int]]]:
+    """Region-code lists the NodeSet validator must reject.
+
+    Each entry violates exactly one invariant: duplicate codes, or
+    partial overlap between two regions.  (``start >= end`` is rejected
+    one level earlier, by ``Element`` itself, and is exercised
+    separately by the oracle.)
+    """
+    lo = int(rng.integers(1, 50))
+    return [
+        # duplicate start code across two elements
+        [("a", lo, lo + 5), ("b", lo, lo + 9)],
+        # an element's end reused as another's start
+        [("a", lo, lo + 3), ("b", lo + 3, lo + 8)],
+        # partial overlap: neither disjoint nor nested
+        [("a", lo, lo + 6), ("b", lo + 4, lo + 10)],
+        # duplicate element outright
+        [("a", lo, lo + 2), ("a", lo, lo + 2)],
+    ]

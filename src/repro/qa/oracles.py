@@ -1,0 +1,612 @@
+"""Differential and metamorphic oracles for the qa runner.
+
+Every oracle takes one generated :class:`~repro.qa.generators.Case` and
+raises :class:`OracleFailure` (with a human-readable message) when the
+code under test violates its contract.  The runner treats *any*
+exception escaping an oracle as a failure, shrinks the case against it,
+and records a reproducer.
+
+The oracles cover the layers named in the ROADMAP's production story:
+
+* ``exact-join`` — the three pair-producing join algorithms agree with
+  each other and with the count-only size.
+* ``estimator-contract`` — every registered estimator returns a finite,
+  non-negative estimate that survives the versioned wire round-trip, or
+  rejects the input with a *typed* :class:`~repro.core.errors.ReproError`.
+* ``batched-vs-sequential`` — ``estimate_trials`` / ``estimate_across``
+  are bit-for-bit equal to per-call ``estimate()`` streams.
+* ``cached-vs-uncached`` — ambient SummaryCache/IndexCache installation
+  never changes a value.
+* ``service-vs-direct`` — ``repro.serve()`` answers match direct
+  ``repro.api.estimate`` calls bit-for-bit, and degraded answers keep
+  the ladder's invariants (always answered, flagged, bound encloses the
+  exact size).
+* ``metamorphic`` — region-code translation/dilation invariance,
+  ancestor-union additivity, duplication scaling, A/D disjointness.
+* ``parser-fuzz`` / ``validator-fuzz`` — the invalid-input corpus is
+  rejected with typed errors; random valid XML round-trips through the
+  serializer with identical region codes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro import api
+from repro.core.element import Element
+from repro.core.errors import ReproError
+from repro.core.nodeset import NodeSet
+from repro.core.rng import make_rng
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimate
+from repro.estimators.bounds import join_size_bounds
+from repro.estimators.registry import available_estimators, make_estimator
+from repro.estimators.sampling_base import SamplingEstimator
+from repro.join import (
+    containment_join_size,
+    merge_join,
+    nested_loop_join,
+    stack_tree_join,
+)
+from repro.perf import IndexCache, SummaryCache, use_cache, use_index_cache
+from repro.qa.generators import (
+    Case,
+    disjoint_operands,
+    invalid_element_corpus,
+    invalid_xml_corpus,
+    random_xml,
+)
+from repro.service.engine import EstimationService
+from repro.service.request import EstimateRequest
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serializer import to_xml
+
+#: Methods whose estimate is a pure function of (operands, config).
+DETERMINISTIC_METHODS = frozenset({"PL", "PH", "COV", "WAVELET"})
+
+#: Relative tolerance for metamorphic equalities on deterministic
+#: estimators: translation/dilation shift the float bucket boundaries,
+#: so the last few ulps may differ even though the computation is the
+#: same; anything beyond 1e-6 relative is a real bucket-assignment bug,
+#: not rounding.
+METAMORPHIC_RTOL = 1e-6
+
+
+class OracleFailure(AssertionError):
+    """An oracle's contract was violated by the case under test."""
+
+
+def _fail(oracle: str, message: str) -> None:
+    raise OracleFailure(f"[{oracle}] {message}")
+
+
+def method_config(
+    method: str, case: Case, seed: int = 11
+) -> dict[str, Any] | None:
+    """A valid configuration for ``method`` on this case's operand sizes.
+
+    Returns None when the method cannot be configured meaningfully for
+    the case (never happens with the current registry, kept for
+    forward compatibility).  Sample counts are clamped to the smaller
+    operand so without-replacement draws are always legal.
+    """
+    samples = max(1, min(len(case.ancestors), len(case.descendants)) // 2)
+    if method == "PL":
+        return {"num_buckets": 8}
+    if method == "PH":
+        return {"num_cells": 5}
+    if method == "COV":
+        return {"num_buckets": 8}
+    if method == "WAVELET":
+        return {"num_coefficients": 8}
+    if method == "SKETCH":
+        return {"num_counters": 64, "seed": seed}
+    if method == "HYBRID":
+        return {"num_buckets": 8, "num_samples": samples, "seed": seed}
+    # The sampling family shares the num_samples/seed shape.
+    return {"num_samples": samples, "seed": seed}
+
+
+# ----------------------------------------------------------------------
+# Oracles
+# ----------------------------------------------------------------------
+
+
+def check_exact_join(case: Case) -> None:
+    """The three exact joins and the count-only size must agree."""
+    a, d = case.ancestors, case.descendants
+
+    def key(pair):
+        ancestor, descendant = pair
+        return (ancestor.start, ancestor.end, descendant.start)
+
+    naive = sorted(nested_loop_join(a, d), key=key)
+    merge = sorted(merge_join(a, d), key=key)
+    stack = sorted(stack_tree_join(a, d), key=key)
+    if naive != merge:
+        _fail("exact-join", "merge_join disagrees with nested_loop_join")
+    if naive != stack:
+        _fail("exact-join", "stack_tree_join disagrees with nested_loop_join")
+    size = containment_join_size(a, d)
+    if size != len(naive):
+        _fail(
+            "exact-join",
+            f"containment_join_size={size} but joins produce "
+            f"{len(naive)} pairs",
+        )
+    bounds = join_size_bounds(a, d)
+    if not (bounds.lower <= size <= bounds.upper):
+        _fail(
+            "exact-join",
+            f"exact size {size} outside structural bounds "
+            f"[{bounds.lower}, {bounds.upper}]",
+        )
+
+
+def check_estimator_contract(case: Case) -> None:
+    """Every registered estimator answers sanely on a valid input."""
+    for method in available_estimators():
+        config = method_config(method, case)
+        if config is None:
+            continue
+        try:
+            result = api.estimate(
+                case.ancestors,
+                case.descendants,
+                method,
+                workspace=case.workspace,
+                **config,
+            )
+        except ReproError:
+            # A typed rejection is a legal contract outcome.
+            continue
+        except Exception as error:  # untyped crash = finding
+            _fail(
+                "estimator-contract",
+                f"{method} raised untyped {type(error).__name__}: {error}",
+            )
+        value = result.value
+        if not math.isfinite(value) or value < 0.0:
+            _fail(
+                "estimator-contract",
+                f"{method} returned invalid value {value!r}",
+            )
+        rebuilt = Estimate.from_dict(result.to_dict())
+        if rebuilt.value != value or rebuilt.estimator != result.estimator:
+            _fail(
+                "estimator-contract",
+                f"{method} estimate does not survive the wire "
+                f"round-trip: {value!r} -> {rebuilt.value!r}",
+            )
+
+
+def check_summary_geometry(case: Case) -> None:
+    """``bucket_of`` agrees with the ``buckets()`` tiling bit-for-bit.
+
+    The histogram estimators' correctness rests on one geometric fact:
+    the ``count`` equal-width buckets tile ``[lo, hi]`` exactly and
+    ``bucket_of(p)`` returns the unique tile containing ``p``.  Checking
+    the two public APIs against each other catches off-by-one bucket
+    boundary bugs that the value-level oracles cannot see (a consistent
+    shift hits the cached and uncached paths identically).
+    """
+    w = case.workspace
+    positions = sorted(
+        {
+            int(p)
+            for nodes in (case.ancestors, case.descendants)
+            for arr in (nodes.starts, nodes.sorted_ends)
+            for p in arr
+            if w.contains(int(p))
+        }
+        | {w.lo, w.hi}
+    )
+    for count in (1, 2, 3, 7):
+        buckets = w.buckets(count)
+        if len(buckets) != count:
+            _fail(
+                "summary-geometry",
+                f"buckets({count}) returned {len(buckets)} buckets",
+            )
+        # The right edge is built incrementally (lo + count * (width /
+        # count)), so it may differ from lo + width by float rounding.
+        right_edge_ok = math.isclose(
+            buckets[-1].wse, w.lo + w.width, rel_tol=METAMORPHIC_RTOL
+        )
+        if buckets[0].wss != w.lo or not right_edge_ok:
+            _fail(
+                "summary-geometry",
+                f"buckets({count}) do not span the workspace: "
+                f"[{buckets[0].wss}, {buckets[-1].wse}) vs "
+                f"[{w.lo}, {w.lo + w.width})",
+            )
+        for left, right in zip(buckets, buckets[1:]):
+            if left.wse != right.wss:
+                _fail(
+                    "summary-geometry",
+                    f"buckets({count}) leave a gap between "
+                    f"{left.index} and {right.index}",
+                )
+        for p in positions:
+            index = w.bucket_of(p, count)
+            bucket = buckets[index]
+            inside = bucket.wss <= p < bucket.wse or (
+                index == count - 1 and p <= w.hi
+            )
+            if not inside:
+                _fail(
+                    "summary-geometry",
+                    f"bucket_of({p}, {count}) = {index} but bucket "
+                    f"{index} is [{bucket.wss}, {bucket.wse})",
+                )
+
+
+def check_estimate_vs_exact(case: Case) -> None:
+    """Full-sample IM collapses to the exact size on disjoint operands.
+
+    With ``num_samples >= |D|`` and without replacement the IM sample is
+    the whole descendant set and the scale factor is 1, so the estimate
+    is ``sum_d stab(d.start)`` — which equals the exact join size
+    whenever no element sits on both sides (the paper's model; a shared
+    element's own start stabs its own interval while the strict join
+    excludes the self-pair).  This is a bit-for-bit differential check
+    of the entire stab-probe machinery against the join algorithms.
+    """
+    a, d = disjoint_operands(case)
+    if set(a.elements) & set(d.elements):
+        # Every descendant is also an ancestor; the identity's
+        # precondition cannot be met for this case.
+        return
+    exact = containment_join_size(a, d)
+    for backend in ("rank", "ttree", "xrtree"):
+        value = make_estimator(
+            "IM", num_samples=len(d), seed=1, backend=backend
+        ).estimate(a, d, case.workspace).value
+        if value != float(exact):
+            _fail(
+                "estimate-vs-exact",
+                f"full-sample IM[{backend}] gave {value!r}, exact is "
+                f"{exact}",
+            )
+
+
+def check_batched_vs_sequential(case: Case, trials: int = 4) -> None:
+    """``estimate_trials``/``estimate_across`` ≡ sequential ``estimate``.
+
+    Bit-for-bit: same values in the same order, for every registered
+    sampling estimator, both for one instance batched over ``trials``
+    and for ``trials`` fresh instances batched across.
+    """
+    a, d, w = case.ancestors, case.descendants, case.workspace
+    for method in available_estimators():
+        config = method_config(method, case)
+        probe = make_estimator(method, **config)
+        if not isinstance(probe, SamplingEstimator):
+            continue
+        sequential = [
+            make_estimator(method, **config).estimate(a, d, w).value
+            for __ in range(trials)
+        ]
+        # estimate_trials shares one generator across trials; the
+        # sequential twin must consume the same stream.
+        seq_stream_est = make_estimator(method, **config)
+        seq_stream = [
+            seq_stream_est.estimate(a, d, w).value for __ in range(trials)
+        ]
+        batched = make_estimator(method, **config).estimate_trials(
+            a, d, trials, w
+        )
+        if [r.value for r in batched] != seq_stream:
+            _fail(
+                "batched-vs-sequential",
+                f"{method}.estimate_trials({trials}) != sequential "
+                f"estimate() stream",
+            )
+        across = SamplingEstimator.estimate_across(
+            [make_estimator(method, **config) for __ in range(trials)],
+            a,
+            d,
+            w,
+        )
+        if [r.value for r in across] != sequential:
+            _fail(
+                "batched-vs-sequential",
+                f"{method}.estimate_across over {trials} fresh instances "
+                f"!= their solo estimates",
+            )
+
+
+def check_cached_vs_uncached(case: Case) -> None:
+    """Ambient caches must never change a value, only its cost."""
+    a, d, w = case.ancestors, case.descendants, case.workspace
+    for method in available_estimators():
+        config = method_config(method, case)
+        try:
+            plain = api.estimate(a, d, method, workspace=w, **config)
+        except ReproError:
+            continue
+        with use_cache(SummaryCache()), use_index_cache(IndexCache()):
+            warm_cache = api.estimate(a, d, method, workspace=w, **config)
+            # Second call hits whatever the first built.
+            reheat = api.estimate(a, d, method, workspace=w, **config)
+        if warm_cache.value != plain.value or reheat.value != plain.value:
+            _fail(
+                "cached-vs-uncached",
+                f"{method}: uncached {plain.value!r} vs cached "
+                f"{warm_cache.value!r} / cache-hit {reheat.value!r}",
+            )
+
+
+def check_service_vs_direct(case: Case) -> None:
+    """``repro.serve`` parity and degraded-answer invariants."""
+    a, d = case.ancestors, case.descendants
+    methods = ["PL", "IM", "PM"]
+    requests = [
+        EstimateRequest(
+            ancestors=a,
+            descendants=d,
+            method=method,
+            workspace=case.workspace,
+            config=dict(method_config(method, case)),
+        )
+        for method in methods
+    ]
+    expected = [
+        api.estimate(
+            r.ancestors,
+            r.descendants,
+            r.method,
+            workspace=r.workspace,
+            **r.config,
+        ).value
+        for r in requests
+    ]
+    with EstimationService(workers=0) as service:
+        responses = service.map(requests, timeout=60.0)
+        if [r.estimate.value for r in responses] != expected:
+            _fail(
+                "service-vs-direct",
+                "service answers differ from direct api.estimate "
+                f"({[r.estimate.value for r in responses]} vs {expected})",
+            )
+        if any(r.status != "ok" or r.ladder_level != 0 for r in responses):
+            _fail(
+                "service-vs-direct",
+                "undegraded request did not resolve at ladder level 0",
+            )
+    # Degraded path: an already-expired deadline must still be answered,
+    # flagged, and the bound rung must enclose the exact size.
+    exact = containment_join_size(a, d)
+    with EstimationService(workers=0) as service:
+        future = service.submit(
+            a, d, "IM", workspace=case.workspace,
+            deadline_s=1e-9,
+            **method_config("IM", case),
+        )
+        service.help_drain((future,))
+        degraded = future.result(timeout=60.0)
+    if degraded.status not in ("degraded", "shed"):
+        _fail(
+            "service-vs-direct",
+            f"expired deadline answered with status {degraded.status!r}",
+        )
+    if not degraded.degraded or degraded.degraded_reason is None:
+        _fail("service-vs-direct", "degraded response not flagged")
+    if degraded.ladder_name == "bound":
+        details = degraded.estimate.details
+        if not (
+            details["bound_lower"] <= exact <= details["bound_upper"]
+        ):
+            _fail(
+                "service-vs-direct",
+                f"bound rung [{details['bound_lower']}, "
+                f"{details['bound_upper']}] does not enclose exact "
+                f"size {exact}",
+            )
+        if degraded.estimate.value != float(details["bound_upper"]):
+            _fail(
+                "service-vs-direct",
+                "bound rung estimate is not the upper bound",
+            )
+
+
+# ----------------------------------------------------------------------
+# Metamorphic transforms
+# ----------------------------------------------------------------------
+
+
+def _transform_case(
+    case: Case, fn: Callable[[int], int]
+) -> tuple[NodeSet, NodeSet, Workspace]:
+    def remap(elements: Sequence[Element]) -> list[Element]:
+        return [
+            Element(e.tag, fn(e.start), fn(e.end), e.level)
+            for e in elements
+        ]
+
+    a = NodeSet(remap(case.ancestors.elements), name="A")
+    d = NodeSet(remap(case.descendants.elements), name="D")
+    return a, d, Workspace(fn(case.workspace.lo), fn(case.workspace.hi))
+
+
+def _deterministic_values(
+    a: NodeSet, d: NodeSet, w: Workspace, case: Case
+) -> dict[str, float]:
+    values = {}
+    for method in sorted(DETERMINISTIC_METHODS):
+        config = method_config(method, case)
+        values[method] = api.estimate(
+            a, d, method, workspace=w, **config
+        ).value
+    return values
+
+
+def check_metamorphic(case: Case) -> None:
+    """Translation/dilation invariance, union additivity, duplication
+    scaling, and disjointness."""
+    a, d, w = case.ancestors, case.descendants, case.workspace
+    rng = make_rng(case.seed ^ 0x5EED)
+    exact = containment_join_size(a, d)
+    base_values = _deterministic_values(a, d, w, case)
+
+    shift = int(rng.integers(1, 10_000))
+    scale = int(rng.integers(2, 7))
+    for label, fn in (
+        ("translation", lambda p: p + shift),
+        ("dilation", lambda p: p * scale),
+    ):
+        ta, td, tw = _transform_case(case, fn)
+        t_exact = containment_join_size(ta, td)
+        if t_exact != exact:
+            _fail(
+                "metamorphic",
+                f"exact size changed under {label}: {exact} -> {t_exact}",
+            )
+        if label != "translation":
+            # Dilation preserves nesting (hence the exact size) but not
+            # the workspace width `hi - lo + 1`, so bucket boundaries
+            # and coverage ratios legitimately move; only translation
+            # leaves every integer difference — and therefore every
+            # deterministic summary — unchanged.
+            continue
+        t_values = _deterministic_values(ta, td, tw, case)
+        for method, value in base_values.items():
+            moved = t_values[method]
+            tolerance = METAMORPHIC_RTOL * max(1.0, abs(value))
+            if abs(moved - value) > tolerance:
+                _fail(
+                    "metamorphic",
+                    f"{method} not invariant under {label}: "
+                    f"{value!r} -> {moved!r}",
+                )
+
+    # Ancestor-union additivity: per-descendant counts are additive in
+    # the ancestor operand, so splitting A partitions the exact size.
+    if len(a) >= 2:
+        half = len(a) // 2
+        a1 = NodeSet(a.elements[:half], name="A1", validate=False)
+        a2 = NodeSet(a.elements[half:], name="A2", validate=False)
+        split = containment_join_size(a1, d) + containment_join_size(a2, d)
+        if split != exact:
+            _fail(
+                "metamorphic",
+                f"ancestor-union additivity broken: {split} != {exact}",
+            )
+
+    # Duplication scaling: a disjoint copy of the whole case doubles
+    # the join size (cross pairs are impossible across disjoint spans).
+    offset = w.hi - w.lo + 1 + int(rng.integers(1, 100))
+    copy_a, copy_d, __ = _transform_case(case, lambda p: p + offset)
+    doubled_a = NodeSet(
+        [*a.elements, *copy_a.elements], name="A2x"
+    )
+    doubled_d = NodeSet(
+        [*d.elements, *copy_d.elements], name="D2x"
+    )
+    doubled = containment_join_size(doubled_a, doubled_d)
+    if doubled != 2 * exact:
+        _fail(
+            "metamorphic",
+            f"duplication scaling broken: {doubled} != 2*{exact}",
+        )
+
+    # Disjointness: the original A against the shifted copy of D can
+    # produce no pairs — exact and the paper's sampling methods agree.
+    disjoint = containment_join_size(a, copy_d)
+    if disjoint != 0:
+        _fail(
+            "metamorphic",
+            f"disjoint operands produced exact size {disjoint}",
+        )
+    span = Workspace(w.lo, w.hi + offset + 1)
+    for method in ("IM", "PM"):
+        config = method_config(method, case)
+        value = api.estimate(
+            a, copy_d, method, workspace=span, **config
+        ).value
+        if value != 0.0:
+            _fail(
+                "metamorphic",
+                f"{method} estimated {value!r} for disjoint operands",
+            )
+
+
+# ----------------------------------------------------------------------
+# Parser / validator fuzzing
+# ----------------------------------------------------------------------
+
+
+def check_parser_fuzz(case: Case) -> None:
+    """Invalid XML is rejected typed; valid XML round-trips exactly."""
+    from repro.core.errors import ParseError
+
+    rng = make_rng(case.seed ^ 0xF00D)
+    for document in invalid_xml_corpus(rng):
+        try:
+            parse_xml(document)
+        except ParseError:
+            continue
+        except Exception as error:
+            _fail(
+                "parser-fuzz",
+                f"parser raised untyped {type(error).__name__} on "
+                f"{document[:40]!r}",
+            )
+        _fail(
+            "parser-fuzz", f"parser accepted invalid input {document[:40]!r}"
+        )
+    document = random_xml(rng)
+    tree = parse_xml(document)
+    reparsed = parse_xml(to_xml(tree))
+    original = [(e.tag, e.start, e.end) for e in tree.elements]
+    round_trip = [(e.tag, e.start, e.end) for e in reparsed.elements]
+    if original != round_trip:
+        _fail("parser-fuzz", "serializer round-trip changed region codes")
+
+
+def check_validator_fuzz(case: Case) -> None:
+    """Broken region-code inputs are rejected with typed errors."""
+    from repro.core.errors import InvalidRegionCodeError
+
+    rng = make_rng(case.seed ^ 0xBAD)
+    for rows in invalid_element_corpus(rng):
+        elements = [Element(tag, start, end) for tag, start, end in rows]
+        try:
+            NodeSet(elements, validate=True)
+        except InvalidRegionCodeError:
+            continue
+        except Exception as error:
+            _fail(
+                "validator-fuzz",
+                f"NodeSet raised untyped {type(error).__name__} on "
+                f"{rows!r}",
+            )
+        _fail("validator-fuzz", f"NodeSet accepted invalid codes {rows!r}")
+    start = int(rng.integers(1, 100))
+    for bad in ((start, start), (start, start - 3)):
+        try:
+            Element("x", *bad)
+        except InvalidRegionCodeError:
+            continue
+        except Exception as error:
+            _fail(
+                "validator-fuzz",
+                f"Element raised untyped {type(error).__name__} on {bad}",
+            )
+        _fail("validator-fuzz", f"Element accepted degenerate region {bad}")
+
+
+#: The registry the runner iterates: name -> per-case oracle.
+ORACLES: dict[str, Callable[[Case], None]] = {
+    "exact-join": check_exact_join,
+    "summary-geometry": check_summary_geometry,
+    "estimate-vs-exact": check_estimate_vs_exact,
+    "estimator-contract": check_estimator_contract,
+    "batched-vs-sequential": check_batched_vs_sequential,
+    "cached-vs-uncached": check_cached_vs_uncached,
+    "service-vs-direct": check_service_vs_direct,
+    "metamorphic": check_metamorphic,
+    "parser-fuzz": check_parser_fuzz,
+    "validator-fuzz": check_validator_fuzz,
+}

@@ -1,0 +1,209 @@
+"""Budgeted qa runner: generate, check, shrink, report, replay.
+
+The runner drives the oracles in :mod:`repro.qa.oracles` over a stream
+of seeded random cases until a wall-clock budget expires, shrinks every
+failure with :func:`repro.qa.shrink.shrink_case`, confirms the shrunk
+reproducer by replaying it, and emits a JSON report.  The report's
+``findings[*].reproducer`` blocks are self-contained: feed one back
+through :func:`replay` (or ``python -m repro qa --replay report.json``)
+to re-execute the exact failing oracle on the exact failing operands.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.qa.generators import Case, random_case
+from repro.qa.oracles import ORACLES
+from repro.qa.shrink import shrink_case
+from repro.qa.stats import run_statistical_gates
+
+QA_REPORT_SCHEMA_VERSION = 1
+
+#: Upper bound on generated document size during fuzzing.
+QA_MAX_NODES = 80
+
+
+@dataclass
+class Finding:
+    """One oracle failure, with its original and minimized reproducers."""
+
+    oracle: str
+    case_seed: int
+    message: str
+    reproducer: dict[str, Any]
+    shrunk: bool = False
+    shrink_checks: int = 0
+    confirmed: bool = False
+    original_sizes: tuple[int, int] = (0, 0)
+    shrunk_sizes: tuple[int, int] = (0, 0)
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "oracle": self.oracle,
+            "case_seed": self.case_seed,
+            "message": self.message,
+            "confirmed": self.confirmed,
+            "shrunk": self.shrunk,
+            "shrink_checks": self.shrink_checks,
+            "original_sizes": list(self.original_sizes),
+            "shrunk_sizes": list(self.shrunk_sizes),
+            "reproducer": self.reproducer,
+            "detail": self.detail,
+        }
+
+
+def _oracle_fails(
+    oracle: Callable[[Case], None], case: Case
+) -> str | None:
+    """The failure message if ``oracle`` rejects ``case``, else None."""
+    try:
+        oracle(case)
+    except Exception as error:
+        return f"{type(error).__name__}: {error}"
+    return None
+
+
+def _investigate(
+    name: str,
+    oracle: Callable[[Case], None],
+    case: Case,
+    message: str,
+    max_shrink_checks: int,
+) -> Finding:
+    """Shrink a failing case and confirm the minimized reproducer."""
+
+    def still_fails(candidate: Case) -> bool:
+        return _oracle_fails(oracle, candidate) is not None
+
+    shrunk_case, checks = shrink_case(
+        case, still_fails, max_checks=max_shrink_checks
+    )
+    final_message = _oracle_fails(oracle, shrunk_case)
+    if final_message is None:
+        # Shrinking must never lose the bug; fall back to the original.
+        shrunk_case, final_message = case, message
+    return Finding(
+        oracle=name,
+        case_seed=case.seed,
+        message=final_message,
+        reproducer={"oracle": name, "case": shrunk_case.to_dict()},
+        shrunk=len(shrunk_case.ancestors) + len(shrunk_case.descendants)
+        < len(case.ancestors) + len(case.descendants),
+        shrink_checks=checks,
+        confirmed=_oracle_fails(oracle, shrunk_case) is not None,
+        original_sizes=(len(case.ancestors), len(case.descendants)),
+        shrunk_sizes=(len(shrunk_case.ancestors), len(shrunk_case.descendants)),
+    )
+
+
+def run_qa(
+    budget_s: float,
+    seed: int,
+    oracles: Mapping[str, Callable[[Case], None]] | None = None,
+    run_gates: bool = True,
+    max_nodes: int = QA_MAX_NODES,
+    max_shrink_checks: int = 250,
+    min_cases: int = 1,
+) -> dict[str, Any]:
+    """Run the qa campaign and return the JSON-ready report dict.
+
+    Per-oracle deduplication: once an oracle has produced a finding it is
+    retired for the rest of the campaign, so a systematic bug yields one
+    minimized reproducer instead of drowning the report.
+    """
+    oracles = dict(ORACLES if oracles is None else oracles)
+    started = time.monotonic()
+    deadline = started + budget_s
+
+    gates = run_statistical_gates() if run_gates else []
+    gate_failures = [g for g in gates if not g.passed]
+
+    findings: list[Finding] = []
+    active = dict(oracles)
+    oracle_runs = {name: 0 for name in oracles}
+    cases_run = 0
+    while active and (
+        cases_run < min_cases or time.monotonic() < deadline
+    ):
+        case_seed = seed + cases_run
+        try:
+            case = random_case(case_seed, max_nodes=max_nodes)
+        except Exception:
+            # A generator crash is itself a finding, not a skip.
+            findings.append(
+                Finding(
+                    oracle="generator",
+                    case_seed=case_seed,
+                    message=traceback.format_exc(limit=3),
+                    reproducer={"oracle": "generator", "seed": case_seed},
+                    confirmed=True,
+                )
+            )
+            break
+        cases_run += 1
+        for name in list(active):
+            oracle = active[name]
+            message = _oracle_fails(oracle, case)
+            oracle_runs[name] += 1
+            if message is None:
+                continue
+            findings.append(
+                _investigate(name, oracle, case, message, max_shrink_checks)
+            )
+            del active[name]
+        if time.monotonic() >= deadline and cases_run >= min_cases:
+            break
+
+    confirmed = sum(1 for f in findings if f.confirmed) + len(gate_failures)
+    return {
+        "schema_version": QA_REPORT_SCHEMA_VERSION,
+        "seed": seed,
+        "budget_s": budget_s,
+        "elapsed_s": round(time.monotonic() - started, 3),
+        "cases_run": cases_run,
+        "oracle_runs": oracle_runs,
+        "confirmed_findings": confirmed,
+        "findings": [f.to_dict() for f in findings],
+        "gates": [g.to_dict() for g in gates],
+    }
+
+
+def replay(
+    reproducer: Mapping[str, Any],
+    oracles: Mapping[str, Callable[[Case], None]] | None = None,
+) -> str | None:
+    """Re-run a reproducer block; the failure message, or None if clean.
+
+    Accepts either a single ``findings[*].reproducer`` block or a whole
+    qa report (in which case every finding is replayed and the first
+    failure message is returned).
+    """
+    oracles = dict(ORACLES if oracles is None else oracles)
+    if "findings" in reproducer:
+        for finding in reproducer["findings"]:
+            message = replay(finding["reproducer"], oracles)
+            if message is not None:
+                return message
+        return None
+    name = reproducer["oracle"]
+    if name == "generator":
+        try:
+            random_case(int(reproducer["seed"]))
+        except Exception as error:
+            return f"{type(error).__name__}: {error}"
+        return None
+    if name not in oracles:
+        raise KeyError(f"unknown oracle {name!r} in reproducer")
+    case = Case.from_dict(reproducer["case"])
+    return _oracle_fails(oracles[name], case)
+
+
+def replay_file(path: str) -> str | None:
+    with open(path, encoding="utf-8") as handle:
+        return replay(json.load(handle))

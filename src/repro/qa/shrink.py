@@ -1,0 +1,116 @@
+"""Greedy delta-debugging shrinker for failing qa cases.
+
+Given a case that makes an oracle fail, the shrinker searches for a
+smaller case that still fails, by deleting runs of elements from each
+operand (largest chunks first, ddmin-style) and re-running the oracle's
+predicate.  Subsets of a strictly nested element family stay valid, so
+every candidate is a legal input by construction.
+
+The shrinker is deterministic and bounded: it stops after
+``max_checks`` predicate evaluations or when no single deletion
+reproduces the failure, whichever comes first, and returns the smallest
+failing case seen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.element import Element
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.qa.generators import Case
+
+#: A predicate that returns True while the case still FAILS the oracle.
+FailPredicate = Callable[[Case], bool]
+
+
+def _rebuild(case: Case, a: Sequence[Element], d: Sequence[Element]) -> Case:
+    ancestors = NodeSet(a, name=case.ancestors.name, validate=False)
+    descendants = NodeSet(d, name=case.descendants.name, validate=False)
+    lo = min(int(ancestors.starts[0]), int(descendants.starts[0]))
+    hi = max(
+        int(ancestors.sorted_ends[-1]), int(descendants.sorted_ends[-1])
+    )
+    workspace = Workspace(
+        min(case.workspace.lo, lo), max(case.workspace.hi, hi)
+    )
+    return Case(
+        seed=case.seed,
+        ancestors=ancestors,
+        descendants=descendants,
+        workspace=workspace,
+        elements=case.elements,
+        meta=dict(case.meta),
+    )
+
+
+def shrink_case(
+    case: Case,
+    still_fails: FailPredicate,
+    max_checks: int = 250,
+) -> tuple[Case, int]:
+    """The smallest failing variant found, plus predicate evaluations.
+
+    ``still_fails`` must treat *any* exception it raises internally as
+    part of the failure it is checking for (the runner wraps oracles so
+    a crash counts as a failure); the shrinker itself never interprets
+    the case, it only deletes elements.
+    """
+    checks = 0
+
+    def fails(candidate: Case) -> bool:
+        nonlocal checks
+        checks += 1
+        try:
+            return still_fails(candidate)
+        except Exception:
+            # A predicate that itself crashes on the reduced case is
+            # treated as "does not reproduce" — conservative: we only
+            # keep reductions that provably show the original failure.
+            return False
+
+    def reduce_operand(current: Case, role: str) -> Case:
+        nonlocal checks
+        while True:
+            elements = list(
+                current.ancestors.elements
+                if role == "A"
+                else current.descendants.elements
+            )
+            if len(elements) <= 1:
+                return current
+            chunk = max(1, len(elements) // 2)
+            shrunk = False
+            while chunk >= 1 and not shrunk:
+                for start in range(0, len(elements), chunk):
+                    if checks >= max_checks:
+                        return current
+                    kept = elements[:start] + elements[start + chunk:]
+                    if not kept:
+                        continue
+                    candidate = (
+                        _rebuild(current, kept, current.descendants.elements)
+                        if role == "A"
+                        else _rebuild(
+                            current, current.ancestors.elements, kept
+                        )
+                    )
+                    if fails(candidate):
+                        current = candidate
+                        shrunk = True
+                        break
+                else:
+                    chunk //= 2
+            if not shrunk:
+                return current
+
+    smallest = case
+    # Alternate operands until a full round removes nothing.
+    while checks < max_checks:
+        before = (len(smallest.ancestors), len(smallest.descendants))
+        smallest = reduce_operand(smallest, "A")
+        smallest = reduce_operand(smallest, "D")
+        if (len(smallest.ancestors), len(smallest.descendants)) == before:
+            break
+    return smallest, checks

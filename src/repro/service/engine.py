@@ -91,6 +91,9 @@ class CircuitBreaker:
     deadline-carrying request whose remaining budget is below the
     predicted latency degrades immediately instead of starting work it
     cannot finish in time.
+
+    ``clock`` is the monotonic time source; tests inject a fake to
+    drive the open/half-open transitions without real sleeps.
     """
 
     __slots__ = (
@@ -102,6 +105,7 @@ class CircuitBreaker:
         "_opened_at",
         "_half_open_probe",
         "ewma_s",
+        "_clock",
     )
 
     def __init__(
@@ -109,10 +113,12 @@ class CircuitBreaker:
         threshold: int = 5,
         cooloff_s: float = 1.0,
         alpha: float = 0.3,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.threshold = threshold
         self.cooloff_s = cooloff_s
         self.alpha = alpha
+        self._clock = clock
         self._lock = threading.Lock()
         self._consecutive = 0
         self._opened_at: float | None = None
@@ -124,7 +130,7 @@ class CircuitBreaker:
         with self._lock:
             if self._opened_at is None:
                 return "closed"
-            if time.monotonic() - self._opened_at >= self.cooloff_s:
+            if self._clock() - self._opened_at >= self.cooloff_s:
                 return "half-open"
             return "open"
 
@@ -138,7 +144,7 @@ class CircuitBreaker:
         with self._lock:
             if self._opened_at is None:
                 return True
-            if time.monotonic() - self._opened_at < self.cooloff_s:
+            if self._clock() - self._opened_at < self.cooloff_s:
                 return False
             if self._half_open_probe:
                 return False
@@ -163,7 +169,7 @@ class CircuitBreaker:
             else:
                 self._consecutive += 1
                 if self._consecutive >= self.threshold:
-                    self._opened_at = time.monotonic()
+                    self._opened_at = self._clock()
 
 
 class EstimationService:
@@ -213,7 +219,9 @@ class EstimationService:
         breaker_threshold: int = 5,
         breaker_cooloff_s: float = 1.0,
         estimator_factory: Callable[..., Estimator] | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
+        self._clock = clock
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
         if max_batch < 1:
@@ -339,7 +347,7 @@ class EstimationService:
                 deadline_s=deadline_s,
                 request_id=request_id,
             )
-        now = time.monotonic()
+        now = self._clock()
         future = ServiceFuture(
             request, enqueued_at=now, cond=self._resolution
         )
@@ -495,7 +503,7 @@ class EstimationService:
                         future.fail(error)
 
     def _execute_batch(self, batch: list[ServiceFuture]) -> None:
-        started_at = time.monotonic()
+        started_at = self._clock()
         self._m_batches.inc()
         self._m_batch_size.observe(float(len(batch)))
         self._m_queue_depth.observe(float(len(self._queue)))
@@ -596,10 +604,10 @@ class EstimationService:
                 self._resolve_degraded(
                     future, "error", started_at, batch_size
                 )
-            breaker.record(time.monotonic() - started_at, ok=False)
+            breaker.record(self._clock() - started_at, ok=False)
             return
 
-        run_start = time.monotonic()
+        run_start = self._clock()
         results: list[Estimate] | None = None
         if len(futures) > 1 and SamplingEstimator.batchable(estimators):
             try:
@@ -612,7 +620,7 @@ class EstimationService:
             except Exception:
                 results = None  # fall through to sequential
         if results is not None:
-            elapsed = time.monotonic() - run_start
+            elapsed = self._clock() - run_start
             per_request = elapsed / len(futures)
             for future, estimate in zip(futures, results):
                 self._finish_ok(
@@ -623,7 +631,7 @@ class EstimationService:
 
         for future, estimator in zip(futures, estimators):
             request = future.request
-            one_start = time.monotonic()
+            one_start = self._clock()
             try:
                 estimate = estimator.estimate(
                     request.ancestors,
@@ -635,9 +643,9 @@ class EstimationService:
                 self._resolve_degraded(
                     future, "error", started_at, batch_size
                 )
-                breaker.record(time.monotonic() - one_start, ok=False)
+                breaker.record(self._clock() - one_start, ok=False)
                 continue
-            elapsed = time.monotonic() - one_start
+            elapsed = self._clock() - one_start
             self._finish_ok(
                 future, estimate, started_at, batch_size, elapsed
             )
@@ -705,7 +713,7 @@ class EstimationService:
     def _missed(self, future: ServiceFuture) -> bool:
         return (
             future.deadline_at is not None
-            and time.monotonic() > future.deadline_at
+            and self._clock() > future.deadline_at
         )
 
     def _resolve_degraded(
@@ -744,7 +752,7 @@ class EstimationService:
             deadline_missed=self._missed(future),
             degraded_reason=reason,
             batch_size=1,
-            started_at=time.monotonic(),
+            started_at=self._clock(),
         )
         self._requeue_followers(future, reason)
 
@@ -760,7 +768,7 @@ class EstimationService:
         batch_size: int,
         started_at: float,
     ) -> None:
-        now = time.monotonic()
+        now = self._clock()
         wait_s = max(0.0, started_at - future.enqueued_at)
         service_s = max(0.0, now - future.enqueued_at)
         self._m_responses.inc()
@@ -839,6 +847,7 @@ class EstimationService:
                 breaker = self._breakers[method] = CircuitBreaker(
                     threshold=self._breaker_threshold,
                     cooloff_s=self._breaker_cooloff_s,
+                    clock=self._clock,
                 )
             return breaker
 

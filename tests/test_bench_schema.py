@@ -1,0 +1,98 @@
+"""Bench-report schema: checked-in artifacts and drift detection."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.qa.bench_schema import (
+    BenchSchemaError,
+    schema_kind_for_path,
+    validate_bench_file,
+    validate_bench_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILES = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+class TestCheckedInArtifacts:
+    def test_artifacts_exist(self):
+        assert {p.name for p in BENCH_FILES} == {
+            "BENCH_kernels.json",
+            "BENCH_sampling.json",
+            "BENCH_service.json",
+        }
+
+    @pytest.mark.parametrize(
+        "path", BENCH_FILES, ids=[p.name for p in BENCH_FILES]
+    )
+    def test_checked_in_report_matches_schema(self, path):
+        kind = validate_bench_file(path)
+        assert kind == path.stem[len("BENCH_"):]
+
+
+class TestKindDetection:
+    def test_kind_from_any_directory(self, tmp_path):
+        assert (
+            schema_kind_for_path(tmp_path / "BENCH_sampling.json")
+            == "sampling"
+        )
+
+    def test_non_bench_name_rejected(self):
+        with pytest.raises(BenchSchemaError):
+            schema_kind_for_path("results.json")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(BenchSchemaError, match="unknown bench report"):
+            schema_kind_for_path("BENCH_mystery.json")
+
+    def test_unknown_kind_in_validate(self):
+        with pytest.raises(BenchSchemaError):
+            validate_bench_report({}, "mystery")
+
+
+class TestDriftDetection:
+    """Mutations of the real artifacts must fail validation."""
+
+    @pytest.fixture()
+    def sampling(self):
+        return json.loads(
+            (REPO_ROOT / "BENCH_sampling.json").read_text()
+        )
+
+    def test_missing_required_key(self, sampling):
+        del sampling["identical"]
+        with pytest.raises(BenchSchemaError, match="identical"):
+            validate_bench_report(sampling, "sampling")
+
+    def test_wrong_type(self, sampling):
+        sampling["speedup"] = "fast"
+        with pytest.raises(BenchSchemaError, match="speedup"):
+            validate_bench_report(sampling, "sampling")
+
+    def test_bool_is_not_a_number(self, sampling):
+        sampling["speedup"] = True
+        with pytest.raises(BenchSchemaError, match="speedup"):
+            validate_bench_report(sampling, "sampling")
+
+    def test_nested_backend_shape_enforced(self, sampling):
+        first = next(iter(sampling["backends"]))
+        del sampling["backends"][first]["trials"]
+        with pytest.raises(BenchSchemaError, match="trials"):
+            validate_bench_report(sampling, "sampling")
+
+    def test_unknown_extra_key_is_allowed(self, sampling):
+        sampling["future_section"] = {"anything": 1}
+        validate_bench_report(sampling, "sampling")
+
+    def test_kernels_service_section_optional(self):
+        kernels = json.loads(
+            (REPO_ROOT / "BENCH_kernels.json").read_text()
+        )
+        kernels.pop("service", None)
+        validate_bench_report(kernels, "kernels")
+        kernels["parallel"] = None  # --skip-parallel writes null
+        validate_bench_report(kernels, "kernels")

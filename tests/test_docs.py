@@ -94,7 +94,8 @@ class TestReadme:
         readme = (ROOT / "README.md").read_text()
         for command in re.findall(r"python -m repro ([\w-]+)", readme):
             assert (
-                command in _COMMANDS or command in ("all", "obs-report")
+                command in _COMMANDS
+                or command in ("all", "obs-report", "qa")
             ), command
 
     def test_api_doc_present_and_linked(self):

@@ -62,19 +62,41 @@ class _FailingFactory:
         return make_estimator(method, **config)
 
 
-class _SlowFactory:
-    """Wraps real estimators with a fixed pre-estimate sleep."""
+class _FakeClock:
+    """Injectable monotonic clock advanced explicitly by the test."""
 
-    def __init__(self, delay_s: float):
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class _SlowFactory:
+    """Wraps real estimators with a fixed pre-estimate delay.
+
+    The delay advances the injected fake clock when one is given
+    (deterministic under any CI load); otherwise it really sleeps.
+    """
+
+    def __init__(self, delay_s: float, clock: _FakeClock | None = None):
         self.delay_s = delay_s
+        self.clock = clock
 
     def __call__(self, method, **config):
         inner = make_estimator(method, **config)
         delay_s = self.delay_s
+        clock = self.clock
 
         class Slow:
             def estimate(self, a, d, workspace=None):
-                time.sleep(delay_s)
+                if clock is not None:
+                    clock.advance(delay_s)
+                else:
+                    time.sleep(delay_s)
                 return inner.estimate(a, d, workspace)
 
         return Slow()
@@ -300,12 +322,13 @@ class TestDegradation:
         assert response.estimate.details["degraded_from"] == "IM"
 
     def test_expired_deadline_degrades_without_running(self, figure1_tree):
-        with EstimationService(workers=0) as service:
+        clock = _FakeClock()
+        with EstimationService(workers=0, clock=clock) as service:
             future = service.submit(
                 *figure1_tree, "IM", num_samples=10, seed=3,
                 deadline_s=0.001,
             )
-            time.sleep(0.01)  # deadline passes while queued
+            clock.advance(0.01)  # deadline passes while queued
             service.help_drain((future,))
             response = future.result(timeout=30.0)
         assert response.status == "degraded"
@@ -319,11 +342,14 @@ class TestDegradation:
         )
         a = xmark_small.node_set("item")
         d = xmark_small.node_set("name")
-        with EstimationService(workers=0, catalog=catalog) as service:
+        clock = _FakeClock()
+        with EstimationService(
+            workers=0, catalog=catalog, clock=clock
+        ) as service:
             future = service.submit(
                 a, d, "IM", num_samples=10, seed=3, deadline_s=0.001
             )
-            time.sleep(0.01)
+            clock.advance(0.01)
             service.help_drain((future,))
             response = future.result(timeout=30.0)
         assert response.status == "degraded"
@@ -340,20 +366,26 @@ class TestDegradation:
         a = xmark_small.node_set("item")
         d = xmark_small.node_set("name")
         filtered = NodeSet(list(d)[: len(d) // 2], name=d.name)
-        with EstimationService(workers=0, catalog=catalog) as service:
+        clock = _FakeClock()
+        with EstimationService(
+            workers=0, catalog=catalog, clock=clock
+        ) as service:
             future = service.submit(
                 a, filtered, "IM", num_samples=10, seed=3,
                 deadline_s=0.001,
             )
-            time.sleep(0.01)
+            clock.advance(0.01)
             service.help_drain((future,))
             response = future.result(timeout=30.0)
         # Whole-tag statistics must not answer for a filtered subset.
         assert response.ladder_name == "bound"
 
     def test_predicted_latency_degrades_upfront(self, figure1_tree):
+        clock = _FakeClock()
         with EstimationService(
-            workers=0, estimator_factory=_SlowFactory(0.05)
+            workers=0,
+            estimator_factory=_SlowFactory(0.05, clock=clock),
+            clock=clock,
         ) as service:
             # Teach the breaker's EWMA that this method is slow.
             warm = service.estimate(*figure1_tree, "IM", num_samples=10,
@@ -440,10 +472,11 @@ class TestCircuitBreaker:
         assert not breaker.allow()
 
     def test_half_open_admits_single_probe(self):
-        breaker = CircuitBreaker(threshold=1, cooloff_s=0.01)
+        clock = _FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooloff_s=0.01, clock=clock)
         breaker.record(0.01, ok=False)
         assert breaker.state == "open"
-        time.sleep(0.02)
+        clock.advance(0.02)
         assert breaker.state == "half-open"
         assert breaker.allow()       # the probe
         assert not breaker.allow()   # everyone else keeps waiting
@@ -481,6 +514,37 @@ class TestCircuitBreaker:
         # The factory recovered, but the breaker short-circuited before
         # construction: only the two tripping calls ever reached it.
         assert factory.calls == 2
+
+
+@pytest.mark.slow
+class TestRealClockIntegration:
+    """Wall-clock twins of the fake-clock tests above.
+
+    Excluded from tier-1 (``-m "not slow"``); the nightly job runs them
+    to confirm the injected-clock behavior matches real time.
+    """
+
+    def test_expired_deadline_real_clock(self, figure1_tree):
+        with EstimationService(workers=0) as service:
+            future = service.submit(
+                *figure1_tree, "IM", num_samples=10, seed=3,
+                deadline_s=0.001,
+            )
+            time.sleep(0.05)
+            service.help_drain((future,))
+            response = future.result(timeout=30.0)
+        assert response.status == "degraded"
+        assert response.degraded_reason == "deadline"
+        assert response.deadline_missed
+
+    def test_half_open_real_clock(self):
+        breaker = CircuitBreaker(threshold=1, cooloff_s=0.02)
+        breaker.record(0.01, ok=False)
+        assert breaker.state == "open"
+        time.sleep(0.05)
+        assert breaker.state == "half-open"
+        assert breaker.allow()
+        assert not breaker.allow()
 
 
 class TestResponseWireFormat:
