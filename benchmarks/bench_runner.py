@@ -28,7 +28,10 @@ retained reference implementations and writes ``BENCH_kernels.json``:
   trace (:mod:`repro.service.bench`): micro-batched + memoized
   throughput versus sequential ``repro.api.estimate`` (identity-gated),
   plus the deadline and stress phases exercising the degradation
-  ladder.  Written standalone as ``BENCH_service.json``; the
+  ladder, and the sharding phase (``processes=K`` scatter/gather over
+  the shared-memory worker pool versus one process, identity- and
+  leak-gated; ``--min-shard-speedup`` gates the speedup on multi-core
+  hosts).  Written standalone as ``BENCH_service.json``; the
   ``--min-service-speedup`` / ``--max-p99-ms`` /
   ``--max-deadline-miss-rate`` gates fail the run when the service
   regresses.  ``--only-service`` runs just this phase (the CI
@@ -76,7 +79,9 @@ from repro import obs  # noqa: E402
 from repro import perf  # noqa: E402
 from repro.estimators.ph_histogram import cell_histogram  # noqa: E402
 from repro.estimators.pl_histogram import PLHistogram  # noqa: E402
-from repro.estimators.coverage_histogram import merged_intervals  # noqa: E402
+from repro.estimators.coverage_histogram import (  # noqa: E402
+    merged_interval_bounds,
+)
 from repro.experiments.data import get_dataset  # noqa: E402
 from repro.experiments.histograms import (  # noqa: E402
     BUCKET_SWEEP,
@@ -84,7 +89,7 @@ from repro.experiments.histograms import (  # noqa: E402
 )
 from repro.models.position import (  # noqa: E402
     covering_table,
-    turning_points,
+    turning_point_arrays,
 )
 from repro.perf.cache import SummaryCache  # noqa: E402
 from repro.qa.bench_schema import validate_bench_report  # noqa: E402
@@ -143,8 +148,12 @@ def bench_kernels(dataset, repeats: int) -> dict[str, dict[str, float]]:
         "covering_table", lambda: covering_table(intervals, workspace),
         repeats,
     )
+    # The turning-point and interval-merge kernels are timed in the
+    # array form the hot paths consume (T-tree probe arrays, the cached
+    # COV summary); the reference side of each pair runs the loop of
+    # record plus the tuple-to-array conversion the old consumers paid.
     results["turning_points"] = _timed_pair(
-        "turning_points", lambda: turning_points(intervals), repeats
+        "turning_points", lambda: turning_point_arrays(intervals), repeats
     )
     results["pl_build_ancestor"] = _timed_pair(
         "pl_build_ancestor",
@@ -156,7 +165,9 @@ def bench_kernels(dataset, repeats: int) -> dict[str, dict[str, float]]:
         lambda: cell_histogram(intervals, workspace, 7), repeats
     )
     results["merged_intervals"] = _timed_pair(
-        "merged_intervals", lambda: merged_intervals(intervals), repeats
+        "merged_intervals",
+        lambda: merged_interval_bounds(intervals),
+        repeats,
     )
     return results
 
@@ -453,6 +464,9 @@ def bench_service() -> dict:
     _record(
         "service.deadline_p99_s", report["deadline"]["latency_p99_s"]
     )
+    sharding = report["sharding"]
+    _record("service.sharding_baseline_s", sharding["baseline_seconds"])
+    _record("service.sharding_sharded_s", sharding["sharded_seconds"])
     return report
 
 
@@ -517,6 +531,38 @@ def _check_service(report: dict, args) -> int:
             file=sys.stderr,
         )
         return 1
+    sharding = report["sharding"]
+    if not sharding["identical"]:
+        print(
+            "FAIL: sharded service responses differ from the "
+            f"single-process run: {sharding['mismatches']}",
+            file=sys.stderr,
+        )
+        return 1
+    if sharding["leaked_segments"]:
+        print(
+            "FAIL: shared-memory segments leaked after service "
+            f"shutdown: {sharding['leaked_segments']}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_shard_speedup is not None:
+        # Genuine process parallelism needs a second core; a single-CPU
+        # host reports its honest ~1x and waives the gate (the identity
+        # and leak gates above still apply there).
+        if sharding["cpu_count"] < 2:
+            print(
+                "  (shard speedup gate waived: "
+                f"{sharding['cpu_count']} cpu)"
+            )
+        elif sharding["speedup"] < args.min_shard_speedup:
+            print(
+                f"FAIL: sharded service speedup "
+                f"{sharding['speedup']:.2f}x below required "
+                f"{args.min_shard_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -582,6 +628,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="fail if the deadline phase's p99 latency exceeds this "
         "many milliseconds",
+    )
+    parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=None,
+        help="fail unless the processes=K sharded service beats the "
+        "single-process service by this factor (auto-waived on "
+        "single-CPU hosts; the identity and leak gates still apply)",
     )
     parser.add_argument(
         "--max-deadline-miss-rate",

@@ -61,7 +61,7 @@ from repro.api import (
     serve,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Element",

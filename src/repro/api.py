@@ -151,6 +151,7 @@ def build_catalog(
     seed: SeedLike = None,
     tags: list[str] | None = None,
     cache: SummaryCache | None = None,
+    num_shards: int = 1,
 ) -> StatisticsCatalog:
     """Build a per-tag statistics catalog for plan-time estimation.
 
@@ -166,6 +167,9 @@ def build_catalog(
         seed: RNG seed for sample mode.
         tags: restrict the catalog to these tags.
         cache: summary cache consulted for the per-tag builds.
+        num_shards: build histogram entries as ``num_shards`` per-shard
+            builds merged bucket-wise (see :mod:`repro.shard`); bucket
+            counts stay bit-exact versus the unsharded build.
 
     The result answers ``catalog.estimate_join(a_tag, d_tag)`` with no
     base-data access.
@@ -181,4 +185,5 @@ def build_catalog(
         seed=seed,
         tags=tags,
         cache=cache,
+        num_shards=num_shards,
     )

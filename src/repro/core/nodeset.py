@@ -49,10 +49,58 @@ class NodeSet:
         validate: bool = True,
     ) -> None:
         items = sorted(elements, key=lambda e: e.start)
-        self._elements: tuple[Element, ...] = tuple(items)
+        self._elements: tuple[Element, ...] | None = tuple(items)
         self._name = name
         if validate:
             self._validate()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        name: str | None = None,
+        fingerprint: str | None = None,
+    ) -> "NodeSet":
+        """Construct directly from aligned start/end code arrays.
+
+        The arrays must already be start-sorted and satisfy the region
+        invariants (the intended callers — shard partitioning, shared-
+        memory attach — slice them out of an already validated set).
+        Elements are materialized lazily, only if something iterates the
+        set; the numpy views every kernel uses are the arrays themselves
+        (shared, not copied — read-only views stay read-only).  Passing
+        the precomputed ``fingerprint`` keeps cache keys content-stable
+        without re-hashing in every worker process.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        if starts.shape != ends.shape or starts.ndim != 1:
+            raise InvalidRegionCodeError(
+                f"start/end arrays must be aligned 1-D, got "
+                f"{starts.shape} and {ends.shape}"
+            )
+        self = cls.__new__(cls)
+        self._elements = None
+        self._name = name
+        self.__dict__["starts"] = starts
+        self.__dict__["ends"] = ends
+        if fingerprint is not None:
+            self.__dict__["fingerprint"] = fingerprint
+        return self
+
+    def _materialize(self) -> tuple[Element, ...]:
+        """Build the element tuple of an array-backed set on demand."""
+        tag = self._name if self._name is not None else "node"
+        elements = tuple(
+            Element(tag=tag, start=int(start), end=int(end))
+            for start, end in zip(
+                self.__dict__["starts"].tolist(),
+                self.__dict__["ends"].tolist(),
+            )
+        )
+        self._elements = elements
+        return elements
 
     def _validate(self) -> None:
         seen: set[int] = set()
@@ -89,27 +137,31 @@ class NodeSet:
     @property
     def elements(self) -> tuple[Element, ...]:
         """The elements, sorted by start position."""
-        return self._elements
+        elements = self._elements
+        return elements if elements is not None else self._materialize()
 
     def __len__(self) -> int:
-        return len(self._elements)
+        elements = self._elements
+        if elements is not None:
+            return len(elements)
+        return int(self.__dict__["starts"].shape[0])
 
     def __iter__(self) -> Iterator[Element]:
-        return iter(self._elements)
+        return iter(self.elements)
 
     def __getitem__(self, index: int) -> Element:
-        return self._elements[index]
+        return self.elements[index]
 
     def __bool__(self) -> bool:
-        return bool(self._elements)
+        return len(self) > 0
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, NodeSet):
             return NotImplemented
-        return self._elements == other._elements
+        return self.elements == other.elements
 
     def __hash__(self) -> int:
-        return hash(self._elements)
+        return hash(self.elements)
 
     def __repr__(self) -> str:
         return f"NodeSet(name={self.name!r}, size={len(self)})"
@@ -163,7 +215,7 @@ class NodeSet:
 
     def workspace(self) -> Workspace:
         """The workspace spanned by this set alone, ``[min start, max end]``."""
-        if not self._elements:
+        if len(self) == 0:
             raise EmptyNodeSetError(
                 f"node set {self.name!r} is empty; it has no workspace"
             )
@@ -194,7 +246,7 @@ class NodeSet:
         depth = 0
         best = 0
         open_ends: list[int] = []
-        for element in self._elements:
+        for element in self.elements:
             while open_ends and open_ends[-1] < element.start:
                 open_ends.pop()
             open_ends.append(element.end)
@@ -210,7 +262,7 @@ class NodeSet:
     @cached_property
     def average_length(self) -> float:
         """Mean region length, 0.0 for an empty set."""
-        if not self._elements:
+        if len(self) == 0:
             return 0.0
         return float(self.lengths.mean())
 
@@ -223,7 +275,7 @@ class NodeSet:
         covered = 0
         current_end: int | None = None
         current_start = 0
-        for element in self._elements:
+        for element in self.elements:
             if current_end is None or element.start > current_end:
                 if current_end is not None:
                     covered += current_end - current_start
@@ -273,7 +325,7 @@ class NodeSet:
         """Members entirely contained in ``workspace`` (new node set)."""
         kept = [
             e
-            for e in self._elements
+            for e in self.elements
             if workspace.contains(e.start) and workspace.contains(e.end)
         ]
         return NodeSet(kept, name=self._name, validate=False)
@@ -286,7 +338,8 @@ class NodeSet:
                 f"{len(self)}"
             )
         indices = rng.choice(len(self), size=count, replace=False)
-        return [self._elements[int(i)] for i in indices]
+        elements = self.elements
+        return [elements[int(i)] for i in indices]
 
     @classmethod
     def merge(cls, sets: Sequence["NodeSet"], name: str | None = None) -> "NodeSet":

@@ -37,7 +37,7 @@ from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate
 from repro.estimators.sampling_base import SamplingEstimator
 from repro.index.stab import StabbingCounter, start_membership_many
-from repro.models.position import turning_points
+from repro.models.position import turning_point_arrays
 from repro.obs import runtime as _obs
 from repro.perf import IndexCache, resolve_index_cache
 
@@ -50,14 +50,19 @@ def dense_runs(
     Consecutive turning-point segments at or above the threshold are
     reported per segment (the value is constant within each).
     """
-    runs: list[tuple[int, int, int]] = []
-    points = turning_points(ancestors)
-    for (position, value), (next_position, __) in zip(points, points[1:]):
-        if value >= threshold:
-            runs.append((position, next_position - 1, value))
+    positions, values = turning_point_arrays(ancestors)
+    if positions.shape[0] < 2:
+        return []
     # The final turning point always has value 0 (all regions closed), so
     # it never opens a run.
-    return runs
+    dense = values[:-1] >= threshold
+    return list(
+        zip(
+            positions[:-1][dense].tolist(),
+            (positions[1:][dense] - 1).tolist(),
+            values[:-1][dense].tolist(),
+        )
+    )
 
 
 class BifocalEstimator(SamplingEstimator):

@@ -50,18 +50,24 @@ def merged_intervals_reference(node_set: NodeSet) -> list[tuple[int, int]]:
     return merged
 
 
-def merged_intervals(node_set: NodeSet) -> list[tuple[int, int]]:
-    """Union of the set's regions as disjoint, sorted intervals.
+def merged_interval_bounds(node_set: NodeSet) -> np.ndarray:
+    """Union of the set's regions as a disjoint, sorted ``(M, 2)`` array.
 
-    Vectorized: a running maximum over the (start-sorted) end codes finds
-    the union components — a new component begins wherever a start code
-    exceeds every previous end.
+    The array-native kernel behind :func:`merged_intervals`: a running
+    maximum over the (start-sorted) end codes finds the union components
+    — a new component begins wherever a start code exceeds every
+    previous end — and the bounds come back as one ``column_stack``
+    instead of a Python tuple list.  Every hot path (the cached COV
+    summary, the shard merge layer) consumes this form directly; the
+    tuple-list API below survives for compatibility and the reference
+    parity suite.
     """
     if perf.reference_kernels_enabled():
-        return merged_intervals_reference(node_set)
+        merged = merged_intervals_reference(node_set)
+        return np.array(merged, dtype=np.int64).reshape(-1, 2)
     size = len(node_set)
     if size == 0:
-        return []
+        return np.empty((0, 2), dtype=np.int64)
     starts = node_set.starts
     reach = np.maximum.accumulate(node_set.ends)
     fresh = np.empty(size, dtype=bool)
@@ -69,9 +75,20 @@ def merged_intervals(node_set: NodeSet) -> list[tuple[int, int]]:
     fresh[1:] = starts[1:] > reach[:-1]
     heads = np.flatnonzero(fresh)
     tails = np.append(heads[1:] - 1, size - 1)
-    return list(
-        zip(starts[heads].tolist(), reach[tails].tolist())
-    )
+    return np.column_stack((starts[heads], reach[tails]))
+
+
+def merged_intervals(node_set: NodeSet) -> list[tuple[int, int]]:
+    """Union of the set's regions as disjoint, sorted interval tuples.
+
+    Thin tuple-list adapter over :func:`merged_interval_bounds` (the
+    per-interval Python materialization is the only cost here — pass
+    the array form to anything that can take it).
+    """
+    if perf.reference_kernels_enabled():
+        return merged_intervals_reference(node_set)
+    bounds = merged_interval_bounds(node_set)
+    return list(zip(bounds[:, 0].tolist(), bounds[:, 1].tolist()))
 
 
 def bucket_coverage_reference(
@@ -130,9 +147,7 @@ def merged_intervals_cached(
 ) -> np.ndarray:
     """Merged-interval array ``(M, 2)`` through the summary cache."""
     cache = resolve_cache(cache)
-    build = lambda: np.asarray(  # noqa: E731
-        merged_intervals(node_set), dtype=np.int64
-    ).reshape(-1, 2)
+    build = lambda: merged_interval_bounds(node_set)  # noqa: E731
     if cache is None:
         return build()
     return cache.get_or_build(

@@ -15,7 +15,7 @@ import numpy as np
 from repro import perf
 from repro.core.nodeset import NodeSet
 from repro.index.bplus import DEFAULT_ORDER, BPlusTree
-from repro.models.position import turning_points
+from repro.models.position import turning_point_arrays
 
 
 class TTree:
@@ -29,14 +29,15 @@ class TTree:
     """
 
     def __init__(self, node_set: NodeSet, order: int = DEFAULT_ORDER) -> None:
-        points = turning_points(node_set)
-        self._tree = BPlusTree.bulk_load(points, order=order)
-        self._first_key = points[0][0] if points else None
         # Flat sorted views of the turning points for batched probes: a
         # floor lookup over the B+-tree and a searchsorted over these
         # arrays answer the same query.
-        self._point_keys = np.array([k for k, _ in points], dtype=np.int64)
-        self._point_values = np.array([v for _, v in points], dtype=np.int64)
+        keys, values = turning_point_arrays(node_set)
+        self._point_keys = keys
+        self._point_values = values
+        points = list(zip(keys.tolist(), values.tolist()))
+        self._tree = BPlusTree.bulk_load(points, order=order)
+        self._first_key = points[0][0] if points else None
 
     @property
     def turning_point_count(self) -> int:

@@ -23,6 +23,7 @@ from repro.models.position import (
     covering_table,
     inner_product_size,
     start_table,
+    turning_point_arrays,
     turning_points,
 )
 
@@ -34,5 +35,6 @@ __all__ = [
     "prepare_intervals",
     "stabbing_pairs_count",
     "start_table",
+    "turning_point_arrays",
     "turning_points",
 ]

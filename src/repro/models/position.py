@@ -116,6 +116,50 @@ def turning_points_reference(node_set: NodeSet) -> list[tuple[int, int]]:
     return points
 
 
+def turning_point_arrays(node_set: NodeSet) -> tuple[np.ndarray, np.ndarray]:
+    """The sparse encoding of ``PMA`` as parallel position/value arrays.
+
+    The array-native kernel behind :func:`turning_points`: every hot
+    consumer (the T-tree's searchsorted probe arrays, bifocal's dense-run
+    scan, the shard merge layer) wants the turning points columnar, so
+    the sweep returns ``(positions, values)`` int64 arrays directly and
+    the tuple-list API below is a zip adapter kept for compatibility and
+    the reference parity suite.
+    """
+    if perf.reference_kernels_enabled():
+        points = turning_points_reference(node_set)
+        positions = np.array([k for k, __ in points], dtype=np.int64)
+        values = np.array([v for __, v in points], dtype=np.int64)
+        return positions, values
+    empty = np.empty(0, dtype=np.int64)
+    if len(node_set) == 0:
+        return empty, empty
+    size = len(node_set)
+    breakpoints = np.concatenate((node_set.starts, node_set.ends + 1))
+    signs = np.empty(2 * size, dtype=np.int64)
+    signs[:size] = 1
+    signs[size:] = -1
+    # One fused event sweep: sort the ±1 events by position, integer-
+    # accumulate the running cover count, then keep the last event of
+    # each equal-position run (its running value is the table value at
+    # that position) wherever the value actually changed.  This replaces
+    # the earlier np.unique + float-weighted np.bincount pass with a
+    # single argsort and one np.add.accumulate — no float round trip,
+    # no inverse-index materialization.
+    order = np.argsort(breakpoints, kind="stable")
+    positions = breakpoints[order]
+    running = np.add.accumulate(signs[order])
+    last = np.empty(2 * size, dtype=bool)
+    last[-1] = True
+    last[:-1] = positions[1:] != positions[:-1]
+    run_positions = positions[last]
+    run_values = running[last]
+    changed = np.empty(run_values.shape[0], dtype=bool)
+    changed[0] = run_values[0] != 0
+    changed[1:] = run_values[1:] != run_values[:-1]
+    return run_positions[changed], run_values[changed]
+
+
 def turning_points(node_set: NodeSet) -> list[tuple[int, int]]:
     """The sparse encoding of ``PMA``: ``(position, value)`` change points.
 
@@ -124,25 +168,11 @@ def turning_points(node_set: NodeSet) -> list[tuple[int, int]]:
     is constant.  There are at most ``2·|S|`` such points.
 
     ``PMA`` steps up at every ``e.start`` and steps down just after every
-    ``e.end`` (position ``e.end`` itself is still covered).
+    ``e.end`` (position ``e.end`` itself is still covered).  The
+    per-point tuple materialization here is the only cost over
+    :func:`turning_point_arrays` — hot paths take the arrays.
     """
     if perf.reference_kernels_enabled():
         return turning_points_reference(node_set)
-    if len(node_set) == 0:
-        return []
-    breakpoints = np.concatenate((node_set.starts, node_set.ends + 1))
-    signs = np.concatenate(
-        (
-            np.ones(len(node_set), dtype=np.int64),
-            -np.ones(len(node_set), dtype=np.int64),
-        )
-    )
-    positions, inverse = np.unique(breakpoints, return_inverse=True)
-    changes = np.bincount(
-        inverse, weights=signs, minlength=len(positions)
-    ).astype(np.int64)
-    keep = changes != 0
-    values = np.cumsum(changes[keep])
-    return list(
-        zip(positions[keep].tolist(), values.tolist())
-    )
+    positions, values = turning_point_arrays(node_set)
+    return list(zip(positions.tolist(), values.tolist()))

@@ -155,6 +155,28 @@ SAMPLING_SCHEMA = Spec(
     optional={"scale": NUMBER},
 )
 
+#: The sharding phase: scatter/gather over the shared-memory worker
+#: pool versus a single process, on the memoization-proof fresh-seed
+#: trace.  ``identical`` and an empty ``leaked_segments`` are hard CI
+#: gates; the speedup gate applies only where ``cpu_count`` permits.
+_SHARDING_PHASE = Spec(
+    required={
+        "requests": int,
+        "trials": int,
+        "processes": int,
+        "cpu_count": int,
+        "baseline_seconds": NUMBER,
+        "sharded_seconds": NUMBER,
+        "speedup": NUMBER,
+        "identical": bool,
+        "mismatches": [str],
+        "scatters": int,
+        "fallbacks": int,
+        "leaked_segments": [str],
+    },
+    optional={"arena_bytes": int},
+)
+
 SERVICE_SCHEMA = Spec(
     required={
         "bench": str,
@@ -170,7 +192,12 @@ SERVICE_SCHEMA = Spec(
         "stress": dict,
         "workload_speedup": NUMBER,
     },
-    optional={"batching": dict, "batching_speedup": NUMBER},
+    optional={
+        "batching": dict,
+        "batching_speedup": NUMBER,
+        "sharding": _SHARDING_PHASE,
+        "sharding_speedup": NUMBER,
+    },
 )
 
 KERNELS_SCHEMA = Spec(

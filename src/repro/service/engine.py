@@ -33,7 +33,22 @@ full-fidelity run that finishes late is still returned — flagged
 inline (bottom ladder rung, status ``"shed"``) rather than queueing
 unboundedly; a method that keeps failing or missing deadlines trips its
 :class:`CircuitBreaker`, short-circuiting further full-fidelity
-attempts to the ladder until a cool-off probe succeeds.
+attempts to the ladder until a cool-off probe succeeds.  A bursting
+single caller (``map``) admits through
+:meth:`~repro.service.queue.RequestQueue.put_many` and drains inline
+when the queue fills, so its own burst coalesces into full micro-batches
+instead of being shed against itself.
+
+**Multi-process scatter (``processes=K``).**  With ``processes=K >= 2``
+the service forks a persistent
+:class:`~repro.shard.pool.ShardWorkerPool` (before any service thread
+starts): operand arrays are published once into shared-memory arenas,
+and each batchable micro-batch is scattered as contiguous configuration
+chunks over the workers, gathered in order — bit-identical to the local
+``estimate_across`` pass because every estimator's RNG stream is seeded
+by its own config.  Deadlines, degradation and the breaker wrap the
+whole scatter; any pool failure falls back to local execution, never to
+a failed request.  ``close()`` stops the pool and unlinks every arena.
 
 Every decision increments ``service.*`` metrics in the service's own
 always-on registry (exposed by :meth:`EstimationService.stats`) and is
@@ -65,6 +80,7 @@ from repro.service.request import (
     EstimateResponse,
     ServiceFuture,
 )
+from repro.shard.pool import ShardWorkerPool
 
 
 class _ResultMemo(SummaryCache):
@@ -177,6 +193,10 @@ class EstimationService:
 
     Args:
         workers: worker threads draining the request queue.
+        processes: worker *processes* for scatter/gather execution of
+            batchable micro-batches (0 or 1 = single-process; ``K >= 2``
+            forks a persistent shared-memory pool).  Orthogonal to
+            ``workers`` — threads schedule, processes compute.
         max_batch: cap on requests coalesced into one kernel pass.
         queue_size: admission bound; a full queue sheds (the request is
             still answered — inline, from the bottom ladder rung).
@@ -209,6 +229,7 @@ class EstimationService:
         self,
         *,
         workers: int = 4,
+        processes: int = 0,
         max_batch: int = 16,
         queue_size: int = 1024,
         catalog: Any = None,
@@ -224,6 +245,10 @@ class EstimationService:
         self._clock = clock
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
+        if processes < 0:
+            raise ServiceError(
+                f"processes must be >= 0, got {processes}"
+            )
         if max_batch < 1:
             raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
         self.max_batch = max_batch
@@ -275,6 +300,20 @@ class EstimationService:
         )
         self._m_run = self.metrics.histogram("service.run_s")
         self._closed = False
+        # The pool forks *before* any service thread exists, so worker
+        # processes never inherit a mid-flight lock.  Scatter only runs
+        # under the default estimator factory: workers rebuild
+        # estimators from configs, which must mean what it means here.
+        self._pool: ShardWorkerPool | None = (
+            ShardWorkerPool(processes) if processes >= 2 else None
+        )
+        self._scatter_ok = (
+            self._pool is not None and self._factory is make_estimator
+        )
+        self._m_scatters = self.metrics.counter("service.scatters")
+        self._m_scatter_fallbacks = self.metrics.counter(
+            "service.scatter_fallbacks"
+        )
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -311,6 +350,10 @@ class EstimationService:
             thread.join(timeout)
         for future in self._queue.drain():
             self._resolve_shed(future, reason="shutdown")
+        if self._pool is not None:
+            # Last: stops worker processes and unlinks every
+            # shared-memory arena (the leak-proofing contract).
+            self._pool.close()
 
     # ------------------------------------------------------------------
     # Submission
@@ -335,6 +378,42 @@ class EstimationService:
         optional ``deadline_s``.  Validation (operand types, method
         resolution) happens here, in the calling thread.
         """
+        future, needs_queue = self._prepare(
+            ancestors,
+            descendants,
+            method,
+            request=request,
+            workspace=workspace,
+            deadline_s=deadline_s,
+            request_id=request_id,
+            config=config,
+        )
+        if needs_queue:
+            if not self._queue.put(future):
+                self._count("service.shed")
+                self._resolve_shed(future, reason="overload")
+            else:
+                self._m_submitted.inc()
+        return future
+
+    def _prepare(
+        self,
+        ancestors: NodeSet | None = None,
+        descendants: NodeSet | None = None,
+        method: str = "PL",
+        *,
+        request: EstimateRequest | None = None,
+        workspace: Workspace | None = None,
+        deadline_s: float | None = None,
+        request_id: str | None = None,
+        config: dict[str, Any] | None = None,
+    ) -> tuple[ServiceFuture, bool]:
+        """Validate, memo-check and dedup one request.
+
+        Returns the future and whether it still needs queueing — False
+        when it was answered from the result memo or attached to an
+        identical in-flight lead.
+        """
         if self._closed:
             raise ServiceError("service is closed")
         if request is None:
@@ -343,7 +422,7 @@ class EstimationService:
                 descendants=descendants,
                 method=method,
                 workspace=workspace,
-                config=config,
+                config=config if config is not None else {},
                 deadline_s=deadline_s,
                 request_id=request_id,
             )
@@ -366,7 +445,7 @@ class EstimationService:
                     batch_size=1,
                     started_at=now,
                 )
-                return future
+                return future, False
             # Piggyback on an identical request already in flight: the
             # duplicate never enters the queue; the lead resolves it.
             with self._inflight_lock:
@@ -374,15 +453,10 @@ class EstimationService:
                 if lead is not None and lead.followers is not None:
                     lead.followers.append(future)
                     self._m_inflight_hits.inc()
-                    return future
+                    return future, False
                 self._inflight[memo_key] = future
                 future.followers = []
-        if not self._queue.put(future):
-            self._count("service.shed")
-            self._resolve_shed(future, reason="overload")
-            return future
-        self._m_submitted.inc()
-        return future
+        return future, True
 
     def estimate(
         self,
@@ -415,12 +489,49 @@ class EstimationService:
     ) -> list[EstimateResponse]:
         """Submit many requests, wait for all, preserve order.
 
-        The calling thread does not sleep while its requests are queued
-        — it helps drain the queue (caller-runs), so a single-client
-        burst executes without a thread handoff per micro-batch; the
-        worker pool still serves whatever the caller does not pick up.
+        The burst is admitted through ``put_many`` — bulk admission
+        under one queue lock, so compatible requests are fully bucketed
+        before the first batch is drawn and coalesce into real
+        micro-batches.  When the burst exceeds the queue bound, the
+        caller drains a batch inline and admits the remainder instead
+        of shedding its own requests against itself; shedding remains
+        the contract for *competing* callers under genuine overload.
+
+        The calling thread never sleeps while its requests are queued —
+        it helps drain (caller-runs), so a single-client burst executes
+        without a thread handoff per micro-batch; the worker pool still
+        serves whatever the caller does not pick up.
         """
-        futures = [self.submit(request=r) for r in requests]
+        futures: list[ServiceFuture] = []
+        pending: list[ServiceFuture] = []
+        for request in requests:
+            future, needs_queue = self._prepare(request=request)
+            futures.append(future)
+            if needs_queue:
+                pending.append(future)
+        offset = 0
+        while offset < len(pending):
+            admitted = self._queue.put_many(pending[offset:])
+            if admitted:
+                self._m_submitted.inc(admitted)
+                offset += admitted
+            if offset >= len(pending):
+                break
+            # Queue full (or closed): make room by draining one batch
+            # in this thread before admitting the rest.
+            batch = self._queue.take_batch(self.max_batch, timeout=0.0)
+            if batch:
+                with use_cache(self.summary_cache), use_index_cache(
+                    self.index_cache
+                ):
+                    self._execute_batch(batch)
+            elif self._queue.closed:
+                for future in pending[offset:]:
+                    self._count("service.shed")
+                    self._resolve_shed(future, reason="shutdown")
+                break
+            # else: workers drained everything we admitted; loop and
+            # re-admit the remainder.
         self.help_drain(futures)
         return [f.result(timeout) for f in futures]
 
@@ -476,6 +587,9 @@ class EstimationService:
             "memo": self._memo.stats() if self._memo else None,
             "summary_cache": self.summary_cache.stats(),
             "index_cache": self.index_cache.stats(),
+            "pool": (
+                self._pool.stats() if self._pool is not None else None
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -610,15 +724,34 @@ class EstimationService:
         run_start = self._clock()
         results: list[Estimate] | None = None
         if len(futures) > 1 and SamplingEstimator.batchable(estimators):
-            try:
-                results = SamplingEstimator.estimate_across(
-                    estimators,
-                    request0.ancestors,
-                    request0.descendants,
-                    request0.workspace,
-                )
-            except Exception:
-                results = None  # fall through to sequential
+            if self._scatter_ok:
+                # Scatter the batch over the process pool: workers
+                # rebuild the estimators from the (seed-bearing)
+                # configs, so the gathered results are bit-identical
+                # to the local pass below.  Any pool trouble falls
+                # back to local execution.
+                try:
+                    results = self._pool.scatter(
+                        request0.method,
+                        [f.request.config for f in futures],
+                        request0.ancestors,
+                        request0.descendants,
+                        request0.workspace,
+                    )
+                    self._m_scatters.inc()
+                except ServiceError:
+                    self._m_scatter_fallbacks.inc()
+                    results = None
+            if results is None:
+                try:
+                    results = SamplingEstimator.estimate_across(
+                        estimators,
+                        request0.ancestors,
+                        request0.descendants,
+                        request0.workspace,
+                    )
+                except Exception:
+                    results = None  # fall through to sequential
         if results is not None:
             elapsed = self._clock() - run_start
             per_request = elapsed / len(futures)

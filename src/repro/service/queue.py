@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict, deque
+from typing import Sequence
 
 from repro.service.request import ServiceFuture
 
@@ -64,6 +65,34 @@ class RequestQueue:
             self._count += 1
             self._not_empty.notify()
             return True
+
+    def put_many(self, futures: Sequence[ServiceFuture]) -> int:
+        """Admit a burst under one lock; returns how many were admitted.
+
+        Admission stops at capacity (or a closed queue) and the count of
+        admitted futures — a prefix of ``futures`` — is returned, so the
+        caller can drain and retry the rest instead of shedding them.
+        Bulk admission is what lets a single-client burst coalesce: every
+        compatible request is already bucketed when the first
+        :meth:`take_batch` runs, instead of racing the drain one
+        admission at a time.
+        """
+        with self._not_empty:
+            if self._closed:
+                return 0
+            admitted = 0
+            for future in futures:
+                if self._count >= self.maxsize:
+                    break
+                group = self._groups.get(future.signature)
+                if group is None:
+                    group = self._groups[future.signature] = deque()
+                group.append(future)
+                self._count += 1
+                admitted += 1
+            if admitted:
+                self._not_empty.notify(admitted)
+            return admitted
 
     def take_batch(
         self, max_batch: int, timeout: float | None = None

@@ -1,0 +1,59 @@
+"""Sharded execution: disjoint partitions, shared-memory arenas, merges.
+
+The paper's summaries and exact counts are additive over disjoint
+document partitions; this package turns that property into a process-
+parallel execution layer:
+
+* :mod:`repro.shard.partition` — split node sets into K contiguous
+  shards (zero-copy views) and build per-shard summaries;
+* :mod:`repro.shard.merge` — combine per-shard partials into global
+  answers (integer statistics exact, float sums seam-reassociated,
+  scattered sampling trials bit-identical by construction);
+* :mod:`repro.shard.arena` — ``multiprocessing.shared_memory``-backed
+  structure-of-arrays operand storage with explicit
+  create/attach/close/unlink lifecycle and leak accounting;
+* :mod:`repro.shard.pool` — the persistent fork pool behind
+  ``EstimationService(processes=K)``.
+"""
+
+from repro.shard.arena import (
+    SEGMENT_PREFIX,
+    ShardArena,
+    live_segments,
+    segment_exists,
+)
+from repro.shard.merge import (
+    merge_cell_counts,
+    merge_counts,
+    merge_intervals,
+    merge_pl_histograms,
+    merge_scattered_estimates,
+    merge_trial_statistics,
+)
+from repro.shard.partition import (
+    ShardStatistics,
+    build_shard_statistics,
+    chunk_evenly,
+    shard_node_set,
+    shard_sizes,
+)
+from repro.shard.pool import ShardWorkerPool
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "ShardArena",
+    "ShardStatistics",
+    "ShardWorkerPool",
+    "build_shard_statistics",
+    "chunk_evenly",
+    "live_segments",
+    "merge_cell_counts",
+    "merge_counts",
+    "merge_intervals",
+    "merge_pl_histograms",
+    "merge_scattered_estimates",
+    "merge_trial_statistics",
+    "segment_exists",
+    "shard_node_set",
+    "shard_sizes",
+]

@@ -1,0 +1,149 @@
+"""Combining per-shard partials into global answers.
+
+Additivity is the whole design: the paper's summaries are sums over
+elements, so a disjoint element partition turns every build into K
+independent builds plus this module.  The exactness contract is split
+by dtype, deliberately:
+
+* **integer statistics merge bit-exactly** — per-bucket counts
+  ``n(R, i)``, PH cell counts, and exact join counts are integer sums,
+  and integer addition is associative;
+* **float statistics merge exactly up to reassociation** — per-bucket
+  ``total_length`` sums were accumulated left-to-right over all
+  elements in the unsharded build and are re-bracketed at shard seams
+  here.  The qa oracle checks those to a 1e-12 relative tolerance;
+  anything larger is a real merge bug, not rounding;
+* **scattered sampling trials merge bit-exactly by concatenation** —
+  each trial's RNG stream is private to its estimator instance (seeded
+  from its own config), so chunking instances across workers and
+  concatenating per-chunk results in chunk order reproduces the
+  single-process ``estimate_across`` output float for float.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import EstimationError
+from repro.estimators.base import Estimate
+from repro.estimators.pl_histogram import PLBucket, PLHistogram
+
+
+def merge_counts(counts: Sequence[int]) -> int:
+    """Exact sum of per-shard integer counts (join sizes, cardinalities)."""
+    return int(sum(int(count) for count in counts))
+
+
+def merge_pl_histograms(parts: Sequence[PLHistogram]) -> PLHistogram:
+    """Bucket-wise sum of per-shard PL histograms.
+
+    Every part must share role, bucket count and bucket edges (the
+    sharded build guarantees this by handing all shards the global
+    workspace).  Counts merge exactly; ``total_length`` is a float sum
+    re-bracketed at shard seams.
+    """
+    if not parts:
+        raise EstimationError("cannot merge zero PL histograms")
+    lead = parts[0]
+    for other in parts[1:]:
+        if other.role != lead.role or len(other) != len(lead):
+            raise EstimationError(
+                f"PL histogram shapes differ: {other.role}/{len(other)} "
+                f"vs {lead.role}/{len(lead)}"
+            )
+        for mine, theirs in zip(lead.buckets, other.buckets):
+            if (mine.wss, mine.wse) != (theirs.wss, theirs.wse):
+                raise EstimationError(
+                    f"bucket {mine.index} edges differ across shards: "
+                    f"[{mine.wss}, {mine.wse}) vs "
+                    f"[{theirs.wss}, {theirs.wse})"
+                )
+    merged = [
+        PLBucket(
+            index=bucket.index,
+            wss=bucket.wss,
+            wse=bucket.wse,
+            n=sum(part.buckets[i].n for part in parts),
+            total_length=sum(
+                part.buckets[i].total_length for part in parts
+            ),
+        )
+        for i, bucket in enumerate(lead.buckets)
+    ]
+    return PLHistogram(merged, lead.role)
+
+
+def merge_cell_counts(parts: Sequence[dict]) -> dict:
+    """Key-wise sum of per-shard PH cell histograms (exact, integer)."""
+    merged: dict = {}
+    for part in parts:
+        for cell, count in part.items():
+            merged[cell] = merged.get(cell, 0) + int(count)
+    return merged
+
+
+def merge_intervals(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Union of per-shard merged-interval arrays as one ``(M, 2)`` array.
+
+    Each part is already sorted and internally disjoint; shard seams can
+    abut or nest, so the global pass re-merges: sort by start, then the
+    same running-maximum boundary detection the single-set kernel uses.
+    The result equals ``merged_intervals`` of the unsharded set exactly
+    (interval unions are set unions — no arithmetic to reassociate).
+    """
+    stacked = [np.asarray(part).reshape(-1, 2) for part in parts]
+    pairs = (
+        np.concatenate(stacked)
+        if stacked
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    if pairs.shape[0] == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    order = np.argsort(pairs[:, 0], kind="stable")
+    starts = pairs[order, 0]
+    reach = np.maximum.accumulate(pairs[order, 1])
+    fresh = np.empty(starts.shape[0], dtype=bool)
+    fresh[0] = True
+    fresh[1:] = starts[1:] > reach[:-1]
+    heads = np.flatnonzero(fresh)
+    tails = np.append(heads[1:] - 1, starts.shape[0] - 1)
+    return np.column_stack((starts[heads], reach[tails]))
+
+
+def merge_scattered_estimates(
+    chunks: Sequence[Sequence[Estimate]],
+) -> list[Estimate]:
+    """Gather per-worker estimate chunks back into submission order.
+
+    The scatter split the configuration list contiguously
+    (:func:`repro.shard.partition.chunk_evenly`), so in-order
+    concatenation *is* the identity merge — bit-identical to running
+    the whole list through one local ``estimate_across`` pass.
+    """
+    merged: list[Estimate] = []
+    for chunk in chunks:
+        merged.extend(chunk)
+    return merged
+
+
+def merge_trial_statistics(
+    means: Sequence[float], counts: Sequence[int]
+) -> tuple[float, int]:
+    """Pooled (mean, count) over per-shard sampling-trial statistics.
+
+    The count-weighted mean of per-shard means; used by reporting paths
+    that aggregate trial populations rather than individual trials.
+    """
+    if len(means) != len(counts):
+        raise EstimationError(
+            f"{len(means)} means but {len(counts)} counts"
+        )
+    total = merge_counts(counts)
+    if total == 0:
+        return 0.0, 0
+    pooled = (
+        sum(mean * count for mean, count in zip(means, counts)) / total
+    )
+    return float(pooled), total

@@ -1,0 +1,168 @@
+"""Sharding node sets into disjoint, merge-exact partitions.
+
+A *shard plan* splits a start-ordered node set into ``K`` contiguous
+slices of near-equal size.  Contiguity matters twice over:
+
+* a contiguous start-ordered subset of a strictly nested set is itself
+  strictly nested, so shard node sets need no re-validation;
+* every per-shard statistic this package merges (bucket counts, cell
+  counts, exact join counts, merged intervals) is additive over *any*
+  disjoint element partition, and contiguous slices additionally keep
+  per-bucket float accumulation in global element order — the merge
+  layer's reassociation error is confined to one seam per shard.
+
+Shard node sets are built through :meth:`NodeSet.from_arrays` as
+zero-copy views into the parent's arrays, so planning K shards costs
+O(K) regardless of set size.  Plans are cached in the ambient
+:class:`~repro.perf.cache.SummaryCache` under a content key
+``("shard-plan", fingerprint, K)`` — shard-aware in exactly the way
+the per-set summary keys are, so repeated sharded builds (the catalog,
+the qa oracle, the bench) reuse one plan per (set, K).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import EstimationError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.coverage_histogram import merged_intervals_cached
+from repro.estimators.pl_histogram import (
+    PLHistogram,
+    build_ancestor_cached,
+    build_descendant_cached,
+)
+from repro.join.size import containment_join_size
+from repro.perf.cache import SummaryCache, resolve_cache
+
+
+def shard_sizes(total: int, num_shards: int) -> list[int]:
+    """Near-equal shard sizes: ``total`` split into ``num_shards`` parts.
+
+    The first ``total % num_shards`` shards get one extra element, so
+    sizes differ by at most one and empty shards appear only when
+    ``total < num_shards``.
+    """
+    if num_shards < 1:
+        raise EstimationError(
+            f"num_shards must be >= 1, got {num_shards}"
+        )
+    base, extra = divmod(total, num_shards)
+    return [base + (1 if i < extra else 0) for i in range(num_shards)]
+
+
+def shard_node_set(
+    node_set: NodeSet,
+    num_shards: int,
+    cache: SummaryCache | None = None,
+) -> tuple[NodeSet, ...]:
+    """Split ``node_set`` into ``num_shards`` contiguous shard sets.
+
+    Shards are zero-copy array views sharing the parent's storage; the
+    plan is cached by content fingerprint so re-sharding the same set
+    (or an equal set built elsewhere) is a cache hit.
+    """
+    if num_shards == 1:
+        return (node_set,)
+    cache = resolve_cache(cache)
+
+    def build() -> tuple[NodeSet, ...]:
+        starts, ends = node_set.starts, node_set.ends
+        shards: list[NodeSet] = []
+        offset = 0
+        for index, size in enumerate(
+            shard_sizes(len(node_set), num_shards)
+        ):
+            shards.append(
+                NodeSet.from_arrays(
+                    starts[offset : offset + size],
+                    ends[offset : offset + size],
+                    name=f"{node_set.name}[shard {index}/{num_shards}]",
+                )
+            )
+            offset += size
+        return tuple(shards)
+
+    if cache is None:
+        return build()
+    return cache.get_or_build(
+        ("shard-plan", node_set.fingerprint, num_shards), build
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ShardStatistics:
+    """Per-shard summaries for one (ancestors, descendants) join.
+
+    One entry of the list a sharded build produces; the merge layer
+    (:mod:`repro.shard.merge`) combines ``K`` of these into the global
+    answer.  ``join_count`` partitions the exact join over descendant
+    shards with the *global* ancestor set, so the counts sum exactly.
+    """
+
+    index: int
+    ancestors: NodeSet
+    descendants: NodeSet
+    ancestor_histogram: PLHistogram
+    descendant_histogram: PLHistogram
+    merged: np.ndarray  # (M, 2) merged intervals of the ancestor shard
+    join_count: int
+
+
+def build_shard_statistics(
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    workspace: Workspace,
+    num_shards: int,
+    num_buckets: int = 16,
+    cache: SummaryCache | None = None,
+) -> list[ShardStatistics]:
+    """Build every shard's summaries for one join, ready to merge.
+
+    All shards share the global workspace and bucket edges — the
+    precondition for exact bucket-wise addition in the merge layer.
+    """
+    a_shards = shard_node_set(ancestors, num_shards, cache=cache)
+    d_shards = shard_node_set(descendants, num_shards, cache=cache)
+    statistics: list[ShardStatistics] = []
+    for index, (a_shard, d_shard) in enumerate(zip(a_shards, d_shards)):
+        statistics.append(
+            ShardStatistics(
+                index=index,
+                ancestors=a_shard,
+                descendants=d_shard,
+                ancestor_histogram=build_ancestor_cached(
+                    a_shard, workspace, num_buckets, cache=cache
+                ),
+                descendant_histogram=build_descendant_cached(
+                    d_shard, workspace, num_buckets, cache=cache
+                ),
+                merged=merged_intervals_cached(a_shard, cache=cache),
+                join_count=(
+                    containment_join_size(ancestors, d_shard)
+                    if len(d_shard)
+                    else 0
+                ),
+            )
+        )
+    return statistics
+
+
+def chunk_evenly(items: Sequence, num_chunks: int) -> list[list]:
+    """Split ``items`` into ``num_chunks`` contiguous near-equal chunks.
+
+    Order-preserving — concatenating the chunks reproduces ``items`` —
+    which is what makes scatter/gather over estimator configurations
+    bit-identical to a single local pass.  Trailing chunks may be empty
+    when ``len(items) < num_chunks``.
+    """
+    chunks: list[list] = []
+    offset = 0
+    for size in shard_sizes(len(items), num_chunks):
+        chunks.append(list(items[offset : offset + size]))
+        offset += size
+    return chunks

@@ -1,0 +1,401 @@
+"""Persistent fork-based worker pool with shared-memory operands.
+
+The pool is the process-parallel execution engine behind
+``EstimationService(processes=K)``.  Its contract with the engine:
+
+* **Operands travel once.**  ``publish`` copies a node set's
+  start/end/sorted-end arrays into a :class:`~repro.shard.arena.ShardArena`
+  and broadcasts the (tiny, picklable) manifest; each worker attaches
+  and reconstructs the set zero-copy via :meth:`NodeSet.from_arrays`,
+  keyed by content fingerprint so republishing an already-known set is
+  a no-op on both sides.
+* **Scatter is bit-identical.**  ``scatter`` splits a batch's
+  estimator configurations into contiguous chunks
+  (:func:`~repro.shard.partition.chunk_evenly`), each worker runs its
+  chunk through the same ``estimate_across``/sequential path the
+  engine would run locally, and the gather concatenates chunks in
+  order — every estimator draws from a generator seeded by its own
+  config, so chunk boundaries cannot perturb any RNG stream.
+* **Failure degrades, never hangs.**  A dead worker (crash, kill,
+  pipe loss) is detected on the next send/recv, marked, and excluded;
+  ``scatter`` raises :class:`~repro.core.errors.ServiceError` for the
+  engine to fall back to local execution.  ``close`` stops workers,
+  joins them (terminating stragglers), and unlinks every arena — the
+  owner side is the only unlinker, so segments never outlive the pool
+  even when workers died mid-task.
+
+Workers are forked before the service starts its queue threads, hold
+their own per-process Summary/Index caches, and keep attached arenas
+until ``stop``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from multiprocessing.connection import Connection
+from typing import Any, Sequence
+
+from repro.core.errors import ServiceError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimate
+from repro.shard.arena import ShardArena
+from repro.shard.merge import merge_scattered_estimates
+from repro.shard.partition import chunk_evenly
+
+#: Arena fields published per node set; sorted ends ride along so no
+#: worker re-sorts what the parent already has.
+_OPERAND_FIELDS = ("starts", "ends", "sorted_ends")
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker process loop: attach operands, run estimate tasks."""
+    # Imports stay inside the worker path so a forked child touches its
+    # own copies after the fork point, not mid-import parent state.
+    from repro.estimators.registry import make_estimator
+    from repro.estimators.sampling_base import SamplingEstimator
+    from repro.perf.cache import SummaryCache, use_cache
+    from repro.perf.index_cache import IndexCache, use_index_cache
+
+    arenas: dict[str, ShardArena] = {}
+    operands: dict[str, NodeSet] = {}
+    summary_cache = SummaryCache()
+    index_cache = IndexCache()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        try:
+            if kind == "publish":
+                __, fingerprint, name, manifest = message
+                if fingerprint not in operands:
+                    arena = ShardArena.attach(manifest)
+                    arenas[fingerprint] = arena
+                    node_set = NodeSet.from_arrays(
+                        arena.view("starts"),
+                        arena.view("ends"),
+                        name=name,
+                        fingerprint=fingerprint,
+                    )
+                    node_set.__dict__["sorted_ends"] = arena.view(
+                        "sorted_ends"
+                    )
+                    operands[fingerprint] = node_set
+                conn.send(("ok", None))
+            elif kind == "estimate":
+                __, method, configs, a_fp, d_fp, workspace = message
+                ancestors = operands[a_fp]
+                descendants = operands[d_fp]
+                estimators = [
+                    make_estimator(method, **config) for config in configs
+                ]
+                with use_cache(summary_cache), use_index_cache(
+                    index_cache
+                ):
+                    if len(estimators) > 1 and SamplingEstimator.batchable(
+                        estimators
+                    ):
+                        results = SamplingEstimator.estimate_across(
+                            estimators, ancestors, descendants, workspace
+                        )
+                    else:
+                        results = [
+                            e.estimate(ancestors, descendants, workspace)
+                            for e in estimators
+                        ]
+                conn.send(("ok", results))
+            elif kind == "ping":
+                conn.send(("ok", message[1]))
+            elif kind == "crash":  # test hook: die without replying
+                os._exit(42)
+            elif kind == "stop":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", f"unknown task {kind!r}"))
+        except Exception as error:
+            try:
+                conn.send(("error", f"{type(error).__name__}: {error}"))
+            except (BrokenPipeError, OSError):
+                break
+    operands.clear()
+    for arena in arenas.values():
+        arena.close()
+    conn.close()
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "alive", "published")
+
+    def __init__(self, process: Any, conn: Connection) -> None:
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.published: set[str] = set()
+
+
+class ShardWorkerPool:
+    """K forked workers sharing operand arenas with this process.
+
+    Fork the pool *before* starting any threads that might hold locks —
+    the service constructor does.  The pool is not thread-safe per call;
+    the engine serializes scatters through ``_scatter_lock``.
+    """
+
+    def __init__(self, processes: int) -> None:
+        if processes < 2:
+            raise ServiceError(
+                f"a worker pool needs >= 2 processes, got {processes}"
+            )
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as error:  # pragma: no cover - non-POSIX
+            raise ServiceError(
+                "processes mode requires the fork start method"
+            ) from error
+        # Start the resource tracker *before* forking: children then
+        # inherit the parent's tracker, its per-name registry is a set,
+        # and the owner's single unlink retires each segment cleanly.
+        # Forked after-the-fact children would each spawn a private
+        # tracker that "sees" every attached segment leak at exit.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        self.processes = processes
+        self._arenas: dict[str, ShardArena] = {}
+        self._workers: list[_Worker] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self.scatters = 0
+        self.fallbacks = 0
+        for index in range(processes):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                name=f"repro-shard-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_Worker(process, parent_conn))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def alive_count(self) -> int:
+        with self._lock:
+            return sum(1 for worker in self._workers if worker.alive)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "processes": self.processes,
+            "alive": self.alive_count(),
+            "published_operands": len(self._arenas),
+            "arena_bytes": sum(
+                arena.nbytes() for arena in self._arenas.values()
+            ),
+            "scatters": self.scatters,
+            "fallbacks": self.fallbacks,
+        }
+
+    # ------------------------------------------------------------------
+    # Worker RPC plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, worker: _Worker, message: tuple) -> bool:
+        if not worker.alive:
+            return False
+        try:
+            worker.conn.send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            worker.alive = False
+            return False
+
+    def _recv(self, worker: _Worker) -> Any:
+        try:
+            status, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            worker.alive = False
+            raise ServiceError(
+                f"shard worker {worker.process.name} died"
+            ) from None
+        if status != "ok":
+            raise ServiceError(f"shard worker failed: {payload}")
+        return payload
+
+    def ping(self) -> int:
+        """Round-trip every worker; returns how many answered."""
+        with self._lock:
+            answered = 0
+            for worker in self._workers:
+                if not self._send(worker, ("ping", "hello")):
+                    continue
+                try:
+                    if self._recv(worker) == "hello":
+                        answered += 1
+                except ServiceError:
+                    continue
+            return answered
+
+    def crash_worker(self, index: int = 0) -> None:
+        """Test hook: make one worker exit without replying."""
+        with self._lock:
+            self._send(self._workers[index], ("crash",))
+            self._workers[index].process.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def _ensure_published(self, node_set: NodeSet) -> str:
+        """Arena-publish ``node_set`` to every alive worker (idempotent)."""
+        fingerprint = node_set.fingerprint
+        arena = self._arenas.get(fingerprint)
+        if arena is None:
+            arena = ShardArena.create(
+                {
+                    "starts": node_set.starts,
+                    "ends": node_set.ends,
+                    "sorted_ends": node_set.sorted_ends,
+                }
+            )
+            self._arenas[fingerprint] = arena
+        manifest = arena.manifest()
+        message = ("publish", fingerprint, node_set.name, manifest)
+        pending = []
+        for worker in self._workers:
+            if not worker.alive or fingerprint in worker.published:
+                continue
+            if self._send(worker, message):
+                pending.append(worker)
+        for worker in pending:
+            try:
+                self._recv(worker)
+                worker.published.add(fingerprint)
+            except ServiceError:
+                continue
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # Scatter / gather
+    # ------------------------------------------------------------------
+
+    def scatter(
+        self,
+        method: str,
+        configs: Sequence[dict[str, Any]],
+        ancestors: NodeSet,
+        descendants: NodeSet,
+        workspace: Workspace | None,
+    ) -> list[Estimate]:
+        """Fan ``configs`` over the workers; gather in submission order.
+
+        Raises :class:`ServiceError` when no (or not enough) workers
+        survive the round — the engine treats that as "compute locally",
+        never as a failed request.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("shard pool is closed")
+            a_fp = self._ensure_published(ancestors)
+            d_fp = self._ensure_published(descendants)
+            alive = [
+                worker
+                for worker in self._workers
+                if worker.alive
+                and a_fp in worker.published
+                and d_fp in worker.published
+            ]
+            if len(alive) < 2:
+                raise ServiceError(
+                    f"only {len(alive)} shard workers usable"
+                )
+            chunks = chunk_evenly(list(configs), len(alive))
+            dispatched: list[tuple[_Worker, int]] = []
+            failure: ServiceError | None = None
+            for worker, chunk in zip(alive, chunks):
+                if not chunk:
+                    continue
+                if not self._send(
+                    worker,
+                    ("estimate", method, chunk, a_fp, d_fp, workspace),
+                ):
+                    failure = ServiceError(
+                        "shard worker died during dispatch"
+                    )
+                    break
+                dispatched.append((worker, len(chunk)))
+            # Gather from every dispatched worker even on failure, so
+            # alive workers' pipes stay in protocol sync for the next
+            # scatter instead of replaying stale results.
+            gathered: list[list[Estimate]] = []
+            for worker, expected in dispatched:
+                try:
+                    results = self._recv(worker)
+                except ServiceError as error:
+                    failure = failure or error
+                    continue
+                if len(results) != expected:
+                    failure = failure or ServiceError(
+                        f"shard worker returned {len(results)} "
+                        f"results for {expected} configs"
+                    )
+                    continue
+                gathered.append(results)
+            if failure is not None:
+                raise failure
+            self.scatters += 1
+            return merge_scattered_estimates(gathered)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop workers, join/terminate them, unlink every arena."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for worker in self._workers:
+                if self._send(worker, ("stop",)):
+                    try:
+                        self._recv(worker)
+                    except ServiceError:
+                        pass
+            for worker in self._workers:
+                worker.process.join(timeout)
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.process.terminate()
+                    worker.process.join(timeout)
+                worker.alive = False
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            for arena in self._arenas.values():
+                arena.unlink()
+            self._arenas.clear()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close(timeout=0.5)
+        except Exception:
+            pass

@@ -1,0 +1,429 @@
+"""Tests for the sharding layer (:mod:`repro.shard`).
+
+Covers the shared-memory arena lifecycle (create/attach/view/close/
+unlink, leak-free over many cycles, cleanup after worker crashes), the
+partition/merge exactness contract (integer statistics bit-exact, float
+sums to reassociation tolerance, interval unions exact), the worker
+pool's scatter/gather parity with local execution, and the service's
+``processes=K`` mode end to end — identical values, graceful fallback
+when workers die, and no segments left behind on shutdown.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.errors import EstimationError, ServiceError
+from repro.estimators.coverage_histogram import merged_interval_bounds
+from repro.estimators.pl_histogram import (
+    build_ancestor_cached,
+    build_descendant_cached,
+)
+from repro.estimators.registry import make_estimator
+from repro.estimators.sampling_base import SamplingEstimator
+from repro.join.size import containment_join_size
+from repro.perf.cache import SummaryCache
+from repro.service.engine import EstimationService
+from repro.service.request import EstimateRequest, ServiceFuture
+from repro.service.queue import RequestQueue
+from repro.shard import (
+    SEGMENT_PREFIX,
+    ShardArena,
+    ShardWorkerPool,
+    build_shard_statistics,
+    chunk_evenly,
+    live_segments,
+    merge_counts,
+    merge_intervals,
+    merge_pl_histograms,
+    merge_trial_statistics,
+    segment_exists,
+    shard_node_set,
+    shard_sizes,
+)
+
+
+def _shm_segments() -> set[str]:
+    """Names under /dev/shm carrying the arena prefix (Linux CI/dev)."""
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # pragma: no cover - non-Linux
+        return set()
+    return {p.name for p in shm.glob(f"{SEGMENT_PREFIX}*")}
+
+
+@pytest.fixture
+def operands(xmark_small):
+    a = xmark_small.node_set("item")
+    d = xmark_small.node_set("name")
+    return a, d, xmark_small.tree.workspace()
+
+
+# ----------------------------------------------------------------------
+# Arena lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestShardArena:
+    def test_create_view_roundtrip(self):
+        starts = np.arange(10, dtype=np.int64)
+        ends = np.arange(10, dtype=np.int64) * 3 + 1
+        arena = ShardArena.create({"starts": starts, "ends": ends})
+        try:
+            assert np.array_equal(arena.view("starts"), starts)
+            assert np.array_equal(arena.view("ends"), ends)
+            # Views are read-only: the arena is shared state.
+            with pytest.raises(ValueError):
+                arena.view("starts")[0] = 99
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_attach_sees_owner_data_zero_copy(self):
+        data = np.arange(1000, dtype=np.int64)
+        owner = ShardArena.create({"codes": data})
+        try:
+            attached = ShardArena.attach(owner.manifest())
+            assert not attached.owner
+            assert np.array_equal(attached.view("codes"), data)
+            attached.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_unlink_is_owner_only_and_idempotent(self):
+        arena = ShardArena.create({"x": np.ones(4, dtype=np.int64)})
+        name = arena.manifest()["segment"]
+        attached = ShardArena.attach(arena.manifest())
+        try:
+            with pytest.raises(ServiceError):
+                attached.unlink()  # non-owner: refused
+            assert segment_exists(name)
+        finally:
+            attached.close()
+            arena.close()
+        arena.unlink()
+        arena.unlink()  # idempotent
+        assert not segment_exists(name)
+
+    def test_registry_tracks_live_segments(self):
+        before = set(live_segments())
+        arena = ShardArena.create({"x": np.zeros(2, dtype=np.int64)})
+        name = arena.manifest()["segment"]
+        assert name in set(live_segments()) - before
+        arena.close()
+        arena.unlink()
+        assert name not in live_segments()
+
+    def test_hundred_cycles_leak_nothing(self):
+        baseline = _shm_segments()
+        for cycle in range(100):
+            arena = ShardArena.create(
+                {"payload": np.full(64, cycle, dtype=np.int64)}
+            )
+            attached = ShardArena.attach(arena.manifest())
+            assert int(attached.view("payload")[0]) == cycle
+            attached.close()
+            arena.close()
+            arena.unlink()
+        assert _shm_segments() == baseline
+        assert not live_segments()
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+
+
+class TestPartition:
+    def test_shard_sizes_near_equal(self):
+        assert shard_sizes(10, 3) == [4, 3, 3]
+        assert shard_sizes(2, 4) == [1, 1, 0, 0]
+        assert sum(shard_sizes(1234, 7)) == 1234
+        with pytest.raises(EstimationError):
+            shard_sizes(5, 0)
+
+    def test_chunk_evenly_roundtrips_in_order(self):
+        items = list(range(11))
+        chunks = chunk_evenly(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert max(len(c) for c in chunks) - min(
+            len(c) for c in chunks
+        ) <= 1
+
+    def test_shards_are_zero_copy_views(self, operands):
+        a, __, ___ = operands
+        shards = shard_node_set(a, 3)
+        assert sum(len(s) for s in shards) == len(a)
+        rebuilt = np.concatenate([s.starts for s in shards])
+        assert np.array_equal(rebuilt, a.starts)
+        assert shards[0].starts.base is not None  # a view, not a copy
+
+    def test_shard_plan_cached_by_fingerprint(self, operands):
+        a, __, ___ = operands
+        cache = SummaryCache()
+        first = shard_node_set(a, 4, cache=cache)
+        again = shard_node_set(a, 4, cache=cache)
+        assert first is again
+
+    def test_single_shard_is_identity(self, operands):
+        a, __, ___ = operands
+        assert shard_node_set(a, 1) == (a,)
+
+
+# ----------------------------------------------------------------------
+# Merge exactness
+# ----------------------------------------------------------------------
+
+
+class TestMerge:
+    @pytest.mark.parametrize("num_shards", [2, 3, 5, 8])
+    def test_statistics_merge_matches_unsharded(
+        self, operands, num_shards
+    ):
+        a, d, w = operands
+        cache = SummaryCache()
+        stats = build_shard_statistics(
+            a, d, w, num_shards, num_buckets=8, cache=cache
+        )
+        assert merge_counts(
+            [s.join_count for s in stats]
+        ) == containment_join_size(a, d)
+        assert np.array_equal(
+            merge_intervals([s.merged for s in stats]),
+            merged_interval_bounds(a),
+        )
+        merged_a = merge_pl_histograms(
+            [s.ancestor_histogram for s in stats]
+        )
+        merged_d = merge_pl_histograms(
+            [s.descendant_histogram for s in stats]
+        )
+        for merged, unsharded in (
+            (merged_a, build_ancestor_cached(a, w, 8, cache=cache)),
+            (merged_d, build_descendant_cached(d, w, 8, cache=cache)),
+        ):
+            for mine, theirs in zip(merged.buckets, unsharded.buckets):
+                assert mine.n == theirs.n
+                assert mine.total_length == pytest.approx(
+                    theirs.total_length, rel=1e-12, abs=1e-9
+                )
+
+    def test_merge_pl_rejects_mismatched_shapes(self, operands):
+        a, d, w = operands
+        anc = build_ancestor_cached(a, w, 8, cache=SummaryCache())
+        desc = build_descendant_cached(d, w, 8, cache=SummaryCache())
+        with pytest.raises(EstimationError):
+            merge_pl_histograms([anc, desc])
+        with pytest.raises(EstimationError):
+            merge_pl_histograms([])
+
+    def test_merge_intervals_handles_abutting_seams(self):
+        left = np.array([[0, 4], [10, 12]], dtype=np.int64)
+        right = np.array([[5, 9], [12, 20]], dtype=np.int64)
+        merged = merge_intervals([left, right])
+        # [0,4] and [5,9] touch but do not overlap (integer positions
+        # 4 and 5 are distinct); [10,12] and [12,20] share position 12.
+        assert merged.tolist() == [[0, 4], [5, 9], [10, 20]]
+
+    def test_merge_trial_statistics_pools_weighted(self):
+        mean, count = merge_trial_statistics([2.0, 5.0], [3, 1])
+        assert count == 4
+        assert mean == pytest.approx(2.75)
+        assert merge_trial_statistics([], []) == (0.0, 0)
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+
+
+class TestShardWorkerPool:
+    def test_requires_two_processes(self):
+        with pytest.raises(ServiceError):
+            ShardWorkerPool(1)
+
+    def test_scatter_matches_local_estimate_across(self, operands):
+        a, d, w = operands
+        # One batch shape, many seeds — what a coalesced service batch
+        # looks like (batch signatures ignore only the seed).
+        configs = [
+            {"num_samples": 25, "seed": s} for s in range(1, 7)
+        ]
+        local = SamplingEstimator.estimate_across(
+            [make_estimator("IM", **c) for c in configs], a, d, w
+        )
+        with ShardWorkerPool(2) as pool:
+            assert pool.ping() == 2
+            remote = pool.scatter("IM", configs, a, d, w)
+        assert [e.value for e in remote] == [e.value for e in local]
+
+    def test_publish_is_idempotent_per_fingerprint(self, operands):
+        a, d, w = operands
+        configs = [{"num_samples": 5, "seed": s} for s in (1, 2)]
+        with ShardWorkerPool(2) as pool:
+            pool.scatter("IM", configs, a, d, w)
+            published = pool.stats()["published_operands"]
+            pool.scatter("IM", configs, a, d, w)
+            assert pool.stats()["published_operands"] == published
+            assert pool.stats()["scatters"] == 2
+
+    def test_crashed_workers_force_fallback_error(self, operands):
+        a, d, w = operands
+        configs = [{"num_samples": 5, "seed": s} for s in (1, 2, 3)]
+        with ShardWorkerPool(2) as pool:
+            pool.crash_worker(0)
+            with pytest.raises(ServiceError):
+                pool.scatter("IM", configs, a, d, w)
+
+    def test_close_unlinks_arenas_even_after_crash(self, operands):
+        a, d, w = operands
+        baseline = _shm_segments()
+        pool = ShardWorkerPool(2)
+        try:
+            pool.scatter(
+                "IM", [{"num_samples": 5, "seed": s} for s in (1, 2)],
+                a, d, w,
+            )
+            assert pool.stats()["published_operands"] == 2
+            pool.crash_worker(0)
+        finally:
+            pool.close()
+        assert _shm_segments() == baseline
+        assert not live_segments()
+
+    def test_scatter_after_close_raises(self, operands):
+        a, d, w = operands
+        pool = ShardWorkerPool(2)
+        pool.close()
+        with pytest.raises(ServiceError):
+            pool.scatter("IM", [{"num_samples": 5, "seed": 1}], a, d, w)
+
+
+# ----------------------------------------------------------------------
+# Queue bulk admission
+# ----------------------------------------------------------------------
+
+
+def _futures(figure1_tree, n, **config_overrides):
+    a, d = figure1_tree
+    futures = []
+    now = time.monotonic()
+    for i in range(n):
+        config = {"num_samples": 10, "seed": i}
+        config.update(config_overrides)
+        request = EstimateRequest(
+            ancestors=a, descendants=d, method="IM", config=config
+        )
+        futures.append(ServiceFuture(request, now))
+    return futures
+
+
+class TestPutMany:
+    def test_admits_whole_burst_under_capacity(self, figure1_tree):
+        queue = RequestQueue(maxsize=16)
+        futures = _futures(figure1_tree, 10)
+        assert queue.put_many(futures) == 10
+        assert len(queue) == 10
+        # The burst shares one signature: it drains as one batch.
+        assert len(queue.take_batch(max_batch=32, timeout=0.0)) == 10
+
+    def test_admits_prefix_at_capacity(self, figure1_tree):
+        queue = RequestQueue(maxsize=4)
+        futures = _futures(figure1_tree, 10)
+        assert queue.put_many(futures) == 4
+        assert len(queue) == 4
+        queue.take_batch(max_batch=2, timeout=0.0)
+        assert queue.put_many(futures[4:]) == 2
+
+    def test_closed_queue_admits_nothing(self, figure1_tree):
+        queue = RequestQueue(maxsize=4)
+        queue.close()
+        assert queue.put_many(_futures(figure1_tree, 3)) == 0
+
+
+# ----------------------------------------------------------------------
+# Service processes mode
+# ----------------------------------------------------------------------
+
+
+class TestServiceProcesses:
+    def _trace(self, operands, repeats=3):
+        a, d, __ = operands
+        return [
+            EstimateRequest(
+                ancestors=a,
+                descendants=d,
+                method="IM",
+                config={"num_samples": n, "seed": 7000 + r * 100 + n},
+            )
+            for r in range(repeats)
+            for n in (10, 25, 50)
+        ]
+
+    def test_processes_mode_is_bit_identical(self, operands):
+        trace = self._trace(operands)
+        expected = [
+            api.estimate(
+                r.ancestors, r.descendants, r.method, **r.config
+            ).value
+            for r in trace
+        ]
+        with EstimationService(workers=0, processes=2) as service:
+            responses = service.map(trace, timeout=60.0)
+            stats = service.stats()
+        assert [r.estimate.value for r in responses] == expected
+        assert stats["pool"]["scatters"] >= 1
+        assert stats["counters"]["service.scatters"] >= 1
+
+    def test_shutdown_leaves_no_segments(self, operands):
+        baseline = _shm_segments()
+        trace = self._trace(operands)
+        with EstimationService(workers=0, processes=2) as service:
+            service.map(trace, timeout=60.0)
+        assert _shm_segments() == baseline
+        assert not live_segments()
+
+    def test_dead_workers_fall_back_to_local(self, operands):
+        trace = self._trace(operands)
+        expected = [
+            api.estimate(
+                r.ancestors, r.descendants, r.method, **r.config
+            ).value
+            for r in trace
+        ]
+        with EstimationService(workers=0, processes=2) as service:
+            service._pool.crash_worker(0)
+            service._pool.crash_worker(1)
+            responses = service.map(trace, timeout=60.0)
+            stats = service.stats()
+        assert [r.estimate.value for r in responses] == expected
+        assert all(r.status == "ok" for r in responses)
+        assert stats["counters"]["service.scatter_fallbacks"] >= 1
+
+    def test_processes_zero_has_no_pool(self, operands):
+        with EstimationService(workers=0) as service:
+            assert service.stats()["pool"] is None
+
+    def test_rejects_negative_processes(self):
+        with pytest.raises(ServiceError):
+            EstimationService(processes=-1)
+
+    def test_custom_factory_disables_scatter(self, operands):
+        trace = self._trace(operands)
+        def custom_factory(method, **config):
+            return make_estimator(method, **config)
+
+        with EstimationService(
+            workers=0,
+            processes=2,
+            estimator_factory=custom_factory,
+        ) as service:
+            responses = service.map(trace, timeout=60.0)
+            stats = service.stats()
+        assert all(r.status == "ok" for r in responses)
+        assert stats["counters"]["service.scatters"] == 0
