@@ -37,7 +37,19 @@ retained reference implementations and writes ``BENCH_kernels.json``:
   regresses.  ``--only-service`` runs just this phase (the CI
   service-smoke job).  The phase always runs the service bench's own
   tuned workload (xmark at scale 0.4), independent of ``--quick`` — it
-  is seconds-fast either way and the gated numbers stay comparable.
+  is seconds-fast either way and the gated numbers stay comparable;
+* **optimizer** — the plan-regret sweep
+  (:mod:`repro.optimizer.regret`): every cardinality generator (the
+  estimator lineup, the pessimistic UBOUND generator, the exact
+  oracle) through the chain planner over the XMark/DBLP/XMach chain
+  workloads, each plan scored by its *true* cost against the
+  true-cost-optimal plan.  Written standalone as
+  ``BENCH_optimizer.json``; the gates require the EXACT generator's
+  regret to be 0 on every chain, the UBOUND generator to report zero
+  underestimated plan segments, and (``--min-generators``) a minimum
+  sweep width.  ``--only-optimizer`` runs just this phase (the CI
+  optimizer-smoke job).  Like the service phase it runs its own tuned
+  workload (scale 0.05), independent of ``--quick``.
 
 Every measurement is recorded through a :class:`repro.obs`
 ``MetricsRegistry`` (as ``bench.*`` histograms) and the report's
@@ -470,6 +482,77 @@ def bench_service() -> dict:
     return report
 
 
+def bench_optimizer() -> dict:
+    """The plan-regret sweep over every cardinality generator.
+
+    Delegates to :func:`repro.optimizer.regret.regret_report` (which
+    carries its own tuned workload — datasets at scale 0.05, the
+    default chain lineup) and stamps the elapsed wall time; the report
+    body itself is deterministic for the fixed scale/seed.
+    """
+    from repro.optimizer.regret import regret_report
+
+    start = time.perf_counter()
+    report = regret_report()
+    elapsed = time.perf_counter() - start
+    report["elapsed_s"] = elapsed
+    _record("optimizer.regret_s", elapsed)
+    for name, summary in report["generators"].items():
+        REGISTRY.histogram(f"bench.optimizer.{name}.mean_regret").observe(
+            summary["mean_regret"]
+        )
+    return report
+
+
+def _print_optimizer(report: dict) -> None:
+    print(
+        f"  {len(report['chains'])} chains over "
+        f"{'/'.join(report['datasets'])} at scale {report['scale']}, "
+        f"{len(report['generators'])} generators, "
+        f"{report['elapsed_s']:.2f} s"
+    )
+    for name, summary in sorted(report["generators"].items()):
+        print(
+            f"  {name:>10}: mean regret {summary['mean_regret']:7.3f}, "
+            f"max {summary['max_regret']:7.3f}, optimal "
+            f"{summary['optimal_plans']}/{summary['chains']}, "
+            f"underestimated segments "
+            f"{summary['underestimated_segments']}"
+        )
+
+
+def _check_optimizer(report: dict, args) -> int:
+    """Apply the optimizer gates; returns 0 (pass) or 1 (fail)."""
+    exact = report["generators"].get("EXACT")
+    if exact is None or exact["max_regret"] != 0.0:
+        print(
+            "FAIL: the exact-oracle generator must have regret 0 on "
+            f"every chain, got {exact}",
+            file=sys.stderr,
+        )
+        return 1
+    ubound = report["generators"].get("UBOUND")
+    if ubound is None or ubound["underestimated_segments"] != 0:
+        print(
+            "FAIL: the pessimistic bound generator underestimated "
+            f"{ubound and ubound['underestimated_segments']} true "
+            "intermediate sizes (it must never underestimate)",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_generators is not None
+        and len(report["generators"]) < args.min_generators
+    ):
+        print(
+            f"FAIL: regret sweep covered {len(report['generators'])} "
+            f"generators, below required {args.min_generators}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _print_service(report: dict) -> None:
     from repro.service.bench import render_report
 
@@ -616,6 +699,26 @@ def main(argv: list[str] | None = None) -> int:
         "(the CI service-smoke job)",
     )
     parser.add_argument(
+        "--only-optimizer",
+        action="store_true",
+        help="run only the plan-regret phase and its gates "
+        "(the CI optimizer-smoke job)",
+    )
+    parser.add_argument(
+        "--min-generators",
+        type=int,
+        default=None,
+        help="fail unless the regret sweep covers at least this many "
+        "cardinality generators",
+    )
+    parser.add_argument(
+        "--optimizer-output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_optimizer.json",
+        help="where to write the standalone plan-regret report",
+    )
+    parser.add_argument(
         "--min-service-speedup",
         type=float,
         default=None,
@@ -671,6 +774,26 @@ def main(argv: list[str] | None = None) -> int:
     if args.telemetry is not None:
         _SINK = obs.TelemetrySink(args.telemetry)
 
+    if args.only_optimizer:
+        print(
+            "optimizer phase: plan regret per cardinality generator",
+            flush=True,
+        )
+        optimizer = bench_optimizer()
+        _print_optimizer(optimizer)
+        validate_bench_report(optimizer, "optimizer")
+        args.optimizer_output.write_text(
+            json.dumps(optimizer, indent=2) + "\n"
+        )
+        print(f"wrote {args.optimizer_output}")
+        if _SINK is not None:
+            _SINK.close()
+            print(
+                f"wrote {_SINK.emitted} telemetry records to "
+                f"{args.telemetry}"
+            )
+        return _check_optimizer(optimizer, args)
+
     if args.only_service:
         print(
             "service phase: estimation service vs sequential estimate()",
@@ -700,7 +823,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"generating xmark at scale {scale} ...", flush=True)
     dataset = get_dataset("xmark", scale=scale)
 
-    print("phase 1/6: kernel microbenchmarks", flush=True)
+    print("phase 1/7: kernel microbenchmarks", flush=True)
     kernels = bench_kernels(dataset, repeats)
     for name, timing in kernels.items():
         print(
@@ -709,7 +832,7 @@ def main(argv: list[str] | None = None) -> int:
             f"({timing['speedup']:.1f}x)"
         )
 
-    print("phase 2/6: Fig. 7 histogram sweep (build + estimate)", flush=True)
+    print("phase 2/7: Fig. 7 histogram sweep (build + estimate)", flush=True)
     sweep = bench_fig7_sweep(scale, buckets)
     print(
         f"  reference {sweep['reference_s']:.2f} s, vectorized "
@@ -720,7 +843,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     print(
-        "phase 3/6: batched sampling trials (reference vs batched)",
+        "phase 3/7: batched sampling trials (reference vs batched)",
         flush=True,
     )
     sampling = bench_sampling(scale, runs=5 if args.quick else 11)
@@ -739,7 +862,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{timing['identical_series']}"
         )
 
-    print("phase 4/6: observation overhead (enabled, no sink)", flush=True)
+    print("phase 4/7: observation overhead (enabled, no sink)", flush=True)
     overhead = bench_obs_overhead(scale, buckets)
     print(
         f"  baseline {overhead['baseline_s']:.2f} s, observed "
@@ -751,7 +874,7 @@ def main(argv: list[str] | None = None) -> int:
 
     parallel = None
     if not args.skip_parallel:
-        print("phase 5/6: parallel harness", flush=True)
+        print("phase 5/7: parallel harness", flush=True)
         parallel = bench_parallel(scale, runs=5 if args.quick else 31)
         print(
             f"  serial {parallel['serial_s']:.2f} s, "
@@ -762,11 +885,18 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     print(
-        "phase 6/6: estimation service vs sequential estimate()",
+        "phase 6/7: estimation service vs sequential estimate()",
         flush=True,
     )
     service = bench_service()
     _print_service(service)
+
+    print(
+        "phase 7/7: plan regret per cardinality generator",
+        flush=True,
+    )
+    optimizer = bench_optimizer()
+    _print_optimizer(optimizer)
 
     if _SINK is not None:
         # One more instrumented sweep, this time streaming per-call
@@ -796,6 +926,7 @@ def main(argv: list[str] | None = None) -> int:
     validate_bench_report(report, "kernels")
     validate_bench_report(sampling_report, "sampling")
     validate_bench_report(service, "service")
+    validate_bench_report(optimizer, "optimizer")
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     args.sampling_output.write_text(
@@ -804,6 +935,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.sampling_output}")
     args.service_output.write_text(json.dumps(service, indent=2) + "\n")
     print(f"wrote {args.service_output}")
+    args.optimizer_output.write_text(
+        json.dumps(optimizer, indent=2) + "\n"
+    )
+    print(f"wrote {args.optimizer_output}")
     if _SINK is not None:
         _SINK.close()
         print(
@@ -856,7 +991,9 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    return _check_service(service, args)
+    return _check_service(service, args) or _check_optimizer(
+        optimizer, args
+    )
 
 
 if __name__ == "__main__":

@@ -3,24 +3,24 @@
 The paper motivates size estimation with join ordering: a wrong
 intermediate-size estimate picks a plan whose true cost is larger.  This
 benchmark runs the chain optimizer over XMARK 3- and 4-way chains with
-each estimation method (plus the §6.5 hybrid and the exact oracle) and
-reports the *plan regret*: true cost of the chosen plan divided by the
-true cost of the optimal plan.  A regret of 1.00 means the estimator was
-good enough to pick the best plan.
+each estimation method (plus the §6.5 hybrid, the pessimistic upper
+bound, and the exact oracle), all through the pluggable
+``CardinalityGenerator`` interface, and reports the *plan regret*: true
+cost of the chosen plan divided by the true cost of the optimal plan.
+A regret of 1.00 means the generator was good enough to pick the best
+plan.
 """
 
 import statistics
 
 from repro.core.budget import SpaceBudget
-from repro.estimators.base import Estimate, Estimator
 from repro.estimators.hybrid import HybridEstimator
 from repro.estimators.im_sampling import IMSamplingEstimator
 from repro.estimators.ph_histogram import PHHistogramEstimator
 from repro.estimators.pl_histogram import PLHistogramEstimator
 from repro.experiments.report import format_table
-from repro.join import containment_join_size
-from repro.optimizer import chain_join_size, optimize_chain
-from repro.optimizer.planner import JoinPlan
+from repro.optimizer import optimize, resolve_generator
+from repro.optimizer.regret import optimal_true_cost, true_plan_cost
 
 CHAINS = [
     ["open_auction", "annotation", "text"],
@@ -31,41 +31,11 @@ CHAINS = [
 ]
 
 
-class _ExactEstimator(Estimator):
-    name = "EXACT"
-
-    def estimate(self, ancestors, descendants, workspace=None):
-        return Estimate(
-            float(containment_join_size(ancestors, descendants)), self.name
-        )
-
-
-def _all_plans(lo: int, hi: int) -> list[JoinPlan]:
-    if lo == hi:
-        return [JoinPlan(lo, hi, 0.0)]
-    plans = []
-    for split in range(lo, hi):
-        for left in _all_plans(lo, split):
-            for right in _all_plans(split + 1, hi):
-                plans.append(JoinPlan(lo, hi, 0.0, left, right))
-    return plans
-
-
-def _true_cost(plan: JoinPlan, sets, is_root=True) -> int:
-    if plan.is_leaf:
-        return 0
-    own = 0 if is_root else chain_join_size(sets[plan.lo : plan.hi + 1])
-    return (
-        own
-        + _true_cost(plan.left, sets, False)
-        + _true_cost(plan.right, sets, False)
-    )
-
-
 def test_optimizer_plan_regret(benchmark, report, xmark_full):
     budget = SpaceBudget(800)
-    methods = {
-        "EXACT": lambda: _ExactEstimator(),
+    generators = {
+        "EXACT": lambda: resolve_generator("EXACT"),
+        "UBOUND": lambda: resolve_generator("UBOUND"),
         "PH": lambda: PHHistogramEstimator(budget=budget),
         "PL": lambda: PLHistogramEstimator(budget=budget),
         "IM": lambda: IMSamplingEstimator(budget=budget, seed=17),
@@ -75,22 +45,20 @@ def test_optimizer_plan_regret(benchmark, report, xmark_full):
 
     sets0 = [xmark_full.node_set(tag) for tag in CHAINS[0]]
     benchmark.pedantic(
-        lambda: optimize_chain(sets0, methods["PL"](), workspace),
+        lambda: optimize(sets0, generators["PL"](), workspace=workspace),
         rounds=3,
         iterations=1,
     )
 
     rows = []
-    regrets: dict[str, list[float]] = {name: [] for name in methods}
+    regrets: dict[str, list[float]] = {name: [] for name in generators}
     for tags in CHAINS:
         sets = [xmark_full.node_set(tag) for tag in tags]
-        candidates = _all_plans(0, len(sets) - 1)
-        costs = [( _true_cost(plan, sets), plan) for plan in candidates]
-        optimal_cost = min(cost for cost, __ in costs)
+        optimal_cost = optimal_true_cost(sets)
         row = [" // ".join(tags), optimal_cost]
-        for name, factory in methods.items():
-            chosen = optimize_chain(sets, factory(), workspace)
-            chosen_cost = _true_cost(chosen, sets)
+        for name, factory in generators.items():
+            chosen = optimize(sets, factory(), workspace=workspace)
+            chosen_cost = true_plan_cost(chosen, sets)
             regret = (
                 chosen_cost / optimal_cost if optimal_cost else 1.0
             )
@@ -100,15 +68,18 @@ def test_optimizer_plan_regret(benchmark, report, xmark_full):
     report(
         "optimizer_plan_regret",
         format_table(
-            ["chain", "optimal cost", *methods],
+            ["chain", "optimal cost", *generators],
             rows,
             title="[xmark] plan regret (chosen true cost / optimal true "
-                  "cost) per estimation method",
+                  "cost) per cardinality generator",
         ),
     )
 
     # The exact oracle must always find the optimum.
     assert all(regret == 1.0 for regret in regrets["EXACT"])
+    # The pessimistic bound plans from sound overestimates; its regret
+    # stays modest even though its absolute estimates are loose.
+    assert statistics.fmean(regrets["UBOUND"]) < 1.6
     # Good estimators keep mean regret near 1; the broken baseline (PH on
     # recursive sets) must not be better than IM.
     assert statistics.fmean(regrets["IM"]) < 1.6

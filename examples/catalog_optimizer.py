@@ -14,7 +14,7 @@ from repro.core.budget import SpaceBudget
 from repro.datasets import generate_xmark
 from repro.estimators.base import Estimate, Estimator
 from repro.join import containment_join_size
-from repro.optimizer import optimize_chain, plan_cost
+from repro.optimizer import optimize, plan_cost
 from repro.optimizer.twig import estimate_twig_selectivity, twig, twig_semijoin_count
 
 
@@ -55,7 +55,7 @@ def main() -> None:
     # 2. Chain join ordering from catalog estimates.
     tags = ["desp", "parlist", "listitem", "text"]
     sets = [dataset.node_set(tag) for tag in tags]
-    plan = optimize_chain(sets, estimator)
+    plan = optimize(sets, estimator)
     print(f"\nchain {' // '.join(tags)}:")
     print(f"  chosen plan {plan.describe(tags)}, "
           f"estimated intermediate cost {plan_cost(plan):.0f}")

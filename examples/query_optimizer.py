@@ -7,8 +7,10 @@ This script plays that scenario on an XMark-like document with the chain
 
     open_auction // annotation // text
 
-and a deeper four-way chain, comparing the plan chosen from IM-DA-Est
-estimates against the true cost of every possible parenthesization.
+and a deeper four-way chain, comparing the plans chosen by three
+pluggable cardinality generators — IM-DA-Est sampling, the pessimistic
+upper bound, and the exact oracle — against the true cost of every
+possible parenthesization.
 
 Run:  python examples/query_optimizer.py
 """
@@ -16,37 +18,14 @@ Run:  python examples/query_optimizer.py
 from itertools import count
 
 from repro.datasets import generate_xmark
-from repro.estimators import IMSamplingEstimator
-from repro.optimizer import chain_join_size, optimize_chain, plan_cost
-from repro.optimizer.planner import JoinPlan
+from repro.optimizer import optimize, plan_cost, resolve_generator
+from repro.optimizer.regret import all_plans, true_plan_cost
 
-
-def all_plans(lo: int, hi: int, sizes) -> list[JoinPlan]:
-    """Enumerate every parenthesization of the segment (for the report)."""
-    if lo == hi:
-        return [JoinPlan(lo, hi, sizes[lo][hi])]
-    plans = []
-    for split in range(lo, hi):
-        for left in all_plans(lo, split, sizes):
-            for right in all_plans(split + 1, hi, sizes):
-                plans.append(JoinPlan(lo, hi, sizes[lo][hi], left, right))
-    return plans
-
-
-def true_cost(plan: JoinPlan, node_sets, is_root: bool = True) -> int:
-    """Exact total intermediate-result size of a plan."""
-    if plan.is_leaf:
-        return 0
-    own = (
-        0
-        if is_root
-        else chain_join_size(node_sets[plan.lo : plan.hi + 1])
-    )
-    return (
-        own
-        + true_cost(plan.left, node_sets, False)
-        + true_cost(plan.right, node_sets, False)
-    )
+GENERATORS = {
+    "IM": lambda: resolve_generator("IM", num_samples=100, seed=11),
+    "UBOUND": lambda: resolve_generator("UBOUND"),
+    "EXACT": lambda: resolve_generator("EXACT"),
+}
 
 
 def analyze(dataset, tags: list[str]) -> None:
@@ -55,23 +34,25 @@ def analyze(dataset, tags: list[str]) -> None:
     print(f"chain query: {' // '.join(tags)}")
     print("  operand sizes:", {t: len(s) for t, s in zip(tags, node_sets)})
 
-    estimator = IMSamplingEstimator(num_samples=100, seed=11)
-    chosen = optimize_chain(node_sets, estimator, workspace)
-    print(f"  chosen plan:  {chosen.describe(tags)}")
-    print(f"  estimated intermediate cost: {plan_cost(chosen):.0f}")
-    print(f"  true intermediate cost:      {true_cost(chosen, node_sets)}")
+    chosen_shapes = {}
+    for name, factory in GENERATORS.items():
+        chosen = optimize(node_sets, factory(), workspace=workspace)
+        chosen_shapes[name] = chosen.describe(tags)
+        print(f"  {name:6s} plan {chosen.describe(tags)}: "
+              f"estimated cost {plan_cost(chosen):.0f}, "
+              f"true cost {true_plan_cost(chosen, node_sets)}")
 
-    # Exhaustive comparison: how good was the choice?
-    k = len(node_sets)
-    sizes = [[0.0] * k for _ in range(k)]
-    candidates = all_plans(0, k - 1, sizes)
+    # Exhaustive comparison: how good were the choices?
+    candidates = all_plans(0, len(node_sets) - 1)
     ranked = sorted(
-        (true_cost(plan, node_sets), plan.describe(tags))
+        (true_plan_cost(plan, node_sets), plan.describe(tags))
         for plan in candidates
     )
     print("  all parenthesizations by true cost:")
     for rank, (cost, description) in zip(count(1), ranked):
-        marker = " <= chosen" if description == chosen.describe(tags) else ""
+        pickers = [n for n, shape in chosen_shapes.items()
+                   if shape == description]
+        marker = f" <= {', '.join(pickers)}" if pickers else ""
         print(f"    {rank}. {description}: {cost}{marker}")
     print()
 

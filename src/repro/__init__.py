@@ -49,35 +49,47 @@ from repro.core.element import Element, Region
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
 from repro.api import (
+    CardinalityGenerator,
     Estimate,
     EstimateRequest,
     EstimateResponse,
     EstimationService,
     Estimator,
+    JoinPlan,
     available_estimators,
+    available_generators,
     build_catalog,
     estimate,
     make_estimator,
+    optimize,
+    plan_cost,
+    resolve_generator,
     serve,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
+    "CardinalityGenerator",
     "Element",
     "Estimate",
     "EstimateRequest",
     "EstimateResponse",
     "EstimationService",
     "Estimator",
+    "JoinPlan",
     "NodeSet",
     "Region",
     "SpaceBudget",
     "Workspace",
     "available_estimators",
+    "available_generators",
     "build_catalog",
     "estimate",
     "make_estimator",
+    "optimize",
+    "plan_cost",
+    "resolve_generator",
     "serve",
     "__version__",
 ]

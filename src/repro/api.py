@@ -10,6 +10,11 @@ needs without touching package internals:
   (:class:`EstimationService`) with per-request deadlines, graceful
   degradation and load shedding, for callers that issue many requests
   (an optimizer costing candidate plans) rather than one;
+* :func:`optimize` — join-order selection for a containment-join chain,
+  driven by any :class:`CardinalityGenerator` (estimator-backed,
+  service-backed, exact-oracle, or the pessimistic upper bound), with
+  :func:`resolve_generator` / :func:`available_generators` mirroring
+  the estimator registry's name resolution;
 * the re-exported types: :class:`Estimate`, :class:`Estimator`,
   :class:`NodeSet`, :class:`Workspace`, :class:`SpaceBudget`,
   :class:`SummaryCache`, :class:`IndexCache` (with
@@ -48,6 +53,13 @@ from repro.estimators.registry import (
     canonical_name,
     make_estimator,
 )
+from repro.optimizer.generator import (
+    CardinalityGenerator,
+    available_generators,
+    resolve_generator,
+)
+from repro.optimizer.planner import JoinPlan, plan_cost
+from repro.optimizer.planner import optimize as _optimize_impl
 from repro.perf.cache import SummaryCache, use_cache
 from repro.perf.index_cache import IndexCache, use_index_cache
 from repro.service.engine import EstimationService
@@ -55,22 +67,28 @@ from repro.service.request import EstimateRequest, EstimateResponse
 from repro.xmltree.tree import DataTree
 
 __all__ = [
+    "CardinalityGenerator",
     "Estimate",
     "EstimateRequest",
     "EstimateResponse",
     "EstimationService",
     "Estimator",
     "IndexCache",
+    "JoinPlan",
     "NodeSet",
     "SpaceBudget",
     "StatisticsCatalog",
     "SummaryCache",
     "Workspace",
     "available_estimators",
+    "available_generators",
     "build_catalog",
     "canonical_name",
     "estimate",
     "make_estimator",
+    "optimize",
+    "plan_cost",
+    "resolve_generator",
     "serve",
     "use_index_cache",
 ]
@@ -109,6 +127,50 @@ def estimate(
         return estimator.estimate(ancestors, descendants, workspace)
     with use_cache(cache):
         return estimator.estimate(ancestors, descendants, workspace)
+
+
+def optimize(
+    node_sets: Any,
+    generator: "CardinalityGenerator | Estimator | str" = "PL",
+    *,
+    workspace: Workspace | None = None,
+    catalog: StatisticsCatalog | None = None,
+    **config: Any,
+) -> JoinPlan:
+    """Pick the cheapest join order for a containment-join chain.
+
+    The facade entry point to the planner: ``node_sets`` is the chain
+    ``s_1 // ... // s_k`` (outermost ancestor first, k >= 2) and
+    ``generator`` is any accepted estimation source — a
+    :class:`CardinalityGenerator`, a bare :class:`Estimator` (wrapped in
+    the pairwise adapter), or a name :func:`resolve_generator` accepts::
+
+        repro.optimize(sets, "PL", workspace=ws, num_buckets=20)
+        repro.optimize(sets, "exact")        # oracle baseline
+        repro.optimize(sets, "pessimistic")  # UES/AGM upper bound
+
+    Unknown names raise
+    :class:`~repro.core.errors.UnknownGeneratorError` with the same
+    nearest-match candidate lists the estimator registry produces.
+
+    Args:
+        node_sets: the chain's node sets, outermost ancestor first.
+        generator: estimation source (see above); default "PL".
+        workspace: shared position domain (defaults per estimator call).
+        catalog: optional :class:`StatisticsCatalog` forwarded to the
+            generator's ``setup_for_workload`` hook.
+        **config: constructor arguments when ``generator`` is a name.
+
+    Returns:
+        the optimal :class:`JoinPlan`; score it with :func:`plan_cost`.
+    """
+    return _optimize_impl(
+        node_sets,
+        generator,
+        workspace=workspace,
+        catalog=catalog,
+        **config,
+    )
 
 
 def serve(

@@ -66,6 +66,27 @@ class UnknownEstimatorError(EstimationError):
         self.candidates = candidates
 
 
+class PlanError(EstimationError):
+    """The join-order planner was misused or received an invalid plan.
+
+    Raised for chains too short to plan, malformed
+    :meth:`~repro.optimizer.planner.JoinPlan.from_dict` payloads, and
+    generator contract violations surfaced by ``pre_check``.  Subclasses
+    :class:`EstimationError` because planner misuse was historically
+    raised as one — ``except EstimationError`` handlers keep working.
+    """
+
+
+class UnknownGeneratorError(UnknownEstimatorError):
+    """A name resolved to neither a cardinality generator nor an estimator.
+
+    Carries the same ``name``/``candidates`` attributes as
+    :class:`UnknownEstimatorError` (which it subclasses, so existing
+    handlers catch it); candidates mix generator names (``EXACT``,
+    ``UBOUND``) with estimator registry names.
+    """
+
+
 class BudgetExceededError(EstimationError):
     """A space or work budget cannot accommodate the request.
 

@@ -13,11 +13,24 @@ The structural features of Section 3.1 yield hard bounds that hold for
 ``clamp_estimate`` projects any estimator output into the feasible
 interval — a cheap, always-safe post-processor the ablation benchmark
 evaluates.
+
+:func:`containment_fanout_bounds` sharpens the structural bounds with
+two *measured* per-step maxima (one O((|A|+|D|) log) pass over the
+sorted region codes, still no statistics): the largest number of
+descendants any single ancestor contains and the largest number of
+ancestors any single descendant sits in.  These are the per-step
+factors the pessimistic UES/AGM-style plan generator
+(:class:`repro.optimizer.generator.BoundGenerator`) composes into
+chain-segment upper bounds — guaranteed never below the true size, by
+construction, because a maximum per-element fan-out bounds every sum of
+per-element fan-outs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.nodeset import NodeSet
 from repro.estimators.base import Estimate
@@ -50,6 +63,66 @@ def join_size_bounds(ancestors: NodeSet, descendants: NodeSet) -> JoinSizeBounds
         len(ancestors) * len(descendants),
     )
     return JoinSizeBounds(0, upper)
+
+
+@dataclass(frozen=True, slots=True)
+class FanoutBounds:
+    """Measured per-step join fan-out maxima for one operand pair.
+
+    Attributes:
+        max_fanout: the largest number of descendants joined by any
+            single ancestor (``max_a |{d : a contains d}|``).
+        max_fanin: the largest number of ancestors joined by any single
+            descendant (``max_d |{a : a contains d}|``); never exceeds
+            the ancestor set's nesting depth.
+    """
+
+    max_fanout: int
+    max_fanin: int
+
+
+def containment_fanout_bounds(
+    ancestors: NodeSet, descendants: NodeSet
+) -> FanoutBounds:
+    """Per-element join fan-out maxima, from the sorted region codes.
+
+    Both counts test start-containment (``a.start < d.start < a.end``),
+    which under the XML strict-nesting invariant equals full
+    containment and for arbitrary interval data is a superset of it —
+    so each maximum is always a valid *upper* bound on the true
+    per-element fan-out.  Costs O((|A| + |D|) log) via searchsorted.
+    """
+    if len(ancestors) == 0 or len(descendants) == 0:
+        return FanoutBounds(0, 0)
+    a_starts = ancestors.starts
+    d_starts = descendants.starts
+    # Descendant starts strictly inside each ancestor's region.
+    inside_lo = np.searchsorted(d_starts, a_starts, side="right")
+    inside_hi = np.searchsorted(d_starts, ancestors.ends, side="left")
+    max_fanout = int(np.max(inside_hi - inside_lo))
+    # Ancestors whose region is still open at each descendant's start.
+    started = np.searchsorted(a_starts, d_starts, side="left")
+    ended = np.searchsorted(ancestors.sorted_ends, d_starts, side="left")
+    max_fanin = int(np.max(started - ended))
+    return FanoutBounds(max(0, max_fanout), max(0, max_fanin))
+
+
+def refined_join_bound(ancestors: NodeSet, descendants: NodeSet) -> int:
+    """The tightest structural upper bound this module can prove.
+
+    Combines the Section 3.1 bounds of :func:`join_size_bounds` with the
+    measured fan-out maxima: ``|A ⋈ D| <= min(structural, |A|·max_fanout,
+    |D|·max_fanin)``.
+    """
+    structural = join_size_bounds(ancestors, descendants).upper
+    if structural == 0:
+        return 0
+    fanout = containment_fanout_bounds(ancestors, descendants)
+    return min(
+        structural,
+        len(ancestors) * fanout.max_fanout,
+        len(descendants) * fanout.max_fanin,
+    )
 
 
 def clamp_estimate(

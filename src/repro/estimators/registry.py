@@ -15,7 +15,7 @@ matches — resolution never silently picks one.
 from __future__ import annotations
 
 import difflib
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.core.errors import UnknownEstimatorError
 from repro.estimators.base import Estimator
@@ -88,25 +88,43 @@ def available_estimators() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def nearest_estimators(name: str, limit: int = 3) -> tuple[str, ...]:
-    """Canonical names closest to ``name``, best first.
+def nearest_names(
+    name: str,
+    names: Iterable[str],
+    aliases: Mapping[str, str],
+    limit: int = 3,
+) -> tuple[str, ...]:
+    """Canonical names from ``names`` closest to ``name``, best first.
 
-    Aliases participate in the matching (so "semijoin" finds SEMI-A and
-    SEMI-D through the alias table) but the returned candidates are
-    always canonical registry names, deduplicated in similarity order.
+    The generic nearest-match engine behind every name registry in the
+    package (estimators here, cardinality generators in
+    :mod:`repro.optimizer.generator`).  Aliases participate in the
+    matching but the returned candidates are always canonical names,
+    deduplicated in similarity order.
     """
-    key = _ALIASES.get(name.strip().upper(), name.strip().upper())
+    pool = list(names)
+    key = aliases.get(name.strip().upper(), name.strip().upper())
     close = difflib.get_close_matches(
-        key, [*_REGISTRY, *_ALIASES], n=max(limit * 2, 6), cutoff=0.5
+        key, [*pool, *aliases], n=max(limit * 2, 6), cutoff=0.5
     )
     candidates: list[str] = []
     for match in close:
-        canonical = _ALIASES.get(match, match)
+        canonical = aliases.get(match, match)
         if canonical not in candidates:
             candidates.append(canonical)
         if len(candidates) >= limit:
             break
     return tuple(candidates)
+
+
+def nearest_estimators(name: str, limit: int = 3) -> tuple[str, ...]:
+    """Canonical estimator names closest to ``name``, best first.
+
+    Aliases participate in the matching (so "semijoin" finds SEMI-A and
+    SEMI-D through the alias table) but the returned candidates are
+    always canonical registry names, deduplicated in similarity order.
+    """
+    return nearest_names(name, _REGISTRY, _ALIASES, limit)
 
 
 def canonical_name(name: str) -> str:

@@ -20,13 +20,16 @@ module provides
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
 from repro.estimators.base import Estimator
 from repro.join.stack_tree import stack_tree_join
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.optimizer.generator import CardinalityGenerator
 
 #: Resolves a tag name to its node set (e.g. ``dataset.node_set``).
 NodeSetProvider = Callable[[str], NodeSet]
@@ -112,10 +115,23 @@ def twig_semijoin_count(provider: NodeSetProvider, pattern: TwigNode) -> int:
 def estimate_twig_size(
     provider: NodeSetProvider,
     pattern: TwigNode,
-    estimator: Estimator,
+    estimator: "CardinalityGenerator | Estimator | str",
     workspace: Workspace | None = None,
 ) -> float:
-    """Estimated embedding count under per-edge independence."""
+    """Estimated embedding count under per-edge independence.
+
+    ``estimator`` may be a bare estimator (the historical argument,
+    wrapped silently), a
+    :class:`~repro.optimizer.generator.CardinalityGenerator`, or any
+    name :func:`~repro.optimizer.generator.resolve_generator` accepts —
+    each twig edge is costed as a two-leaf chain segment through the
+    generator interface, so the exact-oracle and pessimistic bound
+    generators drive twig estimation too.
+    """
+    from repro.optimizer.generator import PlanningState, as_generator
+
+    generator = as_generator(estimator)
+    generator.setup_for_workload(workspace)
     nodes = pattern.nodes()
     if len(nodes) == 1:
         return float(len(provider(pattern.tag)))
@@ -126,7 +142,9 @@ def estimate_twig_size(
         d = provider(descendant_node.tag)
         if len(a) == 0 or len(d) == 0:
             return 0.0
-        product *= max(0.0, estimator.estimate(a, d, workspace).value)
+        edge_state = PlanningState((a, d), workspace=workspace)
+        generator.pre_check(edge_state)
+        product *= max(0.0, generator.estimate_join(0, 1, edge_state))
         incident[id(ancestor_node)] = incident.get(id(ancestor_node), 0) + 1
         incident[id(descendant_node)] = (
             incident.get(id(descendant_node), 0) + 1
@@ -144,7 +162,7 @@ def estimate_twig_size(
 def estimate_twig_selectivity(
     provider: NodeSetProvider,
     pattern: TwigNode,
-    estimator: Estimator,
+    estimator: "CardinalityGenerator | Estimator | str",
     workspace: Workspace | None = None,
 ) -> float:
     """Estimated fraction of root-tag elements with >= 1 embedding.

@@ -29,6 +29,7 @@ __all__ = [
     "Spec",
     "nullable",
     "KERNELS_SCHEMA",
+    "OPTIMIZER_SCHEMA",
     "SAMPLING_SCHEMA",
     "SERVICE_SCHEMA",
     "SCHEMAS",
@@ -235,8 +236,57 @@ KERNELS_SCHEMA = Spec(
     optional={"service": SERVICE_SCHEMA},
 )
 
+#: One generator's plan for one chain of the regret sweep.
+_PLAN_RESULT = Spec(
+    required={
+        "plan": str,
+        "true_cost": NUMBER,
+        "estimated_cost": NUMBER,
+        "regret": NUMBER,
+        "underestimated_segments": int,
+    }
+)
+
+_CHAIN_ROW = Spec(
+    required={
+        "dataset": str,
+        "tags": [str],
+        "optimal_cost": NUMBER,
+        "plans": Spec(values=_PLAN_RESULT),
+    }
+)
+
+_GENERATOR_SUMMARY = Spec(
+    required={
+        "describe": dict,
+        "chains": int,
+        "mean_regret": NUMBER,
+        "max_regret": NUMBER,
+        "optimal_plans": int,
+        "underestimated_segments": int,
+    }
+)
+
+#: The plan-regret sweep: every cardinality generator through the chain
+#: planner over the XMark/DBLP/XMach workloads.  The CI gates require
+#: the EXACT generator's regret to be 0 on every chain and the UBOUND
+#: generator to report zero underestimated segments.
+OPTIMIZER_SCHEMA = Spec(
+    required={
+        "bench": str,
+        "schema_version": int,
+        "scale": NUMBER,
+        "seed": int,
+        "datasets": [str],
+        "generators": Spec(values=_GENERATOR_SUMMARY),
+        "chains": [_CHAIN_ROW],
+    },
+    optional={"elapsed_s": NUMBER},
+)
+
 SCHEMAS: dict[str, Spec] = {
     "kernels": KERNELS_SCHEMA,
+    "optimizer": OPTIMIZER_SCHEMA,
     "sampling": SAMPLING_SCHEMA,
     "service": SERVICE_SCHEMA,
 }

@@ -26,6 +26,10 @@ The oracles cover the layers named in the ROADMAP's production story:
   (:mod:`repro.shard`) reproduces the unsharded statistics: integer
   counts bit-exactly, float ``total_length`` sums to 1e-12 relative
   (reassociation at shard seams only), merged intervals exactly.
+* ``planner-invariance`` — the join-order planner's output is a pure
+  function of (chain, generator config): calling ``describe()`` or
+  repeating ``setup_for_workload`` before/around planning never changes
+  the plan, and the plan survives its wire round-trip.
 * ``metamorphic`` — region-code translation/dilation invariance,
   ancestor-union additivity, duplication scaling, A/D disjointness.
 * ``parser-fuzz`` / ``validator-fuzz`` — the invalid-input corpus is
@@ -692,6 +696,59 @@ def check_validator_fuzz(case: Case) -> None:
         _fail("validator-fuzz", f"Element accepted degenerate region {bad}")
 
 
+def check_planner_invariance(case: Case) -> None:
+    """Planner output is invariant to generator describe()/setup order.
+
+    The :class:`~repro.optimizer.generator.CardinalityGenerator`
+    lifecycle hooks promise idempotence: ``describe()`` is read-only
+    and ``setup_for_workload`` may run any number of times.  For each
+    generator family the oracle plans the same chain twice — once
+    plainly, once with ``describe()`` calls and a repeated setup
+    interleaved — and requires bit-identical plans, then round-trips
+    the plan through its versioned wire form.
+    """
+    from repro.optimizer.generator import resolve_generator
+    from repro.optimizer.planner import JoinPlan, optimize
+
+    if len(case.ancestors) == 0 or len(case.descendants) == 0:
+        return
+    # a // a // d: a valid chain from any case's two operands.
+    chain = [case.ancestors, case.ancestors, case.descendants]
+    for name, config in (
+        ("PL", {"num_buckets": 8}),
+        ("UBOUND", {}),
+        ("EXACT", {}),
+    ):
+        plain = resolve_generator(name, **config)
+        baseline = optimize(chain, plain, workspace=case.workspace)
+
+        noisy = resolve_generator(name, **config)
+        before = noisy.describe()
+        noisy.setup_for_workload(case.workspace, None)
+        noisy.describe()
+        noisy.setup_for_workload(case.workspace, None)
+        perturbed = optimize(chain, noisy, workspace=case.workspace)
+        after = noisy.describe()
+
+        if perturbed != baseline:
+            _fail(
+                "planner-invariance",
+                f"{name}: plan changed under describe()/setup "
+                f"reordering: {perturbed} != {baseline}",
+            )
+        if before != after:
+            _fail(
+                "planner-invariance",
+                f"{name}: describe() mutated across planning: "
+                f"{before} != {after}",
+            )
+        if JoinPlan.from_dict(baseline.to_dict()) != baseline:
+            _fail(
+                "planner-invariance",
+                f"{name}: plan wire round-trip not identical",
+            )
+
+
 #: The registry the runner iterates: name -> per-case oracle.
 ORACLES: dict[str, Callable[[Case], None]] = {
     "exact-join": check_exact_join,
@@ -702,6 +759,7 @@ ORACLES: dict[str, Callable[[Case], None]] = {
     "cached-vs-uncached": check_cached_vs_uncached,
     "service-vs-direct": check_service_vs_direct,
     "sharded-vs-unsharded": check_sharded_vs_unsharded,
+    "planner-invariance": check_planner_invariance,
     "metamorphic": check_metamorphic,
     "parser-fuzz": check_parser_fuzz,
     "validator-fuzz": check_validator_fuzz,

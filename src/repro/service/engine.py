@@ -482,6 +482,38 @@ class EstimationService:
             self.help_drain((future,))
         return future.result(timeout)
 
+    def cardinality_generator(
+        self,
+        method: str = "PL",
+        *,
+        deadline_s: float | None = None,
+        **config: Any,
+    ) -> "Any":
+        """A planner-facing generator backed by this service.
+
+        Returns a :class:`~repro.optimizer.generator.ServiceGenerator`
+        whose pair estimates are service requests — memoized,
+        micro-batched, and (with ``deadline_s``) degradation-guarded, so
+        an optimization pass never stalls on a slow estimator.  Pass the
+        result to :func:`repro.api.optimize`::
+
+            with repro.serve(catalog=catalog, workers=0) as service:
+                generator = service.cardinality_generator(
+                    "IM", deadline_s=0.05, num_samples=100, seed=7,
+                )
+                plan = repro.optimize(sets, generator, workspace=ws)
+
+        Args:
+            method: estimator name for the pair requests.
+            deadline_s: per-request deadline; None = full fidelity.
+            **config: estimator configuration sent with each request.
+        """
+        from repro.optimizer.generator import ServiceGenerator
+
+        return ServiceGenerator(
+            self, method, deadline_s=deadline_s, **config
+        )
+
     def map(
         self,
         requests: Iterable[EstimateRequest],

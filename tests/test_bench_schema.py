@@ -22,6 +22,7 @@ class TestCheckedInArtifacts:
     def test_artifacts_exist(self):
         assert {p.name for p in BENCH_FILES} == {
             "BENCH_kernels.json",
+            "BENCH_optimizer.json",
             "BENCH_sampling.json",
             "BENCH_service.json",
         }
@@ -32,6 +33,22 @@ class TestCheckedInArtifacts:
     def test_checked_in_report_matches_schema(self, path):
         kind = validate_bench_file(path)
         assert kind == path.stem[len("BENCH_"):]
+
+    def test_optimizer_artifact_gate_invariants(self):
+        """The checked-in regret report satisfies the CI gates: exact
+        oracle regret 0 everywhere, the pessimistic bound never below a
+        true intermediate size, and a meaningful sweep width."""
+        data = json.loads(
+            (REPO_ROOT / "BENCH_optimizer.json").read_text()
+        )
+        assert data["generators"]["EXACT"]["max_regret"] == 0.0
+        assert (
+            data["generators"]["UBOUND"]["underestimated_segments"] == 0
+        )
+        assert len(data["generators"]) >= 4
+        for chain in data["chains"]:
+            assert chain["plans"]["EXACT"]["regret"] == 0.0
+            assert chain["plans"]["UBOUND"]["underestimated_segments"] == 0
 
 
 class TestKindDetection:
@@ -87,6 +104,16 @@ class TestDriftDetection:
     def test_unknown_extra_key_is_allowed(self, sampling):
         sampling["future_section"] = {"anything": 1}
         validate_bench_report(sampling, "sampling")
+
+    def test_optimizer_plan_shape_enforced(self):
+        optimizer = json.loads(
+            (REPO_ROOT / "BENCH_optimizer.json").read_text()
+        )
+        chain = optimizer["chains"][0]
+        first = next(iter(chain["plans"]))
+        del chain["plans"][first]["regret"]
+        with pytest.raises(BenchSchemaError, match="regret"):
+            validate_bench_report(optimizer, "optimizer")
 
     def test_kernels_service_section_optional(self):
         kernels = json.loads(

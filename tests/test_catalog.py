@@ -224,7 +224,7 @@ class TestStatisticsCatalog:
 
     def test_estimates_usable_for_optimization(self, dataset):
         """End-to-end: catalog feeds the chain optimizer."""
-        from repro.optimizer import optimize_chain
+        from repro.optimizer import optimize
 
         catalog = StatisticsCatalog(dataset.tree, SpaceBudget(800))
 
@@ -238,7 +238,7 @@ class TestStatisticsCatalog:
             dataset.node_set(tag)
             for tag in ("open_auction", "annotation", "text")
         ]
-        plan = optimize_chain(sets, CatalogEstimator())
+        plan = optimize(sets, CatalogEstimator())
         assert not plan.is_leaf
 
 

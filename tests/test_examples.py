@@ -42,7 +42,9 @@ class TestExamples:
 
     def test_query_optimizer(self):
         out = run_example("query_optimizer.py")
-        assert "chosen plan" in out
+        assert "IM     plan" in out
+        assert "UBOUND plan" in out
+        assert "EXACT  plan" in out
         assert "parenthesizations" in out
 
     def test_catalog_optimizer(self):

@@ -7,7 +7,7 @@ from repro.core.errors import EstimationError
 from repro.core.nodeset import NodeSet
 from repro.estimators.im_sampling import IMSamplingEstimator
 from repro.join import containment_join_size
-from repro.optimizer import chain_join_size, optimize_chain, plan_cost
+from repro.optimizer import chain_join_size, optimize, optimize_chain, plan_cost
 from repro.optimizer.planner import JoinPlan
 from repro.xmltree import parse_xml
 
@@ -115,7 +115,7 @@ class TestOptimizeChain:
         """The intro scenario: join the cheaper pair first."""
         names = ["paper", "appendix", "table"]
         sets = [paper_doc.node_set(tag) for tag in names]
-        plan = optimize_chain(sets, _ExactEstimator())
+        plan = optimize(sets, _ExactEstimator())
         # |paper ⋈ appendix| = 2, |appendix ⋈ table| = 2: tie; both plans
         # cost the same, so we only require a valid two-join plan.
         assert plan.lo == 0 and plan.hi == 2
@@ -128,7 +128,7 @@ class TestOptimizeChain:
             xmark_small.node_set(tag)
             for tag in ("open_auction", "annotation", "text")
         ]
-        plan = optimize_chain(sets, _ExactEstimator())
+        plan = optimize(sets, _ExactEstimator())
         left_first = containment_join_size(sets[0], sets[1])
         right_first = containment_join_size(sets[1], sets[2])
         chosen_first = (
@@ -141,7 +141,7 @@ class TestOptimizeChain:
             xmark_small.node_set(tag)
             for tag in ("desp", "parlist", "listitem", "text")
         ]
-        plan = optimize_chain(sets, _ExactEstimator())
+        plan = optimize(sets, _ExactEstimator())
         # plan_cost sums intermediate sizes excluding the root.
         def collect(node, is_root=True):
             if node.is_leaf:
@@ -162,7 +162,7 @@ class TestOptimizeChain:
     def test_too_short_chain_rejected(self, figure1_tree):
         a, __ = figure1_tree
         with pytest.raises(EstimationError):
-            optimize_chain([a], _ExactEstimator())
+            optimize([a], _ExactEstimator())
 
     def test_works_with_sampling_estimator(self, xmark_small):
         sets = [
@@ -170,7 +170,26 @@ class TestOptimizeChain:
             for tag in ("open_auction", "bidder", "increase")
         ]
         estimator = IMSamplingEstimator(num_samples=50, seed=3)
-        plan = optimize_chain(
-            sets, estimator, xmark_small.tree.workspace()
+        plan = optimize(
+            sets, estimator, workspace=xmark_small.tree.workspace()
         )
         assert plan_cost(plan) >= 0.0
+
+    def test_optimize_chain_shim_warns_and_matches(self, xmark_small):
+        """The deprecated estimator-argument entry point still works,
+        warns, and plans identically to the generator-native path."""
+        sets = [
+            xmark_small.node_set(tag)
+            for tag in ("open_auction", "annotation", "text")
+        ]
+        workspace = xmark_small.tree.workspace()
+        with pytest.warns(DeprecationWarning, match="optimize_chain"):
+            legacy = optimize_chain(
+                sets, IMSamplingEstimator(num_samples=50, seed=3), workspace
+            )
+        direct = optimize(
+            sets,
+            IMSamplingEstimator(num_samples=50, seed=3),
+            workspace=workspace,
+        )
+        assert legacy == direct
