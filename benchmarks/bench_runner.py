@@ -13,6 +13,12 @@ retained reference implementations and writes ``BENCH_kernels.json``:
   cache.  The headline ``speedup`` compares reference to
   vectorized+cache.  Both paths are also checked for *identical* sweep
   output, so a kernel regression fails the run outright;
+* **fused** — the fused single-pass probe kernels
+  (:mod:`repro.kernels.fused`, under the active kernel backend) versus
+  the batched probe path with a pre-built index: per-probe-backend
+  micro timings with outputs checked bit-identical, gated by
+  ``--min-fused-speedup``.  ``--only-fused`` runs just this phase (the
+  CI numba-leg smoke job);
 * **sampling** — the batched probe layer: per-backend micro timings
   (``estimate_trials`` + index cache versus sequential reference-mode
   ``estimate`` calls) and the Figure 8 sample-count sweeps for IM-DA-Est
@@ -65,11 +71,15 @@ Usage::
     python benchmarks/bench_runner.py --quick    # CI smoke (scale 0.1)
     python benchmarks/bench_runner.py --min-speedup 5
     python benchmarks/bench_runner.py --min-sampling-speedup 5
+    python benchmarks/bench_runner.py --min-fused-speedup 2
+    python benchmarks/bench_runner.py --baseline BENCH_kernels.json
     python benchmarks/bench_runner.py --quick --telemetry telemetry.jsonl
 
-Exits non-zero when the reference/vectorized (or reference/batched)
-outputs disagree or when a sweep speedup falls below ``--min-speedup``
-/ ``--min-sampling-speedup``.
+Exits non-zero when the reference/vectorized (or reference/batched,
+or batched/fused) outputs disagree, when a sweep speedup falls below
+``--min-speedup`` / ``--min-sampling-speedup`` /
+``--min-fused-speedup``, or — with ``--baseline`` — when any kernel's
+speedup regressed more than 20% against a previous report.
 """
 
 from __future__ import annotations
@@ -231,6 +241,106 @@ def bench_fig7_sweep(scale: float, buckets) -> dict:
         "identical_output": identical,
         "cache": cache.stats(),
     }
+
+
+def bench_fused(scale: float, repeats: int = 9) -> dict:
+    """Fused single-pass probe kernels versus the batched probe path.
+
+    The batched side is the pre-fusion steady state: a probe index
+    (StabbingCounter / T-tree / XR-tree) already built and cached, a
+    bulk ``count_many`` over the trial-batch points, then the reshape +
+    reduce the estimators used to do themselves.  The fused side is one
+    :func:`repro.kernels.fused.stab_sum_max` call against a warm
+    :class:`IndexCache` — the stab-count table tier, where a probe
+    batch is a table gather.  Giving the batched side its index for
+    free makes the comparison conservative: per-call index builds
+    (the cold path) only widen the gap.  Outputs are checked
+    bit-identical before any speedup is reported; the smallest
+    per-backend speedup is the ``--min-fused-speedup`` gate.
+    """
+    import numpy as np
+
+    from repro.datasets.workloads import ALL_WORKLOADS
+    from repro.index.stab import StabbingCounter
+    from repro.index.ttree import TTree
+    from repro.index.xrtree import XRTree
+    from repro.kernels import available_backends, fused, kernel_backend
+    from repro.perf import IndexCache
+
+    dataset = get_dataset("xmark", scale=scale)
+    ancestors, descendants = ALL_WORKLOADS["xmark"][0].operands(dataset)
+    rows, m = 16, 200
+    rng = np.random.default_rng(11)
+    indices = rng.integers(0, len(descendants), size=rows * m).astype(
+        np.int64
+    )
+    points = descendants.starts[indices]
+
+    cache = IndexCache()
+    # Warm the arena and stab-count table: steady-state serving is the
+    # fused path's deployment position, matching the warm index opposite.
+    fused.stab_sum_max(
+        ancestors, descendants, indices, rows, m,
+        probe_backend="rank", cache=cache, name="bench",
+    )
+
+    kernels: dict[str, dict] = {}
+    for label, index, probe in (
+        ("rank", StabbingCounter(ancestors), "count_many"),
+        ("ttree", TTree(ancestors), "count_many"),
+        ("xrtree", XRTree(ancestors), "stab_count_many"),
+    ):
+        probe_many = getattr(index, probe)
+
+        def batched():
+            counts = probe_many(points).reshape(rows, m)
+            return counts.sum(axis=1), counts.max(axis=1)
+
+        def fused_call(backend=label):
+            return fused.stab_sum_max(
+                ancestors, descendants, indices, rows, m,
+                probe_backend=backend, cache=cache, name="bench",
+            )
+
+        batched_s = _best_of(batched, repeats)
+        fused_s = _best_of(fused_call, repeats)
+        batched_sums, batched_maxes = batched()
+        fused_sums, fused_maxes = fused_call()
+        identical = np.array_equal(batched_sums, fused_sums) and (
+            np.array_equal(batched_maxes, fused_maxes)
+        )
+        _record(f"fused.{label}.batched_s", batched_s)
+        _record(f"fused.{label}.fused_s", fused_s)
+        kernels[label] = {
+            "trials": rows,
+            "batched_s": batched_s,
+            "fused_s": fused_s,
+            "speedup": (
+                batched_s / fused_s if fused_s > 0 else float("inf")
+            ),
+            "identical": identical,
+        }
+    return {
+        "kernel_backend": kernel_backend(),
+        "available_backends": list(available_backends()),
+        "kernels": kernels,
+        "identical": all(k["identical"] for k in kernels.values()),
+        "speedup": min(k["speedup"] for k in kernels.values()),
+    }
+
+
+def _print_fused(fused_report: dict) -> None:
+    print(
+        f"  kernel backend {fused_report['kernel_backend']} "
+        f"(available: {', '.join(fused_report['available_backends'])})"
+    )
+    for label, timing in fused_report["kernels"].items():
+        print(
+            f"  {label:>20}: {timing['batched_s'] * 1e6:8.1f} us -> "
+            f"{timing['fused_s'] * 1e6:8.1f} us "
+            f"({timing['speedup']:.1f}x), identical: "
+            f"{timing['identical']}"
+        )
 
 
 def bench_sampling(scale: float, runs: int) -> dict:
@@ -649,6 +759,84 @@ def _check_service(report: dict, args) -> int:
     return 0
 
 
+#: A kernel speedup may fall this far below the baseline's before the
+#: comparison flags it as a regression (machine noise on shared runners
+#: swings micro-benchmarks tens of percent; CI runs the comparison as a
+#: warning step).
+BASELINE_TOLERANCE = 0.20
+
+
+def _compare_baseline(report: dict, baseline_path: Path) -> int:
+    """Per-kernel speedup deltas against a previous BENCH_kernels.json.
+
+    Prints one line per kernel shared by both reports; returns 1 when
+    any kernel's speedup fell more than :data:`BASELINE_TOLERANCE`
+    below the baseline's, 0 otherwise.  Kernels present on only one
+    side are noted but never fail the comparison (reports grow).
+    """
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as error:
+        print(
+            f"FAIL: cannot read baseline {baseline_path}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+
+    def section(source: dict, *keys: str) -> dict:
+        node = source
+        for key in keys:
+            node = node.get(key) or {}
+        return node
+
+    pairs: list[tuple[str, dict, dict]] = [
+        ("kernels", section(baseline, "kernels"), section(report, "kernels")),
+        (
+            "fused",
+            section(baseline, "fused", "kernels"),
+            section(report, "fused", "kernels"),
+        ),
+        (
+            "sampling",
+            section(baseline, "sampling", "backends"),
+            section(report, "sampling", "backends"),
+        ),
+    ]
+    regressions: list[str] = []
+    print(f"baseline comparison against {baseline_path}:")
+    for prefix, old_section, new_section in pairs:
+        for name, new_timing in new_section.items():
+            label = f"{prefix}.{name}"
+            old_timing = old_section.get(name)
+            if old_timing is None:
+                print(f"  {label:>28}: new kernel (no baseline)")
+                continue
+            old = float(old_timing["speedup"])
+            new = float(new_timing["speedup"])
+            delta_pct = (new - old) / old * 100.0 if old > 0 else 0.0
+            regressed = old > 0 and new < old * (1.0 - BASELINE_TOLERANCE)
+            if regressed:
+                regressions.append(label)
+            print(
+                f"  {label:>28}: {old:8.2f}x -> {new:8.2f}x "
+                f"({delta_pct:+6.1f}%)"
+                f"{'  REGRESSION' if regressed else ''}"
+            )
+        for name in old_section:
+            if name not in new_section:
+                print(f"  {prefix + '.' + name:>28}: dropped from report")
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} kernel speedup(s) regressed more "
+            f"than {BASELINE_TOLERANCE:.0%} vs baseline: "
+            f"{', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("  no kernel regressed beyond tolerance")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -672,6 +860,27 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="fail unless the Fig. 8 IM sweep (reference vs batched) "
         "speedup reaches this factor",
+    )
+    parser.add_argument(
+        "--min-fused-speedup",
+        type=float,
+        default=None,
+        help="fail unless every fused probe kernel beats the batched "
+        "probe path by this factor",
+    )
+    parser.add_argument(
+        "--only-fused",
+        action="store_true",
+        help="run only the fused-kernel phase and its gate (the CI "
+        "numba-leg smoke job); writes no report file",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="compare per-kernel speedups against a previous "
+        "BENCH_kernels.json; exit non-zero when any kernel regressed "
+        "more than 20%%",
     )
     parser.add_argument(
         "--output",
@@ -774,6 +983,38 @@ def main(argv: list[str] | None = None) -> int:
     if args.telemetry is not None:
         _SINK = obs.TelemetrySink(args.telemetry)
 
+    if args.only_fused:
+        scale = args.scale if args.scale is not None else (
+            QUICK_SCALE if args.quick else 0.4
+        )
+        print(
+            f"fused phase: fused probe kernels vs batched probes "
+            f"(xmark scale {scale})",
+            flush=True,
+        )
+        fused_report = bench_fused(scale)
+        _print_fused(fused_report)
+        if _SINK is not None:
+            _SINK.close()
+        if not fused_report["identical"]:
+            print(
+                "FAIL: fused probe kernels disagree with the batched "
+                "probe path",
+                file=sys.stderr,
+            )
+            return 1
+        if (
+            args.min_fused_speedup is not None
+            and fused_report["speedup"] < args.min_fused_speedup
+        ):
+            print(
+                f"FAIL: fused kernel speedup {fused_report['speedup']:.2f}x "
+                f"below required {args.min_fused_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
     if args.only_optimizer:
         print(
             "optimizer phase: plan regret per cardinality generator",
@@ -823,7 +1064,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"generating xmark at scale {scale} ...", flush=True)
     dataset = get_dataset("xmark", scale=scale)
 
-    print("phase 1/7: kernel microbenchmarks", flush=True)
+    print("phase 1/8: kernel microbenchmarks", flush=True)
     kernels = bench_kernels(dataset, repeats)
     for name, timing in kernels.items():
         print(
@@ -832,7 +1073,7 @@ def main(argv: list[str] | None = None) -> int:
             f"({timing['speedup']:.1f}x)"
         )
 
-    print("phase 2/7: Fig. 7 histogram sweep (build + estimate)", flush=True)
+    print("phase 2/8: Fig. 7 histogram sweep (build + estimate)", flush=True)
     sweep = bench_fig7_sweep(scale, buckets)
     print(
         f"  reference {sweep['reference_s']:.2f} s, vectorized "
@@ -843,7 +1084,14 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     print(
-        "phase 3/7: batched sampling trials (reference vs batched)",
+        "phase 3/8: fused probe kernels vs batched probes",
+        flush=True,
+    )
+    fused_report = bench_fused(scale)
+    _print_fused(fused_report)
+
+    print(
+        "phase 4/8: batched sampling trials (reference vs batched)",
         flush=True,
     )
     sampling = bench_sampling(scale, runs=5 if args.quick else 11)
@@ -862,7 +1110,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{timing['identical_series']}"
         )
 
-    print("phase 4/7: observation overhead (enabled, no sink)", flush=True)
+    print("phase 5/8: observation overhead (enabled, no sink)", flush=True)
     overhead = bench_obs_overhead(scale, buckets)
     print(
         f"  baseline {overhead['baseline_s']:.2f} s, observed "
@@ -874,7 +1122,7 @@ def main(argv: list[str] | None = None) -> int:
 
     parallel = None
     if not args.skip_parallel:
-        print("phase 5/7: parallel harness", flush=True)
+        print("phase 6/8: parallel harness", flush=True)
         parallel = bench_parallel(scale, runs=5 if args.quick else 31)
         print(
             f"  serial {parallel['serial_s']:.2f} s, "
@@ -885,14 +1133,14 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     print(
-        "phase 6/7: estimation service vs sequential estimate()",
+        "phase 7/8: estimation service vs sequential estimate()",
         flush=True,
     )
     service = bench_service()
     _print_service(service)
 
     print(
-        "phase 7/7: plan regret per cardinality generator",
+        "phase 8/8: plan regret per cardinality generator",
         flush=True,
     )
     optimizer = bench_optimizer()
@@ -912,6 +1160,7 @@ def main(argv: list[str] | None = None) -> int:
         "scale": scale,
         "kernels": kernels,
         "fig7_sweep": sweep,
+        "fused": fused_report,
         "sampling": sampling,
         "obs_overhead": overhead,
         "parallel": parallel,
@@ -964,6 +1213,26 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if not fused_report["identical"]:
+        print(
+            "FAIL: fused probe kernels disagree with the batched "
+            "probe path",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_fused_speedup is not None
+        and fused_report["speedup"] < args.min_fused_speedup
+    ):
+        print(
+            f"FAIL: fused kernel speedup {fused_report['speedup']:.2f}x "
+            f"below required {args.min_fused_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    if args.baseline is not None:
+        if _compare_baseline(report, args.baseline):
+            return 1
     if args.min_speedup is not None and sweep["speedup"] < args.min_speedup:
         print(
             f"FAIL: sweep speedup {sweep['speedup']:.2f}x below "

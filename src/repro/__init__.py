@@ -56,15 +56,19 @@ from repro.api import (
     EstimationService,
     Estimator,
     JoinPlan,
+    available_backends,
     available_estimators,
     available_generators,
     build_catalog,
     estimate,
+    kernel_backend,
     make_estimator,
     optimize,
     plan_cost,
     resolve_generator,
     serve,
+    set_kernel_backend,
+    use_kernel_backend,
 )
 
 __version__ = "1.6.0"
@@ -82,14 +86,18 @@ __all__ = [
     "Region",
     "SpaceBudget",
     "Workspace",
+    "available_backends",
     "available_estimators",
     "available_generators",
     "build_catalog",
     "estimate",
+    "kernel_backend",
     "make_estimator",
     "optimize",
     "plan_cost",
     "resolve_generator",
     "serve",
+    "set_kernel_backend",
+    "use_kernel_backend",
     "__version__",
 ]

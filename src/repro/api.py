@@ -58,6 +58,12 @@ from repro.optimizer.generator import (
     available_generators,
     resolve_generator,
 )
+from repro.kernels.backend import (
+    available_backends,
+    kernel_backend,
+    set_kernel_backend,
+    use_kernel_backend,
+)
 from repro.optimizer.planner import JoinPlan, plan_cost
 from repro.optimizer.planner import optimize as _optimize_impl
 from repro.perf.cache import SummaryCache, use_cache
@@ -80,17 +86,21 @@ __all__ = [
     "StatisticsCatalog",
     "SummaryCache",
     "Workspace",
+    "available_backends",
     "available_estimators",
     "available_generators",
     "build_catalog",
     "canonical_name",
     "estimate",
+    "kernel_backend",
     "make_estimator",
     "optimize",
     "plan_cost",
     "resolve_generator",
     "serve",
+    "set_kernel_backend",
     "use_index_cache",
+    "use_kernel_backend",
 ]
 
 

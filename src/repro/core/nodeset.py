@@ -194,6 +194,34 @@ class NodeSet:
         """Region lengths ``end - start``, aligned with :attr:`starts`."""
         return self.ends - self.starts
 
+    @property
+    def turning_points_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Turning points of the covering table, cached on the object.
+
+        Columnar ``(positions, values)`` — the arrays the T-tree probes
+        and bifocal's dense-run scan consume.  Every consumer that used
+        to call :func:`repro.models.position.turning_point_arrays` per
+        index build now shares one computation per node set; the result
+        is immutable, like every other cached view.
+
+        Under :func:`repro.perf.reference_kernels` the cache is
+        *bypassed* in both directions — the loop implementation of
+        record runs uncached on every call, so reference timings and
+        semantics stay exactly those of the original per-call code.
+        """
+        from repro import perf
+        from repro.models.position import turning_point_arrays
+
+        if perf.reference_kernels_enabled():
+            return turning_point_arrays(self)
+        cached = self.__dict__.get("_turning_points")
+        if cached is None:
+            cached = turning_point_arrays(self)
+            cached[0].setflags(write=False)
+            cached[1].setflags(write=False)
+            self.__dict__["_turning_points"] = cached
+        return cached
+
     @cached_property
     def fingerprint(self) -> str:
         """Content digest of the set's region codes (order-insensitive).

@@ -36,8 +36,7 @@ from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate
 from repro.estimators.sampling_base import SamplingEstimator
-from repro.index.stab import StabbingCounter, start_membership_many
-from repro.models.position import turning_point_arrays
+from repro.kernels import fused
 from repro.obs import runtime as _obs
 from repro.perf import IndexCache, resolve_index_cache
 
@@ -50,7 +49,7 @@ def dense_runs(
     Consecutive turning-point segments at or above the threshold are
     reported per segment (the value is constant within each).
     """
-    positions, values = turning_point_arrays(ancestors)
+    positions, values = ancestors.turning_points_arrays
     if positions.shape[0] < 2:
         return []
     # The final turning point always has value 0 (all regions closed), so
@@ -157,30 +156,30 @@ class BifocalEstimator(SamplingEstimator):
                         ancestors, descendants, threshold
                     ),
                 )
-                counter = cache.stabbing_counter(ancestors)
             else:
                 num_runs, dense_total = self._dense_part(
                     ancestors, descendants, threshold
                 )
-                counter = StabbingCounter(ancestors)
 
         # Sparse part: PM-Est-style sampling, zeroing dense positions.
         m = self.num_samples
         position_rows = self._draw_uniform_matrix(
             rngs, workspace.lo, workspace.hi + 1, m
         )
-        positions = position_rows.ravel()
-        with _obs.phase_timer(self.name, "probe"):
-            pma = counter.count_many(positions).reshape(len(rngs), m)
-            pmd = start_membership_many(
-                descendants.starts, positions
-            ).reshape(len(rngs), m)
+        dots = fused.bifocal_sparse_dots(
+            ancestors,
+            descendants,
+            position_rows.ravel(),
+            len(rngs),
+            m,
+            threshold,
+            cache=cache,
+            name=self.name,
+        )
         with _obs.phase_timer(self.name, "scale"):
             results = []
-            for pma_row, pmd_row in zip(pma, pmd):
-                sparse_mask = pma_row < threshold
-                sparse_sample = int(np.dot(pma_row * sparse_mask, pmd_row))
-                sparse_total = float(sparse_sample) * workspace.width / m
+            for i in range(len(rngs)):
+                sparse_total = float(dots[i]) * workspace.width / m
                 results.append(
                     Estimate(
                         dense_total + sparse_total,

@@ -31,7 +31,7 @@ from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate
 from repro.estimators.sampling_base import SamplingEstimator
-from repro.index.stab import StabbingCounter
+from repro.kernels import fused
 from repro.obs import runtime as _obs
 from repro.perf import IndexCache, resolve_index_cache
 
@@ -76,17 +76,14 @@ class CrossSamplingEstimator(SamplingEstimator):
             d_rows.append(rng.integers(0, len(descendants), size=m))
         a_idx = np.concatenate(a_rows) if len(rngs) > 1 else a_rows[0]
         d_idx = np.concatenate(d_rows) if len(rngs) > 1 else d_rows[0]
-        with _obs.phase_timer(self.name, "probe"):
-            a_starts = ancestors.starts[a_idx]
-            a_ends = ancestors.ends[a_idx]
-            d_starts = descendants.starts[d_idx]
-            flags = (
-                (a_starts < d_starts) & (d_starts < a_ends)
-            ).reshape(len(rngs), m)
+        hit_counts = fused.cross_hits(
+            ancestors, descendants, a_idx, d_idx, len(rngs), m,
+            name=self.name,
+        )
         with _obs.phase_timer(self.name, "scale"):
             results = []
-            for row in flags:
-                hits = int(row.sum())
+            for i in range(len(rngs)):
+                hits = int(hit_counts[i])
                 value = hits / m * len(ancestors) * len(descendants)
                 results.append(
                     Estimate(
@@ -138,32 +135,34 @@ class SystematicSamplingEstimator(SamplingEstimator):
         population = len(descendants)
         stride = max(1, -(-population // self.num_samples))  # ceil division
         # A scalar draw per trial, matching the sequential stream; the
-        # selected slices have data-dependent lengths, so trials are
-        # concatenated raggedly and split back after the probe.
+        # selected index rows have data-dependent lengths, so trials are
+        # concatenated raggedly and reduced segment-wise by the kernel.
         offsets = [int(rng.integers(0, stride)) for rng in rngs]
-        rows = [descendants.starts[offset::stride] for offset in offsets]
-        points = np.concatenate(rows) if len(rows) > 1 else rows[0]
-        cache = resolve_index_cache(self._index_cache)
-        with _obs.phase_timer(self.name, "index_build"):
-            counter = (
-                cache.stabbing_counter(ancestors)
-                if cache is not None
-                else StabbingCounter(ancestors)
-            )
-        with _obs.phase_timer(self.name, "probe"):
-            counts = counter.count_many(points)
+        rows = [
+            np.arange(offset, population, stride, dtype=np.int64)
+            for offset in offsets
+        ]
+        indices = np.concatenate(rows) if len(rows) > 1 else rows[0]
+        lengths = [row.shape[0] for row in rows]
+        row_offsets = np.zeros(len(rows), dtype=np.int64)
+        row_offsets[1:] = np.cumsum(lengths[:-1], dtype=np.int64)
+        segment_totals = fused.stab_segment_sums(
+            ancestors,
+            descendants,
+            indices,
+            row_offsets,
+            cache=resolve_index_cache(self._index_cache),
+            name=self.name,
+        )
         with _obs.phase_timer(self.name, "scale"):
-            bounds = np.cumsum([len(row) for row in rows])
             results = []
-            for offset, row_counts in zip(
-                offsets, np.split(counts, bounds[:-1])
-            ):
+            for i, offset in enumerate(offsets):
                 results.append(
                     Estimate(
-                        float(row_counts.sum()) * stride,
+                        float(segment_totals[i]) * stride,
                         self.name,
                         details={
-                            "samples": int(len(row_counts)),
+                            "samples": int(lengths[i]),
                             "stride": stride,
                             "offset": offset,
                         },

@@ -15,10 +15,11 @@ plain bifocal sampling.  Both properties are verified by the test suite.
 The per-sample probe ("how many intervals contain this point?") supports
 three interchangeable backends (Section 5.3.1): the rank oracle (two
 binary searches), the T-tree and the XR-tree.  All three probe through
-their batched ``count_many`` kernels and are served by the ambient
-:class:`~repro.perf.IndexCache` when one is installed, so repeated
-trials (``estimate_trials``, harness repetitions) neither rebuild the
-index nor re-enter Python per sample point.
+the fused kernels of :func:`repro.kernels.fused.stab_sum_max`: with an
+ambient :class:`~repro.perf.IndexCache` the whole probe is one gather
+from the cached stab-count table, and even cold it runs straight off
+the operand arena with no index object built — the paper's structures
+are rebuilt per call only under :func:`repro.perf.reference_kernels`.
 """
 
 from __future__ import annotations
@@ -34,9 +35,7 @@ from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate
 from repro.estimators.sampling_base import SamplingEstimator
-from repro.index.stab import StabbingCounter
-from repro.index.ttree import TTree
-from repro.index.xrtree import XRTree
+from repro.kernels import fused
 from repro.obs import runtime as _obs
 from repro.perf import IndexCache, resolve_index_cache
 
@@ -87,34 +86,6 @@ class IMSamplingEstimator(SamplingEstimator):
         self._rng = make_rng(seed)
         self._index_cache = index_cache
 
-    def _stab_counts(
-        self, ancestors: NodeSet, points: np.ndarray
-    ) -> np.ndarray:
-        cache = resolve_index_cache(self._index_cache)
-        with _obs.phase_timer(self.name, "index_build"):
-            if self.backend == "rank":
-                index = (
-                    cache.stabbing_counter(ancestors)
-                    if cache is not None
-                    else StabbingCounter(ancestors)
-                )
-            elif self.backend == "ttree":
-                index = (
-                    cache.ttree(ancestors)
-                    if cache is not None
-                    else TTree(ancestors)
-                )
-            else:
-                index = (
-                    cache.xrtree(ancestors)
-                    if cache is not None
-                    else XRTree(ancestors)
-                )
-        with _obs.phase_timer(self.name, "probe"):
-            if self.backend == "xrtree":
-                return index.stab_count_many(points)
-            return index.count_many(points)
-
     def _run_trials(
         self,
         ancestors: NodeSet,
@@ -129,13 +100,17 @@ class IMSamplingEstimator(SamplingEstimator):
         else:
             m = min(self.num_samples, population)
             index_rows = self._draw_choice_rows(rngs, population, m)
-        points = descendants.starts[index_rows.ravel()]
-        counts = self._stab_counts(ancestors, points).reshape(len(rngs), m)
+        sums, maxes = fused.stab_sum_max(
+            ancestors,
+            descendants,
+            index_rows.ravel(),
+            len(rngs),
+            m,
+            probe_backend=self.backend,
+            cache=resolve_index_cache(self._index_cache),
+            name=self.name,
+        )
         with _obs.phase_timer(self.name, "scale"):
-            # Integer reductions, so the axis forms are exactly the
-            # per-row ``row.sum()`` / ``row.max()`` values.
-            sums = counts.sum(axis=1)
-            maxes = counts.max(axis=1) if m else np.zeros(len(rngs), int)
             return [
                 Estimate(
                     float(sums[i]) * population / m,

@@ -33,8 +33,7 @@ from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate
 from repro.estimators.sampling_base import SamplingEstimator
-from repro.index.stab import StabbingCounter, start_membership_many
-from repro.index.ttree import TTree
+from repro.kernels import fused
 from repro.obs import runtime as _obs
 from repro.perf import IndexCache, resolve_index_cache
 
@@ -89,26 +88,6 @@ class PMSamplingEstimator(SamplingEstimator):
     ) -> Workspace:
         return self.resolve_workspace(ancestors, descendants, workspace)
 
-    def _pma_counts(
-        self, ancestors: NodeSet, positions: np.ndarray
-    ) -> np.ndarray:
-        cache = resolve_index_cache(self._index_cache)
-        with _obs.phase_timer(self.name, "index_build"):
-            if self.backend == "ttree":
-                index = (
-                    cache.ttree(ancestors)
-                    if cache is not None
-                    else TTree(ancestors)
-                )
-            else:
-                index = (
-                    cache.stabbing_counter(ancestors)
-                    if cache is not None
-                    else StabbingCounter(ancestors)
-                )
-        with _obs.phase_timer(self.name, "probe"):
-            return index.count_many(positions)
-
     def _run_trials(
         self,
         ancestors: NodeSet,
@@ -121,26 +100,27 @@ class PMSamplingEstimator(SamplingEstimator):
         position_rows = self._draw_uniform_matrix(
             rngs, workspace.lo, workspace.hi + 1, m
         )
-        positions = position_rows.ravel()
-        pma = self._pma_counts(ancestors, positions).reshape(len(rngs), m)
-        with _obs.phase_timer(self.name, "probe"):
-            pmd = start_membership_many(
-                descendants.starts, positions
-            ).reshape(len(rngs), m)
+        dots, hits = fused.pm_dot_hits(
+            ancestors,
+            descendants,
+            position_rows.ravel(),
+            len(rngs),
+            m,
+            probe_backend=self.backend,
+            cache=resolve_index_cache(self._index_cache),
+            name=self.name,
+        )
         with _obs.phase_timer(self.name, "scale"):
-            results = []
-            for pma_row, pmd_row in zip(pma, pmd):
-                total = int(np.dot(pma_row, pmd_row))
-                results.append(
-                    Estimate(
-                        float(total) * workspace.width / m,
-                        self.name,
-                        details={
-                            "samples": m,
-                            "backend": self.backend,
-                            "workspace_width": workspace.width,
-                            "hits": int(pmd_row.sum()),
-                        },
-                    )
+            return [
+                Estimate(
+                    float(dots[i]) * workspace.width / m,
+                    self.name,
+                    details={
+                        "samples": m,
+                        "backend": self.backend,
+                        "workspace_width": workspace.width,
+                        "hits": int(hits[i]),
+                    },
                 )
-            return results
+                for i in range(len(rngs))
+            ]

@@ -29,7 +29,7 @@ from repro.core.rng import SeedLike, make_rng
 from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate
 from repro.estimators.sampling_base import SamplingEstimator
-from repro.index.stab import StabbingCounter
+from repro.kernels import fused
 from repro.obs import runtime as _obs
 from repro.perf import IndexCache, resolve_index_cache
 
@@ -70,20 +70,19 @@ class SemijoinDescendantsEstimator(_SemijoinSamplingBase):
         population = len(descendants)
         m = min(self.num_samples, population)
         index_rows = self._draw_choice_rows(rngs, population, m)
-        points = descendants.starts[index_rows.ravel()]
-        cache = resolve_index_cache(self._index_cache)
-        with _obs.phase_timer(self.name, "index_build"):
-            counter = (
-                cache.stabbing_counter(ancestors)
-                if cache is not None
-                else StabbingCounter(ancestors)
-            )
-        with _obs.phase_timer(self.name, "probe"):
-            counts = counter.count_many(points).reshape(len(rngs), m)
+        hit_counts = fused.stab_positive(
+            ancestors,
+            descendants,
+            index_rows.ravel(),
+            len(rngs),
+            m,
+            cache=resolve_index_cache(self._index_cache),
+            name=self.name,
+        )
         with _obs.phase_timer(self.name, "scale"):
             results = []
-            for row in counts:
-                hits = int((row > 0).sum())
+            for i in range(len(rngs)):
+                hits = int(hit_counts[i])
                 results.append(
                     Estimate(
                         hits * population / m,
@@ -109,20 +108,18 @@ class SemijoinAncestorsEstimator(_SemijoinSamplingBase):
         population = len(ancestors)
         m = min(self.num_samples, population)
         index_rows = self._draw_choice_rows(rngs, population, m)
-        flat = index_rows.ravel()
-        starts = descendants.starts
-        with _obs.phase_timer(self.name, "probe"):
-            sample_starts = ancestors.starts[flat]
-            sample_ends = ancestors.ends[flat]
-            first_inside = np.searchsorted(
-                starts, sample_starts, side="right"
-            )
-            first_beyond = np.searchsorted(starts, sample_ends, side="left")
-            hit_flags = (first_beyond > first_inside).reshape(len(rngs), m)
+        hit_counts = fused.span_hits(
+            ancestors,
+            descendants,
+            index_rows.ravel(),
+            len(rngs),
+            m,
+            name=self.name,
+        )
         with _obs.phase_timer(self.name, "scale"):
             results = []
-            for row in hit_flags:
-                hits = int(row.sum())
+            for i in range(len(rngs)):
+                hits = int(hit_counts[i])
                 results.append(
                     Estimate(
                         hits * population / m,

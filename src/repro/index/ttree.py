@@ -15,7 +15,6 @@ import numpy as np
 from repro import perf
 from repro.core.nodeset import NodeSet
 from repro.index.bplus import DEFAULT_ORDER, BPlusTree
-from repro.models.position import turning_point_arrays
 
 
 class TTree:
@@ -31,8 +30,9 @@ class TTree:
     def __init__(self, node_set: NodeSet, order: int = DEFAULT_ORDER) -> None:
         # Flat sorted views of the turning points for batched probes: a
         # floor lookup over the B+-tree and a searchsorted over these
-        # arrays answer the same query.
-        keys, values = turning_point_arrays(node_set)
+        # arrays answer the same query.  The arrays are the node set's
+        # cached ones, shared with every other turning-point consumer.
+        keys, values = node_set.turning_points_arrays
         self._point_keys = keys
         self._point_values = values
         points = list(zip(keys.tolist(), values.tolist()))

@@ -1,0 +1,278 @@
+"""Numba implementations of the fused probe kernels.
+
+Importing this module raises when numba is absent — the backend
+registry treats that as "backend unavailable" and stays on numpy (the
+soft-dependency contract; nothing in the package requires numba).
+
+Every kernel is a genuinely single-pass ``@njit`` loop: binary search,
+count and aggregate per sample point with no temporaries at all, which
+is the shape the numpy backend can only approximate.  All arithmetic is
+int64, so results are bit-for-bit identical to the numpy backend and to
+the ``*_reference`` loops — the parity suite runs under both backends
+(the CI numba leg sets ``REPRO_KERNEL_BACKEND=numba``).
+
+Functions are compiled lazily on first call (numba's default), so
+selecting the backend costs nothing until a kernel actually runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numba
+from numba import njit
+
+NAME = "numba"
+
+#: Re-exported so tests can assert which compiled module is active.
+AVAILABLE = True
+
+__all__ = ["NAME", "AVAILABLE", "numba"]
+
+_jit = njit(cache=False, nogil=True)
+
+
+@_jit
+def _count_right(a: np.ndarray, x: int) -> int:
+    """``|{i : a[i] <= x}|`` for ascending ``a`` (bisect_right)."""
+    lo, hi = 0, a.shape[0]
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if a[mid] <= x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@_jit
+def _count_left(a: np.ndarray, x: int) -> int:
+    """``|{i : a[i] < x}|`` for ascending ``a`` (bisect_left)."""
+    lo, hi = 0, a.shape[0]
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if a[mid] < x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@_jit
+def stab_sum_max(starts, sorted_ends, points, rows, m):
+    sums = np.zeros(rows, dtype=np.int64)
+    maxes = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        base = r * m
+        best = np.int64(-(2**63))
+        total = np.int64(0)
+        for j in range(m):
+            p = points[base + j]
+            c = _count_right(starts, p) - _count_left(sorted_ends, p)
+            total += c
+            if c > best:
+                best = c
+        sums[r] = total
+        maxes[r] = best
+    return sums, maxes
+
+
+@_jit
+def ttree_sum_max(tp_keys, tp_padded_values, points, rows, m):
+    sums = np.zeros(rows, dtype=np.int64)
+    maxes = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        base = r * m
+        best = np.int64(-(2**63))
+        total = np.int64(0)
+        for j in range(m):
+            c = tp_padded_values[_count_right(tp_keys, points[base + j])]
+            total += c
+            if c > best:
+                best = c
+        sums[r] = total
+        maxes[r] = best
+    return sums, maxes
+
+
+@_jit
+def gather_sum_max(table, indices, rows, m):
+    sums = np.zeros(rows, dtype=np.int64)
+    maxes = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        base = r * m
+        best = np.int64(-(2**63))
+        total = np.int64(0)
+        for j in range(m):
+            c = table[indices[base + j]]
+            total += c
+            if c > best:
+                best = c
+        sums[r] = total
+        maxes[r] = best
+    return sums, maxes
+
+
+@_jit
+def stab_positive(starts, sorted_ends, points, rows, m):
+    hits = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        base = r * m
+        count = np.int64(0)
+        for j in range(m):
+            p = points[base + j]
+            if _count_right(starts, p) - _count_left(sorted_ends, p) > 0:
+                count += 1
+        hits[r] = count
+    return hits
+
+
+@_jit
+def gather_positive(table, indices, rows, m):
+    hits = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        base = r * m
+        count = np.int64(0)
+        for j in range(m):
+            if table[indices[base + j]] > 0:
+                count += 1
+        hits[r] = count
+    return hits
+
+
+@_jit
+def segment_sums(starts, sorted_ends, points, offsets):
+    rows = offsets.shape[0]
+    n = points.shape[0]
+    sums = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        stop = offsets[r + 1] if r + 1 < rows else n
+        total = np.int64(0)
+        for j in range(offsets[r], stop):
+            p = points[j]
+            total += _count_right(starts, p) - _count_left(sorted_ends, p)
+        sums[r] = total
+    return sums
+
+
+@_jit
+def gather_segment_sums(table, indices, offsets):
+    rows = offsets.shape[0]
+    n = indices.shape[0]
+    sums = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        stop = offsets[r + 1] if r + 1 < rows else n
+        total = np.int64(0)
+        for j in range(offsets[r], stop):
+            total += table[indices[j]]
+        sums[r] = total
+    return sums
+
+
+@_jit
+def _is_member(starts, p):
+    n = starts.shape[0]
+    if n == 0:
+        return np.int64(0)
+    slot = _count_left(starts, p)
+    if slot >= n:
+        slot = n - 1
+    return np.int64(1) if starts[slot] == p else np.int64(0)
+
+
+@_jit
+def pm_dot_hits_rank(a_starts, a_sorted_ends, d_starts, positions, rows, m):
+    dots = np.zeros(rows, dtype=np.int64)
+    hits = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        base = r * m
+        dot = np.int64(0)
+        hit = np.int64(0)
+        for j in range(m):
+            p = positions[base + j]
+            pmd = _is_member(d_starts, p)
+            if pmd:
+                dot += _count_right(a_starts, p) - _count_left(
+                    a_sorted_ends, p
+                )
+                hit += 1
+        dots[r] = dot
+        hits[r] = hit
+    return dots, hits
+
+
+@_jit
+def pm_dot_hits_ttree(
+    tp_keys, tp_padded_values, d_starts, positions, rows, m
+):
+    dots = np.zeros(rows, dtype=np.int64)
+    hits = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        base = r * m
+        dot = np.int64(0)
+        hit = np.int64(0)
+        for j in range(m):
+            p = positions[base + j]
+            pmd = _is_member(d_starts, p)
+            if pmd:
+                dot += tp_padded_values[_count_right(tp_keys, p)]
+                hit += 1
+        dots[r] = dot
+        hits[r] = hit
+    return dots, hits
+
+
+@_jit
+def bifocal_dots(
+    a_starts, a_sorted_ends, d_starts, positions, rows, m, threshold
+):
+    dots = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        base = r * m
+        dot = np.int64(0)
+        for j in range(m):
+            p = positions[base + j]
+            if _is_member(d_starts, p):
+                pma = _count_right(a_starts, p) - _count_left(
+                    a_sorted_ends, p
+                )
+                if pma < threshold:
+                    dot += pma
+        dots[r] = dot
+    return dots
+
+
+@_jit
+def cross_hits(a_starts, a_ends, d_starts, rows, m):
+    hits = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        base = r * m
+        count = np.int64(0)
+        for j in range(m):
+            k = base + j
+            if a_starts[k] < d_starts[k] and d_starts[k] < a_ends[k]:
+                count += 1
+        hits[r] = count
+    return hits
+
+
+@_jit
+def span_hits(d_starts, sample_starts, sample_ends, rows, m):
+    hits = np.zeros(rows, dtype=np.int64)
+    for r in range(rows):
+        base = r * m
+        count = np.int64(0)
+        for j in range(m):
+            k = base + j
+            first_inside = _count_right(d_starts, sample_starts[k])
+            first_beyond = _count_left(d_starts, sample_ends[k])
+            if first_beyond > first_inside:
+                count += 1
+        hits[r] = count
+    return hits
+
+
+def membership(starts: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """0/1 start membership — numpy form kept for the shared API."""
+    from repro.kernels import _numpy
+
+    return _numpy.membership(starts, positions)

@@ -1,0 +1,183 @@
+"""Operand arenas: the structure-of-arrays layout behind every probe.
+
+An :class:`OperandArena` gathers, per node set, every derived array the
+fused probe kernels consume — start codes, end codes, sorted end codes,
+turning-point keys and (zero-padded) turning-point values — behind one
+object with one field-naming convention.  The field names are exactly
+the :class:`~repro.shard.arena.ShardArena` publication layout
+(:data:`OPERAND_FIELDS`), so the local hot path and the multi-process
+scatter path share a single SoA format: what a worker attaches from
+shared memory is what a local kernel reads from the arena.
+
+Arenas are cheap views, not copies: every array is the node set's own
+cached view (:attr:`NodeSet.starts`, :attr:`NodeSet.sorted_ends`,
+:attr:`NodeSet.turning_points_arrays`), materialized lazily, so an
+arena costs nothing until a kernel touches a field.  Content-keyed
+sharing happens at two levels:
+
+* **object level** — without a cache, :func:`operand_arena` memoizes
+  the arena on the node set itself, so every estimator probing the same
+  object reuses one arena;
+* **content level** — with an :class:`~repro.perf.IndexCache`, the
+  arena is a cache entry under ``("arena", fingerprint)``: distinct
+  NodeSet objects with equal content (service requests, shard clones)
+  share one arena, with the cache's byte accounting and obs counters.
+
+The arena also hosts the *stab-count table*: the stabbing counts of
+every descendant start against an ancestor set, keyed by both operand
+fingerprints.  IM/SYS/SEMI-D probe points are always gathered from the
+descendant start array, so with the table warm a probe is a pure table
+gather — no binary search at all.  See :mod:`repro.kernels.fused`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.core.nodeset import NodeSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.perf.index_cache import IndexCache
+
+#: Canonical SoA field order, shared with the shard publication layout
+#: (``repro.shard.pool`` publishes exactly these into its arenas).
+OPERAND_FIELDS = ("starts", "ends", "sorted_ends")
+
+
+class OperandArena:
+    """Lazy structure-of-arrays view over one node set's probe inputs."""
+
+    __slots__ = ("node_set", "_tp_padded")
+
+    def __init__(self, node_set: NodeSet) -> None:
+        self.node_set = node_set
+        self._tp_padded: tuple[np.ndarray, np.ndarray] | None = None
+
+    def __len__(self) -> int:
+        return len(self.node_set)
+
+    @property
+    def starts(self) -> np.ndarray:
+        return self.node_set.starts
+
+    @property
+    def ends(self) -> np.ndarray:
+        return self.node_set.ends
+
+    @property
+    def sorted_ends(self) -> np.ndarray:
+        return self.node_set.sorted_ends
+
+    @property
+    def fingerprint(self) -> str:
+        return self.node_set.fingerprint
+
+    def turning_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(keys, padded_values)`` for the T-tree floor probe.
+
+        ``padded_values[0]`` is 0 and ``padded_values[i + 1]`` is the
+        covering count at and after ``keys[i]``, so the floor lookup for
+        a batch of positions is ``padded_values[searchsorted(keys, p,
+        'right')]`` with no mask: a position before every turning point
+        indexes the pad and counts 0.
+        """
+        cached = self._tp_padded
+        if cached is None:
+            keys, values = self.node_set.turning_points_arrays
+            padded = np.empty(values.shape[0] + 1, dtype=np.int64)
+            padded[0] = 0
+            padded[1:] = values
+            padded.setflags(write=False)
+            cached = self._tp_padded = (keys, padded)
+        return cached
+
+    def shard_fields(self) -> Mapping[str, np.ndarray]:
+        """The arrays to publish into a :class:`ShardArena`, by name.
+
+        One definition of the operand wire/shared-memory layout: the
+        shard pool copies exactly these fields, and
+        :meth:`from_shard_views` inverts the mapping on the attach side.
+        """
+        return {
+            "starts": self.starts,
+            "ends": self.ends,
+            "sorted_ends": self.sorted_ends,
+        }
+
+    @classmethod
+    def from_shard_views(
+        cls,
+        views: Mapping[str, np.ndarray],
+        name: str | None = None,
+        fingerprint: str | None = None,
+    ) -> "OperandArena":
+        """Rebuild an arena (and its node set) from attached field views.
+
+        The inverse of :meth:`shard_fields`: seeds every derived array a
+        view was published for, so the attaching process never re-sorts
+        or re-derives what the owner already computed.
+        """
+        node_set = NodeSet.from_arrays(
+            views["starts"],
+            views["ends"],
+            name=name,
+            fingerprint=fingerprint,
+        )
+        sorted_ends = views.get("sorted_ends")
+        if sorted_ends is not None:
+            node_set.__dict__["sorted_ends"] = sorted_ends
+        return operand_arena(node_set)
+
+
+def operand_arena(
+    node_set: NodeSet, cache: "IndexCache | None" = None
+) -> OperandArena:
+    """The arena for ``node_set`` — content-shared when a cache is given.
+
+    With a cache, the arena lives under ``("arena", fingerprint)`` so
+    equal-content node sets share one; every access goes through the
+    cache to keep its hit/miss accounting (and LRU order) meaningful.
+    Without a cache the arena is memoized on the object itself, so
+    repeated probes of the same set resolve in one attribute read.
+    """
+    if cache is not None:
+        return cache.arena(node_set)
+    arena = node_set.__dict__.get("_operand_arena")
+    if arena is None:
+        arena = OperandArena(node_set)
+        node_set.__dict__["_operand_arena"] = arena
+    return arena
+
+
+def stab_count_table(
+    ancestors: NodeSet, descendants: NodeSet, cache: "IndexCache"
+) -> np.ndarray:
+    """Stab counts of every descendant start against ``ancestors``.
+
+    ``table[i]`` is the rank identity ``|{start <= p}| - |{end < p}|``
+    at ``p = D.starts[i]`` — exactly :meth:`NodeSet.stab_counts`
+    evaluated once over all of ``D.starts``.  Probe points for
+    IM-DA-Est, SYS and
+    SEMI-D are always draws *from* ``D.starts``, so with this table a
+    probe batch is ``table[draws]`` — a gather instead of two binary
+    searches per point.  Deterministic in the operand contents, hence
+    cached under both fingerprints; only built when a cache exists to
+    amortize it (a cold one-shot estimate keeps the direct searchsorted
+    path).
+    """
+    a_arena = operand_arena(ancestors, cache)
+
+    def build() -> np.ndarray:
+        points = descendants.starts
+        started = np.searchsorted(a_arena.starts, points, side="right")
+        ended = np.searchsorted(a_arena.sorted_ends, points, side="left")
+        table = (started - ended).astype(np.int64)
+        table.setflags(write=False)
+        return table
+
+    return cache.get_or_build(
+        ("stab_table", ancestors.fingerprint, descendants.fingerprint),
+        build,
+    )

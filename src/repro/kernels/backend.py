@@ -1,0 +1,108 @@
+"""Kernel backend registry: numpy always, numba when importable.
+
+The fused probe kernels (:mod:`repro.kernels.fused`) dispatch through
+this registry.  ``"numpy"`` is the baseline backend and is always
+present; ``"numba"`` registers itself only when the package imports
+cleanly — it is a *soft* dependency, deliberately absent from the
+project requirements.  Selecting an unavailable backend is not an
+error: :func:`set_kernel_backend` falls back to numpy silently and
+reports what it actually activated, so code written against the numba
+backend runs unchanged (and bit-for-bit identically — the parity suite
+asserts it) on a numpy-only install.
+
+The active backend is process-global, like
+:func:`repro.perf.reference_kernels`'s mode flag, because the kernels
+it selects are pure functions of their array arguments: switching
+backends can never change a result, only its speed.  The environment
+variable ``REPRO_KERNEL_BACKEND`` selects the initial backend (the CI
+numba leg sets it) with the same silent-fallback semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from types import ModuleType
+from typing import Iterator
+
+from repro.core.errors import ReproError
+
+#: Backends this module knows how to load, in preference order.
+KNOWN_BACKENDS = ("numpy", "numba")
+
+_lock = threading.Lock()
+_active = "numpy"
+_impls: dict[str, ModuleType | None] = {}
+
+
+def _load(name: str) -> ModuleType | None:
+    """The implementation module for ``name``, or None if unavailable."""
+    if name in _impls:
+        return _impls[name]
+    impl: ModuleType | None
+    if name == "numpy":
+        from repro.kernels import _numpy as impl
+    else:
+        try:
+            from repro.kernels import _numba as impl
+        except Exception:
+            impl = None
+    _impls[name] = impl
+    return impl
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends that can actually execute on this install."""
+    return tuple(name for name in KNOWN_BACKENDS if _load(name) is not None)
+
+
+def kernel_backend() -> str:
+    """Name of the active kernel backend."""
+    return _active
+
+
+def set_kernel_backend(name: str) -> str:
+    """Select the kernel backend; returns the backend actually active.
+
+    Unknown names raise :class:`~repro.core.errors.ReproError`.  A known
+    but unavailable backend (numba not installed) falls back to numpy
+    silently — the soft-dependency contract: behavior never changes,
+    only speed.
+    """
+    if name not in KNOWN_BACKENDS:
+        raise ReproError(
+            f"unknown kernel backend {name!r} "
+            f"(expected one of {KNOWN_BACKENDS})"
+        )
+    global _active
+    with _lock:
+        _active = name if _load(name) is not None else "numpy"
+        return _active
+
+
+@contextmanager
+def use_kernel_backend(name: str) -> Iterator[str]:
+    """Run the block under ``name`` (with fallback), then restore."""
+    previous = _active
+    try:
+        yield set_kernel_backend(name)
+    finally:
+        set_kernel_backend(previous)
+
+
+def active_impl() -> ModuleType:
+    """The implementation module of the active backend."""
+    impl = _load(_active)
+    if impl is None:  # pragma: no cover - set_kernel_backend prevents it
+        impl = _load("numpy")
+    assert impl is not None
+    return impl
+
+
+# Honor REPRO_KERNEL_BACKEND at import: the CI numba leg exports it so
+# the whole suite (and the bench gates) run under the compiled backend
+# without touching any call site.
+_env_backend = os.environ.get("REPRO_KERNEL_BACKEND", "").strip().lower()
+if _env_backend and _env_backend in KNOWN_BACKENDS:
+    set_kernel_backend(_env_backend)

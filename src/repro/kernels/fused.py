@@ -1,0 +1,330 @@
+"""Fused probe pipelines: index_build → probe → scale in one pass.
+
+Each function here is the full probe body of one sampling estimator,
+expressed over :class:`~repro.kernels.arena.OperandArena` views and
+dispatched to the active kernel backend
+(:func:`repro.kernels.backend.set_kernel_backend`).  The estimators keep
+ownership of sample *drawing* (the RNG streams are part of the public
+contract) and of *scaling* aggregates into :class:`Estimate` objects;
+everything in between — operand layout, index acquisition, probing,
+per-trial reduction — happens here, with no intermediate arrays handed
+back across the boundary.
+
+Three operand tiers, fastest first:
+
+1. **stab-count table** (cache present, probe points drawn from the
+   descendant start array): the probe is a pure gather —
+   :func:`repro.kernels.arena.stab_count_table`;
+2. **direct arena kernels** (no cache): searchsorted rank identity or
+   turning-point floor lookup straight off the arena views, no index
+   object built at all;
+3. **reference composition** (:func:`repro.perf.reference_kernels`):
+   the original per-call build of the paper's index structure followed
+   by its ``*_reference`` probe loop, byte-identical to the
+   pre-fusion code path — this is the semantics of record the parity
+   suite holds every backend to.
+
+All aggregates are integer arithmetic, so every tier returns bit-for-bit
+identical values; only the time changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro import perf
+from repro.core.nodeset import NodeSet
+from repro.kernels import _numpy
+from repro.kernels import backend as _backend
+from repro.kernels.arena import operand_arena, stab_count_table
+from repro.obs import runtime as _obs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.perf.index_cache import IndexCache
+
+
+def _impl():
+    """The kernel module to dispatch to.
+
+    Reference mode pins the numpy module so reference benchmark numbers
+    never depend on which compiled backend happens to be active.
+    """
+    if perf.reference_kernels_enabled():
+        return _numpy
+    return _backend.active_impl()
+
+
+def _reference_index(ancestors: NodeSet, probe_backend: str):
+    """Fresh per-call index object, as the pre-fusion code built it."""
+    if probe_backend == "ttree":
+        from repro.index.ttree import TTree
+
+        return TTree(ancestors)
+    if probe_backend == "xrtree":
+        from repro.index.xrtree import XRTree
+
+        return XRTree(ancestors)
+    from repro.index.stab import StabbingCounter
+
+    return StabbingCounter(ancestors)
+
+
+def stab_sum_max(
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    indices: np.ndarray,
+    rows: int,
+    m: int,
+    *,
+    probe_backend: str,
+    cache: "IndexCache | None",
+    name: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """IM-DA-Est probe: per-trial ``(Σ count, max count)`` of the stab
+    counts of ``descendants.starts[indices]`` against ``ancestors``.
+
+    ``indices`` is the row-major flattening of a ``rows × m`` draw
+    matrix.  With a cache the stab-count table turns the whole probe
+    into one gather regardless of ``probe_backend`` — all three probe
+    structures answer the identical query, so the table serves them all.
+    """
+    if m == 0:
+        zeros = np.zeros(rows, dtype=np.int64)
+        return zeros, np.zeros(rows, dtype=np.int64)
+    if perf.reference_kernels_enabled():
+        points = descendants.starts[indices]
+        with _obs.phase_timer(name, "index_build"):
+            index = _reference_index(ancestors, probe_backend)
+        with _obs.phase_timer(name, "probe"):
+            if probe_backend == "xrtree":
+                counts = index.stab_count_many(points)
+            else:
+                counts = index.count_many(points)
+        matrix = counts.reshape(rows, m)
+        return matrix.sum(axis=1), matrix.max(axis=1)
+    impl = _impl()
+    if cache is not None:
+        with _obs.phase_timer(name, "index_build"):
+            table = stab_count_table(ancestors, descendants, cache)
+        with _obs.phase_timer(name, "probe"):
+            return impl.gather_sum_max(table, indices, rows, m)
+    with _obs.phase_timer(name, "index_build"):
+        arena = operand_arena(ancestors)
+        if probe_backend == "ttree":
+            tp_keys, tp_padded = arena.turning_points()
+    with _obs.phase_timer(name, "probe"):
+        points = descendants.starts[indices]
+        if probe_backend == "ttree":
+            return impl.ttree_sum_max(tp_keys, tp_padded, points, rows, m)
+        # "rank" and "xrtree" both probe the rank identity in batch.
+        return impl.stab_sum_max(
+            arena.starts, arena.sorted_ends, points, rows, m
+        )
+
+
+def stab_positive(
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    indices: np.ndarray,
+    rows: int,
+    m: int,
+    *,
+    cache: "IndexCache | None",
+    name: str,
+) -> np.ndarray:
+    """SEMI-D probe: per-trial count of sampled descendants with at
+    least one ancestor."""
+    if m == 0:
+        return np.zeros(rows, dtype=np.int64)
+    if perf.reference_kernels_enabled():
+        from repro.index.stab import StabbingCounter
+
+        points = descendants.starts[indices]
+        with _obs.phase_timer(name, "index_build"):
+            counter = StabbingCounter(ancestors)
+        with _obs.phase_timer(name, "probe"):
+            counts = counter.count_many(points).reshape(rows, m)
+        return (counts > 0).sum(axis=1, dtype=np.int64)
+    impl = _impl()
+    if cache is not None:
+        with _obs.phase_timer(name, "index_build"):
+            table = stab_count_table(ancestors, descendants, cache)
+        with _obs.phase_timer(name, "probe"):
+            return impl.gather_positive(table, indices, rows, m)
+    with _obs.phase_timer(name, "index_build"):
+        arena = operand_arena(ancestors)
+    with _obs.phase_timer(name, "probe"):
+        points = descendants.starts[indices]
+        return impl.stab_positive(
+            arena.starts, arena.sorted_ends, points, rows, m
+        )
+
+
+def stab_segment_sums(
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    indices: np.ndarray,
+    offsets: np.ndarray,
+    *,
+    cache: "IndexCache | None",
+    name: str,
+) -> np.ndarray:
+    """SYS probe: per-trial sums of stab counts over ragged index rows.
+
+    ``offsets[i]`` is the position in ``indices`` where trial ``i``'s
+    (systematic, data-dependent-length) row begins.
+    """
+    if indices.shape[0] == 0:
+        return np.zeros(offsets.shape[0], dtype=np.int64)
+    if perf.reference_kernels_enabled():
+        from repro.index.stab import StabbingCounter
+
+        points = descendants.starts[indices]
+        with _obs.phase_timer(name, "index_build"):
+            counter = StabbingCounter(ancestors)
+        with _obs.phase_timer(name, "probe"):
+            counts = counter.count_many(points)
+        return np.add.reduceat(counts, offsets)
+    impl = _impl()
+    if cache is not None:
+        with _obs.phase_timer(name, "index_build"):
+            table = stab_count_table(ancestors, descendants, cache)
+        with _obs.phase_timer(name, "probe"):
+            return impl.gather_segment_sums(table, indices, offsets)
+    with _obs.phase_timer(name, "index_build"):
+        arena = operand_arena(ancestors)
+    with _obs.phase_timer(name, "probe"):
+        points = descendants.starts[indices]
+        return impl.segment_sums(
+            arena.starts, arena.sorted_ends, points, offsets
+        )
+
+
+def pm_dot_hits(
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    positions: np.ndarray,
+    rows: int,
+    m: int,
+    *,
+    probe_backend: str,
+    cache: "IndexCache | None",
+    name: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """PM-Est probe: per-trial ``(Σ PMA·PMD, Σ PMD)`` over sampled
+    workspace positions.
+
+    Positions are uniform workspace draws, not descendant starts, so
+    there is no table tier — the arena kernels are the fast path.
+    """
+    if perf.reference_kernels_enabled():
+        from repro.index.stab import start_membership_many
+
+        with _obs.phase_timer(name, "index_build"):
+            index = _reference_index(ancestors, probe_backend)
+        with _obs.phase_timer(name, "probe"):
+            pma = index.count_many(positions).reshape(rows, m)
+            pmd = start_membership_many(
+                descendants.starts, positions
+            ).reshape(rows, m)
+        return (pma * pmd).sum(axis=1), pmd.sum(axis=1)
+    impl = _impl()
+    with _obs.phase_timer(name, "index_build"):
+        arena = operand_arena(ancestors, cache)
+        if probe_backend == "ttree":
+            tp_keys, tp_padded = arena.turning_points()
+    with _obs.phase_timer(name, "probe"):
+        if probe_backend == "ttree":
+            return impl.pm_dot_hits_ttree(
+                tp_keys, tp_padded, descendants.starts, positions, rows, m
+            )
+        return impl.pm_dot_hits_rank(
+            arena.starts,
+            arena.sorted_ends,
+            descendants.starts,
+            positions,
+            rows,
+            m,
+        )
+
+
+def bifocal_sparse_dots(
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    positions: np.ndarray,
+    rows: int,
+    m: int,
+    threshold: int,
+    *,
+    cache: "IndexCache | None",
+    name: str,
+) -> np.ndarray:
+    """Bifocal sparse-part probe: per-trial ``Σ PMA·PMD`` restricted to
+    positions with ``PMA < threshold``."""
+    if perf.reference_kernels_enabled():
+        from repro.index.stab import StabbingCounter, start_membership_many
+
+        with _obs.phase_timer(name, "index_build"):
+            counter = StabbingCounter(ancestors)
+        with _obs.phase_timer(name, "probe"):
+            pma = counter.count_many(positions).reshape(rows, m)
+            pmd = start_membership_many(
+                descendants.starts, positions
+            ).reshape(rows, m)
+        return (pma * (pma < threshold) * pmd).sum(axis=1)
+    impl = _impl()
+    with _obs.phase_timer(name, "index_build"):
+        arena = operand_arena(ancestors, cache)
+    with _obs.phase_timer(name, "probe"):
+        return impl.bifocal_dots(
+            arena.starts,
+            arena.sorted_ends,
+            descendants.starts,
+            positions,
+            rows,
+            m,
+            threshold,
+        )
+
+
+def cross_hits(
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    a_indices: np.ndarray,
+    d_indices: np.ndarray,
+    rows: int,
+    m: int,
+    *,
+    name: str,
+) -> np.ndarray:
+    """CROSS probe: per-trial count of sampled (a, d) pairs joining."""
+    impl = _impl()
+    with _obs.phase_timer(name, "probe"):
+        arena = operand_arena(ancestors)
+        a_starts = arena.starts[a_indices]
+        a_ends = arena.ends[a_indices]
+        d_starts = descendants.starts[d_indices]
+        return impl.cross_hits(a_starts, a_ends, d_starts, rows, m)
+
+
+def span_hits(
+    ancestors: NodeSet,
+    descendants: NodeSet,
+    indices: np.ndarray,
+    rows: int,
+    m: int,
+    *,
+    name: str,
+) -> np.ndarray:
+    """SEMI-A probe: per-trial count of sampled ancestors containing at
+    least one descendant start."""
+    impl = _impl()
+    with _obs.phase_timer(name, "probe"):
+        arena = operand_arena(ancestors)
+        sample_starts = arena.starts[indices]
+        sample_ends = arena.ends[indices]
+        return impl.span_hits(
+            descendants.starts, sample_starts, sample_ends, rows, m
+        )

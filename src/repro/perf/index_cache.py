@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.index.stab import StabbingCounter
     from repro.index.ttree import TTree
     from repro.index.xrtree import XRTree
+    from repro.kernels.arena import OperandArena
 
 # The index modules themselves import ``repro.perf`` (for the
 # reference-kernel switch), so they are imported lazily inside the
@@ -87,6 +88,15 @@ class IndexCache(SummaryCache):
         return self.get_or_build(
             ("xrtree", node_set.fingerprint, page_size),
             lambda: XRTree(node_set, page_size=page_size),
+        )
+
+    def arena(self, node_set: NodeSet) -> "OperandArena":
+        """The SoA operand arena over ``node_set`` (fused kernels)."""
+        from repro.kernels.arena import OperandArena
+
+        return self.get_or_build(
+            ("arena", node_set.fingerprint),
+            lambda: OperandArena(node_set),
         )
 
     def start_index(

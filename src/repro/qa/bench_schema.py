@@ -178,6 +178,25 @@ _SHARDING_PHASE = Spec(
     optional={"arena_bytes": int},
 )
 
+#: The wire-codec phase: JSON versus zero-copy binary encode/decode over
+#: one round of distinct trace requests.  ``roundtrip_identical`` is a
+#: hard gate; the decode speedup is the binary format's headline.
+_WIRE_PHASE = Spec(
+    required={
+        "requests": int,
+        "trials": int,
+        "json_encode_s": NUMBER,
+        "json_decode_s": NUMBER,
+        "binary_encode_s": NUMBER,
+        "binary_decode_s": NUMBER,
+        "json_bytes": int,
+        "binary_bytes": int,
+        "encode_speedup": NUMBER,
+        "decode_speedup": NUMBER,
+        "roundtrip_identical": bool,
+    }
+)
+
 SERVICE_SCHEMA = Spec(
     required={
         "bench": str,
@@ -198,6 +217,8 @@ SERVICE_SCHEMA = Spec(
         "batching_speedup": NUMBER,
         "sharding": _SHARDING_PHASE,
         "sharding_speedup": NUMBER,
+        # Older artifacts predate the wire codec phase.
+        "wire": _WIRE_PHASE,
     },
 )
 
@@ -232,8 +253,29 @@ KERNELS_SCHEMA = Spec(
         "parallel": nullable(dict),
         "metrics": dict,
     },
-    # Older artifacts predate the service phase.
-    optional={"service": SERVICE_SCHEMA},
+    # Older artifacts predate the service and fused-kernel phases.
+    optional={
+        "service": SERVICE_SCHEMA,
+        "fused": Spec(
+            required={
+                "kernel_backend": str,
+                "kernels": Spec(
+                    values=Spec(
+                        required={
+                            "trials": int,
+                            "batched_s": NUMBER,
+                            "fused_s": NUMBER,
+                            "speedup": NUMBER,
+                            "identical": bool,
+                        }
+                    )
+                ),
+                "identical": bool,
+                "speedup": NUMBER,
+            },
+            optional={"available_backends": [str]},
+        ),
+    },
 )
 
 #: One generator's plan for one chain of the regret sweep.

@@ -21,6 +21,14 @@ The oracles cover the layers named in the ROADMAP's production story:
   ``repro.api.estimate`` calls bit-for-bit, and degraded answers keep
   the ladder's invariants (always answered, flagged, bound encloses the
   exact size).
+* ``fused-vs-reference`` — the fused single-pass kernels
+  (:mod:`repro.kernels.fused`) equal the paper's per-call
+  index_build→probe composition bit-for-bit, on every probe backend,
+  every available kernel backend (numpy, numba when installed) and
+  every cache tier.
+* ``wire-roundtrip`` — the binary zero-copy wire format and the JSON
+  compatibility form round-trip every request/response exactly, and
+  the service answers both formats of one seeded request identically.
 * ``sharded-vs-unsharded`` — partitioning the operands into a random
   number of shards and merging the per-shard summaries
   (:mod:`repro.shard`) reproduces the unsharded statistics: integer
@@ -749,6 +757,143 @@ def check_planner_invariance(case: Case) -> None:
             )
 
 
+def check_fused_vs_reference(case: Case) -> None:
+    """Fused kernels ≡ the paper's per-call index composition.
+
+    :mod:`repro.kernels.fused` collapses every sampling estimator's
+    index_build→probe→scale sequence into single-pass kernels (with a
+    table-gather tier when an :class:`IndexCache` is warm, and a
+    compiled backend when numba is installed).  The contract is
+    bit-for-bit: for every sampling method, every probe backend the
+    method accepts, and every available kernel backend, the fused
+    estimate must equal the one produced under
+    :func:`repro.perf.reference_kernels` — which rebuilds the original
+    StabbingCounter/TTree/XRTree composition per call — in value *and*
+    details, cached or not.
+    """
+    from repro.kernels.backend import available_backends as kernel_backends
+    from repro.kernels.backend import use_kernel_backend
+    from repro.perf import reference_kernels
+
+    a, d, w = case.ancestors, case.descendants, case.workspace
+    jobs = [("IM", backend) for backend in ("rank", "ttree", "xrtree")]
+    jobs += [("PM", backend) for backend in ("rank", "ttree")]
+    jobs += [(m, None) for m in ("CROSS", "SYS", "SEMI-A", "SEMI-D", "BIFOCAL")]
+    for method, probe_backend in jobs:
+        config = method_config(method, case)
+        if probe_backend is not None:
+            config["backend"] = probe_backend
+        try:
+            with reference_kernels():
+                want = api.estimate(a, d, method, workspace=w, **config)
+        except ReproError:
+            continue
+        label = method if probe_backend is None else f"{method}/{probe_backend}"
+        for kernel in kernel_backends():
+            with use_kernel_backend(kernel):
+                fused = api.estimate(a, d, method, workspace=w, **config)
+                with use_index_cache(IndexCache()):
+                    cold = api.estimate(a, d, method, workspace=w, **config)
+                    warm = api.estimate(a, d, method, workspace=w, **config)
+            for tier, got in (
+                ("direct", fused),
+                ("cache-cold", cold),
+                ("cache-warm", warm),
+            ):
+                if got.value != want.value or got.details != want.details:
+                    _fail(
+                        "fused-vs-reference",
+                        f"{label} on kernel backend {kernel!r} ({tier}): "
+                        f"fused {got.value!r}/{got.details!r} != reference "
+                        f"{want.value!r}/{want.details!r}",
+                    )
+
+
+def check_wire_roundtrip(case: Case) -> None:
+    """Binary and JSON wire forms are interchangeable and exact.
+
+    Every request must round-trip through both formats with identical
+    operand arrays, metadata and config; the service must answer a
+    binary payload and a JSON payload of the same seeded request with
+    bit-identical estimates (and reply in the arrival format); and a
+    response must survive its round-trip equal in every field.
+    """
+    from repro.service import wire
+
+    a, d, w = case.ancestors, case.descendants, case.workspace
+    samples = max(1, min(len(a), len(d)) // 2)
+    request = EstimateRequest(
+        ancestors=a,
+        descendants=d,
+        method="IM",
+        workspace=w,
+        config={"num_samples": samples, "seed": 11},
+    )
+    decoded = {}
+    for wire_format in wire.KNOWN_FORMATS:
+        got, detected = wire.decode_request(
+            wire.encode_request(request, wire_format)
+        )
+        if detected != wire_format:
+            _fail(
+                "wire-roundtrip",
+                f"{wire_format} payload sniffed as {detected}",
+            )
+        for role in ("ancestors", "descendants"):
+            mine = getattr(got, role)
+            theirs = getattr(request, role)
+            if not (
+                np.array_equal(mine.starts, theirs.starts)
+                and np.array_equal(mine.ends, theirs.ends)
+                and mine.fingerprint == theirs.fingerprint
+            ):
+                _fail(
+                    "wire-roundtrip",
+                    f"{wire_format} request round-trip changed {role}",
+                )
+        if (
+            got.method != request.method
+            or got.workspace != request.workspace
+            or got.config != request.config
+        ):
+            _fail(
+                "wire-roundtrip",
+                f"{wire_format} request round-trip changed metadata",
+            )
+        decoded[wire_format] = got
+
+    answers = {}
+    with EstimationService(workers=0) as service:
+        for wire_format in wire.KNOWN_FORMATS:
+            reply = service.estimate_wire(
+                wire.encode_request(request, wire_format)
+            )
+            if wire.sniff_format(reply) != wire_format:
+                _fail(
+                    "wire-roundtrip",
+                    f"service answered a {wire_format} request in "
+                    f"{wire.sniff_format(reply)}",
+                )
+            response = wire.decode_response(reply)
+            if wire.decode_response(
+                wire.encode_response(response, wire_format)
+            ) != response:
+                _fail(
+                    "wire-roundtrip",
+                    f"{wire_format} response round-trip not identical",
+                )
+            answers[wire_format] = (
+                response.estimate.value,
+                response.estimate.details,
+            )
+    if answers["binary"] != answers["json"]:
+        _fail(
+            "wire-roundtrip",
+            f"binary vs JSON service answers differ: "
+            f"{answers['binary']!r} != {answers['json']!r}",
+        )
+
+
 #: The registry the runner iterates: name -> per-case oracle.
 ORACLES: dict[str, Callable[[Case], None]] = {
     "exact-join": check_exact_join,
@@ -758,6 +903,8 @@ ORACLES: dict[str, Callable[[Case], None]] = {
     "batched-vs-sequential": check_batched_vs_sequential,
     "cached-vs-uncached": check_cached_vs_uncached,
     "service-vs-direct": check_service_vs_direct,
+    "fused-vs-reference": check_fused_vs_reference,
+    "wire-roundtrip": check_wire_roundtrip,
     "sharded-vs-unsharded": check_sharded_vs_unsharded,
     "planner-invariance": check_planner_invariance,
     "metamorphic": check_metamorphic,

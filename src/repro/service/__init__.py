@@ -9,6 +9,7 @@ circuit breaking) and :mod:`repro.service.bench` for the workload it is
 measured on.
 """
 
+from repro.service import wire
 from repro.service.degrade import DegradationLadder
 from repro.service.engine import CircuitBreaker, EstimationService
 from repro.service.queue import RequestQueue
@@ -28,4 +29,5 @@ __all__ = [
     "EstimationService",
     "RequestQueue",
     "ServiceFuture",
+    "wire",
 ]

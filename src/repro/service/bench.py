@@ -37,6 +37,15 @@ service against that trace:
     the generous run gates the deadline-miss rate and p99 latency; the
     hostile run checks the degradation ladder — every request still gets
     an estimate, degraded responses are flagged with their ladder rung.
+
+``wire``
+    The serialization layer (:mod:`repro.service.wire`): one round of
+    distinct trace requests encoded and decoded in the JSON
+    compatibility form and in the zero-copy binary form.  Both sides
+    are identity-gated (the binary round-trip must reproduce every
+    operand array exactly, and one seeded request must estimate
+    identically through both wire paths); the reported encode/decode
+    speedups are the binary format's reason to exist.
 """
 
 from __future__ import annotations
@@ -347,6 +356,102 @@ def _phase_deadline(
     }
 
 
+def _phase_wire(
+    requests: list[EstimateRequest],
+    trials: int = DEFAULT_TRIALS,
+) -> dict[str, Any]:
+    """JSON versus binary wire codec over one round of distinct requests.
+
+    Encode and decode the whole batch in each format, best-of-N; the
+    identity gate decodes every binary payload and requires the operand
+    arrays, fingerprints and config to match the original request, then
+    routes one request through ``estimate_wire`` in both formats and
+    requires bit-identical estimates.
+    """
+    import numpy as np
+
+    from repro.service import wire
+
+    def encode_all(wire_format: str) -> list[bytes]:
+        return [
+            wire.encode_request(request, wire_format)
+            for request in requests
+        ]
+
+    def best_of(callable_) -> float:
+        best = float("inf")
+        for __ in range(trials):
+            start = time.perf_counter()
+            callable_()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    timings: dict[str, float] = {}
+    payloads: dict[str, list[bytes]] = {}
+    for wire_format in wire.KNOWN_FORMATS:
+        payloads[wire_format] = encode_all(wire_format)
+        timings[f"{wire_format}_encode_s"] = best_of(
+            lambda wf=wire_format: encode_all(wf)
+        )
+        timings[f"{wire_format}_decode_s"] = best_of(
+            lambda wf=wire_format: [
+                wire.decode_request(p) for p in payloads[wf]
+            ]
+        )
+
+    identical = True
+    for request, payload in zip(requests, payloads[wire.FORMAT_BINARY]):
+        decoded, __ = wire.decode_request(payload)
+        if not (
+            np.array_equal(decoded.ancestors.starts, request.ancestors.starts)
+            and np.array_equal(decoded.ancestors.ends, request.ancestors.ends)
+            and np.array_equal(
+                decoded.descendants.starts, request.descendants.starts
+            )
+            and np.array_equal(
+                decoded.descendants.ends, request.descendants.ends
+            )
+            and decoded.ancestors.fingerprint == request.ancestors.fingerprint
+            and decoded.config == request.config
+        ):
+            identical = False
+            break
+    if identical:
+        answers = []
+        for wire_format in wire.KNOWN_FORMATS:
+            with EstimationService(workers=0) as service:
+                reply = service.estimate_wire(
+                    wire.encode_request(requests[0], wire_format)
+                )
+            response = wire.decode_response(reply)
+            answers.append(
+                (response.estimate.value, response.estimate.details)
+            )
+        identical = all(answer == answers[0] for answer in answers)
+
+    json_encode = timings["json_encode_s"]
+    json_decode = timings["json_decode_s"]
+    binary_encode = timings["binary_encode_s"]
+    binary_decode = timings["binary_decode_s"]
+    return {
+        "requests": len(requests),
+        "trials": trials,
+        "json_encode_s": json_encode,
+        "json_decode_s": json_decode,
+        "binary_encode_s": binary_encode,
+        "binary_decode_s": binary_decode,
+        "json_bytes": sum(len(p) for p in payloads[wire.FORMAT_JSON]),
+        "binary_bytes": sum(len(p) for p in payloads[wire.FORMAT_BINARY]),
+        "encode_speedup": (
+            json_encode / binary_encode if binary_encode > 0 else 0.0
+        ),
+        "decode_speedup": (
+            json_decode / binary_decode if binary_decode > 0 else 0.0
+        ),
+        "roundtrip_identical": identical,
+    }
+
+
 def run_service_bench(
     dataset_name: str = "xmark",
     scale: float = 0.4,
@@ -411,6 +516,12 @@ def run_service_bench(
         "stress": _phase_deadline(
             trace, stress_deadline_s, workers, max_batch, catalog
         ),
+        # One round of the trace — every distinct configuration once —
+        # is the codec workload; repeating identical payloads would only
+        # rescale both sides.
+        "wire": _phase_wire(
+            trace[: max(1, len(trace) // max(repeats, 1))], trials=trials
+        ),
     }
     report["workload_speedup"] = report["throughput"]["speedup"]
     report["batching_speedup"] = report["batching"]["speedup"]
@@ -451,4 +562,16 @@ def render_report(report: dict[str, Any]) -> str:
         f"(all answered={stress['all_answered']}, "
         f"levels={stress['ladder_levels']})",
     ]
+    wire = report.get("wire")
+    if wire is not None:
+        lines.append(
+            f"  wire ({wire['requests']} requests): encode "
+            f"{wire['json_encode_s'] * 1000:.1f}ms json -> "
+            f"{wire['binary_encode_s'] * 1000:.1f}ms binary "
+            f"({wire['encode_speedup']:.1f}x), decode "
+            f"{wire['json_decode_s'] * 1000:.1f}ms -> "
+            f"{wire['binary_decode_s'] * 1000:.1f}ms "
+            f"({wire['decode_speedup']:.1f}x), "
+            f"identical={wire['roundtrip_identical']}"
+        )
     return "\n".join(lines)

@@ -314,6 +314,15 @@ class EstimationService:
         self._m_scatter_fallbacks = self.metrics.counter(
             "service.scatter_fallbacks"
         )
+        self._m_wire_requests = self.metrics.counter(
+            "service.wire_requests"
+        )
+        self._m_wire_encode = self.metrics.histogram(
+            "service.wire_encode_s"
+        )
+        self._m_wire_decode = self.metrics.histogram(
+            "service.wire_decode_s"
+        )
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -482,6 +491,46 @@ class EstimationService:
             self.help_drain((future,))
         return future.result(timeout)
 
+    def estimate_wire(
+        self, payload: bytes, *, timeout: float | None = None
+    ) -> bytes:
+        """Serve one serialized request; returns the serialized response.
+
+        Accepts either wire format — binary (sniffed by magic bytes,
+        operand arrays decoded zero-copy) or the JSON compatibility
+        form — and answers in the format the request arrived in.
+        Decode and encode time are metered separately from estimation
+        (``service.wire_decode_s`` / ``service.wire_encode_s`` in
+        :meth:`stats`, mirrored into :mod:`repro.obs` when observation
+        is on), so wire overhead never hides inside service latency.
+        """
+        from repro.service import wire
+
+        start = time.perf_counter()
+        request, wire_format = wire.decode_request(payload)
+        decode_s = time.perf_counter() - start
+        self._m_wire_requests.inc()
+        self._m_wire_decode.observe(decode_s)
+        self._count(f"service.wire_{wire_format}")
+        if _obs.enabled():
+            _obs.record_service(
+                counters={"service.wire_requests": 1},
+                histograms={"service.wire_decode_s": decode_s},
+            )
+        future = self.submit(request=request)
+        if not self._workers and not future.done():
+            self.help_drain((future,))
+        response = future.result(timeout)
+        start = time.perf_counter()
+        encoded = wire.encode_response(response, wire_format)
+        encode_s = time.perf_counter() - start
+        self._m_wire_encode.observe(encode_s)
+        if _obs.enabled():
+            _obs.record_service(
+                histograms={"service.wire_encode_s": encode_s}
+            )
+        return encoded
+
     def cardinality_generator(
         self,
         method: str = "PL",
@@ -615,6 +664,15 @@ class EstimationService:
             "latency_p99_s": latency.percentile(99.0),
             "wait_p99_s": wait.percentile(99.0),
             "mean_batch_size": batch.mean,
+            # Wire codec time, reported apart from estimation latency:
+            # encode and decode are metered around the codec calls only.
+            "wire": {
+                "requests": self._m_wire_requests.value,
+                "decode_mean_s": self._m_wire_decode.mean,
+                "decode_p99_s": self._m_wire_decode.percentile(99.0),
+                "encode_mean_s": self._m_wire_encode.mean,
+                "encode_p99_s": self._m_wire_encode.percentile(99.0),
+            },
             "breakers": breakers,
             "memo": self._memo.stats() if self._memo else None,
             "summary_cache": self.summary_cache.stats(),

@@ -1,0 +1,324 @@
+"""The service wire formats: binary zero-copy envelope and JSON.
+
+Contracts pinned here:
+
+* both formats round-trip every :class:`EstimateRequest` and
+  :class:`EstimateResponse` exactly — operand arrays, names,
+  fingerprints, config, workspace, deadlines, and the response's
+  non-finite floats (``inf`` mre travels as the string ``"Infinity"``);
+* binary decode is zero-copy — decoded operand arrays alias the payload
+  buffer, including the shipped sorted-end frame;
+* format negotiation prefers binary, defaults to JSON when the peer
+  states no preference, and rejects accept lists with no known entry;
+* :meth:`EstimationService.estimate_wire` answers in the arrival format
+  and the two formats produce bit-identical estimates for seeded
+  requests; ``stats()["wire"]`` accounts encode/decode separately;
+* malformed payloads (bad version, wrong kind, unserializable config)
+  raise :class:`ServiceError` instead of crashing the worker.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.base import Estimate
+from repro.service import wire
+from repro.service.engine import EstimationService
+from repro.service.request import EstimateRequest, EstimateResponse
+
+
+@pytest.fixture
+def operands(xmark_small):
+    tree = xmark_small.tree
+    return tree.node_set("desp"), tree.node_set("text")
+
+
+def _request(a, d, **overrides):
+    fields = {
+        "ancestors": a,
+        "descendants": d,
+        "method": "IM",
+        "workspace": Workspace(0, 50_000),
+        "config": {"num_samples": 16, "seed": 7},
+        "deadline_s": None,
+        "request_id": "req-wire-1",
+    }
+    fields.update(overrides)
+    return EstimateRequest(**fields)
+
+
+def _response(**overrides):
+    fields = {
+        "estimate": Estimate(
+            value=1234.5,
+            estimator="IM",
+            mre=math.inf,
+            details={"samples": 16, "backend": "rank"},
+        ),
+        "status": "ok",
+        "ladder_level": 0,
+        "ladder_name": "full",
+        "deadline_missed": False,
+        "degraded_reason": None,
+        "wait_s": 0.001,
+        "service_s": 0.002,
+        "batch_size": 3,
+        "request_id": "req-wire-1",
+    }
+    fields.update(overrides)
+    return EstimateResponse(**fields)
+
+
+def _assert_requests_equal(got: EstimateRequest, want: EstimateRequest):
+    for role in ("ancestors", "descendants"):
+        mine, theirs = getattr(got, role), getattr(want, role)
+        assert np.array_equal(mine.starts, theirs.starts)
+        assert np.array_equal(mine.ends, theirs.ends)
+        assert mine._name == theirs._name
+        assert mine.fingerprint == theirs.fingerprint
+    assert got.method == want.method
+    assert got.workspace == want.workspace
+    assert got.config == want.config
+    assert got.deadline_s == want.deadline_s
+    assert got.request_id == want.request_id
+
+
+class TestNegotiation:
+    def test_no_preference_defaults_to_json(self):
+        assert wire.negotiate_format(None) == wire.FORMAT_JSON
+        assert wire.negotiate_format([]) == wire.FORMAT_JSON
+
+    def test_binary_preferred_when_offered(self):
+        assert wire.negotiate_format(["json", "binary"]) == wire.FORMAT_BINARY
+        assert wire.negotiate_format(["binary"]) == wire.FORMAT_BINARY
+        assert wire.negotiate_format(["json"]) == wire.FORMAT_JSON
+
+    def test_unknown_entries_ignored(self):
+        assert (
+            wire.negotiate_format(["msgpack", "json"]) == wire.FORMAT_JSON
+        )
+
+    def test_no_common_format_raises(self):
+        with pytest.raises(ServiceError, match="no mutually supported"):
+            wire.negotiate_format(["msgpack", "protobuf"])
+
+    def test_sniff(self, operands):
+        a, d = operands
+        request = _request(a, d)
+        binary = wire.encode_request(request, wire.FORMAT_BINARY)
+        as_json = wire.encode_request(request, wire.FORMAT_JSON)
+        assert wire.sniff_format(binary) == wire.FORMAT_BINARY
+        assert wire.sniff_format(as_json) == wire.FORMAT_JSON
+        assert wire.sniff_format(b"") == wire.FORMAT_JSON
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize("wire_format", wire.KNOWN_FORMATS)
+    def test_exact(self, wire_format, operands):
+        a, d = operands
+        request = _request(a, d)
+        payload = wire.encode_request(request, wire_format)
+        decoded, detected = wire.decode_request(payload)
+        assert detected == wire_format
+        _assert_requests_equal(decoded, request)
+
+    @pytest.mark.parametrize("wire_format", wire.KNOWN_FORMATS)
+    def test_defaults(self, wire_format, operands):
+        a, d = operands
+        request = _request(a, d, workspace=None, config={}, deadline_s=0.25)
+        decoded, __ = wire.decode_request(
+            wire.encode_request(request, wire_format)
+        )
+        _assert_requests_equal(decoded, request)
+
+    def test_binary_is_zero_copy(self, operands):
+        a, d = operands
+        payload = wire.encode_request(_request(a, d), wire.FORMAT_BINARY)
+        decoded, __ = wire.decode_request(payload)
+        # np.shares_memory coerces a raw bytes operand through a copy;
+        # compare against a view of the payload buffer instead.
+        buffer = np.frombuffer(payload, dtype=np.uint8)
+        for operand in (decoded.ancestors, decoded.descendants):
+            assert np.shares_memory(operand.starts, buffer)
+            assert np.shares_memory(operand.ends, buffer)
+            # the sorted-end frame ships too: no re-sort on arrival
+            assert np.shares_memory(operand.sorted_ends, buffer)
+
+    def test_frames_are_aligned(self, operands):
+        a, d = operands
+        payload = wire.encode_request(_request(a, d), wire.FORMAT_BINARY)
+        header, arrays = wire._unpack(payload)
+        for meta in header["frames"]:
+            assert meta["offset"] % 64 == 0
+        for array, meta in zip(arrays, header["frames"]):
+            assert array.dtype == np.dtype(meta["dtype"])
+
+    def test_unserializable_config_raises(self, operands):
+        a, d = operands
+        request = _request(a, d, config={"rng": object()})
+        for wire_format in wire.KNOWN_FORMATS:
+            with pytest.raises(ServiceError, match="not wire-serializable"):
+                wire.encode_request(request, wire_format)
+
+    def test_unknown_format_raises(self, operands):
+        a, d = operands
+        with pytest.raises(ServiceError, match="unknown wire format"):
+            wire.encode_request(_request(a, d), "msgpack")
+
+
+class TestResponseRoundTrip:
+    @pytest.mark.parametrize("wire_format", wire.KNOWN_FORMATS)
+    def test_exact(self, wire_format):
+        response = _response()
+        decoded = wire.decode_response(
+            wire.encode_response(response, wire_format)
+        )
+        assert decoded == response
+
+    @pytest.mark.parametrize("wire_format", wire.KNOWN_FORMATS)
+    def test_non_finite_floats(self, wire_format):
+        response = _response(
+            estimate=Estimate(
+                value=0.0,
+                estimator="PL",
+                mre=math.inf,
+                details={"bad": float("nan"), "neg": -math.inf},
+            ),
+            status="degraded",
+            degraded_reason="deadline",
+            deadline_missed=True,
+        )
+        decoded = wire.decode_response(
+            wire.encode_response(response, wire_format)
+        )
+        assert decoded.estimate.mre == math.inf
+        # Estimate's schema converts value/mre back to floats; details
+        # keep the JSON sentinel strings (the documented to_dict form).
+        assert decoded.estimate.details["bad"] == "NaN"
+        assert decoded.estimate.details["neg"] == "-Infinity"
+        assert decoded.degraded_reason == "deadline"
+
+    def test_binary_response_has_no_frames(self):
+        payload = wire.encode_response(_response(), wire.FORMAT_BINARY)
+        header, arrays = wire._unpack(payload)
+        assert header["frames"] == []
+        assert arrays == []
+
+
+class TestMalformedPayloads:
+    def test_bad_version(self, operands):
+        a, d = operands
+        payload = bytearray(
+            wire.encode_request(_request(a, d), wire.FORMAT_BINARY)
+        )
+        payload[len(wire.MAGIC)] = 99
+        with pytest.raises(ServiceError, match="unsupported wire version"):
+            wire.decode_request(bytes(payload))
+
+    def test_wrong_kind(self, operands):
+        a, d = operands
+        request_payload = wire.encode_request(
+            _request(a, d), wire.FORMAT_BINARY
+        )
+        with pytest.raises(ServiceError, match="estimate_response"):
+            wire.decode_response(request_payload)
+        response_payload = wire.encode_response(
+            _response(), wire.FORMAT_BINARY
+        )
+        with pytest.raises(ServiceError, match="estimate_request"):
+            wire.decode_request(response_payload)
+
+    def test_garbage_is_sniffed_as_json_and_rejected(self):
+        with pytest.raises(ServiceError, match="malformed JSON"):
+            wire.decode_request(b"\x00\x01\x02 not json")
+        with pytest.raises(ServiceError, match="malformed JSON"):
+            wire.decode_response(b"{truncated")
+
+    def test_bad_response_schema_version(self):
+        document = json.loads(
+            wire.encode_response(_response(), wire.FORMAT_JSON)
+        )
+        document["response"]["schema_version"] = 42
+        with pytest.raises(ServiceError, match="schema_version"):
+            wire.decode_response(json.dumps(document).encode())
+
+
+class TestServiceWire:
+    @pytest.mark.parametrize("wire_format", wire.KNOWN_FORMATS)
+    def test_answers_in_arrival_format(self, wire_format, operands):
+        a, d = operands
+        request = _request(a, d)
+        with EstimationService(workers=0) as service:
+            reply = service.estimate_wire(
+                wire.encode_request(request, wire_format)
+            )
+        assert wire.sniff_format(reply) == wire_format
+        response = wire.decode_response(reply)
+        assert response.status == "ok"
+        assert response.request_id == request.request_id
+        assert response.estimate.value >= 0
+
+    def test_formats_bit_identical_for_seeded_requests(self, operands):
+        a, d = operands
+        values = {}
+        for wire_format in wire.KNOWN_FORMATS:
+            with EstimationService(workers=0) as service:
+                reply = service.estimate_wire(
+                    wire.encode_request(_request(a, d), wire_format)
+                )
+            response = wire.decode_response(reply)
+            values[wire_format] = (
+                response.estimate.value,
+                response.estimate.details,
+            )
+        assert values["binary"] == values["json"]
+
+    def test_matches_direct_estimate(self, operands):
+        a, d = operands
+        request = _request(a, d)
+        with EstimationService(workers=0) as service:
+            direct = service.estimate(
+                a, d, "IM", workspace=request.workspace, **request.config
+            )
+            reply = service.estimate_wire(
+                wire.encode_request(request, wire.FORMAT_BINARY)
+            )
+        response = wire.decode_response(reply)
+        assert response.estimate.value == direct.estimate.value
+        assert response.estimate.details == direct.estimate.details
+
+    def test_stats_report_wire_timers(self, operands):
+        a, d = operands
+        with EstimationService(workers=0) as service:
+            for wire_format in wire.KNOWN_FORMATS:
+                service.estimate_wire(
+                    wire.encode_request(_request(a, d), wire_format)
+                )
+            stats = service.stats()
+        assert stats["wire"]["requests"] == 2
+        assert stats["wire"]["decode_mean_s"] > 0
+        assert stats["wire"]["encode_mean_s"] > 0
+        assert stats["wire"]["decode_p99_s"] >= stats["wire"]["decode_mean_s"]
+
+    def test_decoded_operands_estimate_like_originals(self, operands):
+        # The zero-copy node sets coming off the wire must behave as
+        # first-class operands: same fingerprint, same seeded estimate.
+        a, d = operands
+        decoded, __ = wire.decode_request(
+            wire.encode_request(_request(a, d), wire.FORMAT_BINARY)
+        )
+        from repro.estimators.im_sampling import IMSamplingEstimator
+
+        want = IMSamplingEstimator(num_samples=16, seed=7).estimate(a, d)
+        got = IMSamplingEstimator(num_samples=16, seed=7).estimate(
+            decoded.ancestors, decoded.descendants
+        )
+        assert got.value == want.value
+        assert got.details == want.details
