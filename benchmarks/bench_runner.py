@@ -55,7 +55,18 @@ retained reference implementations and writes ``BENCH_kernels.json``:
   underestimated plan segments, and (``--min-generators``) a minimum
   sweep width.  ``--only-optimizer`` runs just this phase (the CI
   optimizer-smoke job).  Like the service phase it runs its own tuned
-  workload (scale 0.05), independent of ``--quick``.
+  workload (scale 0.05), independent of ``--quick``;
+* **router** — the closed-loop bench (:mod:`repro.router.bench`): a
+  bandit router serving the Table 3 traces with a feedback store
+  attached, scored as cumulative relative-error loss against every
+  fixed method over the identical trace (same configs, same seeds),
+  plus the correction model fitted on the trace's truth-paired
+  records.  Written standalone as ``BENCH_router.json``; the gates
+  require the router's gated regret within ``--max-router-regret`` of
+  the best fixed method, the correction model to never worsen a
+  held-out cell, and (``--min-correction-reduction``) a minimum best
+  per-cell MRE reduction.  ``--only-router`` runs just this phase
+  (the CI router-smoke job); fixed seed, independent of ``--quick``.
 
 Every measurement is recorded through a :class:`repro.obs`
 ``MetricsRegistry`` (as ``bench.*`` histograms) and the report's
@@ -663,6 +674,109 @@ def _check_optimizer(report: dict, args) -> int:
     return 0
 
 
+def bench_router(args) -> dict:
+    """The closed-loop routing + correction benchmark.
+
+    Delegates to :func:`repro.router.bench.run_router_bench` (Table 3
+    traces at scale 0.05, fixed seed) and stamps the elapsed wall
+    time; the report body itself is deterministic for the fixed
+    arguments because every router is a pure function of (seed,
+    feedback history).
+    """
+    from repro.router.bench import run_router_bench
+    from repro.router.registry import canonical_router_name
+
+    router_config = {}
+    if canonical_router_name(args.router) == "UCB1":
+        router_config["exploration"] = args.router_exploration
+    start = time.perf_counter()
+    report = run_router_bench(
+        router=args.router,
+        rounds=args.router_rounds,
+        **router_config,
+    )
+    elapsed = time.perf_counter() - start
+    report["elapsed_s"] = elapsed
+    _record("router.bench_s", elapsed)
+    REGISTRY.histogram("bench.router.regret_ratio").observe(
+        report["total"]["regret_ratio"]
+    )
+    REGISTRY.histogram("bench.router.max_reduction_pct").observe(
+        report["correction"]["max_reduction_pct"]
+    )
+    return report
+
+
+def _print_router(report: dict) -> None:
+    router = report["router"]
+    print(
+        f"  router {router.get('name')} over "
+        f"{'/'.join(report['datasets'])} at scale {report['scale']}, "
+        f"{report['rounds']} rounds, {report['elapsed_s']:.2f} s"
+    )
+    for row in report["per_dataset"]:
+        pulls = ", ".join(
+            f"{arm}={count}" for arm, count in row["arm_pulls"].items()
+        )
+        print(
+            f"  {row['dataset']:>8}: gated loss "
+            f"{row['router_loss_gated']:8.3f} vs best fixed "
+            f"{row['best_fixed']} "
+            f"{row['fixed_loss_gated'][row['best_fixed']]:8.3f} "
+            f"(ratio {row['regret_ratio']:.3f}); pulls {pulls}"
+        )
+    total = report["total"]
+    print(
+        f"  total: regret ratio {total['regret_ratio']:.3f} gated "
+        f"({total['regret_ratio_total']:.3f} with warmup)"
+    )
+    correction = report["correction"]
+    print(
+        f"  correction: {correction['fitted']}/{correction['cells']} "
+        f"cells fitted ({correction['mode']}, holdout "
+        f"{correction['holdout']}), max MRE reduction "
+        f"{correction['max_reduction_pct']:.1f}%, "
+        f"{correction['worsened']} worsened"
+    )
+
+
+def _check_router(report: dict, args) -> int:
+    """Apply the router gates; returns 0 (pass) or 1 (fail)."""
+    correction = report["correction"]
+    if correction["worsened"] != 0:
+        print(
+            f"FAIL: the correction model worsened held-out MRE on "
+            f"{correction['worsened']} cell(s) (it must never make a "
+            "cell worse)",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.max_router_regret is not None
+        and report["total"]["regret_ratio"] > args.max_router_regret
+    ):
+        print(
+            f"FAIL: router regret ratio "
+            f"{report['total']['regret_ratio']:.3f} above allowed "
+            f"{args.max_router_regret} x the best fixed method",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_correction_reduction is not None
+        and correction["max_reduction_pct"]
+        < args.min_correction_reduction
+    ):
+        print(
+            f"FAIL: best correction-model MRE reduction "
+            f"{correction['max_reduction_pct']:.1f}% below required "
+            f"{args.min_correction_reduction}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _print_service(report: dict) -> None:
     from repro.service.bench import render_report
 
@@ -928,6 +1042,53 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the standalone plan-regret report",
     )
     parser.add_argument(
+        "--only-router",
+        action="store_true",
+        help="run only the closed-loop routing phase and its gates "
+        "(the CI router-smoke job)",
+    )
+    parser.add_argument(
+        "--router",
+        default="UCB1",
+        help="which router drives the routing trace (a "
+        "repro.available_routers() name; default UCB1)",
+    )
+    parser.add_argument(
+        "--router-rounds",
+        type=int,
+        default=12,
+        help="how many times the routing trace replays each Table 3 "
+        "query (default 12)",
+    )
+    parser.add_argument(
+        "--router-exploration",
+        type=float,
+        default=0.1,
+        help="UCB1 exploration constant for the routing trace "
+        "(default 0.1; ignored for other routers)",
+    )
+    parser.add_argument(
+        "--max-router-regret",
+        type=float,
+        default=None,
+        help="fail unless the router's gated cumulative loss stays "
+        "within this factor of the best fixed method (e.g. 1.15)",
+    )
+    parser.add_argument(
+        "--min-correction-reduction",
+        type=float,
+        default=None,
+        help="fail unless the correction model reduces held-out MRE "
+        "by at least this percentage on its best cell (e.g. 10)",
+    )
+    parser.add_argument(
+        "--router-output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_router.json",
+        help="where to write the standalone routing-phase report",
+    )
+    parser.add_argument(
         "--min-service-speedup",
         type=float,
         default=None,
@@ -1035,6 +1196,27 @@ def main(argv: list[str] | None = None) -> int:
             )
         return _check_optimizer(optimizer, args)
 
+    if args.only_router:
+        print(
+            "router phase: bandit routing vs fixed methods, "
+            "correction model fit",
+            flush=True,
+        )
+        router_report = bench_router(args)
+        _print_router(router_report)
+        validate_bench_report(router_report, "router")
+        args.router_output.write_text(
+            json.dumps(router_report, indent=2) + "\n"
+        )
+        print(f"wrote {args.router_output}")
+        if _SINK is not None:
+            _SINK.close()
+            print(
+                f"wrote {_SINK.emitted} telemetry records to "
+                f"{args.telemetry}"
+            )
+        return _check_router(router_report, args)
+
     if args.only_service:
         print(
             "service phase: estimation service vs sequential estimate()",
@@ -1064,7 +1246,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"generating xmark at scale {scale} ...", flush=True)
     dataset = get_dataset("xmark", scale=scale)
 
-    print("phase 1/8: kernel microbenchmarks", flush=True)
+    print("phase 1/9: kernel microbenchmarks", flush=True)
     kernels = bench_kernels(dataset, repeats)
     for name, timing in kernels.items():
         print(
@@ -1073,7 +1255,7 @@ def main(argv: list[str] | None = None) -> int:
             f"({timing['speedup']:.1f}x)"
         )
 
-    print("phase 2/8: Fig. 7 histogram sweep (build + estimate)", flush=True)
+    print("phase 2/9: Fig. 7 histogram sweep (build + estimate)", flush=True)
     sweep = bench_fig7_sweep(scale, buckets)
     print(
         f"  reference {sweep['reference_s']:.2f} s, vectorized "
@@ -1084,14 +1266,14 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     print(
-        "phase 3/8: fused probe kernels vs batched probes",
+        "phase 3/9: fused probe kernels vs batched probes",
         flush=True,
     )
     fused_report = bench_fused(scale)
     _print_fused(fused_report)
 
     print(
-        "phase 4/8: batched sampling trials (reference vs batched)",
+        "phase 4/9: batched sampling trials (reference vs batched)",
         flush=True,
     )
     sampling = bench_sampling(scale, runs=5 if args.quick else 11)
@@ -1110,7 +1292,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{timing['identical_series']}"
         )
 
-    print("phase 5/8: observation overhead (enabled, no sink)", flush=True)
+    print("phase 5/9: observation overhead (enabled, no sink)", flush=True)
     overhead = bench_obs_overhead(scale, buckets)
     print(
         f"  baseline {overhead['baseline_s']:.2f} s, observed "
@@ -1122,7 +1304,7 @@ def main(argv: list[str] | None = None) -> int:
 
     parallel = None
     if not args.skip_parallel:
-        print("phase 6/8: parallel harness", flush=True)
+        print("phase 6/9: parallel harness", flush=True)
         parallel = bench_parallel(scale, runs=5 if args.quick else 31)
         print(
             f"  serial {parallel['serial_s']:.2f} s, "
@@ -1133,18 +1315,25 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     print(
-        "phase 7/8: estimation service vs sequential estimate()",
+        "phase 7/9: estimation service vs sequential estimate()",
         flush=True,
     )
     service = bench_service()
     _print_service(service)
 
     print(
-        "phase 8/8: plan regret per cardinality generator",
+        "phase 8/9: plan regret per cardinality generator",
         flush=True,
     )
     optimizer = bench_optimizer()
     _print_optimizer(optimizer)
+
+    print(
+        "phase 9/9: bandit routing vs fixed methods, correction model",
+        flush=True,
+    )
+    router_report = bench_router(args)
+    _print_router(router_report)
 
     if _SINK is not None:
         # One more instrumented sweep, this time streaming per-call
@@ -1176,6 +1365,7 @@ def main(argv: list[str] | None = None) -> int:
     validate_bench_report(sampling_report, "sampling")
     validate_bench_report(service, "service")
     validate_bench_report(optimizer, "optimizer")
+    validate_bench_report(router_report, "router")
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     args.sampling_output.write_text(
@@ -1188,6 +1378,10 @@ def main(argv: list[str] | None = None) -> int:
         json.dumps(optimizer, indent=2) + "\n"
     )
     print(f"wrote {args.optimizer_output}")
+    args.router_output.write_text(
+        json.dumps(router_report, indent=2) + "\n"
+    )
+    print(f"wrote {args.router_output}")
     if _SINK is not None:
         _SINK.close()
         print(
@@ -1260,8 +1454,10 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    return _check_service(service, args) or _check_optimizer(
-        optimizer, args
+    return (
+        _check_service(service, args)
+        or _check_optimizer(optimizer, args)
+        or _check_router(router_report, args)
     )
 
 

@@ -50,54 +50,70 @@ from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
 from repro.api import (
     CardinalityGenerator,
+    CorrectionModel,
     Estimate,
     EstimateRequest,
     EstimateResponse,
     EstimationService,
     Estimator,
+    FeedbackRecord,
+    FeedbackStore,
     JoinPlan,
+    Router,
     available_backends,
     available_estimators,
     available_generators,
+    available_routers,
     build_catalog,
     estimate,
     kernel_backend,
     make_estimator,
     optimize,
     plan_cost,
+    record_feedback,
     resolve_generator,
+    resolve_router,
     serve,
     set_kernel_backend,
+    use_feedback,
     use_kernel_backend,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CardinalityGenerator",
+    "CorrectionModel",
     "Element",
     "Estimate",
     "EstimateRequest",
     "EstimateResponse",
     "EstimationService",
     "Estimator",
+    "FeedbackRecord",
+    "FeedbackStore",
     "JoinPlan",
     "NodeSet",
     "Region",
+    "Router",
     "SpaceBudget",
     "Workspace",
     "available_backends",
     "available_estimators",
     "available_generators",
+    "available_routers",
     "build_catalog",
     "estimate",
     "kernel_backend",
     "make_estimator",
     "optimize",
     "plan_cost",
+    "record_feedback",
     "resolve_generator",
+    "resolve_router",
     "serve",
     "set_kernel_backend",
+    "use_feedback",
     "use_kernel_backend",
     "__version__",
 ]

@@ -15,6 +15,13 @@ needs without touching package internals:
   service-backed, exact-oracle, or the pessimistic upper bound), with
   :func:`resolve_generator` / :func:`available_generators` mirroring
   the estimator registry's name resolution;
+* the closed loop — :class:`FeedbackStore` / :func:`record_feedback` /
+  :func:`use_feedback` accumulate what the serving layer answered and
+  how wrong it was, a :class:`CorrectionModel` learns per-query-class
+  multipliers from that history, and a :class:`Router` (resolved by
+  name through :func:`resolve_router` / :func:`available_routers`)
+  picks the answering method per query class when passed to
+  :func:`serve`;
 * the re-exported types: :class:`Estimate`, :class:`Estimator`,
   :class:`NodeSet`, :class:`Workspace`, :class:`SpaceBudget`,
   :class:`SummaryCache`, :class:`IndexCache` (with
@@ -53,10 +60,22 @@ from repro.estimators.registry import (
     canonical_name,
     make_estimator,
 )
+from repro.feedback import (
+    CorrectionModel,
+    FeedbackRecord,
+    FeedbackStore,
+    record_feedback,
+    use_feedback,
+)
 from repro.optimizer.generator import (
     CardinalityGenerator,
     available_generators,
     resolve_generator,
+)
+from repro.router import (
+    Router,
+    available_routers,
+    resolve_router,
 )
 from repro.kernels.backend import (
     available_backends,
@@ -74,14 +93,18 @@ from repro.xmltree.tree import DataTree
 
 __all__ = [
     "CardinalityGenerator",
+    "CorrectionModel",
     "Estimate",
     "EstimateRequest",
     "EstimateResponse",
     "EstimationService",
     "Estimator",
+    "FeedbackRecord",
+    "FeedbackStore",
     "IndexCache",
     "JoinPlan",
     "NodeSet",
+    "Router",
     "SpaceBudget",
     "StatisticsCatalog",
     "SummaryCache",
@@ -89,6 +112,7 @@ __all__ = [
     "available_backends",
     "available_estimators",
     "available_generators",
+    "available_routers",
     "build_catalog",
     "canonical_name",
     "estimate",
@@ -96,9 +120,12 @@ __all__ = [
     "make_estimator",
     "optimize",
     "plan_cost",
+    "record_feedback",
     "resolve_generator",
+    "resolve_router",
     "serve",
     "set_kernel_backend",
+    "use_feedback",
     "use_index_cache",
     "use_kernel_backend",
 ]
@@ -186,6 +213,9 @@ def optimize(
 def serve(
     *,
     catalog: StatisticsCatalog | None = None,
+    router: "Router | str | None" = None,
+    feedback: "FeedbackStore | bool | None" = None,
+    correction: CorrectionModel | None = None,
     **options: Any,
 ) -> EstimationService:
     """Start an :class:`EstimationService` over the estimator registry.
@@ -204,15 +234,36 @@ def serve(
             response.estimate.value   # always present
             response.degraded         # True if the ladder answered
 
+    The closed loop is opt-in: with ``router=`` the service picks the
+    answering method per query class (disclosed in
+    ``response.routed_method``) and learns from the attached feedback
+    store; with all three left at their defaults every request is
+    answered by exactly the method it named, bit-identically to
+    :func:`estimate`.
+
     Args:
         catalog: optional :class:`StatisticsCatalog` enabling the
             plan-time ``catalog`` degradation rung (without one the
             ladder falls through to the closed-form bound).
+        router: optional :class:`Router` instance or name
+            (:func:`available_routers`; e.g. ``"ucb1"``) routing each
+            admitted request to its best-known method.
+        feedback: optional :class:`FeedbackStore` (``True`` for a fresh
+            one) recording every response; created automatically when a
+            router is attached.
+        correction: optional fitted :class:`CorrectionModel` applied as
+            a post-multiplier to full-fidelity answers.
         **options: forwarded to :class:`EstimationService` — ``workers``
             (0 = caller-runs, the embedded-optimizer mode), ``max_batch``,
             ``queue_size``, ``memoize``, breaker tuning, caches.
     """
-    return EstimationService(catalog=catalog, **options)
+    return EstimationService(
+        catalog=catalog,
+        router=router,
+        feedback=feedback,
+        correction=correction,
+        **options,
+    )
 
 
 def build_catalog(

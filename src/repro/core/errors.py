@@ -87,6 +87,25 @@ class UnknownGeneratorError(UnknownEstimatorError):
     """
 
 
+class UnknownRouterError(UnknownEstimatorError):
+    """A name did not resolve to any registered method router.
+
+    Carries the same ``name``/``candidates`` attributes as
+    :class:`UnknownEstimatorError` (which it subclasses, so existing
+    handlers catch it); candidates are canonical router names
+    (``UCB1``, ``THOMPSON``, ``STATIC``).
+    """
+
+
+class FeedbackError(ReproError):
+    """The feedback subsystem was configured or invoked incorrectly.
+
+    Raised for malformed :class:`~repro.feedback.FeedbackRecord` /
+    ``CorrectionModel`` wire payloads (wrong ``schema_version``, missing
+    fields), invalid store merges, and correction-model misuse.
+    """
+
+
 class BudgetExceededError(EstimationError):
     """A space or work budget cannot accommodate the request.
 

@@ -1,0 +1,55 @@
+"""Serving feedback: record what was answered, learn what was wrong.
+
+The closed-loop half of the serving stack (the other half is
+:mod:`repro.router`): a :class:`FeedbackStore` accumulates
+:class:`FeedbackRecord` rows — query class, method, estimate, truth when
+known, latency, degradation reason — with order-free per-(class, method)
+aggregates that snapshot/merge like :mod:`repro.obs` metrics, and a
+:class:`CorrectionModel` turns the truth-known rows into per-class
+log-space multipliers applied (opt-in) over raw estimates.
+
+Truth enters through :func:`observe_truth` / the ambient
+:func:`use_feedback` context — the exact cardinality generator and the
+qa oracles record the real sizes they compute, completing the records
+the service stored for the same operand pairs.
+"""
+
+from repro.feedback.correction import (
+    CORRECTION_SCHEMA_VERSION,
+    CorrectionModel,
+    mean_relative_error,
+)
+from repro.feedback.runtime import (
+    enabled,
+    get_store,
+    observe_truth,
+    record_feedback,
+    use_feedback,
+)
+from repro.feedback.store import (
+    FEEDBACK_SCHEMA_VERSION,
+    FeedbackRecord,
+    FeedbackStore,
+    MethodStats,
+    featurize,
+    pair_key,
+    query_class,
+)
+
+__all__ = [
+    "CORRECTION_SCHEMA_VERSION",
+    "FEEDBACK_SCHEMA_VERSION",
+    "CorrectionModel",
+    "FeedbackRecord",
+    "FeedbackStore",
+    "MethodStats",
+    "enabled",
+    "featurize",
+    "get_store",
+    "mean_relative_error",
+    "observe_truth",
+    "pair_key",
+    "query_class",
+    "record_feedback",
+    "use_feedback",
+]

@@ -1,0 +1,134 @@
+"""The ambient feedback state: one flag, one store.
+
+Mirrors :mod:`repro.obs.runtime`: truth-producing call sites (the exact
+cardinality generator, the qa oracles, a harness computing real join
+sizes) are guarded by :func:`enabled` — the disabled path costs one
+attribute load and one branch.  :func:`use_feedback` installs a
+:class:`~repro.feedback.store.FeedbackStore` for a ``with`` block; the
+previous ambient state is restored on exit, so tests compose.
+
+The helpers centralize how feedback enters the store so call sites stay
+one-liners: :func:`record_feedback` appends an estimate observation,
+:func:`observe_truth` records an exact join size for an operand pair
+(back-filling records already stored for it).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, TYPE_CHECKING
+
+from repro.feedback.store import (
+    FeedbackRecord,
+    FeedbackStore,
+    featurize,
+    pair_key,
+    query_class,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.nodeset import NodeSet
+
+__all__ = [
+    "enabled",
+    "get_store",
+    "use_feedback",
+    "record_feedback",
+    "observe_truth",
+]
+
+_enabled = False
+_store: FeedbackStore | None = None
+_swap_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """True while an ambient feedback store is installed (cheap guard)."""
+    return _enabled
+
+
+def get_store() -> FeedbackStore | None:
+    """The ambient feedback store, if one is installed."""
+    return _store
+
+
+@contextmanager
+def use_feedback(
+    store: FeedbackStore | None = None,
+) -> Iterator[FeedbackStore]:
+    """Install a feedback store ambiently for the block.
+
+    Args:
+        store: the store to record into; defaults to a fresh one, so the
+            block's feedback is isolated.
+
+    Yields the installed store.
+    """
+    global _enabled, _store
+    new_store = store if store is not None else FeedbackStore()
+    with _swap_lock:
+        previous = (_enabled, _store)
+        _enabled = True
+        _store = new_store
+    try:
+        yield new_store
+    finally:
+        with _swap_lock:
+            _enabled, _store = previous
+
+
+def record_feedback(
+    ancestors: "NodeSet",
+    descendants: "NodeSet",
+    method: str,
+    estimate: float,
+    *,
+    exact: float | None = None,
+    latency_s: float = 0.0,
+    status: str = "ok",
+    degraded_reason: str | None = None,
+    request_id: str | None = None,
+    store: FeedbackStore | None = None,
+) -> FeedbackRecord | None:
+    """Record one served estimate into ``store`` (or the ambient one).
+
+    Builds the :class:`FeedbackRecord` — query class, features and pair
+    key derived from the operands — and appends it.  Returns the stored
+    record, or None when no store is available.
+    """
+    target = store if store is not None else _store
+    if target is None:
+        return None
+    record = FeedbackRecord(
+        query_class=query_class(ancestors, descendants),
+        method=method,
+        estimate=float(estimate),
+        features=featurize(ancestors, descendants),
+        exact=exact,
+        latency_s=latency_s,
+        status=status,
+        degraded_reason=degraded_reason,
+        pair_key=pair_key(ancestors, descendants),
+        request_id=request_id,
+    )
+    return target.add(record)
+
+
+def observe_truth(
+    ancestors: "NodeSet",
+    descendants: "NodeSet",
+    exact: float,
+    *,
+    store: FeedbackStore | None = None,
+) -> int:
+    """Record an exact join size into ``store`` (or the ambient one).
+
+    Call sites guard with :func:`enabled` when no explicit store is
+    passed.  Returns how many retained records gained truth (0 when no
+    store is available).
+    """
+    target = store if store is not None else _store
+    if target is None:
+        return 0
+    return target.observe_truth(ancestors, descendants, exact)

@@ -30,6 +30,7 @@ __all__ = [
     "nullable",
     "KERNELS_SCHEMA",
     "OPTIMIZER_SCHEMA",
+    "ROUTER_SCHEMA",
     "SAMPLING_SCHEMA",
     "SERVICE_SCHEMA",
     "SCHEMAS",
@@ -326,9 +327,84 @@ OPTIMIZER_SCHEMA = Spec(
     optional={"elapsed_s": NUMBER},
 )
 
+#: One dataset's routing trace in the router bench.
+_ROUTER_DATASET_ROW = Spec(
+    required={
+        "dataset": str,
+        "queries": int,
+        "rounds": int,
+        "warmup_rounds": int,
+        "candidates": Spec(values=dict),
+        "router_loss": NUMBER,
+        "router_loss_gated": NUMBER,
+        "fixed_loss": Spec(values=NUMBER),
+        "fixed_loss_gated": Spec(values=NUMBER),
+        "best_fixed": str,
+        "regret_ratio": NUMBER,
+        "regret_ratio_total": NUMBER,
+        "arm_pulls": Spec(values=int),
+    }
+)
+
+_CORRECTION_CELL = Spec(
+    required={
+        "cell": str,
+        "records": int,
+        "mre_before": NUMBER,
+        "mre_after": NUMBER,
+        "fitted": bool,
+        "reduction_pct": NUMBER,
+    }
+)
+
+#: The closed-loop bench: bandit routing regret against the best fixed
+#: method on the Table 3 traces, plus the correction model's held-out
+#: MRE reduction.  The CI gates require ``total.regret_ratio`` at or
+#: under the fixed budget (1.15), ``correction.worsened == 0`` and
+#: ``correction.max_reduction_pct`` at or above 10.
+ROUTER_SCHEMA = Spec(
+    required={
+        "bench": str,
+        "schema_version": int,
+        "scale": NUMBER,
+        "seed": int,
+        "rounds": int,
+        "datasets": [str],
+        "router": dict,
+        "per_dataset": [_ROUTER_DATASET_ROW],
+        "total": Spec(
+            required={
+                "router_loss": NUMBER,
+                "router_loss_gated": NUMBER,
+                "best_fixed_loss": NUMBER,
+                "best_fixed_loss_gated": NUMBER,
+                "regret_ratio": NUMBER,
+                "regret_ratio_total": NUMBER,
+            }
+        ),
+        "correction": Spec(
+            required={
+                "mode": str,
+                "per_method": bool,
+                "holdout": NUMBER,
+                "cells": int,
+                "fitted": int,
+                "worsened": int,
+                "max_reduction_pct": NUMBER,
+                "top_cells": [_CORRECTION_CELL],
+            }
+        ),
+        "feedback": Spec(
+            required={"records": int, "with_truth": int, "classes": int}
+        ),
+    },
+    optional={"elapsed_s": NUMBER},
+)
+
 SCHEMAS: dict[str, Spec] = {
     "kernels": KERNELS_SCHEMA,
     "optimizer": OPTIMIZER_SCHEMA,
+    "router": ROUTER_SCHEMA,
     "sampling": SAMPLING_SCHEMA,
     "service": SERVICE_SCHEMA,
 }

@@ -29,6 +29,12 @@ The oracles cover the layers named in the ROADMAP's production story:
 * ``wire-roundtrip`` — the binary zero-copy wire format and the JSON
   compatibility form round-trip every request/response exactly, and
   the service answers both formats of one seeded request identically.
+* ``feedback-transparency`` — a service with a router and feedback
+  store attached (but no correction model) answers every request
+  bit-identically to direct ``repro.api.estimate`` with the routed
+  arm's configuration — the closed loop observes and redirects, it
+  never changes a value — and every recorded outcome carries the
+  pre-registered exact size.
 * ``sharded-vs-unsharded`` — partitioning the operands into a random
   number of shards and merging the per-shard summaries
   (:mod:`repro.shard`) reproduces the unsharded statistics: integer
@@ -428,6 +434,81 @@ def check_service_vs_direct(case: Case) -> None:
                 "service-vs-direct",
                 "bound rung estimate is not the upper bound",
             )
+
+
+def check_feedback_transparency(case: Case) -> None:
+    """The closed loop never changes a value, only who computes it.
+
+    A service with a router and feedback store attached (correction
+    *off*) must answer every request bit-identically to a direct
+    ``api.estimate`` call with the routed arm's own configuration (the
+    BOUND arm is the structural upper bound) — routing redirects, it
+    does not perturb.  Every outcome must land in the store carrying
+    the pre-registered exact size.
+    """
+    from repro.estimators.bounds import join_size_bounds
+    from repro.feedback.store import FeedbackStore
+    from repro.router.base import BOUND_METHOD, UCB1Router
+
+    a, d, w = case.ancestors, case.descendants, case.workspace
+    if len(a) == 0 or len(d) == 0:
+        return
+    samples = max(1, min(len(a), len(d)) // 2)
+    # Arms pin their own seeds so a direct call reproduces any routed
+    # answer exactly, whatever arm the bandit picks.
+    candidates = {
+        "PL": {"num_buckets": 8},
+        "IM": {"num_samples": samples, "seed": 11},
+        "PM": {"num_samples": samples, "seed": 11},
+        BOUND_METHOD: {},
+    }
+    exact = containment_join_size(a, d)
+    store = FeedbackStore()
+    store.observe_truth(a, d, float(exact))
+    router = UCB1Router(candidates, seed=case.seed)
+    rounds = 2 * len(router.arms)
+    with EstimationService(
+        workers=0, router=router, feedback=store, memoize=False
+    ) as service:
+        for __ in range(rounds):
+            response = service.estimate(
+                a, d, "IM", workspace=w, num_samples=samples, seed=11
+            )
+            routed = response.routed_method
+            if routed not in candidates:
+                _fail(
+                    "feedback-transparency",
+                    f"response routed to unknown arm {routed!r}",
+                )
+            if response.status != "ok":
+                _fail(
+                    "feedback-transparency",
+                    f"routed request resolved {response.status!r} "
+                    f"(reason {response.degraded_reason!r}), not ok",
+                )
+            if routed == BOUND_METHOD:
+                expected = float(join_size_bounds(a, d).upper)
+            else:
+                expected = api.estimate(
+                    a, d, routed, workspace=w, **candidates[routed]
+                ).value
+            if response.estimate.value != expected:
+                _fail(
+                    "feedback-transparency",
+                    f"routed {routed} answer {response.estimate.value!r} "
+                    f"!= direct estimate {expected!r}",
+                )
+    records = list(store)
+    if len(records) != rounds:
+        _fail(
+            "feedback-transparency",
+            f"store holds {len(records)} records for {rounds} requests",
+        )
+    if any(record.exact != float(exact) for record in records):
+        _fail(
+            "feedback-transparency",
+            "a served record is missing the pre-registered exact size",
+        )
 
 
 def check_sharded_vs_unsharded(case: Case) -> None:
@@ -905,6 +986,7 @@ ORACLES: dict[str, Callable[[Case], None]] = {
     "service-vs-direct": check_service_vs_direct,
     "fused-vs-reference": check_fused_vs_reference,
     "wire-roundtrip": check_wire_roundtrip,
+    "feedback-transparency": check_feedback_transparency,
     "sharded-vs-unsharded": check_sharded_vs_unsharded,
     "planner-invariance": check_planner_invariance,
     "metamorphic": check_metamorphic,

@@ -1,0 +1,41 @@
+"""Bandit method routing: pick the estimator each query class deserves.
+
+The decision half of the closed loop (:mod:`repro.feedback` is the
+memory half): a :class:`Router` chooses, per query class, which of a
+fixed candidate set — IM / PM / PL / the closed-form bound — answers
+each request, learning from the feedback store's observed errors and
+latencies.  :class:`UCB1Router` and :class:`ThompsonRouter` are the
+bandits; :class:`StaticRouter` is the pinned-method control.
+
+Attach one to the service with ``EstimationService(router=...)`` (or
+``repro.serve(router="ucb1")``); routing is off by default and every
+routed response discloses its choice in ``routed_method``.
+"""
+
+from repro.router.base import (
+    BOUND_METHOD,
+    DEFAULT_CANDIDATES,
+    Router,
+    StaticRouter,
+    ThompsonRouter,
+    UCB1Router,
+)
+from repro.router.registry import (
+    available_routers,
+    canonical_router_name,
+    nearest_routers,
+    resolve_router,
+)
+
+__all__ = [
+    "BOUND_METHOD",
+    "DEFAULT_CANDIDATES",
+    "Router",
+    "StaticRouter",
+    "ThompsonRouter",
+    "UCB1Router",
+    "available_routers",
+    "canonical_router_name",
+    "nearest_routers",
+    "resolve_router",
+]

@@ -1,0 +1,336 @@
+"""Router regret benchmark: the closed loop against fixed baselines.
+
+Replays the paper's Table 3 workloads (XMark, DBLP, XMach) as serving
+traces — every query, ``rounds`` times, with fresh per-request seeds —
+through an :class:`~repro.service.engine.EstimationService` with a
+router and feedback store attached, and scores the router's cumulative
+relative-error loss against every *fixed* method run over the identical
+trace (same configs, same seeds).  The headline number::
+
+    regret_ratio = router gated loss / best fixed method's gated loss
+
+where "gated" excludes the warmup rounds a bandit necessarily spends
+pulling each arm once per query class — cold-start exploration is
+reported (``regret_ratio_total``) but not gated, because no bandit can
+beat a clairvoyant fixed choice before it has seen a single reward.
+
+The same trace populates the feedback store with truth-paired records
+(exact sizes are pre-registered via ``observe_truth``, so every record
+gains truth at add-time), which then feed the correction-model phase:
+fit a :class:`~repro.feedback.CorrectionModel` with a 50% held-out
+tail and report per-cell mean-relative-error reduction.  Deterministic
+for fixed ``(scale, seed)``: the router is a pure function of (seed,
+history), per-request seeds are derived arithmetically, and the caller
+stamps ``elapsed_s`` after the fact.
+
+Emitted by ``benchmarks/bench_runner.py --only-router`` as the
+schema-validated ``BENCH_router.json`` artifact and gated in CI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.api import estimate
+from repro.datasets.base import Dataset
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.workloads import ALL_WORKLOADS
+from repro.datasets.xmach import generate_xmach
+from repro.datasets.xmark import generate_xmark
+from repro.estimators.bounds import join_size_bounds
+from repro.feedback.correction import CorrectionModel
+from repro.feedback.runtime import record_feedback
+from repro.feedback.store import FeedbackStore
+from repro.join.size import containment_join_size
+from repro.router.base import BOUND_METHOD, DEFAULT_CANDIDATES, Router
+from repro.router.registry import resolve_router
+from repro.service.engine import EstimationService
+
+__all__ = [
+    "ROUTER_BENCH_SCHEMA_VERSION",
+    "run_router_bench",
+]
+
+ROUTER_BENCH_SCHEMA_VERSION = 1
+
+_GENERATORS: dict[str, Callable[[float, int], Dataset]] = {
+    "xmark": lambda scale, seed: generate_xmark(scale=scale, seed=seed),
+    "dblp": lambda scale, seed: generate_dblp(scale=scale, seed=seed),
+    "xmach": lambda scale, seed: generate_xmach(scale=scale, seed=seed),
+}
+
+
+def _request_seed(seed: int, query_index: int, round_index: int) -> int:
+    """The per-request RNG seed: fresh per (query, round), reproducible."""
+    return seed * 1_000_000 + query_index * 1_000 + round_index
+
+
+def _clamped_candidates(
+    candidates: Mapping[str, Mapping[str, Any]],
+    operands: Sequence[tuple[Any, Any]],
+) -> dict[str, dict[str, Any]]:
+    """Clamp sampling budgets so without-replacement draws stay legal
+    on the trace's smallest operand (mirrors the optimizer sweep)."""
+    smallest = min(min(len(a), len(d)) for a, d in operands)
+    ceiling = max(1, smallest // 2)
+    clamped: dict[str, dict[str, Any]] = {}
+    for method, config in candidates.items():
+        adjusted = dict(config)
+        if "num_samples" in adjusted:
+            adjusted["num_samples"] = min(
+                int(adjusted["num_samples"]), ceiling
+            )
+        clamped[method] = adjusted
+    return clamped
+
+
+def _loss(estimate_value: float, exact: float) -> float:
+    """Relative error against truth (absolute error when truth is 0)."""
+    if exact > 0:
+        return abs(estimate_value - exact) / exact
+    return abs(estimate_value)
+
+
+def _fixed_estimate(
+    method: str,
+    config: Mapping[str, Any],
+    a: Any,
+    d: Any,
+    request_seed: int,
+) -> float:
+    """What the fixed-method baseline answers on one trace request —
+    the same value the router's arm would produce (same config, same
+    seed propagation rule as :meth:`Router.route`)."""
+    if method == BOUND_METHOD:
+        return float(join_size_bounds(a, d).upper)
+    call = dict(config)
+    if "seed" not in call:
+        from repro.service.request import _STOCHASTIC_METHODS
+
+        if method in _STOCHASTIC_METHODS:
+            call["seed"] = request_seed
+    return float(estimate(a, d, method=method, **call).value)
+
+
+def run_router_bench(
+    *,
+    router: "Router | str" = "UCB1",
+    scale: float = 0.05,
+    seed: int = 7,
+    rounds: int = 12,
+    warmup_rounds: int | None = None,
+    datasets: Sequence[str] = ("xmark", "dblp", "xmach"),
+    candidates: Mapping[str, Mapping[str, Any]] | None = None,
+    holdout: float = 0.5,
+    **router_config: Any,
+) -> dict[str, Any]:
+    """Run the routing + correction benchmark; the BENCH_router payload.
+
+    Args:
+        router: router name or instance; a name is resolved fresh *per
+            dataset* with ``seed`` and the clamped candidate arms.
+        scale: dataset scale factor (0.05 = CI-sized documents).
+        seed: root seed — datasets, per-request seeds, router RNG.
+        rounds: how many times the trace replays each Table 3 query.
+        warmup_rounds: rounds excluded from the gated regret (default:
+            one per arm — the forced exploration phase).
+        datasets: subset of ``xmark``/``dblp``/``xmach``.
+        candidates: arm set (default :data:`DEFAULT_CANDIDATES`);
+            sampling budgets are clamped per dataset.
+        holdout: held-out fraction for the correction-model fit.
+        **router_config: extra router constructor arguments
+            (``exploration=``, ``latency_weight=``, ...).
+
+    Returns the ``BENCH_router.json`` payload without ``elapsed_s``
+    (the caller stamps timing so the body stays deterministic).
+    """
+    base_candidates = dict(
+        candidates if candidates is not None else DEFAULT_CANDIDATES
+    )
+    # The router's store sees only its own pulls (bandit feedback);
+    # the baselines get a separate store so the bandit never learns
+    # from arms it did not pull.  Both feed the correction fit.
+    store = FeedbackStore()
+    baseline_store = FeedbackStore()
+    per_dataset: list[dict[str, Any]] = []
+    router_describe: dict[str, Any] | None = None
+
+    total_router = 0.0
+    total_router_gated = 0.0
+    total_best_fixed = 0.0
+    total_best_fixed_gated = 0.0
+
+    for dataset_name in datasets:
+        dataset = _GENERATORS[dataset_name](scale, seed)
+        queries = ALL_WORKLOADS[dataset_name]
+        operands = [query.operands(dataset) for query in queries]
+        exacts = [containment_join_size(a, d) for a, d in operands]
+        arms = _clamped_candidates(base_candidates, operands)
+
+        # Pre-register truth so every trace record carries it and the
+        # router earns a reward from the very first pull.
+        for (a, d), exact in zip(operands, exacts):
+            store.observe_truth(a, d, float(exact))
+            baseline_store.observe_truth(a, d, float(exact))
+        smallest = min(min(len(a), len(d)) for a, d in operands)
+        request_samples = max(1, min(64, smallest // 2))
+
+        dataset_router = (
+            router
+            if isinstance(router, Router)
+            else resolve_router(
+                router, candidates=arms, seed=seed, **router_config
+            )
+        )
+        if router_describe is None:
+            router_describe = dataset_router.describe()
+        warmup = (
+            warmup_rounds
+            if warmup_rounds is not None
+            else len(dataset_router.arms)
+        )
+
+        router_loss = 0.0
+        router_loss_gated = 0.0
+        fixed_loss = {method: 0.0 for method in arms}
+        fixed_loss_gated = {method: 0.0 for method in arms}
+        arm_pulls = {method: 0 for method in arms}
+
+        with EstimationService(
+            workers=0, router=dataset_router, feedback=store
+        ) as service:
+            for round_index in range(rounds):
+                gated = round_index >= warmup
+                for query_index, (a, d) in enumerate(operands):
+                    request_seed = _request_seed(
+                        seed, query_index, round_index
+                    )
+                    exact = float(exacts[query_index])
+                    response = service.estimate(
+                        a,
+                        d,
+                        "IM",
+                        num_samples=request_samples,
+                        seed=request_seed,
+                    )
+                    routed = response.routed_method or "IM"
+                    arm_pulls[routed] = arm_pulls.get(routed, 0) + 1
+                    loss = _loss(response.estimate.value, exact)
+                    router_loss += loss
+                    if gated:
+                        router_loss_gated += loss
+                    for method, config in arms.items():
+                        value = _fixed_estimate(
+                            method, config, a, d, request_seed
+                        )
+                        record_feedback(
+                            a, d, method, value, store=baseline_store
+                        )
+                        floss = _loss(value, exact)
+                        fixed_loss[method] += floss
+                        if gated:
+                            fixed_loss_gated[method] += floss
+
+        best_fixed = min(fixed_loss_gated, key=fixed_loss_gated.get)
+        best_gated = fixed_loss_gated[best_fixed]
+        best_total = fixed_loss[best_fixed]
+        per_dataset.append(
+            {
+                "dataset": dataset_name,
+                "queries": len(queries),
+                "rounds": rounds,
+                "warmup_rounds": warmup,
+                "candidates": arms,
+                "router_loss": router_loss,
+                "router_loss_gated": router_loss_gated,
+                "fixed_loss": fixed_loss,
+                "fixed_loss_gated": fixed_loss_gated,
+                "best_fixed": best_fixed,
+                "regret_ratio": _ratio(router_loss_gated, best_gated),
+                "regret_ratio_total": _ratio(router_loss, best_total),
+                "arm_pulls": arm_pulls,
+            }
+        )
+        total_router += router_loss
+        total_router_gated += router_loss_gated
+        total_best_fixed += best_total
+        total_best_fixed_gated += best_gated
+
+    # ------------------------------------------------------------------
+    # Correction phase: learn per-cell multipliers from the trace.
+    # ------------------------------------------------------------------
+    model = CorrectionModel()
+    fit_records = list(store.records(with_truth=True)) + list(
+        baseline_store.records(with_truth=True)
+    )
+    report = model.fit(fit_records, holdout=holdout)
+    cells = []
+    worsened = 0
+    for cell, row in report.items():
+        before, after = row["mre_before"], row["mre_after"]
+        if before is None or after is None:
+            continue
+        if after > before:
+            worsened += 1
+        reduction = (
+            100.0 * (before - after) / before if before > 0 else 0.0
+        )
+        cells.append(
+            {
+                "cell": cell,
+                "records": row["records"],
+                "mre_before": before,
+                "mre_after": after,
+                "fitted": row["fitted"],
+                "reduction_pct": reduction,
+            }
+        )
+    cells.sort(key=lambda row: -row["reduction_pct"])
+    max_reduction = cells[0]["reduction_pct"] if cells else 0.0
+
+    return {
+        "bench": "router",
+        "schema_version": ROUTER_BENCH_SCHEMA_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "rounds": rounds,
+        "datasets": list(datasets),
+        "router": router_describe or {},
+        "per_dataset": per_dataset,
+        "total": {
+            "router_loss": total_router,
+            "router_loss_gated": total_router_gated,
+            "best_fixed_loss": total_best_fixed,
+            "best_fixed_loss_gated": total_best_fixed_gated,
+            "regret_ratio": _ratio(
+                total_router_gated, total_best_fixed_gated
+            ),
+            "regret_ratio_total": _ratio(total_router, total_best_fixed),
+        },
+        "correction": {
+            "mode": model.mode,
+            "per_method": model.per_method,
+            "holdout": holdout,
+            "cells": len(cells),
+            "fitted": sum(1 for row in cells if row["fitted"]),
+            "worsened": worsened,
+            "max_reduction_pct": max_reduction,
+            "top_cells": cells[:8],
+        },
+        "feedback": {
+            "records": len(store) + len(baseline_store),
+            "with_truth": len(fit_records),
+            "classes": len(
+                set(store.classes()) | set(baseline_store.classes())
+            ),
+        },
+    }
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with the 0/0 → 1.0 convention (a
+    router matching a perfect baseline has no regret)."""
+    if denominator > 0:
+        return numerator / denominator
+    return 1.0 if numerator <= 0 else math.inf

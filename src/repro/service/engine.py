@@ -68,7 +68,12 @@ from repro.core.workspace import Workspace
 from repro.estimators.base import Estimate, Estimator
 from repro.estimators.registry import make_estimator
 from repro.estimators.sampling_base import SamplingEstimator
+from repro.feedback.correction import CorrectionModel
+from repro.feedback.runtime import record_feedback
+from repro.feedback.store import FeedbackStore, featurize, query_class
 from repro.obs import runtime as _obs
+from repro.router.base import BOUND_METHOD, Router
+from repro.router.registry import resolve_router
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.cache import SummaryCache, use_cache
 from repro.perf.index_cache import IndexCache, use_index_cache
@@ -218,6 +223,23 @@ class EstimationService:
             ``(method, **config)``; the default is
             :func:`repro.estimators.registry.make_estimator`.  Tests
             inject faulty or slow estimators here.
+        router: optional :class:`~repro.router.Router` (or a name
+            :func:`~repro.router.resolve_router` accepts) choosing the
+            answering method per query class.  Off by default: with no
+            router the service answers exactly the method requested,
+            preserving every bit-identity guarantee.  Routed responses
+            disclose the chosen arm in ``routed_method``.
+        feedback: optional :class:`~repro.feedback.FeedbackStore`
+            recording every response (query class, method, estimate,
+            latency, degradation reason; truth when known).  ``True``
+            creates a fresh store; a router with no explicit store gets
+            one automatically (it needs the history).  Exposed as
+            ``service.feedback``.
+        correction: optional fitted
+            :class:`~repro.feedback.CorrectionModel` applied as a
+            post-multiplier to full-fidelity ("ok", ladder level 0)
+            answers.  Off by default; unfitted classes multiply by
+            exactly 1.0, so estimates stay bit-identical.
 
     The service starts its workers on construction and is a context
     manager — ``with EstimationService() as svc: ...`` shuts it down on
@@ -240,9 +262,21 @@ class EstimationService:
         breaker_threshold: int = 5,
         breaker_cooloff_s: float = 1.0,
         estimator_factory: Callable[..., Estimator] | None = None,
+        router: Router | str | None = None,
+        feedback: FeedbackStore | bool | None = None,
+        correction: CorrectionModel | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._clock = clock
+        self._router: Router | None = (
+            resolve_router(router) if router is not None else None
+        )
+        if feedback is True or (feedback is None and self._router):
+            feedback = FeedbackStore()
+        elif feedback is False:
+            feedback = None
+        self.feedback: FeedbackStore | None = feedback
+        self._correction = correction
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
         if processes < 0:
@@ -294,6 +328,7 @@ class EstimationService:
         self._m_singleflight = self.metrics.counter(
             "service.singleflight_hits"
         )
+        self._m_routed = self.metrics.counter("service.routed")
         self._m_batch_size = self.metrics.histogram("service.batch_size")
         self._m_queue_depth = self.metrics.histogram(
             "service.queue_depth"
@@ -435,10 +470,52 @@ class EstimationService:
                 deadline_s=deadline_s,
                 request_id=request_id,
             )
+        routed_method: str | None = None
+        routed_from: str | None = None
+        if self._router is not None:
+            arm, arm_config = self._router.route(request, self.feedback)
+            routed_method = arm
+            routed_from = request.method
+            self._m_routed.inc()
+            self._count(f"service.routed.{arm}")
+            if arm != BOUND_METHOD and (
+                arm != request.method or arm_config != request.config
+            ):
+                # Rebuild (rather than mutate) so validation reruns and
+                # the future derives its memo key from the routed form.
+                request = EstimateRequest(
+                    ancestors=request.ancestors,
+                    descendants=request.descendants,
+                    method=arm,
+                    workspace=request.workspace,
+                    config=arm_config,
+                    deadline_s=request.deadline_s,
+                    request_id=request.request_id,
+                )
         now = self._clock()
         future = ServiceFuture(
             request, enqueued_at=now, cond=self._resolution
         )
+        future.routed_method = routed_method
+        future.routed_from = routed_from
+        if routed_method == BOUND_METHOD:
+            # The bound arm never queues: the ladder's bottom rung is one
+            # cached O(|A|) scan, answered inline in the calling thread.
+            estimate, level = (
+                DegradationLadder._from_bound(request),
+                LADDER.index("bound"),
+            )
+            self._resolve(
+                future,
+                estimate,
+                status="ok",
+                ladder_level=level,
+                deadline_missed=False,
+                degraded_reason=None,
+                batch_size=1,
+                started_at=now,
+            )
+            return future, False
         memo_key = future.result_key if self._memo is not None else None
         if memo_key is not None:
             cached = self._memo_get(memo_key)
@@ -648,6 +725,18 @@ class EstimationService:
         latency = self.metrics.histogram("service.latency_s")
         wait = self.metrics.histogram("service.wait_s")
         batch = self.metrics.histogram("service.batch_size")
+        counters = self.metrics.counters()
+        # Per-method, per-reason degradation breakdown: the flat
+        # ``service.degraded_by.<method>.<reason>`` counters, unfolded
+        # into a nested mapping (router reward accounting and obs-report
+        # both want it this shape; method and reason names contain no
+        # dots).
+        degraded_by: dict[str, dict[str, int]] = {}
+        prefix = "service.degraded_by."
+        for name, value in counters.items():
+            if name.startswith(prefix):
+                method, _, reason = name[len(prefix):].partition(".")
+                degraded_by.setdefault(method, {})[reason] = value
         with self._breakers_lock:
             breakers = {
                 name: {
@@ -659,7 +748,8 @@ class EstimationService:
         return {
             "queue_depth": len(self._queue),
             "closed": self._closed,
-            "counters": self.metrics.counters(),
+            "counters": counters,
+            "degraded_by": degraded_by,
             "latency_p50_s": latency.percentile(50.0),
             "latency_p99_s": latency.percentile(99.0),
             "wait_p99_s": wait.percentile(99.0),
@@ -674,6 +764,16 @@ class EstimationService:
                 "encode_p99_s": self._m_wire_encode.percentile(99.0),
             },
             "breakers": breakers,
+            "router": (
+                self._router.describe()
+                if self._router is not None
+                else None
+            ),
+            "feedback": (
+                self.feedback.stats()
+                if self.feedback is not None
+                else None
+            ),
             "memo": self._memo.stats() if self._memo else None,
             "summary_cache": self.summary_cache.stats(),
             "index_cache": self.index_cache.stats(),
@@ -949,6 +1049,9 @@ class EstimationService:
         estimate, level = self._ladder.degrade(future.request)
         self._count("service.degraded")
         self._count(f"service.degraded.{reason}")
+        self._count(
+            f"service.degraded_by.{future.request.method}.{reason}"
+        )
         self._resolve(
             future,
             estimate,
@@ -967,6 +1070,9 @@ class EstimationService:
         estimate, level = self._ladder.degrade(future.request)
         self._count("service.degraded")
         self._count(f"service.degraded.{reason}")
+        self._count(
+            f"service.degraded_by.{future.request.method}.{reason}"
+        )
         self._resolve(
             future,
             estimate,
@@ -994,6 +1100,46 @@ class EstimationService:
         now = self._clock()
         wait_s = max(0.0, started_at - future.enqueued_at)
         service_s = max(0.0, now - future.enqueued_at)
+        request = future.request
+        if self.feedback is not None:
+            # Record the *raw* estimate: the correction model trains on
+            # uncorrected values, so corrected answers must not feed
+            # back into their own training signal.
+            record_feedback(
+                request.ancestors,
+                request.descendants,
+                future.routed_method or request.method,
+                estimate.value,
+                latency_s=service_s,
+                status=status,
+                degraded_reason=degraded_reason,
+                request_id=request.request_id,
+                store=self.feedback,
+            )
+        if (
+            self._correction is not None
+            and status == "ok"
+            and future.routed_method != BOUND_METHOD
+        ):
+            qc = query_class(request.ancestors, request.descendants)
+            corrected = self._correction.correct(
+                estimate.value,
+                qc,
+                featurize(request.ancestors, request.descendants),
+                method=future.routed_method or request.method,
+            )
+            if corrected != estimate.value:
+                self._count("service.corrected")
+                estimate = Estimate(
+                    corrected,
+                    estimate.estimator,
+                    mre=estimate.mre,
+                    details={
+                        **estimate.details,
+                        "corrected_from": estimate.value,
+                        "correction_class": qc,
+                    },
+                )
         self._m_responses.inc()
         self._m_wait.observe(wait_s)
         self._m_latency.observe(service_s)
@@ -1019,6 +1165,7 @@ class EstimationService:
                 service_s=service_s,
                 batch_size=batch_size,
                 request_id=future.request.request_id,
+                routed_method=future.routed_method,
             )
         )
 

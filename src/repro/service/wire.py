@@ -154,6 +154,8 @@ def _response_from_dict(payload: dict[str, Any]) -> EstimateResponse:
         service_s=float(payload["service_s"]),
         batch_size=int(payload["batch_size"]),
         request_id=str(payload["request_id"]),
+        # Older peers predate routing; absent means "not routed".
+        routed_method=payload.get("routed_method"),
     )
 
 

@@ -23,6 +23,7 @@ class TestCheckedInArtifacts:
         assert {p.name for p in BENCH_FILES} == {
             "BENCH_kernels.json",
             "BENCH_optimizer.json",
+            "BENCH_router.json",
             "BENCH_sampling.json",
             "BENCH_service.json",
         }

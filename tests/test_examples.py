@@ -57,6 +57,16 @@ class TestExamples:
         assert "page accesses per probe" in out
         assert "structural bounds" in out
 
+    def test_closed_loop(self):
+        out = run_example("closed_loop.py")
+        assert "bandit routing" in out
+        assert "arm pulls per query class" in out
+        assert "cells fitted" in out
+        assert "corrected answers" in out
+        # Routing is deterministic, so the learned PL correction lands
+        # the first query exactly on the true join size.
+        assert "corrected      435.0 exact      435.0" in out
+
     def test_all_examples_covered(self):
         """Every example script in the directory has a smoke test here."""
         scripts = {p.name for p in EXAMPLES.glob("*.py")}
@@ -67,5 +77,6 @@ class TestExamples:
             "query_optimizer.py",
             "catalog_optimizer.py",
             "disk_and_extensions.py",
+            "closed_loop.py",
         }
         assert scripts == tested

@@ -1,0 +1,469 @@
+"""Tests for the feedback subsystem (:mod:`repro.feedback`).
+
+Covers the record/store layer (wire round-trips, truth back-fill
+order-independence, the snapshot/merge protocol's commutativity), the
+correction model (fit on synthetic bias reduces MRE, never worsens a
+held-out cell, unfitted cells are *exactly* identity), the ambient
+runtime, and the service/optimizer integration points.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro import api
+from repro.core.errors import FeedbackError, ReproError
+from repro.feedback import (
+    CorrectionModel,
+    FeedbackRecord,
+    FeedbackStore,
+    featurize,
+    mean_relative_error,
+    pair_key,
+    query_class,
+    record_feedback,
+    use_feedback,
+)
+from repro.feedback import runtime as feedback_runtime
+from repro.join.size import containment_join_size
+
+
+def _operands(dataset, a_tag="item", d_tag="name"):
+    return dataset.node_set(a_tag), dataset.node_set(d_tag)
+
+
+def _record(
+    qc="a[3]//d[4]",
+    method="PL",
+    estimate=10.0,
+    exact=None,
+    features=(1.0, 2.0),
+    **kwargs,
+):
+    return FeedbackRecord(
+        query_class=qc,
+        method=method,
+        estimate=estimate,
+        features=features,
+        exact=exact,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# query_class / featurize / pair_key
+# ----------------------------------------------------------------------
+
+
+class TestFeatures:
+    def test_query_class_buckets_by_log2_size(self, xmark_small):
+        a, d = _operands(xmark_small)
+        label = query_class(a, d)
+        assert label.startswith("item[") and "//name[" in label
+        assert query_class(a, d) == label  # deterministic
+
+    def test_featurize_shape_and_intercept(self, xmark_small):
+        a, d = _operands(xmark_small)
+        features = featurize(a, d)
+        assert len(features) == 5
+        assert features[0] == 1.0
+        assert all(math.isfinite(f) for f in features)
+
+    def test_pair_key_is_content_addressed(self, xmark_small):
+        a, d = _operands(xmark_small)
+        assert pair_key(a, d) == pair_key(a, d)
+        assert pair_key(a, d) != pair_key(d, a)
+
+
+# ----------------------------------------------------------------------
+# FeedbackRecord
+# ----------------------------------------------------------------------
+
+
+class TestFeedbackRecord:
+    def test_signed_relative_error(self):
+        assert _record(estimate=12.0, exact=10.0).signed_relative_error == (
+            pytest.approx(0.2)
+        )
+        assert _record(estimate=8.0, exact=10.0).signed_relative_error == (
+            pytest.approx(-0.2)
+        )
+        assert _record(exact=None).signed_relative_error is None
+        assert _record(estimate=0.0, exact=0.0).signed_relative_error == 0.0
+        assert _record(estimate=3.0, exact=0.0).signed_relative_error == (
+            math.inf
+        )
+
+    def test_wire_roundtrip_identical(self):
+        record = _record(
+            estimate=42.5,
+            exact=40.0,
+            latency_s=0.25,
+            status="degraded",
+            degraded_reason="deadline",
+            pair_key="x//y",
+            request_id="r-1",
+        )
+        rebuilt = FeedbackRecord.from_dict(record.to_dict())
+        assert rebuilt == record
+
+    def test_wire_roundtrip_non_finite(self):
+        record = _record(estimate=math.inf, exact=None)
+        rebuilt = FeedbackRecord.from_dict(record.to_dict())
+        assert rebuilt.estimate == math.inf
+
+    def test_bad_schema_version_rejected(self):
+        payload = _record().to_dict()
+        payload["schema_version"] = 999
+        with pytest.raises(FeedbackError):
+            FeedbackRecord.from_dict(payload)
+        with pytest.raises(FeedbackError):
+            FeedbackRecord.from_dict("not a mapping")
+
+    def test_feedback_error_is_typed(self):
+        assert issubclass(FeedbackError, ReproError)
+
+
+# ----------------------------------------------------------------------
+# FeedbackStore
+# ----------------------------------------------------------------------
+
+
+class TestFeedbackStore:
+    def test_add_and_filtered_reads(self):
+        store = FeedbackStore()
+        store.add(_record(method="PL", estimate=10.0, exact=9.0))
+        store.add(_record(method="IM", estimate=11.0))
+        assert len(store) == 2
+        assert len(store.records(method="PL")) == 1
+        assert len(store.records(with_truth=True)) == 1
+        assert store.classes() == ("a[3]//d[4]",)
+
+    def test_truth_backfill_order_independent(self, xmark_small):
+        """record-then-truth and truth-then-record give the same store."""
+        a, d = _operands(xmark_small)
+        exact = float(containment_join_size(a, d))
+        key = pair_key(a, d)
+
+        first = FeedbackStore()
+        first.add(
+            _record(
+                qc=query_class(a, d), estimate=exact * 1.5, pair_key=key
+            )
+        )
+        filled = first.observe_truth(a, d, exact)
+        assert filled == 1
+
+        second = FeedbackStore()
+        second.observe_truth(a, d, exact)
+        second.add(
+            _record(
+                qc=query_class(a, d), estimate=exact * 1.5, pair_key=key
+            )
+        )
+
+        for store in (first, second):
+            (record,) = store.records()
+            assert record.exact == exact
+        stats_a = first.method_stats(query_class(a, d))["PL"]
+        stats_b = second.method_stats(query_class(a, d))["PL"]
+        assert stats_a.truth_count == stats_b.truth_count == 1
+        assert stats_a.abs_error_sum == stats_b.abs_error_sum
+        assert first.truth_for(key) == exact
+
+    def test_max_records_bound_keeps_aggregates(self):
+        store = FeedbackStore(max_records=2)
+        for i in range(5):
+            store.add(_record(estimate=float(i), exact=1.0))
+        assert len(store) == 2
+        assert store.stats()["dropped"] == 3
+        cell = store.method_stats("a[3]//d[4]")["PL"]
+        assert cell.count == 5  # aggregates stay exact past the bound
+        with pytest.raises(FeedbackError):
+            FeedbackStore(max_records=-1)
+        with pytest.raises(FeedbackError):
+            store.add("not a record")
+
+    def test_snapshot_merge_commutes(self):
+        """Folding per-worker stores in any order gives equal aggregates."""
+        left = FeedbackStore()
+        right = FeedbackStore()
+        for i in range(4):
+            left.add(_record(method="PL", estimate=10.0 + i, exact=10.0))
+            right.add(_record(method="PL", estimate=20.0 - i, exact=10.0))
+            right.add(_record(method="IM", estimate=5.0 + i, exact=10.0))
+
+        ab = FeedbackStore.from_snapshot(left.snapshot())
+        ab.merge(right.snapshot())
+        ba = FeedbackStore.from_snapshot(right.snapshot())
+        ba.merge(left.snapshot())
+
+        for method in ("PL", "IM"):
+            mine = ab.method_stats("a[3]//d[4]").get(method)
+            theirs = ba.method_stats("a[3]//d[4]").get(method)
+            assert mine.count == theirs.count
+            assert mine.truth_count == theirs.truth_count
+            assert mine.abs_error_sum == theirs.abs_error_sum
+            assert mine.error_sum == theirs.error_sum
+            assert mine.latency_sum == theirs.latency_sum
+            assert mine.ewma_latency_s == theirs.ewma_latency_s
+
+    def test_snapshot_version_enforced(self):
+        snapshot = FeedbackStore().snapshot()
+        snapshot["schema_version"] = 0
+        with pytest.raises(FeedbackError):
+            FeedbackStore.from_snapshot(snapshot)
+
+
+# ----------------------------------------------------------------------
+# CorrectionModel
+# ----------------------------------------------------------------------
+
+
+def _biased_records(
+    qc: str,
+    *,
+    method: str = "PL",
+    bias: float = 0.5,
+    count: int = 12,
+    exact: float = 100.0,
+):
+    """Records whose estimates all carry the same multiplicative bias."""
+    return [
+        _record(
+            qc=qc,
+            method=method,
+            estimate=exact * bias,
+            exact=exact,
+            features=(1.0, math.log1p(exact)),
+        )
+        for __ in range(count)
+    ]
+
+
+class TestCorrectionModel:
+    def test_fit_reduces_mre_on_systematic_bias(self):
+        records = _biased_records("q", bias=0.5)
+        model = CorrectionModel()
+        report = model.fit(records)
+        (row,) = report.values()
+        assert row["fitted"]
+        assert row["mre_after"] < row["mre_before"]
+        before = mean_relative_error(records)
+        after = mean_relative_error(records, model)
+        assert after < before  # strictly reduced
+        assert after == pytest.approx(0.0, abs=1e-6)
+
+    def test_unfitted_class_is_exact_identity(self):
+        model = CorrectionModel()
+        model.fit(_biased_records("q"))
+        # A class the model never saw: multiplier is exactly 1.0 and
+        # correct() returns the input object bit-identically.
+        assert model.predict_multiplier("other", (1.0, 2.0)) == 1.0
+        value = 123.456789
+        assert model.correct(value, "other", (1.0, 2.0)) is value
+
+    def test_per_method_cells_learn_distinct_biases(self):
+        records = _biased_records("q", method="PL", bias=0.5)
+        records += _biased_records("q", method="IM", bias=2.0)
+        model = CorrectionModel()
+        model.fit(records)
+        features = (1.0, math.log1p(100.0))
+        up = model.predict_multiplier("q", features, method="PL")
+        down = model.predict_multiplier("q", features, method="IM")
+        assert up > 1.0 > down
+        # Pooled mode fits one cell per class instead.
+        pooled = CorrectionModel(per_method=False)
+        pooled.fit(records)
+        assert pooled.cell("q", "PL") == pooled.cell("q", "IM") == "q"
+
+    def test_holdout_never_worsens_a_cell(self):
+        # Noise with no learnable structure: the fit must be dropped and
+        # the cell left at the identity multiplier.
+        records = []
+        for i in range(20):
+            estimate = 100.0 * (0.2 if i % 2 else 5.0)
+            records.append(
+                _record(qc="noisy", estimate=estimate, exact=100.0)
+            )
+        model = CorrectionModel()
+        report = model.fit(records, holdout=0.5)
+        row = report[model.cell("noisy", "PL")]
+        assert row["mre_after"] <= row["mre_before"]
+        before = mean_relative_error(records)
+        after = mean_relative_error(records, model)
+        assert after <= before
+
+    def test_min_samples_gate(self):
+        model = CorrectionModel(min_samples=50)
+        report = model.fit(_biased_records("q", count=10))
+        (row,) = report.values()
+        assert not row["fitted"]
+        assert model.fitted_classes == ()
+
+    def test_median_mode(self):
+        model = CorrectionModel(mode="median")
+        model.fit(_biased_records("q", bias=0.5))
+        after = mean_relative_error(_biased_records("q", bias=0.5), model)
+        assert after == pytest.approx(0.0, abs=1e-6)
+
+    def test_wire_roundtrip_preserves_predictions(self):
+        model = CorrectionModel(mode="linear", max_multiplier=1e3)
+        model.fit(_biased_records("q", bias=0.25))
+        rebuilt = CorrectionModel.from_dict(model.to_dict())
+        features = (1.0, math.log1p(100.0))
+        assert rebuilt.predict_multiplier(
+            "q", features, method="PL"
+        ) == model.predict_multiplier("q", features, method="PL")
+        assert rebuilt.fitted_classes == model.fitted_classes
+        assert rebuilt.per_method == model.per_method
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(FeedbackError):
+            CorrectionModel(mode="cubist")
+        with pytest.raises(FeedbackError):
+            CorrectionModel(min_samples=0)
+        with pytest.raises(FeedbackError):
+            CorrectionModel(max_multiplier=0.5)
+        with pytest.raises(FeedbackError):
+            CorrectionModel().fit([], holdout=1.0)
+        payload = CorrectionModel().to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(FeedbackError):
+            CorrectionModel.from_dict(payload)
+
+    def test_multiplier_clamped(self):
+        model = CorrectionModel(max_multiplier=2.0)
+        model.fit(_biased_records("q", bias=0.01))  # wants ~100x
+        assert (
+            model.predict_multiplier(
+                "q", (1.0, math.log1p(100.0)), method="PL"
+            )
+            <= 2.0
+        )
+
+
+# ----------------------------------------------------------------------
+# Ambient runtime
+# ----------------------------------------------------------------------
+
+
+class TestRuntime:
+    def test_use_feedback_scopes_the_store(self, xmark_small):
+        a, d = _operands(xmark_small)
+        assert not feedback_runtime.enabled()
+        with use_feedback() as store:
+            assert feedback_runtime.enabled()
+            assert feedback_runtime.get_store() is store
+            record_feedback(a, d, "PL", 42.0)
+            feedback_runtime.observe_truth(a, d, 40.0)
+        assert not feedback_runtime.enabled()
+        (record,) = store.records()
+        assert record.method == "PL"
+        assert record.exact == 40.0
+        assert record.query_class == query_class(a, d)
+
+    def test_record_feedback_explicit_store(self, xmark_small):
+        a, d = _operands(xmark_small)
+        store = FeedbackStore()
+        record = record_feedback(a, d, "IM", 10.0, store=store)
+        assert record.pair_key == pair_key(a, d)
+        assert store.records() == [record]
+
+    def test_exact_generator_records_truth(self, xmark_small):
+        """The optimizer's exact oracle feeds the ambient store."""
+        sets = [
+            xmark_small.node_set("item"),
+            xmark_small.node_set("desp"),
+            xmark_small.node_set("text"),
+        ]
+        with use_feedback() as store:
+            repro.optimize(sets, "exact")
+        assert store.stats()["truths"] > 0
+        assert store.truth_for(pair_key(sets[0], sets[1])) == float(
+            containment_join_size(sets[0], sets[1])
+        )
+
+
+# ----------------------------------------------------------------------
+# Service integration
+# ----------------------------------------------------------------------
+
+
+class TestServiceIntegration:
+    def test_service_records_feedback_with_truth(self, xmark_small):
+        a, d = _operands(xmark_small)
+        exact = float(containment_join_size(a, d))
+        store = FeedbackStore()
+        store.observe_truth(a, d, exact)
+        with repro.serve(workers=0, feedback=store) as service:
+            response = service.estimate(a, d, "PL", num_buckets=8)
+        (record,) = store.records()
+        assert record.method == "PL"
+        assert record.estimate == response.estimate.value
+        assert record.exact == exact
+        assert record.status == "ok"
+
+    def test_feedback_true_creates_store(self, xmark_small):
+        a, d = _operands(xmark_small)
+        with repro.serve(workers=0, feedback=True) as service:
+            service.estimate(a, d, "PL", num_buckets=8)
+            assert service.feedback is not None
+            assert len(service.feedback) == 1
+            assert service.stats()["feedback"]["records"] == 1
+
+    def test_correction_applied_and_disclosed(self, xmark_small):
+        a, d = _operands(xmark_small)
+        exact = float(containment_join_size(a, d))
+        raw = api.estimate(a, d, "PL", num_buckets=8).value
+
+        store = FeedbackStore()
+        store.observe_truth(a, d, exact)
+        for __ in range(6):
+            record_feedback(a, d, "PL", raw, store=store)
+        model = CorrectionModel()
+        model.fit(store)
+
+        with repro.serve(workers=0, correction=model) as service:
+            response = service.estimate(a, d, "PL", num_buckets=8)
+        corrected = response.estimate.value
+        assert corrected != raw
+        assert abs(corrected - exact) < abs(raw - exact)
+        assert response.estimate.details["corrected_from"] == raw
+
+    def test_unfitted_correction_is_bit_identical(self, xmark_small):
+        a, d = _operands(xmark_small)
+        raw = api.estimate(a, d, "PL", num_buckets=8).value
+        with repro.serve(
+            workers=0, correction=CorrectionModel()
+        ) as service:
+            response = service.estimate(a, d, "PL", num_buckets=8)
+        assert response.estimate.value == raw
+        assert "corrected_from" not in response.estimate.details
+
+    def test_degradation_reason_breakdown_in_stats(self, xmark_small):
+        a, d = _operands(xmark_small)
+        with repro.serve(workers=0) as service:
+            future = service.submit(
+                a, d, "IM", num_samples=8, seed=3, deadline_s=1e-9
+            )
+            service.help_drain((future,))
+            response = future.result(timeout=30.0)
+            stats = service.stats()
+        assert response.status in ("degraded", "shed")
+        breakdown = stats["degraded_by"]
+        assert breakdown["IM"][response.degraded_reason] == 1
+
+    def test_facade_exports(self):
+        for name in (
+            "CorrectionModel",
+            "FeedbackRecord",
+            "FeedbackStore",
+            "record_feedback",
+            "use_feedback",
+        ):
+            assert hasattr(repro, name)
+            assert hasattr(api, name) or callable(getattr(repro, name))
