@@ -66,7 +66,18 @@ retained reference implementations and writes ``BENCH_kernels.json``:
   the best fixed method, the correction model to never worsen a
   held-out cell, and (``--min-correction-reduction``) a minimum best
   per-cell MRE reduction.  ``--only-router`` runs just this phase
-  (the CI router-smoke job); fixed seed, independent of ``--quick``.
+  (the CI router-smoke job); fixed seed, independent of ``--quick``;
+* **stream** — the streaming churn bench
+  (:mod:`repro.stream.bench`): a seeded mutation feed applied through
+  :class:`~repro.stream.LiveWorkspace` incremental maintenance versus
+  a per-batch rebuild baseline (identity-checked, gated by
+  ``--min-stream-speedup``), mixed read/write serving through
+  ``EstimationService(live=...)`` under a per-request staleness bound
+  (``--max-staleness-violation-rate`` gates the violation rate), and
+  two-tenant cache isolation under churn (gated at zero cross-tenant
+  invalidations).  Written standalone as ``BENCH_stream.json``;
+  ``--only-stream`` runs just this phase (the CI stream-smoke job);
+  fixed seed (``--stream-seed``), independent of ``--quick``.
 
 Every measurement is recorded through a :class:`repro.obs`
 ``MetricsRegistry`` (as ``bench.*`` histograms) and the report's
@@ -873,6 +884,113 @@ def _check_service(report: dict, args) -> int:
     return 0
 
 
+def bench_stream(args) -> dict:
+    """The streaming churn benchmark.
+
+    Delegates to :func:`repro.stream.bench.run_stream_bench` (XMark
+    churn at a fixed small scale and seed): incremental maintenance
+    versus per-batch rebuilds, mixed read/write serving under a
+    staleness bound, and cross-tenant cache isolation.
+    """
+    from repro.stream.bench import run_stream_bench
+
+    report = run_stream_bench(seed=args.stream_seed)
+    _record("stream.bench_s", report["elapsed_s"])
+    REGISTRY.histogram("bench.stream.speedup").observe(
+        report["update"]["speedup"]
+    )
+    REGISTRY.histogram("bench.stream.violation_rate").observe(
+        report["serving"]["violation_rate"]
+    )
+    return report
+
+
+def _print_stream(report: dict) -> None:
+    update = report["update"]
+    serving = report["serving"]
+    isolation = report["isolation"]
+    print(
+        f"  churn over {report['dataset']} scale {report['scale']} "
+        f"({report['pool_size']} elements, {report['tags']} tags), "
+        f"seed {report['seed']}, {report['elapsed_s']:.2f} s"
+    )
+    print(
+        f"  update: {update['mutations']} mutations, incremental "
+        f"{update['incremental_mutations_per_s']:,.0f}/s vs rebuild "
+        f"{update['rebuild_mutations_per_s']:,.0f}/s "
+        f"({update['speedup']:.1f}x), identical: {update['identical']}"
+    )
+    print(
+        f"  serving: {serving['requests']} reads "
+        f"({serving['writes_per_read']} writes before each), "
+        f"p99 {serving['latency_p99_s'] * 1e3:.2f} ms, staleness p99 "
+        f"{serving['staleness_p99_s'] * 1e3:.2f} ms, "
+        f"{serving['violations']} violation(s) "
+        f"({serving['violation_rate']:.2%}), "
+        f"{serving['stale_degraded']} stale-degraded"
+    )
+    print(
+        f"  isolation: {isolation['churn_batches']} churn batches "
+        f"against tenant alpha; victim entries "
+        f"{isolation['victim_entries_before']} -> "
+        f"{isolation['victim_entries_after']}, cross-tenant "
+        f"invalidations {isolation['cross_tenant_invalidations']}, "
+        f"victim cached: {isolation['victim_served_from_cache']}"
+    )
+
+
+def _check_stream(report: dict, args) -> int:
+    """Apply the stream gates; returns 0 (pass) or 1 (fail)."""
+    update = report["update"]
+    serving = report["serving"]
+    isolation = report["isolation"]
+    if not update["identical"]:
+        print(
+            "FAIL: incrementally maintained synopses diverged from "
+            "the per-batch rebuilds",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_stream_speedup is not None
+        and update["speedup"] < args.min_stream_speedup
+    ):
+        print(
+            f"FAIL: incremental update speedup "
+            f"{update['speedup']:.2f}x below required "
+            f"{args.min_stream_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.max_staleness_violation_rate is not None
+        and serving["violation_rate"] > args.max_staleness_violation_rate
+    ):
+        print(
+            f"FAIL: staleness-violation rate "
+            f"{serving['violation_rate']:.4f} above allowed "
+            f"{args.max_staleness_violation_rate}",
+            file=sys.stderr,
+        )
+        return 1
+    if isolation["cross_tenant_invalidations"] != 0:
+        print(
+            f"FAIL: churn in one tenant invalidated "
+            f"{isolation['cross_tenant_invalidations']} cache "
+            "entr(y/ies) of another tenant",
+            file=sys.stderr,
+        )
+        return 1
+    if not isolation["victim_value_stable"]:
+        print(
+            "FAIL: an untouched tenant's estimate changed while "
+            "another tenant churned",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 #: A kernel speedup may fall this far below the baseline's before the
 #: comparison flags it as a regression (machine noise on shared runners
 #: swings micro-benchmarks tens of percent; CI runs the comparison as a
@@ -1089,6 +1207,40 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the standalone routing-phase report",
     )
     parser.add_argument(
+        "--only-stream",
+        action="store_true",
+        help="run only the streaming churn phase and its gates "
+        "(the CI stream-smoke job)",
+    )
+    parser.add_argument(
+        "--stream-seed",
+        type=int,
+        default=7,
+        help="seed for the streaming churn phase's document and "
+        "mutation feeds (default 7)",
+    )
+    parser.add_argument(
+        "--min-stream-speedup",
+        type=float,
+        default=None,
+        help="fail unless incremental maintenance beats the per-batch "
+        "rebuild baseline by this factor (e.g. 5)",
+    )
+    parser.add_argument(
+        "--max-staleness-violation-rate",
+        type=float,
+        default=None,
+        help="fail if the serving phase's staleness-violation rate "
+        "exceeds this fraction (e.g. 0.01)",
+    )
+    parser.add_argument(
+        "--stream-output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_stream.json",
+        help="where to write the standalone streaming-churn report",
+    )
+    parser.add_argument(
         "--min-service-speedup",
         type=float,
         default=None,
@@ -1217,6 +1369,27 @@ def main(argv: list[str] | None = None) -> int:
             )
         return _check_router(router_report, args)
 
+    if args.only_stream:
+        print(
+            "stream phase: incremental maintenance under churn, "
+            "bounded staleness, tenant isolation",
+            flush=True,
+        )
+        stream_report = bench_stream(args)
+        _print_stream(stream_report)
+        validate_bench_report(stream_report, "stream")
+        args.stream_output.write_text(
+            json.dumps(stream_report, indent=2) + "\n"
+        )
+        print(f"wrote {args.stream_output}")
+        if _SINK is not None:
+            _SINK.close()
+            print(
+                f"wrote {_SINK.emitted} telemetry records to "
+                f"{args.telemetry}"
+            )
+        return _check_stream(stream_report, args)
+
     if args.only_service:
         print(
             "service phase: estimation service vs sequential estimate()",
@@ -1246,7 +1419,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"generating xmark at scale {scale} ...", flush=True)
     dataset = get_dataset("xmark", scale=scale)
 
-    print("phase 1/9: kernel microbenchmarks", flush=True)
+    print("phase 1/10: kernel microbenchmarks", flush=True)
     kernels = bench_kernels(dataset, repeats)
     for name, timing in kernels.items():
         print(
@@ -1255,7 +1428,7 @@ def main(argv: list[str] | None = None) -> int:
             f"({timing['speedup']:.1f}x)"
         )
 
-    print("phase 2/9: Fig. 7 histogram sweep (build + estimate)", flush=True)
+    print("phase 2/10: Fig. 7 histogram sweep (build + estimate)", flush=True)
     sweep = bench_fig7_sweep(scale, buckets)
     print(
         f"  reference {sweep['reference_s']:.2f} s, vectorized "
@@ -1266,14 +1439,14 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     print(
-        "phase 3/9: fused probe kernels vs batched probes",
+        "phase 3/10: fused probe kernels vs batched probes",
         flush=True,
     )
     fused_report = bench_fused(scale)
     _print_fused(fused_report)
 
     print(
-        "phase 4/9: batched sampling trials (reference vs batched)",
+        "phase 4/10: batched sampling trials (reference vs batched)",
         flush=True,
     )
     sampling = bench_sampling(scale, runs=5 if args.quick else 11)
@@ -1292,7 +1465,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{timing['identical_series']}"
         )
 
-    print("phase 5/9: observation overhead (enabled, no sink)", flush=True)
+    print("phase 5/10: observation overhead (enabled, no sink)", flush=True)
     overhead = bench_obs_overhead(scale, buckets)
     print(
         f"  baseline {overhead['baseline_s']:.2f} s, observed "
@@ -1304,7 +1477,7 @@ def main(argv: list[str] | None = None) -> int:
 
     parallel = None
     if not args.skip_parallel:
-        print("phase 6/9: parallel harness", flush=True)
+        print("phase 6/10: parallel harness", flush=True)
         parallel = bench_parallel(scale, runs=5 if args.quick else 31)
         print(
             f"  serial {parallel['serial_s']:.2f} s, "
@@ -1315,25 +1488,33 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     print(
-        "phase 7/9: estimation service vs sequential estimate()",
+        "phase 7/10: estimation service vs sequential estimate()",
         flush=True,
     )
     service = bench_service()
     _print_service(service)
 
     print(
-        "phase 8/9: plan regret per cardinality generator",
+        "phase 8/10: plan regret per cardinality generator",
         flush=True,
     )
     optimizer = bench_optimizer()
     _print_optimizer(optimizer)
 
     print(
-        "phase 9/9: bandit routing vs fixed methods, correction model",
+        "phase 9/10: bandit routing vs fixed methods, correction model",
         flush=True,
     )
     router_report = bench_router(args)
     _print_router(router_report)
+
+    print(
+        "phase 10/10: streaming churn (incremental maintenance, "
+        "staleness, isolation)",
+        flush=True,
+    )
+    stream_report = bench_stream(args)
+    _print_stream(stream_report)
 
     if _SINK is not None:
         # One more instrumented sweep, this time streaming per-call
@@ -1366,6 +1547,7 @@ def main(argv: list[str] | None = None) -> int:
     validate_bench_report(service, "service")
     validate_bench_report(optimizer, "optimizer")
     validate_bench_report(router_report, "router")
+    validate_bench_report(stream_report, "stream")
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     args.sampling_output.write_text(
@@ -1382,6 +1564,10 @@ def main(argv: list[str] | None = None) -> int:
         json.dumps(router_report, indent=2) + "\n"
     )
     print(f"wrote {args.router_output}")
+    args.stream_output.write_text(
+        json.dumps(stream_report, indent=2) + "\n"
+    )
+    print(f"wrote {args.stream_output}")
     if _SINK is not None:
         _SINK.close()
         print(
@@ -1458,6 +1644,7 @@ def main(argv: list[str] | None = None) -> int:
         _check_service(service, args)
         or _check_optimizer(optimizer, args)
         or _check_router(router_report, args)
+        or _check_stream(stream_report, args)
     )
 
 

@@ -50,6 +50,7 @@ from repro.core.nodeset import NodeSet
 from repro.core.workspace import Workspace
 from repro.api import (
     CardinalityGenerator,
+    CatalogStore,
     CorrectionModel,
     Estimate,
     EstimateRequest,
@@ -59,10 +60,15 @@ from repro.api import (
     FeedbackRecord,
     FeedbackStore,
     JoinPlan,
+    LiveWorkspace,
+    Mutation,
+    MutationBatch,
+    MutationFeed,
     Router,
     available_backends,
     available_estimators,
     available_generators,
+    available_modules,
     available_routers,
     build_catalog,
     estimate,
@@ -72,6 +78,7 @@ from repro.api import (
     plan_cost,
     record_feedback,
     resolve_generator,
+    resolve_module,
     resolve_router,
     serve,
     set_kernel_backend,
@@ -79,10 +86,11 @@ from repro.api import (
     use_kernel_backend,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "CardinalityGenerator",
+    "CatalogStore",
     "CorrectionModel",
     "Element",
     "Estimate",
@@ -93,6 +101,10 @@ __all__ = [
     "FeedbackRecord",
     "FeedbackStore",
     "JoinPlan",
+    "LiveWorkspace",
+    "Mutation",
+    "MutationBatch",
+    "MutationFeed",
     "NodeSet",
     "Region",
     "Router",
@@ -101,6 +113,7 @@ __all__ = [
     "available_backends",
     "available_estimators",
     "available_generators",
+    "available_modules",
     "available_routers",
     "build_catalog",
     "estimate",
@@ -110,6 +123,7 @@ __all__ = [
     "plan_cost",
     "record_feedback",
     "resolve_generator",
+    "resolve_module",
     "resolve_router",
     "serve",
     "set_kernel_backend",

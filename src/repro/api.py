@@ -22,12 +22,27 @@ needs without touching package internals:
   name through :func:`resolve_router` / :func:`available_routers`)
   picks the answering method per query class when passed to
   :func:`serve`;
+* the streaming layer — :class:`LiveWorkspace` maintains one tenant's
+  summaries/index/sample incrementally under a :class:`MutationFeed`
+  of insert/delete/update batches, :class:`CatalogStore` keeps many
+  tenants with LRU disk residency, and either plugs into
+  :func:`serve` via ``live=`` so requests carry a per-request
+  ``max_staleness_s`` bound;
+* subsystem resolution — :func:`resolve_module` /
+  :func:`available_modules` map a subsystem name or alias
+  ("maintenance", "incremental", "pager", "churn", ...) onto the
+  package that implements it, with the same nearest-match "did you
+  mean" errors the estimator registry raises;
 * the re-exported types: :class:`Estimate`, :class:`Estimator`,
   :class:`NodeSet`, :class:`Workspace`, :class:`SpaceBudget`,
   :class:`SummaryCache`, :class:`IndexCache` (with
   :func:`use_index_cache` for ambient installation around repeated
-  sampling calls), plus :func:`make_estimator` /
-  :func:`available_estimators` for direct construction.
+  sampling calls), :class:`DiskNodeSet` / :func:`write_node_set` for
+  the paged on-disk representation, the incremental maintenance
+  structures (:class:`DynamicTTree`, :class:`IncrementalPLHistogram`,
+  :class:`IncrementalCellHistogram`, :class:`ReservoirSample`), plus
+  :func:`make_estimator` / :func:`available_estimators` for direct
+  construction.
 
 This module (and the same names re-exported from :mod:`repro`) is the
 documented stable surface — see ``docs/API.md`` for the stability
@@ -47,9 +62,12 @@ would::
 
 from __future__ import annotations
 
+import importlib
+from types import ModuleType
 from typing import Any
 
 from repro.core.budget import SpaceBudget
+from repro.core.errors import UnknownModuleError
 from repro.core.nodeset import NodeSet
 from repro.core.rng import SeedLike
 from repro.core.workspace import Workspace
@@ -59,6 +77,13 @@ from repro.estimators.registry import (
     available_estimators,
     canonical_name,
     make_estimator,
+    nearest_names,
+)
+from repro.maintenance import (
+    DynamicTTree,
+    IncrementalCellHistogram,
+    IncrementalPLHistogram,
+    ReservoirSample,
 )
 from repro.feedback import (
     CorrectionModel,
@@ -89,11 +114,22 @@ from repro.perf.cache import SummaryCache, use_cache
 from repro.perf.index_cache import IndexCache, use_index_cache
 from repro.service.engine import EstimationService
 from repro.service.request import EstimateRequest, EstimateResponse
+from repro.storage.element_file import DiskNodeSet, write_node_set
+from repro.stream import (
+    CatalogStore,
+    LiveWorkspace,
+    Mutation,
+    MutationBatch,
+    MutationFeed,
+)
 from repro.xmltree.tree import DataTree
 
 __all__ = [
     "CardinalityGenerator",
+    "CatalogStore",
     "CorrectionModel",
+    "DiskNodeSet",
+    "DynamicTTree",
     "Estimate",
     "EstimateRequest",
     "EstimateResponse",
@@ -101,9 +137,16 @@ __all__ = [
     "Estimator",
     "FeedbackRecord",
     "FeedbackStore",
+    "IncrementalCellHistogram",
+    "IncrementalPLHistogram",
     "IndexCache",
     "JoinPlan",
+    "LiveWorkspace",
+    "Mutation",
+    "MutationBatch",
+    "MutationFeed",
     "NodeSet",
+    "ReservoirSample",
     "Router",
     "SpaceBudget",
     "StatisticsCatalog",
@@ -112,6 +155,7 @@ __all__ = [
     "available_backends",
     "available_estimators",
     "available_generators",
+    "available_modules",
     "available_routers",
     "build_catalog",
     "canonical_name",
@@ -122,13 +166,107 @@ __all__ = [
     "plan_cost",
     "record_feedback",
     "resolve_generator",
+    "resolve_module",
     "resolve_router",
     "serve",
     "set_kernel_backend",
     "use_feedback",
     "use_index_cache",
     "use_kernel_backend",
+    "write_node_set",
 ]
+
+
+#: Documented subsystems, canonical name -> import path.  Kept in sync
+#: with the package layout; ``resolve_module`` is the supported way to
+#: reach a subsystem from its workload-level name.
+_MODULES: dict[str, str] = {
+    "API": "repro.api",
+    "CATALOG": "repro.catalog",
+    "CORE": "repro.core",
+    "DATASETS": "repro.datasets",
+    "ESTIMATORS": "repro.estimators",
+    "EXPERIMENTS": "repro.experiments",
+    "FEEDBACK": "repro.feedback",
+    "INDEX": "repro.index",
+    "JOIN": "repro.join",
+    "KERNELS": "repro.kernels",
+    "MAINTENANCE": "repro.maintenance",
+    "MODELS": "repro.models",
+    "OBS": "repro.obs",
+    "OPTIMIZER": "repro.optimizer",
+    "PERF": "repro.perf",
+    "QA": "repro.qa",
+    "ROUTER": "repro.router",
+    "SERVICE": "repro.service",
+    "SHARD": "repro.shard",
+    "STORAGE": "repro.storage",
+    "STREAM": "repro.stream",
+    "XMLTREE": "repro.xmltree",
+}
+
+#: Workload-level synonyms accepted by :func:`resolve_module`
+#: (uppercased, same shape as the estimator alias table).
+_MODULE_ALIASES: dict[str, str] = {
+    "BANDIT": "ROUTER",
+    "CACHE": "PERF",
+    "CACHES": "PERF",
+    "CHURN": "STREAM",
+    "DATA": "DATASETS",
+    "DISK": "STORAGE",
+    "INCREMENTAL": "MAINTENANCE",
+    "INDEXES": "INDEX",
+    "LIVE": "STREAM",
+    "ORACLES": "QA",
+    "PAGER": "STORAGE",
+    "PAGES": "STORAGE",
+    "PLANNER": "OPTIMIZER",
+    "RESERVOIR": "MAINTENANCE",
+    "SERVING": "SERVICE",
+    "STREAMING": "STREAM",
+    "TELEMETRY": "OBS",
+    "TREE": "XMLTREE",
+    "TTREE": "MAINTENANCE",
+}
+
+
+def available_modules() -> list[str]:
+    """Canonical subsystem names accepted by :func:`resolve_module`."""
+    return sorted(m.lower() for m in _MODULES)
+
+
+def resolve_module(name: str) -> ModuleType:
+    """Import and return the subsystem package named ``name``.
+
+    Names are case-insensitive and the alias table maps workload-level
+    synonyms onto subsystems ("incremental" and "reservoir" resolve to
+    :mod:`repro.maintenance`, "pager" and "disk" to
+    :mod:`repro.storage`, "live" / "churn" / "streaming" to
+    :mod:`repro.stream`).  Unknown names raise
+    :class:`~repro.core.errors.UnknownModuleError` listing the
+    available subsystems and the closest candidates, exactly like the
+    estimator registry's name resolution.
+    """
+    key = name.strip().upper()
+    key = _MODULE_ALIASES.get(key, key)
+    if key in _MODULES:
+        return importlib.import_module(_MODULES[key])
+    candidates = tuple(
+        c.lower() for c in nearest_names(name, _MODULES, _MODULE_ALIASES)
+    )
+    if not candidates:
+        hint = ""
+    elif len(candidates) == 1:
+        hint = f"; did you mean {candidates[0]!r}?"
+    else:
+        listed = ", ".join(repr(c) for c in candidates[:-1])
+        hint = f"; did you mean {listed} or {candidates[-1]!r}?"
+    raise UnknownModuleError(
+        name,
+        candidates,
+        f"unknown module {name!r}; available: "
+        f"{', '.join(available_modules())}{hint}",
+    )
 
 
 def estimate(

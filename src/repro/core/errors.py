@@ -129,3 +129,31 @@ class DeadlineExceededError(ReproError, TimeoutError):
 
 class ServiceError(ReproError):
     """The estimation service was used incorrectly (e.g. submit after stop)."""
+
+
+class StreamError(ReproError):
+    """A live workspace mutation or snapshot request was invalid.
+
+    Raised by :mod:`repro.stream` for malformed mutations (inserting an
+    element that is already live, deleting one that is not), mutations
+    outside the live workspace's position domain, and lookups of tags or
+    tenants that do not exist.
+    """
+
+
+class UnknownModuleError(ReproError):
+    """A public subsystem name did not resolve.
+
+    Raised by :func:`repro.api.resolve_module` with the same
+    nearest-match affordance as :class:`UnknownEstimatorError`: the
+    offending ``name``, the ``candidates`` guessed from aliases and
+    close spellings, and a human-readable ``message`` that includes a
+    "did you mean" hint when there is one.
+    """
+
+    def __init__(
+        self, name: str, candidates: tuple[str, ...], message: str
+    ) -> None:
+        super().__init__(message)
+        self.name = name
+        self.candidates = candidates

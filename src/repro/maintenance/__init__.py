@@ -6,14 +6,25 @@ up to date instead of rebuilding it per estimate:
 
 * :mod:`repro.maintenance.incremental` — an insert/delete-capable PL
   histogram whose bucket statistics always equal a fresh build;
+* :mod:`repro.maintenance.cells` — an insert/delete-capable PH grid
+  whose cell counts always equal a fresh build;
 * :mod:`repro.maintenance.dynamic_ttree` — T-tree maintenance: interval
   insertion/deletion as range updates over the turning points;
-* :mod:`repro.maintenance.reservoir` — a classic reservoir sample of the
-  descendant set, feeding IM-DA-Est without re-sampling per estimate.
+* :mod:`repro.maintenance.reservoir` — a reservoir sample of the
+  descendant set (Algorithm R with random-pairing deletions), feeding
+  IM-DA-Est without re-sampling per estimate.
+
+:mod:`repro.stream` drives all four from a live mutation feed.
 """
 
+from repro.maintenance.cells import IncrementalCellHistogram
 from repro.maintenance.dynamic_ttree import DynamicTTree
 from repro.maintenance.incremental import IncrementalPLHistogram
 from repro.maintenance.reservoir import ReservoirSample
 
-__all__ = ["DynamicTTree", "IncrementalPLHistogram", "ReservoirSample"]
+__all__ = [
+    "DynamicTTree",
+    "IncrementalCellHistogram",
+    "IncrementalPLHistogram",
+    "ReservoirSample",
+]

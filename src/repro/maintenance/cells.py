@@ -1,0 +1,86 @@
+"""Insert/delete-capable PH cell histogram.
+
+The PH baseline's synopsis is a ``g × g`` grid of integer cell counts
+(:func:`repro.estimators.ph_histogram.cell_histogram`).  Each element
+touches exactly one cell — ``(bucket_of(start), bucket_of(end))`` — so
+the grid is trivially maintainable under updates: O(1) per insert or
+delete, and the maintained counts are *integer-identical* to a fresh
+build over the current element multiset at every point in time.
+
+This is the streaming counterpart of
+:class:`repro.maintenance.incremental.IncrementalPLHistogram` for the
+PH estimator family; :class:`repro.stream.LiveWorkspace` keeps one per
+live tag.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.element import Element
+from repro.core.errors import EstimationError
+from repro.core.workspace import Workspace
+from repro.estimators.ph_histogram import grid_side
+
+
+class IncrementalCellHistogram:
+    """PH grid-cell counts for one element set, maintained under updates.
+
+    Args:
+        workspace: fixed position domain; elements outside it are
+            rejected (growing documents need a rebuild, as with any
+            bounded histogram).
+        num_cells: cell budget; the grid side is the largest square
+            that fits, exactly as in the PH estimator.
+    """
+
+    def __init__(self, workspace: Workspace, num_cells: int = 25) -> None:
+        self.workspace = workspace.validate()
+        self.side = grid_side(num_cells)
+        self._cells: Counter = Counter()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _cell_of(self, element: Element) -> tuple[int, int]:
+        if not (
+            self.workspace.contains(element.start)
+            and self.workspace.contains(element.end)
+        ):
+            raise EstimationError(
+                f"element ({element.start}, {element.end}) outside the "
+                f"histogram workspace {tuple(self.workspace)}"
+            )
+        return (
+            self.workspace.bucket_of(element.start, self.side),
+            self.workspace.bucket_of(element.end, self.side),
+        )
+
+    def insert(self, element: Element) -> None:
+        """Add one element to the maintained set (O(1))."""
+        self._cells[self._cell_of(element)] += 1
+        self._size += 1
+
+    def remove(self, element: Element) -> None:
+        """Remove a previously inserted element (O(1), by value)."""
+        cell = self._cell_of(element)
+        count = self._cells.get(cell, 0)
+        if count <= 0:
+            raise EstimationError(
+                "removal of an element that was never inserted"
+            )
+        if count == 1:
+            del self._cells[cell]
+        else:
+            self._cells[cell] = count - 1
+        self._size -= 1
+
+    def cell_histogram(self) -> Counter:
+        """The current ``(column, row) -> count`` grid, as a fresh Counter.
+
+        Cell counts are integer-identical to
+        ``cell_histogram(rebuilt_set, workspace, side)`` over the current
+        element multiset (iteration order may differ; compare as a dict).
+        """
+        return Counter(self._cells)

@@ -6,8 +6,19 @@ random access to the whole descendant set.  Under a stream of insertions
 maintains a uniform ``k``-subset in O(1) amortized per insert, so the
 optimizer can estimate at any moment from the standing sample.
 
+Deletions are supported with *random pairing* (Gemulla, Lehner and
+Haas, VLDB 2006): a deletion of a sampled element leaves a hole instead
+of triggering a rescan, and the next insertions are "paired" against
+the uncompensated deletions — each new element fills a hole with
+probability ``d_in / (d_in + d_out)`` where ``d_in``/``d_out`` count
+uncompensated deletions that were inside/outside the sample.  The
+reservoir stays a uniform sample of the *current* population at every
+step, and the add-only code path (no deletion ever issued) draws the
+exact same random variates as classic Algorithm R, so historical
+streams reproduce bit-identically.
+
 The resulting estimator is the with-replacement-free IM-DA-Est over the
-current reservoir, scaled by the number of elements seen so far; it stays
+current reservoir, scaled by the current population size; it stays
 unbiased because the reservoir is uniform at every prefix of the stream.
 """
 
@@ -21,7 +32,7 @@ from repro.index.stab import StabbingCounter
 
 
 class ReservoirSample:
-    """Uniform fixed-size sample of a stream of elements."""
+    """Uniform fixed-size sample of a stream of inserts and deletes."""
 
     def __init__(self, capacity: int, seed: SeedLike = None) -> None:
         if capacity < 1:
@@ -30,16 +41,42 @@ class ReservoirSample:
         self._rng = make_rng(seed)
         self._items: list[Element] = []
         self._seen = 0
+        self._live = 0
+        self._holes_in = 0  # uncompensated deletions that were sampled
+        self._holes_out = 0  # uncompensated deletions that were not
 
     def add(self, element: Element) -> None:
-        """Offer one stream element to the reservoir (Algorithm R)."""
+        """Offer one stream insertion (Algorithm R / random pairing)."""
         self._seen += 1
+        self._live += 1
+        holes = self._holes_in + self._holes_out
+        if holes:
+            # Pair the insertion against one uncompensated deletion: it
+            # takes the deleted element's place in (or out of) the sample.
+            if int(self._rng.integers(0, holes)) < self._holes_in:
+                self._items.append(element)
+                self._holes_in -= 1
+            else:
+                self._holes_out -= 1
+            return
         if len(self._items) < self.capacity:
             self._items.append(element)
             return
-        slot = int(self._rng.integers(0, self._seen))
+        slot = int(self._rng.integers(0, self._live))
         if slot < self.capacity:
             self._items[slot] = element
+
+    def remove(self, element: Element) -> None:
+        """Delete one element from the sampled population (by value)."""
+        if self._live == 0:
+            raise EstimationError("remove from an empty population")
+        self._live -= 1
+        try:
+            self._items.remove(element)
+        except ValueError:
+            self._holes_out += 1
+        else:
+            self._holes_in += 1
 
     def extend(self, elements) -> None:
         for element in elements:
@@ -47,12 +84,17 @@ class ReservoirSample:
 
     @property
     def seen(self) -> int:
-        """Number of stream elements offered so far."""
+        """Number of stream insertions offered so far."""
         return self._seen
 
     @property
+    def live(self) -> int:
+        """Current population size (insertions minus deletions)."""
+        return self._live
+
+    @property
     def sample(self) -> list[Element]:
-        """The current reservoir contents (size ``min(seen, capacity)``)."""
+        """The current reservoir contents (``<= min(live, capacity)``)."""
         return list(self._items)
 
     def __len__(self) -> int:
@@ -61,11 +103,13 @@ class ReservoirSample:
     def im_estimate(self, ancestors: NodeSet) -> float:
         """IM-DA-Est from the standing sample.
 
-        ``X̂ = (seen / |reservoir|) · Σ_{d ∈ reservoir} ancA(d.start)`` —
-        Algorithm 2 with the reservoir as the random sample.
+        ``X̂ = (live / |reservoir|) · Σ_{d ∈ reservoir} ancA(d.start)`` —
+        Algorithm 2 with the reservoir as the random sample.  On an
+        insert-only stream ``live == seen`` and this is exactly the
+        classic reservoir estimator.
         """
         if not self._items or len(ancestors) == 0:
             return 0.0
         counter = StabbingCounter(ancestors)
         total = sum(counter.count(d.start) for d in self._items)
-        return total * self._seen / len(self._items)
+        return total * self._live / len(self._items)

@@ -108,6 +108,7 @@ class SummaryCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
         self.nbytes = 0
 
     def __len__(self) -> int:
@@ -196,6 +197,35 @@ class SummaryCache:
         if _obs.enabled() and evicted:
             _obs.record_cache("evictions", evicted, kind=self.metric_kind)
 
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry whose key mentions ``fingerprint``.
+
+        Content keys embed the node-set fingerprints of whatever the
+        artifact was built from, so this is bump-on-write invalidation
+        for live workspaces: after a mutation the old fingerprint can
+        never serve again, and entries keyed on *other* fingerprints
+        (other tenants, other tags) are untouched — their positions,
+        sizes and hit counters do not move.  Returns the number of
+        entries removed; lookups are not counted as hits or misses.
+        """
+        removed = 0
+        with self._lock:
+            victims = [
+                key
+                for key in self._data
+                if _key_mentions(key, fingerprint)
+            ]
+            for key in victims:
+                del self._data[key]
+                self.nbytes -= self._sizes.pop(key, 0)
+                removed += 1
+            self.invalidations += removed
+        if _obs.enabled() and removed:
+            _obs.record_cache(
+                "invalidations", removed, kind=self.metric_kind
+            )
+        return removed
+
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss/eviction counters."""
         with self._lock:
@@ -204,6 +234,7 @@ class SummaryCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.invalidations = 0
             self.nbytes = 0
 
     def stats(self) -> dict[str, int | float]:
@@ -216,6 +247,7 @@ class SummaryCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
                 "nbytes": self.nbytes,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
             }
@@ -226,6 +258,15 @@ class SummaryCache:
             f"maxsize={self.maxsize}, "
             f"hits={self.hits}, misses={self.misses})"
         )
+
+
+def _key_mentions(key: Hashable, fingerprint: str) -> bool:
+    """Whether ``fingerprint`` appears anywhere in a (nested) key tuple."""
+    if isinstance(key, str):
+        return key == fingerprint
+    if isinstance(key, tuple):
+        return any(_key_mentions(part, fingerprint) for part in key)
+    return False
 
 
 # ----------------------------------------------------------------------

@@ -33,6 +33,7 @@ __all__ = [
     "ROUTER_SCHEMA",
     "SAMPLING_SCHEMA",
     "SERVICE_SCHEMA",
+    "STREAM_SCHEMA",
     "SCHEMAS",
     "schema_kind_for_path",
     "validate_bench_report",
@@ -401,12 +402,75 @@ ROUTER_SCHEMA = Spec(
     optional={"elapsed_s": NUMBER},
 )
 
+#: The streaming churn bench: incremental maintenance throughput versus
+#: per-batch rebuilds (gated at >= 5x with ``identical`` true), read
+#: latency and staleness disclosure under mixed load (violation rate
+#: gated at <= 1%), and cross-tenant cache isolation (gated at zero
+#: cross-tenant invalidations).
+STREAM_SCHEMA = Spec(
+    required={
+        "bench": str,
+        "schema_version": int,
+        "dataset": str,
+        "scale": NUMBER,
+        "seed": int,
+        "pool_size": int,
+        "tags": int,
+        "read_tags": [str],
+        "num_buckets": int,
+        "num_cells": int,
+        "update": Spec(
+            required={
+                "batches": int,
+                "batch_size": int,
+                "mutations": int,
+                "incremental_s": NUMBER,
+                "rebuild_s": NUMBER,
+                "speedup": NUMBER,
+                "incremental_mutations_per_s": NUMBER,
+                "rebuild_mutations_per_s": NUMBER,
+                "identical": bool,
+            }
+        ),
+        "serving": Spec(
+            required={
+                "requests": int,
+                "writes_per_read": int,
+                "max_staleness_s": NUMBER,
+                "ok": int,
+                "degraded": int,
+                "stale_degraded": int,
+                "latency_p50_s": NUMBER,
+                "latency_p99_s": NUMBER,
+                "staleness_p99_s": NUMBER,
+                "violations": int,
+                "violation_rate": NUMBER,
+            }
+        ),
+        "isolation": Spec(
+            required={
+                "tenants": int,
+                "churn_batches": int,
+                "batch_size": int,
+                "victim_entries_before": int,
+                "victim_entries_after": int,
+                "cross_tenant_invalidations": int,
+                "churner_invalidations": int,
+                "victim_served_from_cache": bool,
+                "victim_value_stable": bool,
+            }
+        ),
+    },
+    optional={"elapsed_s": NUMBER},
+)
+
 SCHEMAS: dict[str, Spec] = {
     "kernels": KERNELS_SCHEMA,
     "optimizer": OPTIMIZER_SCHEMA,
     "router": ROUTER_SCHEMA,
     "sampling": SAMPLING_SCHEMA,
     "service": SERVICE_SCHEMA,
+    "stream": STREAM_SCHEMA,
 }
 
 

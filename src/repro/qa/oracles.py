@@ -40,6 +40,14 @@ The oracles cover the layers named in the ROADMAP's production story:
   (:mod:`repro.shard`) reproduces the unsharded statistics: integer
   counts bit-exactly, float ``total_length`` sums to 1e-12 relative
   (reassociation at shard seams only), merged intervals exactly.
+* ``incremental-vs-rebuild`` — churning the case's merged element pool
+  through a seeded :class:`~repro.stream.MutationFeed` into a
+  :class:`~repro.stream.LiveWorkspace` keeps every maintained synopsis
+  (PL both roles, PH cell grid, dynamic T-tree stabbing counts,
+  coverage bounds, the node set itself) identical to a from-scratch
+  rebuild after *every* batch — integer statistics bit-exact, float
+  ``total_length`` to 1e-12 relative — and the reservoir a subset of
+  the live population.
 * ``planner-invariance`` — the join-order planner's output is a pure
   function of (chain, generator config): calling ``describe()`` or
   repeating ``setup_for_workload`` before/around planning never changes
@@ -975,6 +983,147 @@ def check_wire_roundtrip(case: Case) -> None:
         )
 
 
+def check_incremental_vs_rebuild(case: Case) -> None:
+    """Incrementally maintained synopses ≡ from-scratch rebuilds.
+
+    The case's operands are merged into one element pool (dedup by
+    region code — operands drawn from one document may share elements)
+    and churned through a seeded :class:`~repro.stream.MutationFeed`.
+    After *every* applied batch, each live tag's maintained structures
+    must equal a from-scratch rebuild over the current population:
+
+    * the zero-copy node set equals the validated rebuild exactly;
+    * the PL statistics in both roles — integer counts bit-exact,
+      ancestor ``total_length`` within 1e-12 relative (float
+      reassociation only);
+    * the PH cell grid, integer-identical as a dict;
+    * the dynamic T-tree's stabbing count at every turning point and
+      every element endpoint equals a fresh :class:`StabbingCounter`;
+    * coverage bounds (merged intervals) exactly;
+    * the reservoir is a subset of the live population at the right
+      size.
+    """
+    from repro.estimators.coverage_histogram import merged_interval_bounds
+    from repro.estimators.ph_histogram import cell_histogram
+    from repro.estimators.pl_histogram import PLHistogram
+    from repro.index.stab import StabbingCounter
+    from repro.stream import LiveWorkspace, MutationFeed
+
+    pool: dict[tuple[int, int], Element] = {}
+    for element in (*case.ancestors.elements, *case.descendants.elements):
+        pool.setdefault((element.start, element.end), element)
+    feed = MutationFeed(pool.values(), seed=case.seed)
+    live = LiveWorkspace(
+        case.workspace,
+        elements=feed.bootstrap(),
+        num_buckets=8,
+        num_cells=25,
+        reservoir_capacity=16,
+        seed=case.seed,
+    )
+    batch_size = max(1, len(pool) // 4)
+    for batch in feed.batches(5, batch_size):
+        live.apply(batch)
+        for tag in live.tags():
+            maintained = live.node_set(tag)
+            rebuilt = live.rebuild_node_set(tag)
+            where = f"tag {tag!r} after batch {batch.index}"
+            if not (
+                np.array_equal(maintained.starts, rebuilt.starts)
+                and np.array_equal(maintained.ends, rebuilt.ends)
+            ):
+                _fail(
+                    "incremental-vs-rebuild",
+                    f"{where}: maintained arrays != rebuilt node set",
+                )
+            pl = live.pl_histogram(tag)
+            want_anc = PLHistogram.build_ancestor(
+                rebuilt, case.workspace, pl.num_buckets
+            )
+            for got, want in zip(
+                pl.ancestor_histogram().buckets, want_anc.buckets
+            ):
+                if got.n != want.n:
+                    _fail(
+                        "incremental-vs-rebuild",
+                        f"{where}: ancestor PL bucket {want.index} count "
+                        f"{got.n} != rebuilt {want.n}",
+                    )
+                tolerance = 1e-12 * max(1.0, abs(want.total_length))
+                if abs(got.total_length - want.total_length) > tolerance:
+                    _fail(
+                        "incremental-vs-rebuild",
+                        f"{where}: ancestor PL bucket {want.index} "
+                        f"total_length {got.total_length!r} != rebuilt "
+                        f"{want.total_length!r}",
+                    )
+            want_desc = PLHistogram.build_descendant(
+                rebuilt, case.workspace, pl.num_buckets
+            )
+            for got, want in zip(
+                pl.descendant_histogram().buckets, want_desc.buckets
+            ):
+                if got.n != want.n:
+                    _fail(
+                        "incremental-vs-rebuild",
+                        f"{where}: descendant PL bucket {want.index} "
+                        f"count {got.n} != rebuilt {want.n}",
+                    )
+            cells = live.cell_histogram(tag)
+            want_cells = cell_histogram(
+                rebuilt, case.workspace, cells.side
+            )
+            if dict(cells.cell_histogram()) != dict(want_cells):
+                _fail(
+                    "incremental-vs-rebuild",
+                    f"{where}: PH cell grid diverged from rebuild",
+                )
+            ttree = live.ttree(tag)
+            counter = StabbingCounter(rebuilt)
+            positions = {p for p, _ in ttree.turning_points()}
+            positions.update(int(s) for s in rebuilt.starts)
+            positions.update(int(e) for e in rebuilt.ends)
+            for position in sorted(positions):
+                if ttree.count(position) != counter.count(position):
+                    _fail(
+                        "incremental-vs-rebuild",
+                        f"{where}: T-tree stab count at {position} is "
+                        f"{ttree.count(position)} != "
+                        f"{counter.count(position)}",
+                    )
+            if not np.array_equal(
+                live.coverage_bounds(tag), merged_interval_bounds(rebuilt)
+            ):
+                _fail(
+                    "incremental-vs-rebuild",
+                    f"{where}: coverage bounds diverged from rebuild",
+                )
+            reservoir = live.reservoir(tag)
+            population = {(e.start, e.end) for e in rebuilt.elements}
+            drawn = [(e.start, e.end) for e in reservoir.sample]
+            # Random pairing may run under capacity while holes are
+            # uncompensated, never over it — and never over the
+            # population.
+            if len(drawn) > min(reservoir.capacity, len(population)):
+                _fail(
+                    "incremental-vs-rebuild",
+                    f"{where}: reservoir holds {len(drawn)} of "
+                    f"{len(population)} live (capacity "
+                    f"{reservoir.capacity})",
+                )
+            if reservoir.live != len(population):
+                _fail(
+                    "incremental-vs-rebuild",
+                    f"{where}: reservoir live count {reservoir.live} != "
+                    f"population {len(population)}",
+                )
+            if not population.issuperset(drawn):
+                _fail(
+                    "incremental-vs-rebuild",
+                    f"{where}: reservoir contains non-live elements",
+                )
+
+
 #: The registry the runner iterates: name -> per-case oracle.
 ORACLES: dict[str, Callable[[Case], None]] = {
     "exact-join": check_exact_join,
@@ -988,6 +1137,7 @@ ORACLES: dict[str, Callable[[Case], None]] = {
     "wire-roundtrip": check_wire_roundtrip,
     "feedback-transparency": check_feedback_transparency,
     "sharded-vs-unsharded": check_sharded_vs_unsharded,
+    "incremental-vs-rebuild": check_incremental_vs_rebuild,
     "planner-invariance": check_planner_invariance,
     "metamorphic": check_metamorphic,
     "parser-fuzz": check_parser_fuzz,

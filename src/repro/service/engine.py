@@ -240,6 +240,16 @@ class EstimationService:
             post-multiplier to full-fidelity ("ok", ladder level 0)
             answers.  Off by default; unfitted classes multiply by
             exactly 1.0, so estimates stay bit-identical.
+        live: optional :class:`~repro.stream.LiveWorkspace` (or a
+            multi-tenant :class:`~repro.stream.CatalogStore`) serving
+            continuously mutating operands.  String operands to
+            :meth:`submit`/:meth:`estimate` are then tag names,
+            snapshotted atomically at submit; responses disclose
+            ``staleness_s`` and ``applied_seq``, and a per-request
+            ``max_staleness_s`` degrades violating requests down the
+            ladder with reason ``"stale"``.  The workspace's writes
+            invalidate this service's summary/index caches under the
+            mutated fingerprints only (co-tenant entries survive).
 
     The service starts its workers on construction and is a context
     manager — ``with EstimationService() as svc: ...`` shuts it down on
@@ -265,6 +275,7 @@ class EstimationService:
         router: Router | str | None = None,
         feedback: FeedbackStore | bool | None = None,
         correction: CorrectionModel | None = None,
+        live: Any = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._clock = clock
@@ -293,6 +304,12 @@ class EstimationService:
             index_cache if index_cache is not None else IndexCache()
         )
         self._memo = _ResultMemo(maxsize=memo_size) if memoize else None
+        self.live = live
+        if live is not None:
+            # Bump-on-write invalidation flows into this service's
+            # caches: the workspace (or every tenant of the store)
+            # drops its pre-mutation fingerprints from them on apply.
+            live.attach_caches(self.summary_cache, self.index_cache)
         self._queue = RequestQueue(maxsize=queue_size)
         self._ladder = DegradationLadder(catalog=catalog)
         self._factory = (
@@ -329,6 +346,10 @@ class EstimationService:
             "service.singleflight_hits"
         )
         self._m_routed = self.metrics.counter("service.routed")
+        self._m_staleness = self.metrics.histogram("service.staleness_s")
+        self._m_staleness_violations = self.metrics.counter(
+            "service.staleness_violations"
+        )
         self._m_batch_size = self.metrics.histogram("service.batch_size")
         self._m_queue_depth = self.metrics.histogram(
             "service.queue_depth"
@@ -405,13 +426,15 @@ class EstimationService:
 
     def submit(
         self,
-        ancestors: NodeSet | None = None,
-        descendants: NodeSet | None = None,
+        ancestors: NodeSet | str | None = None,
+        descendants: NodeSet | str | None = None,
         method: str = "PL",
         *,
         request: EstimateRequest | None = None,
         workspace: Workspace | None = None,
         deadline_s: float | None = None,
+        max_staleness_s: float | None = None,
+        tenant: str | None = None,
         request_id: str | None = None,
         **config: Any,
     ) -> ServiceFuture:
@@ -421,7 +444,25 @@ class EstimationService:
         or the same arguments :func:`repro.api.estimate` takes plus an
         optional ``deadline_s``.  Validation (operand types, method
         resolution) happens here, in the calling thread.
+
+        With a live workspace (``EstimationService(live=...)``), string
+        operands name live tags: both are snapshotted atomically off
+        the workspace — ``tenant=`` selects the store tenant — and the
+        response disclosed ``staleness_s``/``applied_seq``.  A request
+        whose snapshot ages past ``max_staleness_s`` before executing
+        degrades with reason ``"stale"``.
         """
+        live = snapshot_seq = None
+        if request is None and (
+            isinstance(ancestors, str)
+            or isinstance(descendants, str)
+            or tenant is not None
+        ):
+            live, ancestors, descendants, snapshot_seq = (
+                self._snapshot_live(
+                    ancestors, descendants, tenant, max_staleness_s
+                )
+            )
         future, needs_queue = self._prepare(
             ancestors,
             descendants,
@@ -429,8 +470,11 @@ class EstimationService:
             request=request,
             workspace=workspace,
             deadline_s=deadline_s,
+            max_staleness_s=max_staleness_s,
             request_id=request_id,
             config=config,
+            live=live,
+            snapshot_seq=snapshot_seq,
         )
         if needs_queue:
             if not self._queue.put(future):
@@ -439,6 +483,66 @@ class EstimationService:
             else:
                 self._m_submitted.inc()
         return future
+
+    def _snapshot_live(
+        self,
+        ancestors: NodeSet | str | None,
+        descendants: NodeSet | str | None,
+        tenant: str | None,
+        max_staleness_s: float | None,
+    ) -> tuple[Any, NodeSet, NodeSet, int]:
+        """Resolve tag-name operands off the live workspace.
+
+        Catches the workspace up first when its backlog already exceeds
+        the request's bound (a non-blocking attempt: a concurrent writer
+        holding the apply lock leaves the backlog for the scheduling-
+        time staleness check), then snapshots every string operand at
+        one ``applied_seq``.
+        """
+        live = self._live_workspace(tenant)
+        if (
+            max_staleness_s is not None
+            and live.staleness_s(self._clock()) > max_staleness_s
+        ):
+            live.catch_up(blocking=False)
+        names = [
+            operand
+            for operand in (ancestors, descendants)
+            if isinstance(operand, str)
+        ]
+        sets, seq = live.snapshot(*names)
+        resolved = iter(sets)
+        if isinstance(ancestors, str):
+            ancestors = next(resolved)
+        if isinstance(descendants, str):
+            descendants = next(resolved)
+        live.estimates_served += 1
+        return live, ancestors, descendants, seq
+
+    def _live_workspace(self, tenant: str | None) -> Any:
+        """The live workspace serving ``tenant`` (or the only one)."""
+        live = self.live
+        if live is None:
+            raise ServiceError(
+                "string operands need a live workspace: construct the "
+                "service with live=LiveWorkspace(...) or a CatalogStore"
+            )
+        if hasattr(live, "tenants"):  # CatalogStore
+            if tenant is None:
+                tenants = live.tenants()
+                if len(tenants) != 1:
+                    raise ServiceError(
+                        f"tenant= is required with a multi-tenant "
+                        f"store; known tenants: {tenants}"
+                    )
+                tenant = tenants[0]
+            return live.get(tenant)
+        if tenant is not None and tenant != live.tenant:
+            raise ServiceError(
+                f"unknown tenant {tenant!r}: this service serves "
+                f"{live.tenant!r}"
+            )
+        return live
 
     def _prepare(
         self,
@@ -449,8 +553,11 @@ class EstimationService:
         request: EstimateRequest | None = None,
         workspace: Workspace | None = None,
         deadline_s: float | None = None,
+        max_staleness_s: float | None = None,
         request_id: str | None = None,
         config: dict[str, Any] | None = None,
+        live: Any = None,
+        snapshot_seq: int | None = None,
     ) -> tuple[ServiceFuture, bool]:
         """Validate, memo-check and dedup one request.
 
@@ -468,6 +575,7 @@ class EstimationService:
                 workspace=workspace,
                 config=config if config is not None else {},
                 deadline_s=deadline_s,
+                max_staleness_s=max_staleness_s,
                 request_id=request_id,
             )
         routed_method: str | None = None
@@ -490,6 +598,7 @@ class EstimationService:
                     workspace=request.workspace,
                     config=arm_config,
                     deadline_s=request.deadline_s,
+                    max_staleness_s=request.max_staleness_s,
                     request_id=request.request_id,
                 )
         now = self._clock()
@@ -498,6 +607,8 @@ class EstimationService:
         )
         future.routed_method = routed_method
         future.routed_from = routed_from
+        future.live = live
+        future.snapshot_seq = snapshot_seq
         if routed_method == BOUND_METHOD:
             # The bound arm never queues: the ladder's bottom rung is one
             # cached O(|A|) scan, answered inline in the calling thread.
@@ -546,12 +657,14 @@ class EstimationService:
 
     def estimate(
         self,
-        ancestors: NodeSet,
-        descendants: NodeSet,
+        ancestors: NodeSet | str,
+        descendants: NodeSet | str,
         method: str = "PL",
         *,
         workspace: Workspace | None = None,
         deadline_s: float | None = None,
+        max_staleness_s: float | None = None,
+        tenant: str | None = None,
         timeout: float | None = None,
         **config: Any,
     ) -> EstimateResponse:
@@ -562,6 +675,8 @@ class EstimationService:
             method,
             workspace=workspace,
             deadline_s=deadline_s,
+            max_staleness_s=max_staleness_s,
+            tenant=tenant,
             **config,
         )
         if not self._workers and not future.done():
@@ -780,6 +895,9 @@ class EstimationService:
             "pool": (
                 self._pool.stats() if self._pool is not None else None
             ),
+            "staleness_p99_s": self._m_staleness.percentile(99.0),
+            "staleness_violations": self._m_staleness_violations.value,
+            "live": self.live.stats() if self.live is not None else None,
         }
 
     # ------------------------------------------------------------------
@@ -1022,6 +1140,17 @@ class EstimationService:
         now: float,
     ) -> str | None:
         """Why this request should skip full fidelity (None = run it)."""
+        if (
+            future.live is not None
+            and future.request.max_staleness_s is not None
+            and future.live.staleness_of(future.snapshot_seq, now)
+            > future.request.max_staleness_s
+        ):
+            # The operands were snapshotted at submit; mutations that
+            # landed while the request queued cannot retroactively
+            # enter the snapshot, so a too-old snapshot degrades
+            # honestly instead of serving data the caller ruled out.
+            return "stale"
         if future.deadline_at is None:
             return None
         if now >= future.deadline_at:
@@ -1101,6 +1230,24 @@ class EstimationService:
         wait_s = max(0.0, started_at - future.enqueued_at)
         service_s = max(0.0, now - future.enqueued_at)
         request = future.request
+        staleness_s: float | None = None
+        applied_seq: int | None = None
+        if future.live is not None:
+            # Disclose the snapshot's staleness at response time: the
+            # age of the oldest mutation it had not seen.  An "ok"
+            # answer past the caller's bound (mutations landed after
+            # the scheduling check) counts as a contract violation.
+            applied_seq = future.snapshot_seq
+            staleness_s = future.live.staleness_of(
+                future.snapshot_seq, now
+            )
+            self._m_staleness.observe(staleness_s)
+            if (
+                status == "ok"
+                and request.max_staleness_s is not None
+                and staleness_s > request.max_staleness_s
+            ):
+                self._m_staleness_violations.inc()
         if self.feedback is not None:
             # Record the *raw* estimate: the correction model trains on
             # uncorrected values, so corrected answers must not feed
@@ -1166,6 +1313,8 @@ class EstimationService:
                 batch_size=batch_size,
                 request_id=future.request.request_id,
                 routed_method=future.routed_method,
+                staleness_s=staleness_s,
+                applied_seq=applied_seq,
             )
         )
 

@@ -110,6 +110,7 @@ def _request_meta(request: EstimateRequest) -> dict[str, Any]:
         ),
         "config": config,
         "deadline_s": request.deadline_s,
+        "max_staleness_s": request.max_staleness_s,
         "request_id": request.request_id,
     }
 
@@ -129,6 +130,8 @@ def _request_from_meta(
         ),
         config=dict(meta.get("config") or {}),
         deadline_s=meta.get("deadline_s"),
+        # Older peers predate bounded staleness; absent means no bound.
+        max_staleness_s=meta.get("max_staleness_s"),
         request_id=meta.get("request_id"),
     )
 
@@ -156,6 +159,9 @@ def _response_from_dict(payload: dict[str, Any]) -> EstimateResponse:
         request_id=str(payload["request_id"]),
         # Older peers predate routing; absent means "not routed".
         routed_method=payload.get("routed_method"),
+        # Older peers predate live workspaces; absent means "not live".
+        staleness_s=payload.get("staleness_s"),
+        applied_seq=payload.get("applied_seq"),
     )
 
 

@@ -1,0 +1,33 @@
+"""Streaming churn: live workspaces under continuous mutation.
+
+The paper's Section 6 maintenance discussion, turned into a subsystem:
+
+* :mod:`repro.stream.feed` — :class:`MutationFeed`, a seeded generator
+  of sequentially applicable insert/delete/update batches;
+* :mod:`repro.stream.live` — :class:`LiveWorkspace`, one tenant's
+  element store maintained through incremental summary deltas, dynamic
+  T-tree updates and reservoir samples instead of rebuilds, with
+  fingerprint bump-on-write cache invalidation;
+* :mod:`repro.stream.store` — :class:`CatalogStore`, a multi-tenant
+  registry with pager-backed disk residency and LRU admission;
+* :mod:`repro.stream.bench` — the churn benchmark behind
+  ``BENCH_stream.json`` (update throughput, read latency under mixed
+  load, staleness-violation rate, cross-tenant isolation).
+
+``EstimationService(live=...)`` serves estimates straight off a live
+workspace or store under a per-request ``max_staleness_s`` bound; the
+qa ``incremental-vs-rebuild`` oracle proves the maintained synopses
+bit-identical to from-scratch rebuilds after every batch.
+"""
+
+from repro.stream.feed import Mutation, MutationBatch, MutationFeed
+from repro.stream.live import LiveWorkspace
+from repro.stream.store import CatalogStore
+
+__all__ = [
+    "CatalogStore",
+    "LiveWorkspace",
+    "Mutation",
+    "MutationBatch",
+    "MutationFeed",
+]

@@ -1,0 +1,492 @@
+"""A live workspace: incremental maintenance under a mutation stream.
+
+``LiveWorkspace`` holds the current element population of one tenant,
+grouped by tag, and keeps every synopsis of the paper incrementally
+up to date as mutation batches arrive — no rebuilds on the write path:
+
+* per-tag start-sorted region arrays (the SoA the kernels consume),
+  maintained in place by binary insertion/removal;
+* :class:`~repro.maintenance.incremental.IncrementalPLHistogram` — the
+  Table 1 PL statistics, O(buckets crossed) per mutation;
+* :class:`~repro.maintenance.cells.IncrementalCellHistogram` — the PH
+  grid, O(1) per mutation;
+* :class:`~repro.maintenance.dynamic_ttree.DynamicTTree` — stabbing
+  counts as O(1) delta updates with lazy recompile;
+* :class:`~repro.maintenance.reservoir.ReservoirSample` — a standing
+  uniform sample under inserts *and* deletes (random pairing).
+
+Writes are *fingerprint bumps*: summary and index caches key on the
+node-set content fingerprint, so a mutation gives the tag a new
+fingerprint and the pre-mutation entries can never serve the new
+content.  On top of that, the workspace eagerly drops the old
+fingerprint's entries from every attached cache
+(:meth:`~repro.perf.cache.SummaryCache.invalidate_fingerprint`), which
+bounds memory and keeps the "stale entries never serve" property
+checkable: only keys mentioning *this* workspace's old fingerprints are
+touched, so co-tenant entries survive with their hit counters intact.
+
+Staleness contract.  Batches are *ingested* (enqueued, O(1)) and later
+*applied*; ``staleness_s(now)`` is the age of the oldest ingested batch
+not yet applied (0.0 when fully caught up), and ``staleness_of(seq,
+now)`` is the same measure for a snapshot taken at ``applied_seq ==
+seq`` — the age of the oldest batch, applied or pending, that the
+snapshot misses.  The estimation service enforces a per-request
+``max_staleness_s`` against exactly this measure and discloses it on
+every live response.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from bisect import bisect_left
+from collections import OrderedDict, deque
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.element import Element
+from repro.core.errors import StreamError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.estimators.coverage_histogram import merged_interval_bounds
+from repro.maintenance import (
+    DynamicTTree,
+    IncrementalCellHistogram,
+    IncrementalPLHistogram,
+    ReservoirSample,
+)
+from repro.perf.cache import SummaryCache
+from repro.stream.feed import Mutation, MutationBatch
+
+#: How many ingest timestamps are retained for staleness accounting;
+#: snapshots older than this many batches report the oldest retained age.
+_INGEST_HISTORY = 4096
+
+
+class _TagState:
+    """All maintained structures for one live tag."""
+
+    __slots__ = (
+        "tag",
+        "starts",
+        "ends",
+        "elements",
+        "pl",
+        "cells",
+        "ttree",
+        "reservoir",
+        "node_set",
+        "inserts",
+        "deletes",
+    )
+
+    def __init__(
+        self,
+        tag: str,
+        workspace: Workspace,
+        num_buckets: int,
+        num_cells: int,
+        reservoir_capacity: int,
+        seed: int,
+    ) -> None:
+        self.tag = tag
+        self.starts: list[int] = []
+        self.ends: list[int] = []
+        self.elements: list[Element] = []  # aligned with starts/ends
+        self.pl = IncrementalPLHistogram(workspace, num_buckets)
+        self.cells = IncrementalCellHistogram(workspace, num_cells)
+        self.ttree = DynamicTTree()
+        self.reservoir = ReservoirSample(
+            reservoir_capacity,
+            seed=(seed * 1_000_003) ^ zlib.crc32(tag.encode()),
+        )
+        self.node_set: NodeSet | None = None
+        self.inserts = 0
+        self.deletes = 0
+
+    def index_of(self, element: Element) -> int:
+        """Position of a live element, or -1."""
+        index = bisect_left(self.starts, element.start)
+        if (
+            index < len(self.starts)
+            and self.starts[index] == element.start
+            and self.ends[index] == element.end
+        ):
+            return index
+        return -1
+
+    def insert(self, element: Element) -> None:
+        index = bisect_left(self.starts, element.start)
+        if index < len(self.starts) and self.starts[index] == element.start:
+            raise StreamError(
+                f"duplicate insert: element ({element.start}, "
+                f"{element.end}) is already live under tag {self.tag!r}"
+            )
+        self.pl.insert(element)  # validates the workspace bounds first
+        self.cells.insert(element)
+        self.ttree.insert(element)
+        self.reservoir.add(element)
+        self.starts.insert(index, element.start)
+        self.ends.insert(index, element.end)
+        self.elements.insert(index, element)
+        self.node_set = None
+        self.inserts += 1
+
+    def remove(self, element: Element) -> None:
+        index = self.index_of(element)
+        if index < 0:
+            raise StreamError(
+                f"delete of a non-live element ({element.start}, "
+                f"{element.end}) under tag {self.tag!r}"
+            )
+        self.pl.remove(element)
+        self.cells.remove(element)
+        self.ttree.delete(element)
+        self.reservoir.remove(self.elements[index])
+        del self.starts[index]
+        del self.ends[index]
+        del self.elements[index]
+        self.node_set = None
+        self.deletes += 1
+
+    def materialize(self) -> NodeSet:
+        if self.node_set is None:
+            self.node_set = NodeSet.from_arrays(
+                np.asarray(self.starts, dtype=np.int64),
+                np.asarray(self.ends, dtype=np.int64),
+                name=self.tag,
+            )
+        return self.node_set
+
+
+class LiveWorkspace:
+    """One tenant's continuously mutating element store.
+
+    Args:
+        workspace: fixed position domain every mutation must fall in.
+        elements: initial live population (e.g. ``feed.bootstrap()``).
+        num_buckets / num_cells: synopsis resolutions, as in the
+            estimators.
+        reservoir_capacity: standing sample size per tag.
+        seed: derives each tag's reservoir stream.
+        tenant: name used in stats and store registries.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        *,
+        elements: Iterable[Element] = (),
+        num_buckets: int = 16,
+        num_cells: int = 25,
+        reservoir_capacity: int = 64,
+        seed: int = 0,
+        tenant: str = "default",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.workspace = workspace.validate()
+        self.num_buckets = num_buckets
+        self.num_cells = num_cells
+        self.reservoir_capacity = reservoir_capacity
+        self.seed = seed
+        self.tenant = tenant
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._tags: dict[str, _TagState] = {}
+        self._caches: tuple[SummaryCache, ...] = ()
+        self._pending: deque[tuple[int, float, tuple[Mutation, ...]]] = (
+            deque()
+        )
+        self._ingest_times: OrderedDict[int, float] = OrderedDict()
+        self._ingest_seq = 0
+        self._applied_seq = 0
+        self.applied_batches = 0
+        self.applied_mutations = 0
+        self.invalidated_entries = 0
+        self.estimates_served = 0
+        for element in elements:
+            self._state(element.tag).insert(element)
+
+    # -- wiring -------------------------------------------------------
+
+    def attach_caches(self, *caches: SummaryCache | None) -> None:
+        """Register caches to eagerly invalidate on every write.
+
+        Pass the service's ``SummaryCache`` and ``IndexCache`` (the
+        latter covers arena, T-tree, XR-tree and start-index entries —
+        they all key on the operand fingerprint).  ``None`` entries are
+        ignored so callers can forward optional caches directly.
+        """
+        with self._lock:
+            present = [c for c in caches if c is not None]
+            merged = list(self._caches)
+            for cache in present:
+                if all(cache is not existing for existing in merged):
+                    merged.append(cache)
+            self._caches = tuple(merged)
+
+    def _state(self, tag: str) -> _TagState:
+        state = self._tags.get(tag)
+        if state is None:
+            state = _TagState(
+                tag,
+                self.workspace,
+                self.num_buckets,
+                self.num_cells,
+                self.reservoir_capacity,
+                self.seed,
+            )
+            self._tags[tag] = state
+        return state
+
+    def _live_state(self, tag: str) -> _TagState:
+        state = self._tags.get(tag)
+        if state is None:
+            raise StreamError(
+                f"unknown tag {tag!r} in tenant {self.tenant!r}; "
+                f"live tags: {sorted(self._tags) or '(none)'}"
+            )
+        return state
+
+    # -- mutation ingest / apply -------------------------------------
+
+    def ingest(self, batch: MutationBatch | Iterable[Mutation]) -> int:
+        """Enqueue one mutation batch; returns its sequence number.
+
+        O(1): nothing is applied until :meth:`apply_pending` (or the
+        service's staleness enforcement) catches up.
+        """
+        mutations = (
+            batch.mutations
+            if isinstance(batch, MutationBatch)
+            else tuple(batch)
+        )
+        for mutation in mutations:
+            if not isinstance(mutation, Mutation):
+                raise StreamError(
+                    f"expected a Mutation, got {type(mutation).__name__}"
+                )
+        now = self._clock()
+        with self._lock:
+            self._ingest_seq += 1
+            seq = self._ingest_seq
+            self._pending.append((seq, now, mutations))
+            self._ingest_times[seq] = now
+            while len(self._ingest_times) > _INGEST_HISTORY:
+                self._ingest_times.popitem(last=False)
+            return seq
+
+    def _invalidate(self, state: _TagState) -> None:
+        """Eagerly drop the tag's pre-mutation cache entries.
+
+        Entries can only exist under fingerprints of node sets this
+        workspace handed out, so when the tag was never materialized
+        since its last write there is nothing to drop.
+        """
+        if state.node_set is None or not self._caches:
+            return
+        fingerprint = state.node_set.fingerprint
+        for cache in self._caches:
+            self.invalidated_entries += cache.invalidate_fingerprint(
+                fingerprint
+            )
+
+    def _apply_one(self, mutation: Mutation) -> None:
+        element = mutation.element
+        if not (
+            self.workspace.contains(element.start)
+            and self.workspace.contains(element.end)
+        ):
+            raise StreamError(
+                f"mutation element ({element.start}, {element.end}) "
+                f"outside workspace {tuple(self.workspace)}"
+            )
+        if mutation.op == "insert":
+            state = self._state(element.tag)
+            self._invalidate(state)
+            state.insert(element)
+        elif mutation.op == "delete":
+            state = self._live_state(element.tag)
+            self._invalidate(state)
+            state.remove(element)
+        else:  # update: recode = delete + insert
+            replacement = mutation.replacement
+            assert replacement is not None  # Mutation.__post_init__
+            old_state = self._live_state(element.tag)
+            self._invalidate(old_state)
+            old_state.remove(element)
+            new_state = self._state(replacement.tag)
+            if new_state is not old_state:
+                self._invalidate(new_state)
+            new_state.insert(replacement)
+
+    def apply_pending(self) -> int:
+        """Apply every enqueued batch; returns how many were applied."""
+        with self._lock:
+            applied = 0
+            while self._pending:
+                seq, _, mutations = self._pending.popleft()
+                for mutation in mutations:
+                    self._apply_one(mutation)
+                    self.applied_mutations += 1
+                self._applied_seq = seq
+                self.applied_batches += 1
+                applied += 1
+            return applied
+
+    def apply(self, batch: MutationBatch | Iterable[Mutation]) -> int:
+        """Ingest and immediately apply one batch (write-through)."""
+        seq = self.ingest(batch)
+        with self._lock:
+            self.apply_pending()
+        return seq
+
+    def catch_up(self, blocking: bool = True) -> bool:
+        """Try to apply the backlog; False if the lock was contended."""
+        if blocking:
+            self.apply_pending()
+            return True
+        if not self._lock.acquire(blocking=False):
+            return False
+        try:
+            self.apply_pending()
+            return True
+        finally:
+            self._lock.release()
+
+    # -- staleness ----------------------------------------------------
+
+    @property
+    def applied_seq(self) -> int:
+        return self._applied_seq
+
+    @property
+    def ingest_seq(self) -> int:
+        return self._ingest_seq
+
+    @property
+    def pending_batches(self) -> int:
+        return len(self._pending)
+
+    def staleness_of(self, seq: int, now: float | None = None) -> float:
+        """Age of the oldest batch a ``applied_seq == seq`` snapshot misses."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            if self._ingest_seq <= seq:
+                return 0.0
+            ingested_at = self._ingest_times.get(seq + 1)
+            if ingested_at is None:
+                # Pruned history: report the oldest retained age, which
+                # under-reports only for snapshots > _INGEST_HISTORY
+                # batches behind — already hopeless for any real bound.
+                ingested_at = next(iter(self._ingest_times.values()))
+            return max(0.0, now - ingested_at)
+
+    def staleness_s(self, now: float | None = None) -> float:
+        """Age of the oldest pending batch (0.0 when caught up)."""
+        return self.staleness_of(self._applied_seq, now)
+
+    # -- reads --------------------------------------------------------
+
+    def tags(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tags)
+
+    def size(self, tag: str | None = None) -> int:
+        with self._lock:
+            if tag is not None:
+                return len(self._live_state(tag).starts)
+            return sum(len(s.starts) for s in self._tags.values())
+
+    def node_set(self, tag: str) -> NodeSet:
+        """The tag's current population as a (cached) NodeSet.
+
+        Built zero-copy from the maintained sorted arrays; the same
+        object is returned until the next mutation touches the tag, so
+        its content fingerprint is stable across reads and bumped by
+        writes.
+        """
+        with self._lock:
+            return self._live_state(tag).materialize()
+
+    def fingerprint(self, tag: str) -> str:
+        return self.node_set(tag).fingerprint
+
+    def snapshot(self, *tags: str) -> tuple[tuple[NodeSet, ...], int]:
+        """Atomically materialize several tags at one ``applied_seq``."""
+        with self._lock:
+            sets = tuple(
+                self._live_state(tag).materialize() for tag in tags
+            )
+            return sets, self._applied_seq
+
+    def rebuild_node_set(self, tag: str) -> NodeSet:
+        """From-scratch, fully validated build over the live elements.
+
+        The differential half of the incremental ≡ rebuild contract —
+        never used on the serving path.
+        """
+        with self._lock:
+            elements = tuple(self._live_state(tag).elements)
+        return NodeSet(elements, name=tag)
+
+    def pl_histogram(self, tag: str) -> IncrementalPLHistogram:
+        with self._lock:
+            return self._live_state(tag).pl
+
+    def cell_histogram(self, tag: str) -> IncrementalCellHistogram:
+        with self._lock:
+            return self._live_state(tag).cells
+
+    def ttree(self, tag: str) -> DynamicTTree:
+        with self._lock:
+            return self._live_state(tag).ttree
+
+    def reservoir(self, tag: str) -> ReservoirSample:
+        with self._lock:
+            return self._live_state(tag).reservoir
+
+    def coverage_bounds(self, tag: str) -> np.ndarray:
+        """Merged coverage intervals of the tag's current population.
+
+        Derived from the maintained sorted arrays (no re-sort) by the
+        same array kernel the coverage estimator uses on a fresh build.
+        """
+        return merged_interval_bounds(self.node_set(tag))
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "tenant": self.tenant,
+                "tags": {
+                    tag: {
+                        "live": len(state.starts),
+                        "inserts": state.inserts,
+                        "deletes": state.deletes,
+                        "reservoir": len(state.reservoir),
+                    }
+                    for tag, state in sorted(self._tags.items())
+                },
+                "live_elements": sum(
+                    len(s.starts) for s in self._tags.values()
+                ),
+                "ingest_seq": self._ingest_seq,
+                "applied_seq": self._applied_seq,
+                "pending_batches": len(self._pending),
+                "applied_batches": self.applied_batches,
+                "applied_mutations": self.applied_mutations,
+                "invalidated_entries": self.invalidated_entries,
+                "estimates_served": self.estimates_served,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveWorkspace(tenant={self.tenant!r}, "
+            f"tags={len(self._tags)}, live={self.size()}, "
+            f"applied_seq={self._applied_seq}, "
+            f"pending={len(self._pending)})"
+        )

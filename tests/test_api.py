@@ -173,3 +173,69 @@ class TestPublicSurface:
         parts = repro.__version__.split(".")
         assert len(parts) == 3
         assert all(p.isdigit() for p in parts)
+
+
+class TestModuleResolution:
+    def test_canonical_names_resolve(self):
+        import types
+
+        for name in ("maintenance", "storage", "stream", "qa"):
+            module = repro.resolve_module(name)
+            assert isinstance(module, types.ModuleType)
+            assert module.__name__ == f"repro.{name}"
+
+    def test_case_insensitive(self):
+        assert (
+            repro.resolve_module("STREAM")
+            is repro.resolve_module("stream")
+        )
+
+    def test_aliases(self):
+        pairs = {
+            "incremental": "repro.maintenance",
+            "reservoir": "repro.maintenance",
+            "ttree": "repro.maintenance",
+            "pager": "repro.storage",
+            "disk": "repro.storage",
+            "live": "repro.stream",
+            "churn": "repro.stream",
+            "streaming": "repro.stream",
+            "bandit": "repro.router",
+            "cache": "repro.perf",
+        }
+        for alias, target in pairs.items():
+            assert repro.resolve_module(alias).__name__ == target, alias
+
+    def test_available_modules_lists_subsystems(self):
+        names = repro.available_modules()
+        assert names == sorted(names)
+        for expected in ("maintenance", "storage", "stream", "service"):
+            assert expected in names
+
+    def test_every_listed_module_imports(self):
+        for name in repro.available_modules():
+            repro.resolve_module(name)
+
+    def test_unknown_module_nearest_match(self):
+        from repro.core.errors import UnknownModuleError
+
+        with pytest.raises(UnknownModuleError, match="did you mean"):
+            repro.resolve_module("strem")
+        try:
+            repro.resolve_module("strem")
+        except UnknownModuleError as error:
+            assert error.name == "strem"
+            assert "stream" in error.candidates
+
+    def test_new_streaming_reexports(self):
+        for name in ("CatalogStore", "LiveWorkspace", "Mutation",
+                     "MutationBatch", "MutationFeed",
+                     "available_modules", "resolve_module"):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__, name
+            assert name in api.__all__, name
+        for name in ("DynamicTTree", "IncrementalPLHistogram",
+                     "IncrementalCellHistogram", "ReservoirSample",
+                     "DiskNodeSet", "write_node_set"):
+            assert hasattr(api, name), name
+            assert name in api.__all__, name

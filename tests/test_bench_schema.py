@@ -26,6 +26,7 @@ class TestCheckedInArtifacts:
             "BENCH_router.json",
             "BENCH_sampling.json",
             "BENCH_service.json",
+            "BENCH_stream.json",
         }
 
     @pytest.mark.parametrize(

@@ -228,3 +228,198 @@ class TestReservoirSample:
     def test_im_estimate_empty(self):
         reservoir = ReservoirSample(capacity=5, seed=0)
         assert reservoir.im_estimate(NodeSet([])) == 0.0
+
+
+class TestDynamicTTreeChurn:
+    """Delete-heavy paths: emptying, reinsertion, mixed churn."""
+
+    def test_delete_to_empty_then_reinsert(self):
+        elements = [Element("a", 4 * i + 1, 4 * i + 3) for i in range(8)]
+        dynamic = DynamicTTree(elements)
+        for element in elements:
+            dynamic.delete(element)
+        assert len(dynamic) == 0
+        assert dynamic.turning_points() == []
+        assert dynamic.count(5) == 0
+        dynamic.insert(elements[3])
+        assert len(dynamic) == 1
+        assert dynamic.count(elements[3].start) == 1
+
+    def test_delete_marks_dirty_and_recompiles(self, xmark_sets):
+        ancestors, __, __ws = xmark_sets
+        dynamic = DynamicTTree.from_node_set(ancestors)
+        victim = ancestors.elements[7]
+        dynamic.count(1)  # compiles
+        assert not dynamic._dirty
+        dynamic.delete(victim)
+        assert dynamic._dirty
+        expected = ancestors.stab_count(int(victim.start)) - 1
+        assert dynamic.count(int(victim.start)) == expected
+        assert not dynamic._dirty
+
+    def test_random_churn_matches_stabbing_counter(self, xmark_sets):
+        from repro.index.stab import StabbingCounter
+
+        ancestors, __, __ws = xmark_sets
+        rng = np.random.default_rng(5)
+        live = list(ancestors.elements[:120])
+        dynamic = DynamicTTree(live)
+        free = list(ancestors.elements[120:240])
+        for __round in range(200):
+            if free and (not live or rng.random() < 0.4):
+                element = free.pop(int(rng.integers(0, len(free))))
+                dynamic.insert(element)
+                live.append(element)
+            else:
+                element = live.pop(int(rng.integers(0, len(live))))
+                dynamic.delete(element)
+                free.append(element)
+        reference = StabbingCounter(NodeSet(tuple(live)))
+        probes = {e.start for e in live} | {e.end for e in live}
+        for position in sorted(probes):
+            assert dynamic.count(int(position)) == reference.count(
+                int(position)
+            )
+        assert len(dynamic) == len(live)
+
+
+class TestReservoirUnderDeletes:
+    """Random pairing keeps the sample uniform under delete-heavy feeds."""
+
+    #: chi-square critical values at alpha = 0.001 for the df used below
+    #: (no scipy in the image; values from the standard table).
+    CHI2_999 = {29: 58.301}
+
+    def test_delete_heavy_feed_stays_uniform(self):
+        """Chi-square gate on inclusion counts over a fixed churn script.
+
+        The op sequence is identical across trials (only the reservoir
+        seed varies): load 40 elements, delete 25, insert the remaining
+        20, delete 5 more — a delete-heavy feed ending at a fixed
+        30-element population.  Uniformity means every survivor is
+        sampled equally often across trials.
+        """
+        pool = [Element("d", 4 * i + 1, 4 * i + 3) for i in range(60)]
+        trials = 500
+        capacity = 12
+        inclusion: dict[int, int] = {}
+        total_sampled = 0
+        survivors = None
+        for seed in range(trials):
+            reservoir = ReservoirSample(capacity, seed=seed)
+            live = []
+            for element in pool[:40]:
+                reservoir.add(element)
+                live.append(element)
+            for element in pool[5:30]:
+                reservoir.remove(element)
+                live.remove(element)
+            for element in pool[40:]:
+                reservoir.add(element)
+                live.append(element)
+            for element in pool[:5]:
+                reservoir.remove(element)
+                live.remove(element)
+            if survivors is None:
+                survivors = [e.start for e in live]
+                inclusion = {start: 0 for start in survivors}
+            assert len(live) == 30
+            sample = reservoir.sample
+            assert len(sample) <= capacity
+            starts = {e.start for e in live}
+            for kept in sample:
+                assert kept.start in starts
+                inclusion[kept.start] += 1
+            total_sampled += len(sample)
+        expected = total_sampled / 30
+        chi2 = sum(
+            (count - expected) ** 2 / expected
+            for count in inclusion.values()
+        )
+        assert chi2 < self.CHI2_999[29], (
+            f"chi-square {chi2:.1f} over df=29 rejects uniformity "
+            f"(inclusion counts {sorted(inclusion.values())})"
+        )
+
+    def test_live_tracks_population(self):
+        reservoir = ReservoirSample(4, seed=3)
+        elements = [Element("d", 4 * i + 1, 4 * i + 3) for i in range(10)]
+        for element in elements:
+            reservoir.add(element)
+        assert reservoir.live == 10
+        for element in elements[:9]:
+            reservoir.remove(element)
+        assert reservoir.live == 1
+        assert reservoir.seen == 10
+        with pytest.raises(EstimationError):
+            for __ in range(2):
+                reservoir.remove(elements[9])
+
+    def test_add_only_path_matches_classic_algorithm_r(self):
+        """No deletion ever issued -> bit-identical to the old reservoir."""
+        stream = [Element("d", 2 * i + 1, 2 * i + 2) for i in range(200)]
+        classic = ReservoirSample(8, seed=42)
+        classic.extend(stream)
+        replay = ReservoirSample(8, seed=42)
+        replay.extend(stream)
+        assert classic.sample == replay.sample
+        assert classic.live == classic.seen == 200
+
+
+class TestLiveWorkspaceDeltaEdgeCases:
+    """Incremental-delta edge cases through the stream layer."""
+
+    def _workspace(self):
+        from repro.stream import LiveWorkspace
+
+        elements = [Element("a", 4 * i + 1, 4 * i + 3) for i in range(6)]
+        live = LiveWorkspace(
+            Workspace(0, 40), elements=elements, num_buckets=4, seed=1
+        )
+        return live, elements
+
+    def test_empty_batch_is_a_noop_but_advances_seq(self):
+        from repro.core.errors import StreamError  # noqa: F401
+
+        live, elements = self._workspace()
+        before_fp = live.fingerprint("a")
+        seq = live.apply([])
+        assert seq == 1
+        assert live.applied_seq == 1
+        assert live.applied_batches == 1
+        assert live.applied_mutations == 0
+        assert live.size("a") == len(elements)
+        assert live.fingerprint("a") == before_fp
+
+    def test_delete_all_then_reinsert(self):
+        from repro.stream import Mutation
+
+        live, elements = self._workspace()
+        live.apply([Mutation("delete", e) for e in elements])
+        assert live.size("a") == 0
+        assert len(live.node_set("a")) == 0
+        assert live.ttree("a").turning_points() == []
+        assert all(
+            bucket.n == 0
+            for bucket in live.pl_histogram("a").ancestor_histogram().buckets
+        )
+        assert dict(live.cell_histogram("a").cell_histogram()) == {}
+        live.apply([Mutation("insert", elements[2])])
+        assert live.size("a") == 1
+        assert live.rebuild_node_set("a").elements == (elements[2],)
+
+    def test_duplicate_insert_rejected(self):
+        from repro.core.errors import StreamError
+        from repro.stream import Mutation
+
+        live, elements = self._workspace()
+        with pytest.raises(StreamError, match="duplicate insert"):
+            live.apply([Mutation("insert", elements[0])])
+
+    def test_delete_of_non_live_element_rejected(self):
+        from repro.core.errors import StreamError
+        from repro.stream import Mutation
+
+        live, __ = self._workspace()
+        with pytest.raises(StreamError, match="non-live"):
+            live.apply([Mutation("delete", Element("a", 2, 3))])

@@ -1,0 +1,573 @@
+"""Streaming churn layer: feeds, live workspaces, staleness, tenancy.
+
+Covers the seeded :class:`MutationFeed`, incremental maintenance and
+fingerprint bump-on-write invalidation in :class:`LiveWorkspace`, the
+bounded-staleness contract through the estimation service (with an
+injected clock), the wire-format disclosure fields, and the
+multi-tenant :class:`CatalogStore` with LRU disk residency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.element import Element
+from repro.core.errors import ServiceError, StreamError
+from repro.core.nodeset import NodeSet
+from repro.core.workspace import Workspace
+from repro.perf.cache import SummaryCache, _key_mentions
+from repro.service import EstimationService
+from repro.service.request import EstimateRequest
+from repro.service.wire import (
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.stream import (
+    CatalogStore,
+    LiveWorkspace,
+    Mutation,
+    MutationBatch,
+    MutationFeed,
+)
+
+WORKSPACE = Workspace(0, 4000)
+
+
+def _pool(count: int = 20, offset: int = 0) -> list[Element]:
+    """``count`` ancestor/descendant pairs, descendants nested inside."""
+    elements = []
+    for i in range(count):
+        base = offset + 20 * i
+        elements.append(Element("a", base + 1, base + 9))
+        elements.append(Element("d", base + 2, base + 4))
+    return elements
+
+
+class FakeClock:
+    """Injectable monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestMutationFeed:
+    def test_same_seed_same_stream(self):
+        pool = _pool()
+        a = MutationFeed(pool, seed=7)
+        b = MutationFeed(list(reversed(pool)), seed=7)
+        assert a.bootstrap() == b.bootstrap()
+        script_a = [
+            [(m.op, m.element, m.replacement) for m in batch.mutations]
+            for batch in a.batches(6, 5)
+        ]
+        script_b = [
+            [(m.op, m.element, m.replacement) for m in batch.mutations]
+            for batch in b.batches(6, 5)
+        ]
+        assert script_a == script_b
+
+    def test_different_seed_diverges(self):
+        pool = _pool()
+        a = MutationFeed(pool, seed=1).bootstrap()
+        b = MutationFeed(pool, seed=2).bootstrap()
+        assert a != b
+
+    def test_batches_are_sequentially_applicable(self):
+        feed = MutationFeed(_pool(), seed=3)
+        live = {(e.start, e.end) for e in feed.bootstrap()}
+        for batch in feed.batches(20, 7):
+            for mutation in batch.mutations:
+                code = (mutation.element.start, mutation.element.end)
+                if mutation.op == "insert":
+                    assert code not in live
+                    live.add(code)
+                elif mutation.op == "delete":
+                    assert code in live
+                    live.remove(code)
+                else:
+                    new = (
+                        mutation.replacement.start,
+                        mutation.replacement.end,
+                    )
+                    assert code in live and new not in live
+                    live.remove(code)
+                    live.add(new)
+        assert feed.live_size == len(live)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(StreamError, match="non-empty pool"):
+            MutationFeed([], seed=0)
+
+    def test_duplicate_codes_rejected(self):
+        element = Element("a", 1, 3)
+        with pytest.raises(StreamError, match="duplicate region codes"):
+            MutationFeed([element, Element("d", 1, 3)], seed=0)
+
+    def test_bad_initial_fraction(self):
+        with pytest.raises(StreamError, match="initial_fraction"):
+            MutationFeed(_pool(), seed=0, initial_fraction=1.5)
+
+    def test_bad_weights(self):
+        with pytest.raises(StreamError, match="bad op weights"):
+            MutationFeed(_pool(), seed=0, weights=(1.0, 1.0))
+        with pytest.raises(StreamError, match="bad op weights"):
+            MutationFeed(_pool(), seed=0, weights=(0.0, 0.0, 0.0))
+
+    def test_negative_batch_size(self):
+        with pytest.raises(StreamError, match="batch size"):
+            MutationFeed(_pool(), seed=0).next_batch(-1)
+
+    def test_mutation_validation(self):
+        element = Element("a", 1, 3)
+        with pytest.raises(StreamError, match="unknown mutation op"):
+            Mutation("upsert", element)
+        with pytest.raises(StreamError, match="replacement"):
+            Mutation("insert", element, replacement=Element("a", 5, 7))
+        with pytest.raises(StreamError, match="replacement"):
+            Mutation("update", element)
+
+    def test_batch_len_and_index(self):
+        feed = MutationFeed(_pool(), seed=0)
+        first = feed.next_batch(4)
+        second = feed.next_batch(2)
+        assert (len(first), first.index) == (4, 0)
+        assert (len(second), second.index) == (2, 1)
+
+
+class TestLiveWorkspace:
+    def test_apply_updates_population(self):
+        feed = MutationFeed(_pool(), seed=11)
+        live = LiveWorkspace(WORKSPACE, elements=feed.bootstrap(), seed=11)
+        before = live.size()
+        batch = feed.next_batch(10)
+        seq = live.apply(batch)
+        assert seq == 1 and live.applied_seq == 1
+        delta = sum(
+            {"insert": 1, "delete": -1, "update": 0}[m.op]
+            for m in batch.mutations
+        )
+        assert live.size() == before + delta
+        assert live.applied_mutations == 10
+
+    def test_ingest_defers_apply_catches_up(self):
+        clock = FakeClock()
+        live = LiveWorkspace(
+            WORKSPACE, elements=_pool(), seed=0, clock=clock
+        )
+        seq = live.ingest([Mutation("delete", Element("a", 1, 9))])
+        assert live.pending_batches == 1
+        assert live.applied_seq == 0 and live.ingest_seq == seq == 1
+        clock.now = 2.0
+        assert live.staleness_s() == pytest.approx(2.0)
+        assert live.apply_pending() == 1
+        assert live.staleness_s() == 0.0
+        assert live.applied_seq == 1
+
+    def test_staleness_of_snapshot(self):
+        clock = FakeClock()
+        live = LiveWorkspace(
+            WORKSPACE, elements=_pool(), seed=0, clock=clock
+        )
+        __, seq = live.snapshot("a", "d")
+        assert live.staleness_of(seq) == 0.0
+        clock.now = 1.0
+        live.ingest([Mutation("delete", Element("a", 1, 9))])
+        clock.now = 4.0
+        # The snapshot misses the batch ingested at t=1.
+        assert live.staleness_of(seq) == pytest.approx(3.0)
+        live.apply_pending()
+        assert live.staleness_of(live.applied_seq) == 0.0
+
+    def test_snapshot_is_stable_until_write(self):
+        live = LiveWorkspace(WORKSPACE, elements=_pool(), seed=0)
+        (first, __), __seq = live.snapshot("a", "d"), None
+        assert live.node_set("a") is first[0]
+        live.apply([Mutation("delete", Element("a", 1, 9))])
+        assert live.node_set("a") is not first[0]
+
+    def test_unknown_tag(self):
+        live = LiveWorkspace(WORKSPACE, elements=_pool(), seed=0)
+        with pytest.raises(StreamError, match="unknown tag 'missing'"):
+            live.node_set("missing")
+
+    def test_out_of_workspace_mutation(self):
+        live = LiveWorkspace(Workspace(0, 50), seed=0)
+        with pytest.raises(StreamError, match="outside workspace"):
+            live.apply([Mutation("insert", Element("a", 60, 70))])
+
+    def test_update_moves_element_between_tags(self):
+        live = LiveWorkspace(WORKSPACE, elements=_pool(), seed=0)
+        old = Element("a", 1, 9)
+        new = Element("d", 901, 903)
+        live.apply([Mutation("update", old, new)])
+        assert live.rebuild_node_set("a").elements.count(old) == 0
+        assert new in live.rebuild_node_set("d").elements
+
+    def test_coverage_bounds_match_node_set(self):
+        from repro.estimators.coverage_histogram import (
+            merged_interval_bounds,
+        )
+
+        live = LiveWorkspace(WORKSPACE, elements=_pool(), seed=0)
+        live.apply([Mutation("delete", Element("a", 21, 29))])
+        expected = merged_interval_bounds(live.rebuild_node_set("a"))
+        assert np.array_equal(live.coverage_bounds("a"), expected)
+
+    def test_stats_shape(self):
+        live = LiveWorkspace(
+            WORKSPACE, elements=_pool(), seed=0, tenant="t0"
+        )
+        live.apply([Mutation("delete", Element("a", 1, 9))])
+        stats = live.stats()
+        assert stats["tenant"] == "t0"
+        assert stats["tags"]["a"]["deletes"] == 1
+        assert stats["live_elements"] == live.size()
+        assert stats["applied_batches"] == 1
+
+
+class TestFingerprintInvalidation:
+    """Writes bump fingerprints; stale cache entries can never serve."""
+
+    def test_mutation_bumps_fingerprint(self):
+        for seed in range(5):
+            feed = MutationFeed(_pool(), seed=seed)
+            live = LiveWorkspace(
+                WORKSPACE, elements=feed.bootstrap(), seed=seed
+            )
+            seen = {tag: {live.fingerprint(tag)} for tag in live.tags()}
+            for batch in feed.batches(8, 5):
+                touched = {m.element.tag for m in batch.mutations} | {
+                    m.replacement.tag
+                    for m in batch.mutations
+                    if m.replacement is not None
+                }
+                live.apply(batch)
+                for tag in touched:
+                    fingerprint = live.fingerprint(tag)
+                    assert fingerprint not in seen[tag], (
+                        f"fingerprint reused after write to {tag!r}"
+                    )
+                    seen[tag].add(fingerprint)
+
+    def test_attached_cache_drops_old_fingerprint_entries(self):
+        cache = SummaryCache()
+        live = LiveWorkspace(WORKSPACE, elements=_pool(), seed=0)
+        live.attach_caches(cache, None)  # None entries are ignored
+        old_fp = live.fingerprint("a")
+        cache.put(("summary", old_fp), "stale-value")
+        cache.put(("summary", "unrelated-fp"), "other-tenant")
+        live.apply([Mutation("delete", Element("a", 1, 9))])
+        assert live.invalidated_entries == 1
+        assert ("summary", old_fp) not in cache
+        assert cache.peek(("summary", "unrelated-fp")) == "other-tenant"
+        assert not any(
+            _key_mentions(key, old_fp) for key in list(cache._data)
+        )
+
+    def test_post_mutation_estimates_never_stale(self):
+        """Property: a served estimate always reflects the live data."""
+        from repro.api import estimate as reference_estimate
+
+        feed = MutationFeed(_pool(40), seed=13)
+        live = LiveWorkspace(
+            WORKSPACE, elements=feed.bootstrap(), num_buckets=8, seed=13
+        )
+        service = EstimationService(live=live, workers=0, memoize=False)
+        try:
+            for batch in feed.batches(10, 8):
+                live.apply(batch)
+                response = service.estimate(
+                    "a", "d", "PL", workspace=WORKSPACE, num_buckets=8
+                )
+                expected = reference_estimate(
+                    live.rebuild_node_set("a"),
+                    live.rebuild_node_set("d"),
+                    "PL",
+                    workspace=WORKSPACE,
+                    num_buckets=8,
+                )
+                assert response.estimate.value == pytest.approx(
+                    expected.value, rel=1e-12
+                )
+        finally:
+            service.close()
+
+    def test_co_tenant_entries_survive_churn(self):
+        cache = SummaryCache()
+        store = CatalogStore()
+        store.attach_caches(cache)
+        alpha = store.create("alpha", WORKSPACE, elements=_pool())
+        beta = store.create(
+            "beta", WORKSPACE, elements=_pool(offset=500)
+        )
+        beta_fp = beta.fingerprint("a")
+        cache.put(("summary", beta_fp), "beta-entry")
+        cache.get_or_build(("summary", beta_fp), lambda: "never")
+        hits_before = cache.hits
+        toggle = Element("a", 1, 9)
+        live_now = True  # toggle is in alpha's bootstrap population
+        for __ in range(6):
+            op = "delete" if live_now else "insert"
+            alpha.apply([Mutation(op, toggle)])
+            live_now = not live_now
+            alpha.node_set("a")  # materialize so the next write drops it
+        # Churn invalidated alpha's own fingerprints only: the
+        # co-tenant's entry survives with its hit counter untouched.
+        assert alpha.invalidated_entries == 0  # no alpha entries cached
+        assert cache.hits == hits_before  # churn never read beta's key
+        assert cache.peek(("summary", beta_fp)) == "beta-entry"
+        assert ("summary", beta_fp) in cache
+
+
+class TestServiceLiveWiring:
+    def _service(self, clock=None, **kwargs):
+        live = LiveWorkspace(
+            WORKSPACE,
+            elements=_pool(40),
+            num_buckets=8,
+            seed=5,
+            clock=clock or FakeClock(),
+        )
+        service = EstimationService(
+            live=live,
+            workers=0,
+            memoize=False,
+            clock=clock or live._clock,
+            **kwargs,
+        )
+        return service, live
+
+    def test_string_operands_resolve_and_disclose(self):
+        service, live = self._service()
+        try:
+            response = service.estimate("a", "d", "PL", num_buckets=8)
+            assert response.staleness_s == 0.0
+            assert response.applied_seq == live.applied_seq
+            assert live.estimates_served == 1
+        finally:
+            service.close()
+
+    def test_stale_snapshot_degrades(self):
+        clock = FakeClock()
+        service, live = self._service(clock=clock)
+        try:
+            future = service.submit(
+                "a", "d", "PL", num_buckets=8, max_staleness_s=0.5
+            )
+            live.ingest([Mutation("delete", Element("a", 1, 9))])
+            clock.now = 5.0
+            service.help_drain((future,))
+            response = future.result()
+            assert response.degraded_reason == "stale"
+            assert response.staleness_s > 0.5
+            # Degrading IS the remedy: the violation counter tracks
+            # only "ok" answers served over their bound.
+            assert service.stats()["staleness_violations"] == 0
+        finally:
+            service.close()
+
+    def test_fresh_snapshot_not_degraded(self):
+        service, __ = self._service()
+        try:
+            response = service.estimate(
+                "a", "d", "PL", num_buckets=8, max_staleness_s=0.5
+            )
+            assert response.degraded_reason != "stale"
+            assert response.staleness_s == 0.0
+        finally:
+            service.close()
+
+    def test_string_operand_without_live_rejected(self):
+        service = EstimationService(workers=0)
+        try:
+            with pytest.raises(ServiceError, match="live workspace"):
+                service.estimate("a", "d", "PL")
+        finally:
+            service.close()
+
+    def test_tenant_mismatch_rejected(self):
+        service, __ = self._service()
+        try:
+            with pytest.raises(ServiceError, match="elsewhere"):
+                service.estimate("a", "d", "PL", tenant="elsewhere")
+        finally:
+            service.close()
+
+    def test_multi_tenant_store_requires_tenant(self):
+        store = CatalogStore()
+        store.create("alpha", WORKSPACE, elements=_pool())
+        store.create("beta", WORKSPACE, elements=_pool(offset=500))
+        service = EstimationService(live=store, workers=0)
+        try:
+            with pytest.raises(ServiceError, match="tenant"):
+                service.estimate("a", "d", "PL")
+            response = service.estimate(
+                "a", "d", "PL", tenant="beta", num_buckets=8
+            )
+            assert response.applied_seq == 0
+        finally:
+            service.close()
+
+    def test_negative_max_staleness_rejected(self):
+        service, __ = self._service()
+        try:
+            with pytest.raises(ServiceError, match="max_staleness_s"):
+                service.estimate(
+                    "a", "d", "PL", max_staleness_s=-1.0
+                )
+        finally:
+            service.close()
+
+
+class TestWireStalenessFields:
+    def _operands(self):
+        elements = _pool(10)
+        ancestors = NodeSet(
+            tuple(e for e in elements if e.tag == "a"), name="a"
+        )
+        descendants = NodeSet(
+            tuple(e for e in elements if e.tag == "d"), name="d"
+        )
+        return ancestors, descendants
+
+    @pytest.mark.parametrize("wire_format", ["binary", "json"])
+    def test_request_round_trips_max_staleness(self, wire_format):
+        ancestors, descendants = self._operands()
+        request = EstimateRequest(
+            ancestors,
+            descendants,
+            "PL",
+            workspace=WORKSPACE,
+            max_staleness_s=0.25,
+        )
+        decoded, detected = decode_request(
+            encode_request(request, wire_format)
+        )
+        assert detected == wire_format
+        assert decoded.max_staleness_s == 0.25
+
+    def test_absent_max_staleness_means_no_bound(self):
+        ancestors, descendants = self._operands()
+        request = EstimateRequest(ancestors, descendants, "PL")
+        decoded, __ = decode_request(encode_request(request))
+        assert decoded.max_staleness_s is None
+
+    @pytest.mark.parametrize("wire_format", ["binary", "json"])
+    def test_response_round_trips_disclosure(self, wire_format):
+        live = LiveWorkspace(
+            WORKSPACE, elements=_pool(40), num_buckets=8, seed=5
+        )
+        service = EstimationService(live=live, workers=0, memoize=False)
+        try:
+            response = service.estimate("a", "d", "PL", num_buckets=8)
+        finally:
+            service.close()
+        decoded = decode_response(encode_response(response, wire_format))
+        assert decoded.staleness_s == response.staleness_s == 0.0
+        assert decoded.applied_seq == response.applied_seq
+        assert decoded.estimate.value == pytest.approx(
+            response.estimate.value
+        )
+
+
+class TestCatalogStore:
+    def test_create_get_contains_len(self):
+        store = CatalogStore()
+        alpha = store.create("alpha", WORKSPACE, elements=_pool())
+        assert store.get("alpha") is alpha
+        assert "alpha" in store and "missing" not in store
+        assert len(store) == 1
+        assert store.tenants() == ["alpha"]
+
+    def test_duplicate_tenant_rejected(self):
+        store = CatalogStore()
+        store.create("alpha", WORKSPACE)
+        with pytest.raises(StreamError, match="already exists"):
+            store.create("alpha", WORKSPACE)
+
+    def test_bad_tenant_name(self):
+        store = CatalogStore()
+        with pytest.raises(StreamError, match="tenant name"):
+            store.create("no/slashes", WORKSPACE)
+
+    def test_unknown_tenant(self):
+        store = CatalogStore()
+        with pytest.raises(StreamError, match="unknown tenant"):
+            store.get("ghost")
+
+    def test_eviction_disabled_without_root(self):
+        store = CatalogStore(capacity=1)
+        store.create("alpha", WORKSPACE, elements=_pool())
+        store.create("beta", WORKSPACE, elements=_pool(offset=500))
+        # Both stay resident: no spill root, capacity is ignored.
+        assert store.resident_tenants() == ["alpha", "beta"]
+        with pytest.raises(StreamError, match="eviction disabled"):
+            store.evict("alpha")
+
+    def test_lru_spill_and_reload(self, tmp_path):
+        store = CatalogStore(tmp_path, capacity=1)
+        alpha = store.create(
+            "alpha", WORKSPACE, elements=_pool(), num_buckets=8
+        )
+        alpha.apply([Mutation("delete", Element("a", 1, 9))])
+        population = alpha.rebuild_node_set("a").elements
+        applied = alpha.applied_seq
+        store.create("beta", WORKSPACE, elements=_pool(offset=500))
+        # alpha was the LRU victim and is now on disk.
+        assert store.resident_tenants() == ["beta"]
+        assert "alpha" in store and len(store) == 2
+        assert (tmp_path / "alpha.rpro").exists()
+        assert (tmp_path / "alpha.meta.json").exists()
+        reloaded = store.get("alpha")
+        assert reloaded.rebuild_node_set("a").elements == population
+        assert reloaded.applied_seq == applied
+        assert reloaded.applied_mutations == 1
+        stats = store.stats()["tenants"]["alpha"]
+        assert stats["spills"] == 1 and stats["loads"] == 1
+        assert 0.0 <= stats["last_load_hit_ratio"] <= 1.0
+
+    def test_reload_round_trips_estimates(self, tmp_path):
+        from repro.api import estimate as reference_estimate
+
+        store = CatalogStore(tmp_path, capacity=1)
+        alpha = store.create(
+            "alpha", WORKSPACE, elements=_pool(40), num_buckets=8
+        )
+        expected = reference_estimate(
+            alpha.rebuild_node_set("a"),
+            alpha.rebuild_node_set("d"),
+            "PL",
+            workspace=WORKSPACE,
+            num_buckets=8,
+        ).value
+        store.create("beta", WORKSPACE, elements=_pool(offset=900))
+        service = EstimationService(live=store, workers=0, memoize=False)
+        try:
+            response = service.estimate(
+                "a",
+                "d",
+                "PL",
+                tenant="alpha",
+                workspace=WORKSPACE,
+                num_buckets=8,
+            )
+            assert response.estimate.value == pytest.approx(
+                expected, rel=1e-12
+            )
+        finally:
+            service.close()
+
+    def test_touch_order_controls_victim(self, tmp_path):
+        store = CatalogStore(tmp_path, capacity=2)
+        store.create("alpha", WORKSPACE, elements=_pool())
+        store.create("beta", WORKSPACE, elements=_pool(offset=500))
+        store.get("alpha")  # beta becomes LRU
+        store.create("gamma", WORKSPACE, elements=_pool(offset=800))
+        assert sorted(store.resident_tenants()) == ["alpha", "gamma"]
+        assert "beta" in store  # spilled, not lost
